@@ -1,0 +1,779 @@
+(* The experiment harness: regenerates every checkable artefact of the
+   paper (its figure, its examples, its lemmas and theorems — the paper
+   has no measurement tables, see EXPERIMENTS.md) and measures the cost
+   of the library's decision procedures.
+
+   Output, in order:
+     1. reproduction verdicts, one table per experiment family
+        (E1..E13 of DESIGN.md): paper claim vs measured verdict;
+     2. performance sweeps P1..P3 (scaling series, printed as tables);
+     3. Bechamel micro-benchmarks: one Test.make per experiment,
+        reporting ns/op with the goodness of fit.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+module Spec = Posl_core.Spec
+module Refine = Posl_core.Refine
+module Compose = Posl_core.Compose
+module Theory = Posl_core.Theory
+module Internal = Posl_core.Internal
+module Component = Posl_core.Component
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+module Trace = Posl_trace.Trace
+module Eventset = Posl_sets.Eventset
+module Oset = Posl_sets.Oset
+module Mset = Posl_sets.Mset
+module Regex = Posl_regex.Regex
+module Epat = Posl_regex.Epat
+module Report = Posl_report.Report
+module Gen = Posl_gen.Gen
+module Ex = Posl_core.Examples_paper
+module Oid = Posl_ident.Oid
+module Mth = Posl_ident.Mth
+
+let universe = Spec.adequate_universe Ex.all_specs
+let ctx = Tset.ctx universe
+let depth = 6
+let rand = Random.State.make [| 0x5e5_1ab |]
+let generate n gen = QCheck2.Gen.generate ~rand ~n gen
+
+let pp_str pp v = Format.asprintf "%a" pp v
+
+let verdict_of_refine expected g' g =
+  let r = Refine.check ctx ~depth g' g in
+  let measured =
+    match r with
+    | Ok c -> Format.asprintf "refines [%a]" Bmc.pp_confidence c
+    | Error f -> Format.asprintf "refuted (%a)" Refine.pp_failure f
+  in
+  let ok = Result.is_ok r = expected in
+  (measured, ok)
+
+let status ok = if ok then "agrees" else "DISAGREES"
+
+(* ------------------------------------------------------------------ *)
+(* Section 1: reproduction verdicts                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* E1 — Fig. 1: event classification of two overlapping interface
+   specifications.  The figure's point: composition hides all events
+   between the two objects, including events in neither alphabet ("we
+   hide more than we can see"). *)
+let e1 () =
+  Report.section "E1 (Fig. 1): hiding classification for Client ‖ WriteAcc";
+  let g = Ex.client and d = Ex.write_acc in
+  let internal = Internal.pair (Oid.v "c") (Oid.v "o") in
+  let both = Eventset.inter (Spec.alpha g) (Spec.alpha d) in
+  let one_sided =
+    Eventset.diff
+      (Eventset.inter internal (Eventset.union (Spec.alpha g) (Spec.alpha d)))
+      both
+  in
+  let unseen =
+    Eventset.diff internal (Eventset.union (Spec.alpha g) (Spec.alpha d))
+  in
+  let t = Report.create [ "event class"; "paper"; "measured"; "status" ] in
+  let row name expected_nonempty es =
+    let nonempty = not (Eventset.is_empty es) in
+    Report.add_row t
+      [
+        name;
+        (if expected_nonempty then "non-empty" else "empty");
+        (if nonempty then "non-empty" else "empty");
+        status (nonempty = expected_nonempty);
+      ]
+  in
+  (* Internal events known to one spec only (stapled arrows of Fig. 1):
+     the client's W-calls to o are in both alphabets here, so the
+     one-sided class contains e.g. WriteAcc's OW/CW from c. *)
+  row "internal ∩ α(Γ) ∩ α(∆) (shared)" true (Eventset.inter internal both);
+  row "internal, one-sided" true one_sided;
+  row "internal, in neither alphabet (\"hide more than we see\")" true unseen;
+  row "visible after composition"
+    true
+    (Spec.alpha (Compose.interface g d));
+  Report.print t
+
+(* E2/E3 — the refinement lattice of Examples 1-3. *)
+let e2_e3 () =
+  Report.section "E2-E3 (Examples 1-3): the viewpoint refinement lattice";
+  let t = Report.create [ "check"; "paper"; "measured"; "status" ] in
+  let row name expected g' g =
+    let measured, ok = verdict_of_refine expected g' g in
+    Report.add_row t
+      [ name; (if expected then "refines" else "refuted"); measured; status ok ]
+  in
+  row "Read2 ⊑ Read" true Ex.read2 Ex.read;
+  row "Read ⊑ Read2" false Ex.read Ex.read2;
+  row "RW ⊑ Read" true Ex.rw Ex.read;
+  row "RW ⊑ Write" true Ex.rw Ex.write;
+  row "RW ⊑ Read2" false Ex.rw Ex.read2;
+  row "WriteAcc ⊑ Write" true Ex.write_acc Ex.write;
+  row "RW2 ⊑ RW" true Ex.rw2 Ex.rw;
+  row "RW2 ⊑ WriteAcc" true Ex.rw2 Ex.write_acc;
+  row "Client2 ⊑ Client" true Ex.client2 Ex.client;
+  Report.print t
+
+(* E4/E5/E6 — composition, projection, deadlock. *)
+let e4_e5_e6 () =
+  Report.section "E4-E6 (Examples 4-6): composition and deadlock";
+  let t = Report.create [ "check"; "paper"; "measured"; "status" ] in
+  let comp = Compose.interface Ex.client Ex.write_acc in
+  let alphabet = Spec.concrete_alphabet universe comp in
+  (* E4a: observable behaviour is OK*. *)
+  let ok_star =
+    Tset.prs
+      (Regex.star
+         (Regex.atom
+            (Epat.make ~caller:(Epat.Const (Oid.v "c"))
+               ~callee:(Epat.Const (Oid.v "om"))
+               (Mset.singleton (Mth.v "OK")))))
+  in
+  (match Bmc.check_equal ctx ~alphabet ~depth ~left:(Spec.tset comp) ~right:ok_star with
+  | Bmc.Holds c ->
+      Report.add_row t
+        [
+          "T(Client‖WriteAcc) = ⟨c,o',OK⟩*";
+          "equal";
+          Format.asprintf "equal [%a]" Bmc.pp_confidence c;
+          status true;
+        ]
+  | Bmc.Refuted _ ->
+      Report.add_row t
+        [ "T(Client‖WriteAcc) = ⟨c,o',OK⟩*"; "equal"; "NOT equal"; status false ]);
+  (* E4b: no deadlock with projection. *)
+  let dl = Bmc.find_deadlock ctx ~alphabet ~depth (Spec.tset comp) in
+  Report.add_row t
+    [
+      "Client‖WriteAcc deadlock";
+      "none";
+      (match dl with None -> "none" | Some h -> pp_str Trace.pp h);
+      status (dl = None);
+    ];
+  (* E4c: ablation — without projection the composition dies at once. *)
+  let noproj = Compose.interface_noproj Ex.client Ex.write_acc in
+  let np_alpha = Spec.concrete_alphabet universe noproj in
+  let dl_np = Bmc.find_deadlock ctx ~alphabet:np_alpha ~depth (Spec.tset noproj) in
+  Report.add_row t
+    [
+      "ablation: no-projection composition";
+      "deadlock at ε";
+      (match dl_np with
+      | Some h when Trace.is_empty h -> "deadlock at ε"
+      | Some h -> Format.asprintf "deadlock after %a" Trace.pp h
+      | None -> "no deadlock");
+      status (match dl_np with Some h -> Trace.is_empty h | None -> false);
+    ];
+  (* E5: Client2‖WriteAcc = {ε} and still refines. *)
+  let comp2 = Compose.interface Ex.client2 Ex.write_acc in
+  let a2 = Spec.concrete_alphabet universe comp2 in
+  let counts = Bmc.count_traces ctx ~alphabet:a2 ~depth:4 (Spec.tset comp2) in
+  let only_eps = Array.to_list counts = [ 1; 0; 0; 0; 0 ] in
+  Report.add_row t
+    [
+      "T(Client2‖WriteAcc)";
+      "{ε}";
+      (if only_eps then "{ε}" else "larger");
+      status only_eps;
+    ];
+  let m, ok5 = verdict_of_refine true comp2 comp in
+  Report.add_row t
+    [ "Client2‖WriteAcc ⊑ Client‖WriteAcc (trivially)"; "refines"; m; status ok5 ];
+  (* E6: T(RW2‖Client) = T(WriteAcc‖Client). *)
+  let left = Compose.interface Ex.rw2 Ex.client in
+  let right = Compose.interface Ex.write_acc Ex.client in
+  let e6 = Theory.tset_equal ctx ~depth left right in
+  Report.add_row t
+    [
+      "T(RW2‖Client) = T(WriteAcc‖Client)";
+      "equal";
+      pp_str Theory.pp_outcome e6;
+      status (Theory.is_pass e6);
+    ];
+  Report.print t
+
+(* A deterministic component for E10 (Lemma 13): the ping/note server of
+   the test suite. *)
+let lemma13_component () =
+  let s = Oid.v "o" and t_obj = Oid.v "om" in
+  let m_ping = Mth.v "R" and m_note = Mth.v "OK" in
+  let behaviour =
+    Tset.prs
+      (Regex.star
+         (Regex.seq
+            (Regex.atom
+               (Epat.make
+                  ~caller:(Epat.In (Oset.cofin_of_list [ s; t_obj ]))
+                  ~callee:(Epat.Const s)
+                  (Mset.singleton m_ping)))
+            (Regex.atom
+               (Epat.make ~caller:(Epat.Const s) ~callee:(Epat.Const t_obj)
+                  (Mset.singleton m_note)))))
+  in
+  let component =
+    Component.of_objects
+      [
+        Component.model_object ~oid:s behaviour;
+        Component.model_object ~oid:t_obj Tset.all;
+      ]
+  in
+  let ping =
+    Eventset.calls
+      ~callers:(Oset.cofin_of_list [ s; t_obj ])
+      ~callees:(Oset.singleton s) (Mset.singleton m_ping)
+  in
+  let view1 = Spec.v ~name:"PingAny" ~objs:[ s ] ~alpha:ping Tset.all in
+  let view2 =
+    Spec.v ~name:"PingSeq" ~objs:[ s ] ~alpha:ping
+      (Tset.prs
+         (Regex.star
+            (Regex.atom
+               (Epat.make
+                  ~caller:(Epat.In (Oset.cofin_of_list [ s; t_obj ]))
+                  ~callee:(Epat.Const s)
+                  (Mset.singleton m_ping)))))
+  in
+  (component, view1, view2)
+
+(* E7-E13 — randomized theorem campaigns. *)
+let theorem_campaigns () =
+  Report.section
+    "E7-E13: theorem campaigns (randomized; substitutes for the PVS proofs)";
+  let sc = Gen.default_scenario in
+  let gctx = Tset.ctx sc.Gen.universe in
+  let cdepth = 4 in
+  let t =
+    Report.create [ "proposition"; "instances"; "pass"; "vacuous"; "fail" ]
+  in
+  let campaign name n gen check =
+    let pass = ref 0 and vac = ref 0 and fail = ref 0 in
+    List.iter
+      (fun inst ->
+        match check inst with
+        | Theory.Pass _ -> incr pass
+        | Theory.Vacuous _ -> incr vac
+        | Theory.Fail _ -> incr fail)
+      (generate n gen);
+    Report.add_row t
+      [ name; string_of_int n; string_of_int !pass; string_of_int !vac;
+        string_of_int !fail ]
+  in
+  let open QCheck2.Gen in
+  let k0 = Oid.v "k0" and k1 = Oid.v "k1" and r0 = Oid.v "r0" in
+  campaign "Property 5: Γ‖Γ = Γ" 60 (Gen.interface_spec sc k0) (fun g ->
+      Theory.property5 gctx ~depth:cdepth g);
+  campaign "Lemma 6: Γ₁‖Γ₂ ⊑ Γᵢ" 40
+    (pair (Gen.interface_spec sc k0) (Gen.interface_spec sc k0))
+    (fun (g1, g2) -> Theory.lemma6_refines gctx ~depth:cdepth g1 g2);
+  campaign "Theorem 7: Γ′⊑Γ ⇒ Γ′‖∆ ⊑ Γ‖∆" 40
+    (let* g = Gen.interface_spec sc k0 in
+     let* g' = Gen.refinement_of sc g in
+     let* d = Gen.interface_spec sc k1 in
+     pure (g', g, d))
+    (fun (gamma', gamma, delta) ->
+      Theory.theorem7 gctx ~depth:cdepth ~gamma' ~gamma ~delta);
+  (let component, view1, view2 = lemma13_component () in
+   campaign "Lemma 13: soundness preserved" 1 (pure ()) (fun () ->
+       Theory.lemma13 ctx ~depth:5 component view1 view2));
+  let gen_triple ~new_objs =
+    let* g = Gen.spec sc [ k0 ] in
+    let* g' = Gen.refinement_of ~new_objs sc g in
+    let* d = Gen.spec sc [ k1 ] in
+    pure (g', g, d)
+  in
+  campaign "Lemma 15: alphabet preserved" 40 (gen_triple ~new_objs:[ r0 ])
+    (fun (gamma', gamma, delta) -> Theory.lemma15 ~gamma' ~gamma ~delta);
+  campaign "Theorem 16: proper compositional refinement" 30
+    (gen_triple ~new_objs:[ r0 ])
+    (fun (gamma', gamma, delta) ->
+      Theory.theorem16 gctx ~depth:cdepth ~gamma' ~gamma ~delta);
+  campaign "Property 17: composability preserved" 40 (gen_triple ~new_objs:[])
+    (fun (gamma', gamma, delta) -> Theory.property17 ~gamma' ~gamma ~delta);
+  campaign "Theorem 18: no-new-object case" 30 (gen_triple ~new_objs:[])
+    (fun (gamma', gamma, delta) ->
+      Theory.theorem18 gctx ~depth:cdepth ~gamma' ~gamma ~delta);
+  campaign "Filter law h/S₁\\S₂ = h\\S₂/(S₁−S₂)" 200
+    (triple (Gen.trace sc) (Gen.eventset sc) (Gen.eventset sc))
+    (fun (h, s1, s2) ->
+      if Theory.filter_law s1 s2 h then Theory.Pass Bmc.Exact
+      else Theory.Fail "filter law violated");
+  Report.print t;
+  (* The negative side: properness is necessary.  A deterministic
+     improper instance must break the conclusion of Theorem 16. *)
+  let m = Mth.v "m0" in
+  let mon = Oid.v "e1" in
+  let delta =
+    Spec.v ~name:"D" ~objs:[ k1 ]
+      ~alpha:
+        (Eventset.calls ~callers:(Oset.singleton k1)
+           ~callees:(Oset.singleton mon) (Mset.singleton m))
+      Tset.all
+  in
+  let gamma =
+    Spec.v ~name:"G" ~objs:[ k0 ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.of_list [ Oid.v "e0" ])
+           ~callees:(Oset.singleton k0) (Mset.singleton m))
+      Tset.all
+  in
+  let gamma' =
+    Spec.v ~name:"G'" ~objs:[ k0; mon ] ~alpha:(Spec.alpha gamma)
+      (Spec.tset gamma)
+  in
+  let broke =
+    match (Compose.compose gamma' delta, Compose.compose gamma delta) with
+    | Ok rc, Ok ac -> not (Refine.refines gctx ~depth:cdepth rc ac)
+    | _ -> false
+  in
+  Format.printf
+    "ablation: dropping properness breaks Theorem 16's conclusion: %s@."
+    (if broke then "yes (as the paper motivates)" else "NO (unexpected)")
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* E14 — the liveness extension (the paper's future work, Section 9):
+   Example 5's phenomenon as an analysis. *)
+let e14 () =
+  Report.section
+    "E14: liveness extension (Sec. 9 future work) — deadlock preservation";
+  let t = Report.create [ "check"; "expected"; "measured"; "status" ] in
+  let module Live = Posl_live.Live in
+  (* Client → Client2 breaks deadlock freedom of the composition. *)
+  (match
+     Live.compositional_deadlock_preservation ctx ~depth ~gamma':Ex.client2
+       ~gamma:Ex.client ~delta:Ex.write_acc
+   with
+  | Error h ->
+      Report.add_row t
+        [
+          "Client→Client2 preserves ‖WriteAcc liveness";
+          "broken (Example 5)";
+          Format.asprintf "fresh deadlock after %a" Trace.pp h;
+          status true;
+        ]
+  | Ok () ->
+      Report.add_row t
+        [
+          "Client→Client2 preserves ‖WriteAcc liveness";
+          "broken (Example 5)";
+          "preserved";
+          status false;
+        ]);
+  (* WriteAcc → RW2 is harmless (Example 6's refinement). *)
+  (match
+     Live.compositional_deadlock_preservation ctx ~depth ~gamma':Ex.rw2
+       ~gamma:Ex.write_acc ~delta:Ex.client
+   with
+  | Ok () ->
+      Report.add_row t
+        [
+          "WriteAcc→RW2 preserves ‖Client liveness";
+          "preserved";
+          "preserved";
+          status true;
+        ]
+  | Error h ->
+      Report.add_row t
+        [
+          "WriteAcc→RW2 preserves ‖Client liveness";
+          "preserved";
+          Format.asprintf "deadlock after %a" Trace.pp h;
+          status false;
+        ]);
+  (* Live refinement rejects Client2 under a progress obligation. *)
+  let mth_events m =
+    Eventset.calls ~args:Posl_sets.Argsel.full ~callers:Oset.full
+      ~callees:Oset.full (Mset.singleton m)
+  in
+  let ow_answerable =
+    Live.obligation ~name:"ow-answerable" ~trigger:(mth_events Ex.m_ow)
+      ~response:(mth_events Ex.m_cw)
+  in
+  let refined =
+    Live.v ~deadlock_free:false ~obligations:[ ow_answerable ] Ex.client2
+  in
+  let abstract = Live.v ~deadlock_free:false Ex.client in
+  (match Live.refine ctx ~depth refined abstract with
+  | Error (Live.Liveness _) ->
+      Report.add_row t
+        [
+          "Client2 ⊑live Client (with obligation)";
+          "rejected";
+          "rejected (obligation unanswerable)";
+          status true;
+        ]
+  | Error (Live.Safety _) | Ok _ ->
+      Report.add_row t
+        [
+          "Client2 ⊑live Client (with obligation)";
+          "rejected";
+          "accepted";
+          status false;
+        ]);
+  Report.print t
+
+(* E15 — non-trivial consistency (Section 7's discussion of Boiten et
+   al.). *)
+let e15 () =
+  Report.section "E15: non-trivial consistency (Sec. 7)";
+  let module Consistency = Posl_core.Consistency in
+  let t = Report.create [ "pair"; "expected"; "measured"; "status" ] in
+  let row name expected a b =
+    let v = Consistency.check ctx ~depth a b in
+    let measured = pp_str Consistency.pp_verdict v in
+    let got =
+      match v with
+      | Consistency.Consistent _ -> `Consistent
+      | Consistency.Only_trivial -> `Trivial
+      | Consistency.Not_composable _ -> `Incomparable
+    in
+    Report.add_row t
+      [
+        name;
+        (match expected with
+        | `Consistent -> "consistent"
+        | `Trivial -> "only trivial"
+        | `Incomparable -> "not composable");
+        measured;
+        status (got = expected);
+      ]
+  in
+  row "Write vs Read2 (mergeable viewpoints)" `Consistent Ex.write Ex.read2;
+  row "Read vs Write" `Consistent Ex.read Ex.write;
+  let mk_order name first second =
+    let a m =
+      Regex.atom
+        (Epat.make ~caller:(Epat.Const Ex.c) ~callee:(Epat.Const Ex.o)
+           (Mset.singleton m))
+    in
+    Spec.v ~name ~objs:[ Ex.o ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.cofin_of_list [ Ex.o ])
+           ~callees:(Oset.singleton Ex.o)
+           (Mset.of_list [ Ex.m_ow; Ex.m_cw ]))
+      (Tset.prs (Regex.star (Regex.seq (a first) (a second))))
+  in
+  row "contradicting open/close orders" `Trivial
+    (mk_order "OwFirst" Ex.m_ow Ex.m_cw)
+    (mk_order "CwFirst" Ex.m_cw Ex.m_ow);
+  Report.print t
+
+(* A1/A2 — design ablations called out in DESIGN.md. *)
+let ablations () =
+  Report.section "Ablations: design choices";
+  (* A1: DFA-backed monitors vs the naive denotational semantics
+     (Brzozowski derivatives re-run per membership query) on RW
+     membership, sweeping the trace length.  Derivative terms grow with
+     the trace, so the naive route is superlinear; monitor stepping is
+     linear, which is what exploration needs.  The crossover sits at a
+     few dozen events. *)
+  let t1 =
+    Report.create
+      [ "A1: trace length"; "naive (deriv) ms"; "monitor (DFA) ms"; "speedup" ]
+  in
+  let ow = Posl_trace.Event.make ~caller:Ex.c ~callee:Ex.o Ex.m_ow in
+  let cw = Posl_trace.Event.make ~caller:Ex.c ~callee:Ex.o Ex.m_cw in
+  let w =
+    Posl_trace.Event.make
+      ~arg:(Posl_ident.Value.v "d1")
+      ~caller:Ex.c ~callee:Ex.o Ex.m_w
+  in
+  let cycle = [ ow; w; w; w; cw ] in
+  let long n = Trace.of_list (List.concat (List.init n (fun _ -> cycle))) in
+  let tset = Spec.tset Ex.rw in
+  ignore (Tset.mem ctx tset Trace.empty);
+  (* warm the prs cache *)
+  List.iter
+    (fun n ->
+      let h = long n in
+      let reps = 10 in
+      let _, naive_ms =
+        wall (fun () ->
+            for _ = 1 to reps do
+              ignore (Tset.mem_naive ctx tset h)
+            done)
+      in
+      let _, monitor_ms =
+        wall (fun () ->
+            for _ = 1 to reps do
+              ignore (Tset.mem ctx tset h)
+            done)
+      in
+      Report.add_row t1
+        [
+          string_of_int (Trace.length h);
+          Printf.sprintf "%.2f" (naive_ms /. float_of_int reps);
+          Printf.sprintf "%.2f" (monitor_ms /. float_of_int reps);
+          Printf.sprintf "%.1fx" (naive_ms /. Float.max 0.001 monitor_ms);
+        ])
+    [ 2; 10; 40; 100; 300 ];
+  Report.print t1;
+  let t = Report.create [ "ablation"; "baseline"; "ours"; "speedup" ] in
+  (* A2: symbolic subset vs concretise-and-compare on the same pair of
+     alphabets (the concrete route is also *wrong* for infinite sets —
+     it can only see the sampled universe). *)
+  let a = Spec.alpha Ex.write and b = Spec.alpha Ex.rw in
+  let _, sym_ms =
+    wall (fun () ->
+        for _ = 1 to 1000 do
+          ignore (Eventset.subset a b)
+        done)
+  in
+  let _, conc_ms =
+    wall (fun () ->
+        for _ = 1 to 1000 do
+          let sa = Eventset.sample universe a and sb = Eventset.sample universe b in
+          ignore
+            (List.for_all
+               (fun e -> List.exists (Posl_trace.Event.equal e) sb)
+               sa)
+        done)
+  in
+  Report.add_row t
+    [
+      "A2: alphabet inclusion α(Write) ⊆ α(RW), 1000x";
+      Printf.sprintf "concretise %.2f ms (unsound for ∞ sets)" conc_ms;
+      Printf.sprintf "symbolic %.2f ms (exact)" sym_ms;
+      Printf.sprintf "%.1fx" (conc_ms /. Float.max 0.001 sym_ms);
+    ];
+  Report.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 2: performance sweeps                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* P1 — bounded-exploration scaling: reachable states and wall time per
+   depth, serial vs parallel domains. *)
+let p1 () =
+  Report.section "P1: state-space exploration scaling (RW ⊑ Write, bounded)";
+  let alphabet = Spec.concrete_alphabet universe Ex.rw in
+  let t =
+    Report.create
+      [ "depth"; "reachable states"; "serial ms"; "4-domain ms"; "verdict" ]
+  in
+  List.iter
+    (fun d ->
+      let states =
+        Bmc.count_states ctx ~alphabet ~depth:d (Spec.tset Ex.rw)
+      in
+      let run domains () =
+        Bmc.check_inclusion ~domains ctx ~alphabet ~depth:d
+          ~lhs:(Spec.tset Ex.rw) ~proj:(Spec.alpha Ex.write)
+          ~rhs:(Spec.tset Ex.write)
+      in
+      let v1, ms1 = wall (run 1) in
+      let _v4, ms4 = wall (run 4) in
+      Report.add_row t
+        [
+          string_of_int d;
+          string_of_int states;
+          Printf.sprintf "%.1f" ms1;
+          Printf.sprintf "%.1f" ms4;
+          pp_str (Bmc.pp_verdict Trace.pp) v1;
+        ])
+    [ 2; 3; 4; 5; 6 ];
+  Report.print t
+
+(* P2 — automata pipeline scaling: regex → NFA → DFA → minimise, with
+   growing environment (alphabet) size. *)
+let p2 () =
+  Report.section "P2: automata pipeline scaling (Write spec, growing universe)";
+  let t =
+    Report.create
+      [ "env objects"; "alphabet"; "nfa states"; "dfa states"; "min states"; "ms" ]
+  in
+  List.iter
+    (fun n_env ->
+      let extra =
+        List.init n_env (fun i -> Oid.v (Printf.sprintf "env%d" i))
+      in
+      let u =
+        Posl_ident.Universe.make
+          ~objects:(Oid.v "o" :: extra)
+          ~methods:[ Mth.v "OW"; Mth.v "CW"; Mth.v "W" ]
+          ~values:[ Posl_ident.Value.v "d1" ]
+      in
+      let ground = Regex.expand u Ex.write_regex in
+      let events = Array.of_list (Eventset.sample u (Regex.atom_union ground)) in
+      let (nfa, dfa, mini), ms =
+        wall (fun () ->
+            let nfa = Regex.to_nfa ~events ground in
+            let nfa = Posl_automata.Nfa.prefix_close nfa in
+            let dfa = Posl_automata.Nfa.to_dfa nfa in
+            let mini = Posl_automata.Dfa.minimize dfa in
+            (nfa, dfa, mini))
+      in
+      Report.add_row t
+        [
+          string_of_int n_env;
+          string_of_int (Array.length events);
+          string_of_int (Posl_automata.Nfa.n_states nfa);
+          string_of_int (Posl_automata.Dfa.n_states dfa);
+          string_of_int (Posl_automata.Dfa.n_states mini);
+          Printf.sprintf "%.2f" ms;
+        ])
+    [ 1; 2; 3; 4; 6; 8 ];
+  Report.print t
+
+(* P3 — symbolic set algebra scaling: decision procedures on rectangle
+   unions of growing width. *)
+let p3 () =
+  Report.section "P3: symbolic event-set algebra scaling";
+  let sc = Gen.default_scenario in
+  let t =
+    Report.create [ "width"; "union ms"; "inter ms"; "diff ms"; "subset ms" ]
+  in
+  List.iter
+    (fun w ->
+      let sets =
+        generate 20 (Gen.eventset ~max_width:w sc)
+        |> List.filter (fun s -> not (Eventset.is_empty s))
+      in
+      let pairs =
+        match sets with
+        | a :: rest -> List.map (fun b -> (a, b)) rest
+        | [] -> []
+      in
+      let timed f =
+        let _, ms =
+          wall (fun () ->
+              List.iter (fun (a, b) -> ignore (f a b)) pairs)
+        in
+        Printf.sprintf "%.3f" (ms /. float_of_int (max 1 (List.length pairs)))
+      in
+      Report.add_row t
+        [
+          string_of_int w;
+          timed Eventset.union;
+          timed Eventset.inter;
+          timed (fun a b -> Eventset.diff a b);
+          timed (fun a b -> Eventset.subset a b);
+        ])
+    [ 2; 4; 8; 16 ];
+  Report.print t
+
+(* ------------------------------------------------------------------ *)
+(* Section 3: Bechamel micro-benchmarks                                 *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let stage = Staged.stage in
+  let refine_test name g' g =
+    Test.make ~name (stage (fun () -> Refine.check ctx ~depth g' g))
+  in
+  let comp = Compose.interface Ex.client Ex.write_acc in
+  let comp_alphabet = Spec.concrete_alphabet universe comp in
+  let comp2 = Compose.interface Ex.client2 Ex.write_acc in
+  let comp2_alphabet = Spec.concrete_alphabet universe comp2 in
+  let rw_alphabet = Spec.concrete_alphabet universe Ex.rw in
+  [
+    (* E2/E3: refinement checks *)
+    refine_test "E2/refine/read2-read" Ex.read2 Ex.read;
+    refine_test "E3/refine/rw-write" Ex.rw Ex.write;
+    refine_test "E3/refine/rw-read2(neg)" Ex.rw Ex.read2;
+    refine_test "E6/refine/rw2-writeacc" Ex.rw2 Ex.write_acc;
+    (* E4: observable behaviour of a composition *)
+    Test.make ~name:"E4/compose/client-writeacc"
+      (stage (fun () ->
+           Bmc.count_traces ctx ~alphabet:comp_alphabet ~depth:4
+             (Spec.tset comp)));
+    (* E5: deadlock detection *)
+    Test.make ~name:"E5/deadlock/client2"
+      (stage (fun () ->
+           Bmc.find_deadlock ctx ~alphabet:comp2_alphabet ~depth:4
+             (Spec.tset comp2)));
+    (* E7: Property 5 *)
+    Test.make ~name:"E7/theory/prop5-rw"
+      (stage (fun () -> Theory.property5 ctx ~depth:4 Ex.rw));
+    (* E11: Theorem 16 static side conditions (symbolic only) *)
+    Test.make ~name:"E11/static/composability+properness"
+      (stage (fun () ->
+           ( Compose.composable Ex.client Ex.write_acc,
+             Compose.proper ~refined:Ex.rw2 ~abstract:Ex.write_acc
+               ~context:Ex.client )));
+    (* E13: filter law evaluation *)
+    Test.make ~name:"E13/laws/filter"
+      (stage
+         (let h =
+            Trace.of_list
+              (Array.to_list rw_alphabet |> List.filteri (fun i _ -> i < 8))
+          in
+          fun () ->
+            Theory.filter_law (Spec.alpha Ex.write) (Spec.alpha Ex.read2) h));
+    (* P1: one exploration step cost *)
+    Test.make ~name:"P1/bmc/rw-write-depth4"
+      (stage (fun () ->
+           Bmc.check_inclusion ctx ~alphabet:rw_alphabet ~depth:4
+             ~lhs:(Spec.tset Ex.rw) ~proj:(Spec.alpha Ex.write)
+             ~rhs:(Spec.tset Ex.write)));
+    (* P2: automata pipeline *)
+    Test.make ~name:"P2/automata/write-pipeline"
+      (stage
+         (let ground = Regex.expand universe Ex.write_regex in
+          let events =
+            Array.of_list (Eventset.sample universe (Regex.atom_union ground))
+          in
+          fun () -> Regex.prs_dfa ~events ground));
+    (* P3: symbolic algebra *)
+    Test.make ~name:"P3/sets/subset"
+      (stage (fun () -> Eventset.subset (Spec.alpha Ex.write) (Spec.alpha Ex.rw)));
+    Test.make ~name:"P3/sets/compose-alpha"
+      (stage (fun () ->
+           Eventset.diff
+             (Eventset.union (Spec.alpha Ex.client) (Spec.alpha Ex.write_acc))
+             (Internal.pair (Oid.v "c") (Oid.v "o"))));
+  ]
+
+let run_bechamel () =
+  Report.section "Bechamel micro-benchmarks (one per experiment)";
+  let tests = bechamel_tests () in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let table = Report.create [ "benchmark"; "ns/op"; "r²" ] in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"" [ test ]) in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          let ns =
+            match Analyze.OLS.estimates ols_result with
+            | Some (e :: _) -> Printf.sprintf "%.0f" e
+            | Some [] | None -> "n/a"
+          in
+          let r2 =
+            match Analyze.OLS.r_square ols_result with
+            | Some r -> Printf.sprintf "%.4f" r
+            | None -> "n/a"
+          in
+          Report.add_row table [ name; ns; r2 ])
+        results)
+    tests;
+  Report.print table
+
+let () =
+  Format.printf
+    "posl experiment harness — Johnsen & Owe, Composition and Refinement for@.\
+     Partial Object Specifications (2002).  Paper claims vs measured verdicts.@.";
+  e1 ();
+  e2_e3 ();
+  e4_e5_e6 ();
+  theorem_campaigns ();
+  e14 ();
+  e15 ();
+  ablations ();
+  p1 ();
+  p2 ();
+  p3 ();
+  run_bechamel ();
+  Format.printf "@.done.@."

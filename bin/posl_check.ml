@@ -1,0 +1,315 @@
+(* posl-check: command-line checker for OUN-lite specification files.
+
+   Subcommands:
+     posl-check show file.oun                  -- parse and display specs
+     posl-check refine file.oun G' G           -- decide G' ⊑ G (Def. 2)
+     posl-check compose file.oun G D           -- composability + composition
+     posl-check proper file.oun G' G D         -- properness (Def. 14)
+     posl-check deadlock file.oun G D          -- deadlock of G ‖ D
+     posl-check equal file.oun A B             -- trace-set equality
+
+   Verdicts are printed with their confidence (exact for the sampled
+   universe, or bounded by the exploration depth), and failures carry
+   counterexample traces. *)
+
+open Cmdliner
+module Spec = Posl_core.Spec
+module Refine = Posl_core.Refine
+module Compose = Posl_core.Compose
+module Theory = Posl_core.Theory
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+module Lang = Posl_lang.Lang
+
+let read_whole_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load file =
+  match Lang.specs_of_file file with
+  | Ok specs -> Ok specs
+  | Error e -> Error (Format.asprintf "%s: %a" file Lang.pp_error e)
+  | exception Sys_error m -> Error m
+
+let find specs name =
+  match Lang.lookup specs name with
+  | Some s -> Ok s
+  | None ->
+      Error
+        (Format.asprintf "no spec named %s (file declares: %s)" name
+           (String.concat ", " (List.map Spec.name specs)))
+
+let context specs extra_objects =
+  let universe = Spec.adequate_universe ~extra_objects specs in
+  Tset.ctx universe
+
+let ( let* ) = Result.bind
+
+(* Shared options. *)
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"OUN-lite specification file.")
+
+let name_arg n docv =
+  Arg.(required & pos n (some string) None & info [] ~docv ~doc:(docv ^ " specification name."))
+
+let depth_arg =
+  Arg.(value & opt int 6 & info [ "depth"; "d" ] ~docv:"DEPTH" ~doc:"Exploration depth bound for trace checks.")
+
+let extra_objects_arg =
+  Arg.(value & opt int 2 & info [ "extra-objects" ] ~docv:"N" ~doc:"Fresh environment objects added to the universe sample.")
+
+let run_result = function
+  | Ok () -> `Ok ()
+  | Error msg -> `Error (false, msg)
+
+(* show *)
+let show_cmd =
+  let run file =
+    run_result
+      (let* specs = load file in
+       List.iter (fun s -> Format.printf "%a@.@." Spec.pp s) specs;
+       Ok ())
+  in
+  Cmd.v (Cmd.info "show" ~doc:"Parse a specification file and display it.")
+    Term.(ret (const run $ file_arg))
+
+(* refine *)
+let refine_cmd =
+  let run file refined abstract depth extra =
+    run_result
+      (let* specs = load file in
+       let* g' = find specs refined in
+       let* g = find specs abstract in
+       let ctx = context specs extra in
+       let verdict = Refine.check ctx ~depth g' g in
+       Format.printf "%s ⊑ %s: %a@." refined abstract Refine.pp_result verdict;
+       match verdict with Ok _ -> Ok () | Error _ -> Error "refinement refuted")
+  in
+  Cmd.v
+    (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
+        $ depth_arg $ extra_objects_arg))
+
+(* compose *)
+let compose_cmd =
+  let run file left right =
+    run_result
+      (let* specs = load file in
+       let* g = find specs left in
+       let* d = find specs right in
+       match Compose.compose g d with
+       | Ok comp ->
+           Format.printf "composable.@.@.%a@." Spec.pp comp;
+           Ok ()
+       | Error f ->
+           Error
+             (Format.asprintf "not composable: %a"
+                Compose.pp_composability_failure f))
+  in
+  Cmd.v
+    (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
+    Term.(ret (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"))
+
+(* proper *)
+let proper_cmd =
+  let run file refined abstract ctx_name =
+    run_result
+      (let* specs = load file in
+       let* g' = find specs refined in
+       let* g = find specs abstract in
+       let* d = find specs ctx_name in
+       let a0 = Compose.alpha0 ~refined:g' ~abstract:g in
+       if Compose.proper ~refined:g' ~abstract:g ~context:d then begin
+         Format.printf "proper: α₀ ∩ α(%s) = ∅ (α₀ = %a)@." ctx_name
+           Posl_sets.Eventset.pp a0;
+         Ok ()
+       end
+       else
+         Error
+           (Format.asprintf
+              "not proper: α₀ meets α(%s); offending events: %a" ctx_name
+              Posl_sets.Eventset.pp
+              (Posl_sets.Eventset.normalise
+                 (Posl_sets.Eventset.inter a0 (Spec.alpha d)))))
+  in
+  Cmd.v
+    (Cmd.info "proper" ~doc:"Check properness of a refinement w.r.t. a context spec (Def. 14).")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
+        $ name_arg 3 "CONTEXT"))
+
+(* deadlock *)
+let deadlock_cmd =
+  let run file left right depth extra =
+    run_result
+      (let* specs = load file in
+       let* g = find specs left in
+       let* d = find specs right in
+       let ctx = context specs extra in
+       let* comp =
+         Result.map_error
+           (Format.asprintf "not composable: %a"
+              Compose.pp_composability_failure)
+           (Compose.compose g d)
+       in
+       let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
+       match Bmc.find_deadlock ctx ~alphabet ~depth (Spec.tset comp) with
+       | None ->
+           Format.printf "no deadlock up to depth %d.@." depth;
+           Ok ()
+       | Some h ->
+           Error
+             (Format.asprintf "deadlock after %a" Posl_trace.Trace.pp h))
+  in
+  Cmd.v
+    (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
+        $ depth_arg $ extra_objects_arg))
+
+(* equal *)
+let equal_cmd =
+  let run file left right depth extra =
+    run_result
+      (let* specs = load file in
+       let* a = find specs left in
+       let* b = find specs right in
+       let ctx = context specs extra in
+       match Theory.tset_equal ctx ~depth a b with
+       | Theory.Pass c ->
+           Format.printf "trace sets equal [%a]@." Bmc.pp_confidence c;
+           Ok ()
+       | Theory.Vacuous why -> Error why
+       | Theory.Fail why -> Error why)
+  in
+  Cmd.v
+    (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
+        $ depth_arg $ extra_objects_arg))
+
+(* run: evaluate the assert statements of a file *)
+let run_cmd =
+  let run file depth extra =
+    run_result
+      (match Posl_lang.Lang.parse_string (read_whole_file file) with
+      | Error e ->
+          Error (Format.asprintf "%s: %a" file Posl_lang.Lang.pp_error e)
+      | Ok ast -> (
+          match
+            Posl_lang.Runner.run_file ~depth ~extra_objects:extra ast
+          with
+          | results ->
+              List.iter
+                (fun r -> Format.printf "%a@." Posl_lang.Runner.pp_result r)
+                results;
+              let failures =
+                List.length (List.filter (fun r -> not r.Posl_lang.Runner.holds) results)
+              in
+              Format.printf "%d assertion(s), %d failure(s)@."
+                (List.length results) failures;
+              if failures = 0 then Ok ()
+              else Error "assertions failed"
+          | exception Posl_lang.Runner.Unknown_spec (name, pos) ->
+              Error
+                (Format.asprintf "%a: unknown spec %s" Posl_lang.Ast.pp_pos pos
+                   name)
+          | exception Posl_lang.Lang.Error (message, pos) ->
+              Error (Format.asprintf "%a: %s" Posl_lang.Ast.pp_pos pos message)))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Evaluate the assert statements of a specification file.")
+    Term.(ret (const run $ file_arg $ depth_arg $ extra_objects_arg))
+
+(* simulate: random walk through a spec's monitor *)
+let simulate_cmd =
+  let run file name steps seed extra =
+    run_result
+      (let* specs = load file in
+       let* s = find specs name in
+       let ctx = context specs extra in
+       let alphabet = Spec.concrete_alphabet ctx.Tset.universe s in
+       let rng = Random.State.make [| seed |] in
+       let rec walk h n =
+         if n = 0 then h
+         else
+           match Bmc.enabled ctx ~alphabet (Spec.tset s) h with
+           | [] ->
+               Format.printf "(stuck: no enabled event)@.";
+               h
+           | events ->
+               let e = List.nth events (Random.State.int rng (List.length events)) in
+               Format.printf "%d. %a@." (Posl_trace.Trace.length h + 1)
+                 Posl_trace.Event.pp e;
+               walk (Posl_trace.Trace.snoc h e) (n - 1)
+       in
+       Format.printf "simulating %s (seed %d):@." name seed;
+       let final = walk Posl_trace.Trace.empty steps in
+       Format.printf "trace: %a@." Posl_trace.Trace.pp final;
+       Ok ())
+  in
+  let steps_arg =
+    Arg.(value & opt int 10 & info [ "steps"; "n" ] ~docv:"N" ~doc:"Number of events to simulate.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Random walk through a specification's admissible traces.")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "SPEC" $ steps_arg $ seed_arg
+        $ extra_objects_arg))
+
+(* consistent: non-trivial consistency of two specs *)
+let consistent_cmd =
+  let run file left right depth extra =
+    run_result
+      (let* specs = load file in
+       let* a = find specs left in
+       let* b = find specs right in
+       let ctx = context specs extra in
+       match Posl_core.Consistency.check ctx ~depth a b with
+       | Posl_core.Consistency.Consistent h ->
+           Format.printf "non-trivially consistent; witness: %a@."
+             Posl_trace.Trace.pp h;
+           Ok ()
+       | Posl_core.Consistency.Only_trivial ->
+           Error "only trivially consistent (the specs contradict each other)"
+       | Posl_core.Consistency.Not_composable f ->
+           Error
+             (Format.asprintf
+                "not composable, consistency not externally determinable: %a"
+                Compose.pp_composability_failure f))
+  in
+  Cmd.v
+    (Cmd.info "consistent" ~doc:"Check non-trivial consistency of two specs (Section 7).")
+    Term.(
+      ret
+        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
+        $ depth_arg $ extra_objects_arg))
+
+let main_cmd =
+  let doc = "composition and refinement checker for partial object specifications" in
+  let info = Cmd.info "posl-check" ~version:"1.0.0" ~doc in
+  Cmd.group info
+    [
+      show_cmd;
+      refine_cmd;
+      compose_cmd;
+      proper_cmd;
+      deadlock_cmd;
+      equal_cmd;
+      run_cmd;
+      simulate_cmd;
+      consistent_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

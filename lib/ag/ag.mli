@@ -1,0 +1,55 @@
+(** Assumption/guarantee interface specifications — the OUN style the
+    paper cites in Section 9 ("input/output driven assumption guarantee
+    specifications of generic behavioral interfaces").
+
+    A contract ⟨A, G⟩ admits a trace iff, at every prefix, the
+    guarantee holds provided the environment respected the assumption
+    (on the input projection) strictly before. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+module Spec = Posl_core.Spec
+
+type t
+
+val v :
+  assumption:Tset.t ->
+  guarantee:Tset.t ->
+  inputs:Eventset.t ->
+  outputs:Eventset.t ->
+  t
+(** [assumption] is judged on the input projection; [guarantee] on the
+    object's whole observable behaviour. *)
+
+val assumption : t -> Tset.t
+val guarantee : t -> Tset.t
+
+val io_of_objs : Oid.t list -> Eventset.t * Eventset.t
+(** [(inputs, outputs)]: events where a specified object is the callee,
+    respectively the caller. *)
+
+val to_tset : Tset.ctx -> t -> Tset.t
+(** The contract's trace set: largest prefix-closed set where
+    "assumption held strictly before ⇒ guarantee holds now". *)
+
+val spec :
+  Tset.ctx -> name:string -> objs:Oid.t list -> alpha:Eventset.t -> t -> Spec.t
+
+type rule_outcome =
+  | Rule_applies of Bmc.confidence
+  | Premise_fails of [ `Assumption_not_weaker | `Guarantee_not_stronger ]
+
+val pp_rule_outcome : Format.formatter -> rule_outcome -> unit
+
+val refinement_rule :
+  Tset.ctx ->
+  depth:int ->
+  alphabet:Posl_trace.Event.t array ->
+  refined:t ->
+  abstract:t ->
+  rule_outcome
+(** The classical A/G refinement rule: A ⊆ A′ (weaker assumption) and
+    G′ ⊆ G (stronger guarantee) imply T⟨A′,G′⟩ ⊆ T⟨A,G⟩ — checked
+    premises, conclusion verified against Def. 2 in the test suite. *)

@@ -1,0 +1,122 @@
+(** Asynchronous method calls as request/reply event pairs.
+
+    Footnote 1 of the paper: "A call to R(d) can be modeled by two
+    events where only the last event contains the value which is read.
+    This lets us capture asynchrony."  This module implements that
+    modelling discipline:
+
+    - a {e split method} [m] becomes two methods [m?] (the request,
+      from caller to callee, no data) and [m!] (the reply, from callee
+      back to the caller, carrying the data);
+    - {!protocol} is the well-formedness trace set: per caller, replies
+      never outnumber requests (a counting constraint), and optionally
+      calls are synchronous (at most one outstanding request);
+    - {!split_spec} rewrites a specification whose alphabet offers [m]
+      into the two-event discipline, and the round trip
+      [request;reply ↦ m] is exposed for tests.
+
+    The discipline composes with everything else: split specifications
+    are ordinary specifications, so refinement, composition and
+    liveness obligations (e.g. "every request stays answerable") apply
+    unchanged. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Counting = Posl_tset.Counting
+module Trace = Posl_trace.Trace
+module Event = Posl_trace.Event
+module Spec = Posl_core.Spec
+
+(** Naming convention for the split methods. *)
+let request_mth m = Mth.v (Mth.name m ^ "?")
+
+let reply_mth m = Mth.v (Mth.name m ^ "!")
+
+(** The split alphabet of one method offered by [callees] to [callers]:
+    requests carry no data, replies return with any data value. *)
+let split_alphabet ~callers ~callees m =
+  Eventset.union
+    (Eventset.calls ~args:Argsel.none_only ~callers ~callees
+       (Mset.singleton (request_mth m)))
+    (Eventset.calls ~args:Argsel.any_value ~callers:callees ~callees:callers
+       (Mset.singleton (reply_mth m)))
+
+(** The asynchronous protocol for one split method: at every point, at
+    most [window] outstanding requests ([window = 1] is synchronous
+    call-return), and never a reply without a pending request. *)
+let protocol ?(window = max_int) m =
+  let open Counting.Build in
+  let b = create () in
+  let requests =
+    cls b
+      (Eventset.calls ~args:Argsel.full ~callers:Oset.full ~callees:Oset.full
+         (Mset.singleton (request_mth m)))
+  in
+  let replies =
+    cls b
+      (Eventset.calls ~args:Argsel.full ~callers:Oset.full ~callees:Oset.full
+         (Mset.singleton (reply_mth m)))
+  in
+  let pending = count requests -- count replies in
+  let p =
+    if window = max_int then pending >=. 0
+    else pending >=. 0 &&. (pending <=. window)
+  in
+  Tset.counting (finish b p)
+
+(** Per-caller protocol: the pending-window constraint applied to each
+    environment object's own projection (two callers may each have
+    their own outstanding request). *)
+let protocol_per_caller ?window ~callers m =
+  Tset.forall_obj callers (fun _x -> protocol ?window m)
+
+(** Rewrite one event of the synchronous view into its two-event
+    expansion. *)
+let split_event e =
+  let caller = Event.caller e and callee = Event.callee e in
+  let m = Event.mth e in
+  [
+    Event.make ~caller ~callee (request_mth m);
+    Event.make ?arg:(Event.arg e) ~caller:callee ~callee:caller (reply_mth m);
+  ]
+
+(** Expand a whole synchronous trace into the strict-alternation
+    asynchronous trace (request immediately answered). *)
+let split_trace h =
+  Trace.of_list (List.concat_map split_event (Trace.to_list h))
+
+(** Collapse an asynchronous trace back to the synchronous view: every
+    reply [m!] from [callee] becomes the call [m(d)] by the original
+    caller; requests are dropped.  (Only the reply carries the value —
+    exactly the footnote's convention.)  Replies to methods that are
+    not split (no ["!"] suffix) are kept as-is. *)
+let collapse_trace h =
+  Trace.to_list h
+  |> List.filter_map (fun e ->
+         let name = Mth.name (Event.mth e) in
+         let n = String.length name in
+         if n > 1 && name.[n - 1] = '!' then
+           Some
+             (Event.make
+                ?arg:(Event.arg e)
+                ~caller:(Event.callee e) ~callee:(Event.caller e)
+                (Mth.v (String.sub name 0 (n - 1))))
+         else if n > 1 && name.[n - 1] = '?' then None
+         else Some e)
+  |> Trace.of_list
+
+(** An asynchronous interface specification: [callers] may call the
+    split methods [ms] of the single object [obj]; the trace set is the
+    per-caller protocol for every method, conjoined with any extra
+    behavioural constraint over the split alphabet. *)
+let interface_spec ?window ?(extra = Tset.all) ~name ~obj ~callers ms =
+  let alpha =
+    List.fold_left
+      (fun acc m ->
+        Eventset.union acc
+          (split_alphabet ~callers ~callees:(Oset.singleton obj) m))
+      Eventset.empty ms
+  in
+  let protocols = List.map (fun m -> protocol_per_caller ?window ~callers m) ms in
+  Spec.v ~name ~objs:[ obj ] ~alpha (Tset.conj (protocols @ [ extra ]))

@@ -1,0 +1,53 @@
+(** Asynchronous method calls as request/reply event pairs — footnote 1
+    of the paper: "A call to R(d) can be modeled by two events where
+    only the last event contains the value which is read.  This lets us
+    capture asynchrony."
+
+    A split method [m] becomes [m?] (request, caller → callee, no data)
+    and [m!] (reply, callee → caller, carrying the data).  Split
+    specifications are ordinary specifications, so refinement,
+    composition and liveness obligations apply unchanged. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Event = Posl_trace.Event
+
+val request_mth : Mth.t -> Mth.t
+(** [m?]. *)
+
+val reply_mth : Mth.t -> Mth.t
+(** [m!]. *)
+
+val split_alphabet : callers:Oset.t -> callees:Oset.t -> Mth.t -> Eventset.t
+(** Requests carry no data; replies return with any data value. *)
+
+val protocol : ?window:int -> Mth.t -> Tset.t
+(** Replies never outnumber requests; at most [window] outstanding
+    requests ([window = 1] is synchronous call-return; the default
+    allows unbounded pipelining). *)
+
+val protocol_per_caller : ?window:int -> callers:Oset.t -> Mth.t -> Tset.t
+(** The window applied to each caller's own projection. *)
+
+val split_event : Event.t -> Event.t list
+(** One synchronous call as its request/reply pair. *)
+
+val split_trace : Trace.t -> Trace.t
+(** Strict-alternation expansion (every request immediately answered). *)
+
+val collapse_trace : Trace.t -> Trace.t
+(** Inverse view: replies become the original calls (only the reply
+    carries the value), requests are dropped, unsplit events kept. *)
+
+val interface_spec :
+  ?window:int ->
+  ?extra:Tset.t ->
+  name:string ->
+  obj:Oid.t ->
+  callers:Oset.t ->
+  Mth.t list ->
+  Posl_core.Spec.t
+(** An asynchronous interface specification of one object: per-caller
+    protocol for every listed method, conjoined with [extra]. *)

@@ -1,0 +1,287 @@
+(** State-space exploration over trace-set monitors.
+
+    The verification questions of the paper that are not purely
+    set-algebraic all reduce to reachability over the product of
+    trace-set monitors:
+
+    - clause 3 of refinement (Def. 2): every trace of Γ′ projects into
+      T(Γ) — an inclusion between the survival language of one monitor
+      and the (projected) survival language of another;
+    - trace-set equality of compositions (Example 6);
+    - deadlock analysis (Examples 4 and 5): reachable monitor states
+      with no enabled events.
+
+    Exploration is breadth-first with structural de-duplication of
+    states.  When the reachable state space is exhausted before the
+    depth bound is hit, the verdict holds for {e all} depths over the
+    given concrete alphabet and is reported {!Exact}; otherwise it is
+    {!Bounded} by the depth.  Level expansion fans out across domains
+    via {!Posl_par.Par}. *)
+
+module Tset = Posl_tset.Tset
+module Event = Posl_trace.Event
+module Trace = Posl_trace.Trace
+module Eventset = Posl_sets.Eventset
+
+type confidence = Exact | Bounded of int
+
+let pp_confidence ppf = function
+  | Exact -> Format.pp_print_string ppf "exact"
+  | Bounded k -> Format.fprintf ppf "bounded(depth=%d)" k
+
+type 'a verdict = Holds of confidence | Refuted of 'a
+
+let pp_verdict pp_refutation ppf = function
+  | Holds c -> Format.fprintf ppf "holds [%a]" pp_confidence c
+  | Refuted r -> Format.fprintf ppf "refuted: %a" pp_refutation r
+
+(** {1 Generic level-wise exploration}
+
+    States are pairs of a key (deduplicated structurally) and the trace
+    that reached them (shortest, by BFS). *)
+
+module Explore = struct
+  type ('k, 'a) outcome = Done of 'a | Continue of ('k * Trace.t) list
+
+  (* [run ~depth ~init ~expand] explores breadth-first from the [init]
+     keyed states.  [expand] maps a (key, witness trace) to either a
+     final result (short-circuits the whole search) or its successor
+     states.  Returns [Ok exhausted] when no result was produced, where
+     [exhausted] says whether the frontier died out before [depth]. *)
+  let run ?domains ~depth ~init ~expand () =
+    let visited = Hashtbl.create 1024 in
+    let add_visited k = Hashtbl.replace visited k () in
+    let is_visited k = Hashtbl.mem visited k in
+    List.iter (fun (k, _) -> add_visited k) init;
+    let rec level d frontier =
+      if frontier = [] then Ok true
+      else if d >= depth then Ok false
+      else begin
+        let expanded = Posl_par.Par.map ?domains expand frontier in
+        let result = ref None in
+        let next = ref [] in
+        List.iter
+          (fun outcome ->
+            match (outcome, !result) with
+            | _, Some _ -> ()
+            | Done r, None -> result := Some r
+            | Continue succs, None ->
+                List.iter
+                  (fun (k, h) ->
+                    if not (is_visited k) then begin
+                      add_visited k;
+                      next := (k, h) :: !next
+                    end)
+                  succs)
+          expanded;
+        match !result with
+        | Some r -> Error r
+        | None -> level (d + 1) (List.rev !next)
+      end
+    in
+    level 0 init
+end
+
+(** {1 Trace-set inclusion under projection}
+
+    [check_inclusion ctx ~alphabet ~depth ~lhs ~proj ~rhs] decides
+    whether every trace of [lhs] over the concrete [alphabet] (up to
+    [depth]) satisfies [h/proj ∈ rhs].  This is clause 3 of Def. 2 with
+    [lhs = T(Γ′)], [proj = α(Γ)], [rhs = T(Γ)]. *)
+let check_inclusion ?domains (ctx : Tset.ctx) ~(alphabet : Event.t array)
+    ~depth ~(lhs : Tset.t) ~(proj : Eventset.t) ~(rhs : Tset.t) :
+    Trace.t verdict =
+  match Tset.start ctx lhs with
+  | None -> Holds Exact (* T(Γ′) degenerate: even ε is outside it *)
+  | Some lhs0 -> (
+      match Tset.start ctx rhs with
+      | None -> Refuted Trace.empty (* ε ∈ T(Γ′) but ε ∉ T(Γ) *)
+      | Some rhs0 ->
+          let expand ((lhs_st, rhs_st), h) =
+            let rec try_events acc = function
+              | [] -> Explore.Continue acc
+              | e :: rest -> (
+                  match Tset.step ctx lhs lhs_st e with
+                  | None -> try_events acc rest
+                  | Some lhs_st' ->
+                      let h' = Trace.snoc h e in
+                      if Eventset.mem e proj then
+                        match Tset.step ctx rhs rhs_st e with
+                        | None -> Explore.Done h'
+                        | Some rhs_st' ->
+                            try_events (((lhs_st', rhs_st'), h') :: acc) rest
+                      else try_events (((lhs_st', rhs_st), h') :: acc) rest)
+            in
+            try_events [] (Array.to_list alphabet)
+          in
+          (match
+             Explore.run ?domains ~depth
+               ~init:[ ((lhs0, rhs0), Trace.empty) ]
+               ~expand ()
+           with
+          | Error cex -> Refuted cex
+          | Ok true -> Holds Exact
+          | Ok false -> Holds (Bounded depth)))
+
+(** Bounded trace-set equality: inclusion both ways over the same
+    concrete alphabet (no projection). *)
+let check_equal ?domains ctx ~alphabet ~depth ~(left : Tset.t)
+    ~(right : Tset.t) : (Trace.t * [ `Left_only | `Right_only ]) verdict =
+  let keep_all = Eventset.full in
+  match
+    check_inclusion ?domains ctx ~alphabet ~depth ~lhs:left ~proj:keep_all
+      ~rhs:right
+  with
+  | Refuted h -> Refuted (h, `Left_only)
+  | Holds c1 -> (
+      match
+        check_inclusion ?domains ctx ~alphabet ~depth ~lhs:right ~proj:keep_all
+          ~rhs:left
+      with
+      | Refuted h -> Refuted (h, `Right_only)
+      | Holds c2 ->
+          let combine =
+            match (c1, c2) with
+            | Exact, Exact -> Exact
+            | Bounded k, _ | _, Bounded k -> Bounded k
+          in
+          Holds combine)
+
+(** {1 Deadlock analysis}
+
+    A reachable monitor state with no enabled event is a deadlock of the
+    specification over the given alphabet (Examples 4 and 5 of the
+    paper; total deadlock at the start corresponds to a trace set that
+    is just {ε}). *)
+let find_deadlock ?domains ctx ~(alphabet : Event.t array) ~depth
+    (t : Tset.t) : Trace.t option =
+  match Tset.start ctx t with
+  | None -> Some Trace.empty (* not even ε: degenerate, report as stuck *)
+  | Some st0 ->
+      let expand (st, h) =
+        let succs =
+          Array.to_list alphabet
+          |> List.filter_map (fun e ->
+                 match Tset.step ctx t st e with
+                 | Some st' -> Some (st', Trace.snoc h e)
+                 | None -> None)
+        in
+        if succs = [] then Explore.Done h else Explore.Continue succs
+      in
+      (match
+         Explore.run ?domains ~depth ~init:[ (st0, Trace.empty) ] ~expand ()
+       with
+      | Error witness -> Some witness
+      | Ok _ -> None)
+
+(** The events enabled after [h] — the possible extensions within the
+    trace set.  Used by example walkthroughs. *)
+let enabled ctx ~(alphabet : Event.t array) (t : Tset.t) (h : Trace.t) :
+    Event.t list =
+  let rec replay st = function
+    | [] -> Some st
+    | e :: rest -> (
+        match Tset.step ctx t st e with
+        | Some st' -> replay st' rest
+        | None -> None)
+  in
+  match Tset.start ctx t with
+  | None -> []
+  | Some st0 -> (
+      match replay st0 (Trace.to_list h) with
+      | None -> []
+      | Some st ->
+          Array.to_list alphabet
+          |> List.filter (fun e -> Option.is_some (Tset.step ctx t st e)))
+
+(** {1 Counting and enumeration} *)
+
+(** Number of member traces of each length [0..depth], computed by
+    dynamic programming over monitor states (no trace explosion). *)
+let count_traces ctx ~(alphabet : Event.t array) ~depth (t : Tset.t) :
+    int array =
+  let counts = Array.make (depth + 1) 0 in
+  (match Tset.start ctx t with
+  | None -> ()
+  | Some st0 ->
+      let module SM = Map.Make (struct
+        type t = Tset.state
+
+        let compare = Tset.compare_state
+      end) in
+      let level = ref (SM.singleton st0 1) in
+      counts.(0) <- 1;
+      for d = 1 to depth do
+        let next = ref SM.empty in
+        SM.iter
+          (fun st n ->
+            Array.iter
+              (fun e ->
+                match Tset.step ctx t st e with
+                | Some st' ->
+                    next :=
+                      SM.update st'
+                        (function None -> Some n | Some m -> Some (m + n))
+                        !next
+                | None -> ())
+              alphabet)
+          !level;
+        level := !next;
+        counts.(d) <- SM.fold (fun _ n acc -> acc + n) !level 0
+      done);
+  counts
+
+(** All member traces up to [depth] — for tests and tiny examples only
+    (exponential in general). *)
+let enumerate ctx ~(alphabet : Event.t array) ~depth (t : Tset.t) :
+    Trace.t list =
+  match Tset.start ctx t with
+  | None -> []
+  | Some st0 ->
+      let out = ref [] in
+      let rec go st h d =
+        out := h :: !out;
+        if d < depth then
+          Array.iter
+            (fun e ->
+              match Tset.step ctx t st e with
+              | Some st' -> go st' (Trace.snoc h e) (d + 1)
+              | None -> ())
+            alphabet
+      in
+      go st0 Trace.empty 0;
+      List.rev !out
+
+(** Reachable monitor states up to [depth]; the state-count metric of
+    the performance experiments. *)
+let count_states ctx ~(alphabet : Event.t array) ~depth (t : Tset.t) : int =
+  match Tset.start ctx t with
+  | None -> 0
+  | Some st0 ->
+      let module SM = Set.Make (struct
+        type t = Tset.state
+
+        let compare = Tset.compare_state
+      end) in
+      let visited = ref (SM.singleton st0) in
+      let rec level d frontier =
+        if frontier <> [] && d < depth then begin
+          let next = ref [] in
+          List.iter
+            (fun st ->
+              Array.iter
+                (fun e ->
+                  match Tset.step ctx t st e with
+                  | Some st' ->
+                      if not (SM.mem st' !visited) then begin
+                        visited := SM.add st' !visited;
+                        next := st' :: !next
+                      end
+                  | None -> ())
+                alphabet)
+            frontier;
+          level (d + 1) !next
+        end
+      in
+      level 0 [ st0 ];
+      SM.cardinal !visited

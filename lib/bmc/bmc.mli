@@ -1,0 +1,77 @@
+(** State-space exploration over trace-set monitors.
+
+    The verification questions of the paper that are not purely
+    set-algebraic all reduce to reachability over products of monitors:
+    projected trace-set inclusion (Def. 2 clause 3), trace-set equality
+    (Example 6), and deadlock (Examples 4–5).  Exploration is
+    breadth-first with structural de-duplication; when the reachable
+    space is exhausted before the depth bound, the verdict holds for
+    {e all} depths over the given alphabet and is reported {!Exact}. *)
+
+module Tset = Posl_tset.Tset
+module Event = Posl_trace.Event
+module Trace = Posl_trace.Trace
+module Eventset = Posl_sets.Eventset
+
+type confidence =
+  | Exact  (** state space exhausted: exact for the sampled universe *)
+  | Bounded of int  (** exploration cut at this depth *)
+
+val pp_confidence : Format.formatter -> confidence -> unit
+
+type 'a verdict = Holds of confidence | Refuted of 'a
+
+val pp_verdict :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a verdict -> unit
+
+val check_inclusion :
+  ?domains:int ->
+  Tset.ctx ->
+  alphabet:Event.t array ->
+  depth:int ->
+  lhs:Tset.t ->
+  proj:Eventset.t ->
+  rhs:Tset.t ->
+  Trace.t verdict
+(** Does every trace of [lhs] over [alphabet] (up to [depth]) satisfy
+    [h/proj ∈ rhs]?  Clause 3 of Def. 2 is
+    [lhs = T(Γ′), proj = α(Γ), rhs = T(Γ)].  Refutations carry a
+    genuine [lhs] trace. *)
+
+val check_equal :
+  ?domains:int ->
+  Tset.ctx ->
+  alphabet:Event.t array ->
+  depth:int ->
+  left:Tset.t ->
+  right:Tset.t ->
+  (Trace.t * [ `Left_only | `Right_only ]) verdict
+(** Bounded trace-set equality over the same alphabet. *)
+
+val find_deadlock :
+  ?domains:int ->
+  Tset.ctx ->
+  alphabet:Event.t array ->
+  depth:int ->
+  Tset.t ->
+  Trace.t option
+(** A shortest reachable trace after which no event of the alphabet is
+    enabled, if any. *)
+
+val enabled :
+  Tset.ctx -> alphabet:Event.t array -> Tset.t -> Trace.t -> Event.t list
+(** The events that may extend [h] within the trace set. *)
+
+val count_traces :
+  Tset.ctx -> alphabet:Event.t array -> depth:int -> Tset.t -> int array
+(** Member-trace counts per length [0..depth], by dynamic programming
+    over monitor states (no trace explosion). *)
+
+val enumerate :
+  Tset.ctx -> alphabet:Event.t array -> depth:int -> Tset.t -> Trace.t list
+(** All member traces up to [depth] — tests and tiny examples only. *)
+
+val count_states :
+  Tset.ctx -> alphabet:Event.t array -> depth:int -> Tset.t -> int
+(** Reachable monitor states within [depth] — the state-count metric of
+    the performance experiments. *)

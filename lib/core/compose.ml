@@ -1,0 +1,132 @@
+(** Composition of specifications (Defs. 3, 4, 10, 11, 14).
+
+    Composition encapsulates the specified objects: all possible
+    communication between them — whether or not it appears in either
+    alphabet — becomes internal and is hidden from the composed
+    alphabet, and the composed trace set is the set of projections of
+    joint traces whose projection on each constituent alphabet belongs
+    to that constituent's trace set. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+
+(** I(Γ,∆) for interface specifications (Def. 3). *)
+let internal_interface g d =
+  match (Oid.Set.elements (Spec.objs g), Oid.Set.elements (Spec.objs d)) with
+  | [ o1 ], [ o2 ] -> Internal.pair o1 o2
+  | _, _ -> invalid_arg "Compose.internal_interface: not interface specs"
+
+let composed_name g d =
+  Printf.sprintf "(%s||%s)" (Spec.name g) (Spec.name d)
+
+let make_composition g d internal =
+  let objs = Oid.Set.union (Spec.objs g) (Spec.objs d) in
+  let alpha =
+    Eventset.normalise
+      (Eventset.diff (Eventset.union (Spec.alpha g) (Spec.alpha d)) internal)
+  in
+  let tset =
+    Tset.product
+      [
+        Tset.part ~alpha:(Spec.alpha g) (Spec.tset g);
+        Tset.part ~alpha:(Spec.alpha d) (Spec.tset d);
+      ]
+      alpha
+  in
+  Spec.v ~name:(composed_name g d) ~objs:(Oid.Set.elements objs) ~alpha tset
+
+(** Interface composition Γ‖∆ (Def. 4).  No composability condition is
+    needed: interface alphabets cannot contain events internal to their
+    own single object, and Def. 3 hides every event between the two
+    objects regardless of the alphabets. *)
+let interface g d =
+  if not (Spec.is_interface g && Spec.is_interface d) then
+    invalid_arg "Compose.interface: arguments must be interface specifications";
+  make_composition g d (internal_interface g d)
+
+(** Composability of component specifications (Def. 10): neither
+    alphabet may mention events internal to the other's object set.
+    Statically decidable on the symbolic representation. *)
+type composability_failure = {
+  offending : Eventset.t;  (** witness events *)
+  side : [ `Left_sees_right_internal | `Right_sees_left_internal ];
+}
+
+let pp_composability_failure ppf f =
+  let side =
+    match f.side with
+    | `Left_sees_right_internal ->
+        "left alphabet meets right internal events"
+    | `Right_sees_left_internal ->
+        "right alphabet meets left internal events"
+  in
+  Format.fprintf ppf "%s: %a" side Eventset.pp f.offending
+
+let check_composable g d =
+  let i_g = Internal.of_set (Spec.objs g) in
+  let i_d = Internal.of_set (Spec.objs d) in
+  let left = Eventset.inter (Spec.alpha g) i_d in
+  if not (Eventset.is_empty left) then
+    Error { offending = left; side = `Left_sees_right_internal }
+  else
+    let right = Eventset.inter i_g (Spec.alpha d) in
+    if not (Eventset.is_empty right) then
+      Error { offending = right; side = `Right_sees_left_internal }
+    else Ok ()
+
+let composable g d = Result.is_ok (check_composable g d)
+
+(** Component composition Γ‖∆ (Def. 11); requires composability. *)
+let compose g d =
+  match check_composable g d with
+  | Error f -> Error f
+  | Ok () ->
+      let internal =
+        Internal.of_set (Oid.Set.union (Spec.objs g) (Spec.objs d))
+      in
+      Ok (make_composition g d internal)
+
+let compose_exn g d =
+  match compose g d with
+  | Ok s -> s
+  | Error f ->
+      invalid_arg
+        (Format.asprintf "Compose.compose %s: %a" (composed_name g d)
+           pp_composability_failure f)
+
+(** Properness (Def. 14): a refinement Γ′ ⊑ Γ is proper with respect to
+    ∆ when the events α₀ newly hideable because of Γ′'s fresh objects do
+    not meet α(∆) — i.e. refining Γ inside the composition Γ‖∆ cannot
+    remove events that were previously visible. *)
+let alpha0 ~refined ~abstract =
+  Internal.alpha0 ~objs':(Spec.objs refined) ~objs:(Spec.objs abstract)
+
+let proper ~refined ~abstract ~context =
+  Eventset.disjoint (alpha0 ~refined ~abstract) (Spec.alpha context)
+
+(** Ablation: interface composition {e without} projection, where both
+    constituents must accept the joint trace over the union alphabet
+    unprojected.  This is the semantics the paper argues against in
+    Example 4 — composing specifications at different levels of
+    abstraction then deadlocks immediately. *)
+let interface_noproj g d =
+  if not (Spec.is_interface g && Spec.is_interface d) then
+    invalid_arg "Compose.interface_noproj: arguments must be interface specs";
+  let internal = internal_interface g d in
+  let objs = Oid.Set.union (Spec.objs g) (Spec.objs d) in
+  let union_alpha = Eventset.union (Spec.alpha g) (Spec.alpha d) in
+  let alpha = Eventset.normalise (Eventset.diff union_alpha internal) in
+  let tset =
+    Tset.product
+      [
+        (* Joint alphabet on both parts: no event is projected away
+           before being offered to either constituent. *)
+        Tset.part ~alpha:union_alpha (Spec.tset g);
+        Tset.part ~alpha:union_alpha (Spec.tset d);
+      ]
+      alpha
+  in
+  Spec.v
+    ~name:(Printf.sprintf "(%s||%s)#noproj" (Spec.name g) (Spec.name d))
+    ~objs:(Oid.Set.elements objs) ~alpha tset

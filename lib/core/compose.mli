@@ -1,0 +1,53 @@
+(** Composition of specifications (Defs. 3, 4, 10, 11, 14 of the
+    paper).
+
+    Composition encapsulates the specified objects: all communication
+    between them — whether or not visible in either alphabet — becomes
+    internal and is hidden, and the composed trace set consists of the
+    projections of joint traces that project into both constituents'
+    trace sets. *)
+
+open Posl_sets
+
+val internal_interface : Spec.t -> Spec.t -> Eventset.t
+(** I(Γ,∆) for interface specifications (Def. 3).  Raises
+    [Invalid_argument] on non-interface arguments. *)
+
+val interface : Spec.t -> Spec.t -> Spec.t
+(** Interface composition Γ‖∆ (Def. 4).  No side condition: Def. 3
+    hides every event between the two objects regardless of the
+    alphabets.  Composing two specifications of the {e same} object
+    hides nothing and merges the viewpoints (Lemma 6). *)
+
+type composability_failure = {
+  offending : Eventset.t;  (** witness events *)
+  side : [ `Left_sees_right_internal | `Right_sees_left_internal ];
+}
+
+val pp_composability_failure :
+  Format.formatter -> composability_failure -> unit
+
+val check_composable : Spec.t -> Spec.t -> (unit, composability_failure) result
+(** Def. 10, decided symbolically: α(Γ) ∩ I(O(∆)) = ∅ and
+    I(O(Γ)) ∩ α(∆) = ∅. *)
+
+val composable : Spec.t -> Spec.t -> bool
+
+val compose : Spec.t -> Spec.t -> (Spec.t, composability_failure) result
+(** Component composition Γ‖∆ (Def. 11); requires composability. *)
+
+val compose_exn : Spec.t -> Spec.t -> Spec.t
+
+val alpha0 : refined:Spec.t -> abstract:Spec.t -> Eventset.t
+(** The α₀ of Def. 14 for a refinement step. *)
+
+val proper : refined:Spec.t -> abstract:Spec.t -> context:Spec.t -> bool
+(** Properness (Def. 14): refining [abstract] into [refined] inside a
+    composition with [context] cannot hide previously visible events —
+    α₀ ∩ α(context) = ∅.  Decided symbolically. *)
+
+val interface_noproj : Spec.t -> Spec.t -> Spec.t
+(** Ablation: interface composition {e without} projection — both
+    constituents must accept the joint trace unprojected.  The
+    semantics the paper argues against in Example 4 (deadlocks when the
+    constituents sit at different abstraction levels). *)

@@ -1,0 +1,40 @@
+(** Consistency of partial specifications (Section 7's discussion of
+    Boiten et al.): two specifications are consistent when they have a
+    common refinement.  With prefix-closed trace sets the notion
+    trivialises — {ε} always refines both — so the interesting question
+    is {e non-trivial} consistency: does the {e weakest} common
+    refinement (the composition) admit any behaviour beyond the empty
+    trace?  And, per the paper, the question is externally answerable
+    only for composable specifications. *)
+
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+
+type verdict =
+  | Consistent of Trace.t
+      (** non-trivially consistent, with a witness common trace *)
+  | Only_trivial
+      (** the specifications contradict each other: only ε is common *)
+  | Not_composable of Compose.composability_failure
+      (** consistency not externally determinable *)
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val weakest_common_refinement :
+  Spec.t -> Spec.t -> (Spec.t, Compose.composability_failure) result
+(** Lemma 6's least upper bound for same-object interface
+    specifications; Def. 11 composition otherwise (requires
+    composability). *)
+
+val check : Tset.ctx -> depth:int -> Spec.t -> Spec.t -> verdict
+
+val common_refinement_bound :
+  ?domains:int ->
+  Tset.ctx ->
+  depth:int ->
+  delta:Spec.t ->
+  Spec.t ->
+  Spec.t ->
+  Refine.result option
+(** Any ∆ refining both specifications refines their composition; this
+    checks that bound for a given ∆ ([None] when not composable). *)

@@ -1,0 +1,217 @@
+(** The running examples of the paper (Examples 1–6), as library values.
+
+    Object identities: [o] — the read/write access controller; [c] — the
+    client; [om] — the monitor object o′ receiving OK confirmations.
+    The sort [Objects] is "a subtype of Obj not containing o" (and, for
+    the client's alphabet, not containing [c]); [Data] is the full value
+    domain. *)
+
+open Posl_ident
+open Posl_sets
+module Epat = Posl_regex.Epat
+module Regex = Posl_regex.Regex
+module Tset = Posl_tset.Tset
+module Counting = Posl_tset.Counting
+
+let o = Oid.v "o"
+let c = Oid.v "c"
+let om = Oid.v "om"  (* the paper's o′ *)
+
+(* Methods. *)
+let m_r = Mth.v "R"
+let m_w = Mth.v "W"
+let m_ow = Mth.v "OW"
+let m_cw = Mth.v "CW"
+let m_or = Mth.v "OR"
+let m_cr = Mth.v "CR"
+let m_ok = Mth.v "OK"
+
+(* The environment sort: every object except the access controller. *)
+let objects_sort = Oset.cofin_of_list [ o ]
+
+(* Pattern and alphabet helpers. *)
+
+let call ?(args = Argsel.none_only) caller callee m =
+  Regex.atom (Epat.make ~args ~caller ~callee (Mset.singleton m))
+
+let var x = Epat.Var x
+let konst k = Epat.Const k
+
+(* Alphabet fragments: calls from the environment sort to o. *)
+let env_to_o ?(args = Argsel.none_only) ms =
+  Eventset.calls ~args ~callers:objects_sort ~callees:(Oset.singleton o)
+    (Mset.of_list ms)
+
+(** {1 Example 1 — Read and Write} *)
+
+(** Read: concurrent read access; any number of R(d) calls, no
+    restriction on the trace set. *)
+let read =
+  Spec.v ~name:"Read" ~objs:[ o ]
+    ~alpha:(env_to_o ~args:Argsel.any_value [ m_r ])
+    Tset.all
+
+(** Write: exclusive write access, bracketed by OW/CW.
+    T(Write) = h prs [[⟨x,o,OW⟩ ⟨x,o,W⟩* ⟨x,o,CW⟩] • x ∈ Objects]*. *)
+let write_regex =
+  Regex.star
+    (Regex.bind "x" objects_sort
+       (Regex.seq_list
+          [
+            call (var "x") (konst o) m_ow;
+            Regex.star (call ~args:Argsel.any_value (var "x") (konst o) m_w);
+            call (var "x") (konst o) m_cw;
+          ]))
+
+let write_alpha =
+  Eventset.union
+    (env_to_o [ m_ow; m_cw ])
+    (env_to_o ~args:Argsel.any_value [ m_w ])
+
+let write = Spec.v ~name:"Write" ~objs:[ o ] ~alpha:write_alpha (Tset.prs write_regex)
+
+(** {1 Example 2 — Read2}
+
+    Reads of each caller bracketed by OR/CR; unlike Write, access is not
+    exclusive: the predicate quantifies per environment object,
+    ∀x ∈ Objects : h/x prs [⟨x,o,OR⟩ ⟨x,o,R⟩* ⟨x,o,CR⟩]*. *)
+let read2_alpha =
+  Eventset.union
+    (env_to_o [ m_or; m_cr ])
+    (env_to_o ~args:Argsel.any_value [ m_r ])
+
+let read2_body x =
+  Tset.prs
+    (Regex.star
+       (Regex.seq_list
+          [
+            call (konst x) (konst o) m_or;
+            Regex.star (call ~args:Argsel.any_value (konst x) (konst o) m_r);
+            call (konst x) (konst o) m_cr;
+          ]))
+
+let read2 =
+  Spec.v ~name:"Read2" ~objs:[ o ] ~alpha:read2_alpha
+    (Tset.forall_obj objects_sort read2_body)
+
+(** {1 Example 3 — RW}
+
+    Merges Write and Read2: reads are allowed while holding write
+    access.  P{_RW1} quantifies per caller; P{_RW2} counts open/close
+    events. *)
+let rw_alpha = Eventset.union write_alpha read2_alpha
+
+let rw_p1_body x =
+  let w = call ~args:Argsel.any_value (konst x) (konst o) m_w in
+  let r = call ~args:Argsel.any_value (konst x) (konst o) m_r in
+  Tset.prs
+    (Regex.star
+       (Regex.alt
+          (Regex.seq_list
+             [
+               call (konst x) (konst o) m_ow;
+               Regex.star (Regex.alt w r);
+               call (konst x) (konst o) m_cw;
+             ])
+          (Regex.seq_list
+             [
+               call (konst x) (konst o) m_or;
+               Regex.star r;
+               call (konst x) (konst o) m_cr;
+             ])))
+
+(* Event classes h/OW, h/CW, h/OR, h/CR: restriction by method name. *)
+let mth_class m =
+  Eventset.calls ~args:Argsel.full ~callers:Oset.full ~callees:Oset.full
+    (Mset.singleton m)
+
+let rw_p2 =
+  let open Counting.Build in
+  let b = create () in
+  let ow = cls b (mth_class m_ow) in
+  let cw = cls b (mth_class m_cw) in
+  let or_ = cls b (mth_class m_or) in
+  let cr = cls b (mth_class m_cr) in
+  let p =
+    (count ow -- count cw =. 0 ||. (count or_ -- count cr =. 0))
+    &&. (count ow -- count cw <=. 1)
+  in
+  finish b p
+
+let rw =
+  Spec.v ~name:"RW" ~objs:[ o ] ~alpha:rw_alpha
+    (Tset.conj
+       [ Tset.forall_obj objects_sort rw_p1_body; Tset.counting rw_p2 ])
+
+(** {1 Example 4 — WriteAcc and Client} *)
+
+(** WriteAcc: Write with calls restricted to the single client [c]
+    (a trace-set restriction, so WriteAcc ⊑ Write). *)
+let only_from c' =
+  (* prs (anything from c')*: exactly the traces all of whose events are
+     called by c'. *)
+  Tset.prs
+    (Regex.star
+       (Regex.atom
+          (Epat.make ~args:Argsel.full ~caller:(konst c')
+             ~callee:(Epat.In Oset.full) Mset.full)))
+
+let write_acc =
+  Spec.v ~name:"WriteAcc" ~objs:[ o ] ~alpha:write_alpha
+    (Tset.conj [ Tset.prs write_regex; only_from c ])
+
+(** Client: calls W of the controller, then confirms with OK to the
+    monitor o′.  α(Client) ranges over the client's whole environment;
+    the trace set pins the targets: Reg = ⟨c,o,W(_)⟩ ⟨c,o′,OK⟩,
+    T(Client) = h prs Reg*. *)
+let client_env_sort = Oset.cofin_of_list [ c ]
+
+let client_alpha =
+  Eventset.union
+    (Eventset.calls ~args:Argsel.any_value ~callers:(Oset.singleton c)
+       ~callees:client_env_sort (Mset.singleton m_w))
+    (Eventset.calls ~args:Argsel.none_only ~callers:(Oset.singleton c)
+       ~callees:client_env_sort (Mset.singleton m_ok))
+
+let client_reg =
+  Regex.seq
+    (call ~args:Argsel.any_value (konst c) (konst o) m_w)
+    (call (konst c) (konst om) m_ok)
+
+let client =
+  Spec.v ~name:"Client" ~objs:[ c ] ~alpha:client_alpha
+    (Tset.prs (Regex.star client_reg))
+
+(** {1 Example 5 — Client2}
+
+    Refines Client by adding the OW method — but emits OW {e after} its
+    writes, opposite to WriteAcc's order: T(Client2) = h prs
+    [Reg ⟨c,o,OW⟩]*.  Composing with WriteAcc then deadlocks
+    immediately. *)
+let client2_alpha =
+  Eventset.union
+    (Eventset.calls ~args:Argsel.none_only ~callers:(Oset.singleton c)
+       ~callees:(Oset.singleton o) (Mset.singleton m_ow))
+    client_alpha
+
+let client2 =
+  Spec.v ~name:"Client2" ~objs:[ c ] ~alpha:client2_alpha
+    (Tset.prs (Regex.star (Regex.seq client_reg (call (konst c) (konst o) m_ow))))
+
+(** {1 Example 6 — RW2}
+
+    RW with communication restricted to the client [c]; refines both RW
+    and WriteAcc.  Composed with Client, its trace set coincides with
+    that of WriteAcc‖Client: the extra methods are internal. *)
+let rw2 =
+  Spec.v ~name:"RW2" ~objs:[ o ] ~alpha:rw_alpha
+    (Tset.conj
+       [
+         Tset.forall_obj objects_sort rw_p1_body;
+         Tset.counting rw_p2;
+         only_from c;
+       ])
+
+(** All example specifications, for reporting and batch checks. *)
+let all_specs =
+  [ read; write; read2; rw; write_acc; client; client2; rw2 ]

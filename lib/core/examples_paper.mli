@@ -1,0 +1,59 @@
+(** The running examples of the paper (Examples 1–6) as library values.
+
+    Object identities: [o] — the read/write access controller; [c] —
+    the client; [om] — the monitor (the paper's o′).  The sort
+    [objects_sort] is "a subtype of Obj not containing o". *)
+
+open Posl_ident
+open Posl_sets
+
+val o : Oid.t
+val c : Oid.t
+val om : Oid.t
+
+val m_r : Mth.t
+val m_w : Mth.t
+val m_ow : Mth.t
+val m_cw : Mth.t
+val m_or : Mth.t
+val m_cr : Mth.t
+val m_ok : Mth.t
+
+val objects_sort : Oset.t
+
+val read : Spec.t
+(** Example 1: concurrent read access, unrestricted trace set. *)
+
+val write_regex : Posl_regex.Regex.t
+(** T(Write)'s expression:
+    [[⟨x,o,OW⟩ ⟨x,o,W⟩* ⟨x,o,CW⟩ • x ∈ Objects]]{^ *}. *)
+
+val write : Spec.t
+(** Example 1: exclusive, bracketed write access. *)
+
+val read2 : Spec.t
+(** Example 2: per-caller bracketed reads, not exclusive; refines
+    Read. *)
+
+val rw_p2 : Posl_tset.Counting.t
+(** Example 3's counting predicate P{_RW2}. *)
+
+val rw : Spec.t
+(** Example 3: the merged read/write controller; refines Read and
+    Write, not Read2. *)
+
+val write_acc : Spec.t
+(** Example 4: Write restricted to the single client [c]. *)
+
+val client : Spec.t
+(** Example 4: writes to [o], confirms with OK to [om]. *)
+
+val client2 : Spec.t
+(** Example 5: refines Client but emits OW {e after} its writes —
+    composition with WriteAcc deadlocks. *)
+
+val rw2 : Spec.t
+(** Example 6: RW with communication restricted to [c]; refines RW and
+    WriteAcc. *)
+
+val all_specs : Spec.t list

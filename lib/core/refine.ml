@@ -1,0 +1,145 @@
+(** The refinement relation Γ′ ⊑ Γ (Def. 2 of the paper).
+
+    Γ′ refines Γ iff
+
+    + O(Γ) ⊆ O(Γ′) — objects may be {e added} (the [new] command);
+    + α(Γ) ⊆ α(Γ′) — the alphabet may be {e expanded} with new methods
+      and new objects' events;
+    + ∀h ∈ T(Γ′) : h/α(Γ) ∈ T(Γ) — on the old alphabet, behaviour only
+      becomes more deterministic.
+
+    Clauses 1 and 2 are decided exactly on the symbolic representation.
+    Clause 3 is decided over a concrete universe sample: exactly, via
+    DFA language inclusion, when both trace sets compile to finite
+    monitors ({!Posl_tset.Tset.compile}); otherwise by bounded
+    exploration.  A failed clause 3 always carries a counterexample
+    trace of Γ′ whose projection escapes T(Γ). *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Event = Posl_trace.Event
+module Bmc = Posl_bmc.Bmc
+module Dfa = Posl_automata.Dfa
+module Nfa = Posl_automata.Nfa
+
+type failure =
+  | Objects_missing of Oid.Set.t
+      (** O(Γ) \ O(Γ′): abstract objects dropped by the refinement *)
+  | Alphabet_missing of Eventset.t
+      (** α(Γ) \ α(Γ′): abstract events dropped by the refinement *)
+  | Trace_escape of Trace.t
+      (** a trace of Γ′ whose projection on α(Γ) is not in T(Γ) *)
+
+let pp_failure ppf = function
+  | Objects_missing os ->
+      Format.fprintf ppf "objects of the abstract spec missing: {%a}"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Oid.pp)
+        (Oid.Set.elements os)
+  | Alphabet_missing es ->
+      Format.fprintf ppf "alphabet of the abstract spec not included: %a"
+        Eventset.pp es
+  | Trace_escape h ->
+      Format.fprintf ppf "trace escapes the abstract spec: %a" Trace.pp h
+
+type result = (Bmc.confidence, failure) Stdlib.result
+
+let pp_result ppf = function
+  | Ok c -> Format.fprintf ppf "refines [%a]" Bmc.pp_confidence c
+  | Error f -> Format.fprintf ppf "does not refine: %a" pp_failure f
+
+(* Exact route for clause 3: compile both monitors to DFAs over the
+   concrete alphabet of Γ′, project the refined language onto the
+   symbols of α(Γ), and decide inclusion.  [None] when either monitor's
+   state space exceeds the compilation budget. *)
+let trace_clause_automata ctx ~(alphabet : Event.t array) ~(proj : Eventset.t)
+    ~(lhs : Tset.t) ~(rhs : Tset.t) : (unit, Trace.t) Stdlib.result option =
+  let keep_syms =
+    Array.to_list alphabet
+    |> List.mapi (fun i e -> (i, e))
+    |> List.filter (fun (_, e) -> Eventset.mem e proj)
+  in
+  let kept = Array.of_list (List.map snd keep_syms) in
+  let sym_map = Array.make (Array.length alphabet) None in
+  List.iteri (fun j (i, _) -> sym_map.(i) <- Some j) keep_syms;
+  match Tset.compile ctx alphabet lhs with
+  | None -> None
+  | Some lhs_dfa -> (
+      match Tset.compile ctx kept rhs with
+      | None -> None
+      | Some rhs_dfa ->
+          (* {h | h/α(Γ) ∈ T(Γ)} as a DFA over the full alphabet:
+             symbols outside α(Γ) self-loop.  Clause 3 is then a plain
+             language inclusion, and counterexamples are genuine traces
+             of Γ′. *)
+          let lifted =
+            Dfa.lift ~n_syms:(Array.length alphabet)
+              ~map:(fun sym -> sym_map.(sym))
+              rhs_dfa
+          in
+          (match Dfa.included lhs_dfa lifted with
+          | Ok () -> Some (Ok ())
+          | Error word ->
+              let h =
+                Trace.of_list (List.map (fun s -> alphabet.(s)) word)
+              in
+              Some (Error h)))
+
+type strategy = Auto | Automata_only | Bounded_only
+
+(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.
+
+    [depth] bounds the fallback exploration (and is reported in
+    [Bounded] verdicts); with [strategy = Auto] the exact automata route
+    is attempted first.  Trace-clause verdicts are relative to
+    [ctx.universe]. *)
+let check ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
+    (gamma : Spec.t) : result =
+  let missing_objs = Oid.Set.diff (Spec.objs gamma) (Spec.objs gamma') in
+  if not (Oid.Set.is_empty missing_objs) then Error (Objects_missing missing_objs)
+  else
+    let missing_alpha =
+      Eventset.normalise (Eventset.diff (Spec.alpha gamma) (Spec.alpha gamma'))
+    in
+    if not (Eventset.is_empty missing_alpha) then
+      Error (Alphabet_missing missing_alpha)
+    else begin
+      let u = ctx.Tset.universe in
+      let alphabet = Spec.concrete_alphabet u gamma' in
+      let automata () =
+        try
+          trace_clause_automata ctx ~alphabet ~proj:(Spec.alpha gamma)
+            ~lhs:(Spec.tset gamma') ~rhs:(Spec.tset gamma)
+        with Tset.Closure_overflow _ -> None
+      in
+      let bounded () =
+        match
+          Bmc.check_inclusion ?domains ctx ~alphabet ~depth
+            ~lhs:(Spec.tset gamma') ~proj:(Spec.alpha gamma)
+            ~rhs:(Spec.tset gamma)
+        with
+        | Bmc.Holds c -> Ok c
+        | Bmc.Refuted h -> Error (Trace_escape h)
+      in
+      match strategy with
+      | Automata_only -> (
+          match automata () with
+          | Some (Ok ()) -> Ok Bmc.Exact
+          | Some (Error h) -> Error (Trace_escape h)
+          | None ->
+              invalid_arg
+                "Refine.check: automata strategy failed to compile monitors")
+      | Bounded_only -> bounded ()
+      | Auto -> (
+          match automata () with
+          | Some (Ok ()) -> Ok Bmc.Exact
+          | Some (Error h) -> Error (Trace_escape h)
+          | None -> bounded ())
+    end
+
+(** Boolean convenience wrapper. *)
+let refines ?domains ?strategy ctx ~depth gamma' gamma =
+  Result.is_ok (check ?domains ?strategy ctx ~depth gamma' gamma)

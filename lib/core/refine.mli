@@ -1,0 +1,60 @@
+(** The refinement relation Γ′ ⊑ Γ (Def. 2 of the paper).
+
+    Γ′ refines Γ iff (1) O(Γ) ⊆ O(Γ′) — objects may be added; (2)
+    α(Γ) ⊆ α(Γ′) — the alphabet may be expanded; (3)
+    ∀h ∈ T(Γ′) : h/α(Γ) ∈ T(Γ) — on the old alphabet, behaviour only
+    becomes more deterministic.  Alphabet expansion is what gives
+    multiple inheritance of behaviour (two viewpoints share a common
+    refinement) and models component upgrade; classical trace
+    refinement is the special case with fixed alphabet and objects.
+
+    Clauses 1–2 are decided exactly on the symbolic representation;
+    clause 3 over a concrete universe — exactly via DFA language
+    inclusion when both trace sets compile, else by bounded
+    exploration.  Failures always carry witnesses. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+
+type failure =
+  | Objects_missing of Oid.Set.t
+      (** O(Γ) \ O(Γ′): abstract objects dropped by the refinement *)
+  | Alphabet_missing of Eventset.t
+      (** α(Γ) \ α(Γ′): abstract events dropped by the refinement *)
+  | Trace_escape of Posl_trace.Trace.t
+      (** a genuine trace of Γ′ whose projection on α(Γ) is outside
+          T(Γ) *)
+
+val pp_failure : Format.formatter -> failure -> unit
+
+type result = (Bmc.confidence, failure) Stdlib.result
+
+val pp_result : Format.formatter -> result -> unit
+
+type strategy =
+  | Auto  (** automata first, bounded exploration as fallback *)
+  | Automata_only  (** raise if the monitors do not compile *)
+  | Bounded_only
+
+val check :
+  ?domains:int ->
+  ?strategy:strategy ->
+  Tset.ctx ->
+  depth:int ->
+  Spec.t ->
+  Spec.t ->
+  result
+(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.  Trace-clause
+    verdicts are relative to [ctx]'s universe; [depth] bounds (and is
+    reported by) the exploration fallback. *)
+
+val refines :
+  ?domains:int ->
+  ?strategy:strategy ->
+  Tset.ctx ->
+  depth:int ->
+  Spec.t ->
+  Spec.t ->
+  bool

@@ -1,0 +1,58 @@
+(** Specifications Γ = ⟨O, α, T⟩ (Def. 1 of the paper).
+
+    A specification of a set of objects is a {e partial} description:
+    its alphabet is a subset of the events the objects can engage in,
+    and several specifications of the same object — viewpoints, roles,
+    aspects — may coexist.  The trace set is a prefix-closed subset of
+    Seq[α] (safety only). *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+
+type t
+
+type error =
+  | Empty_object_set
+  | Alphabet_internal of Eventset.t
+      (** witness: alphabet events internal to the object set *)
+  | Alphabet_detached of Eventset.t
+      (** witness: alphabet events touching no specified object *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val validate :
+  name:string -> objs:Oid.Set.t -> alpha:Eventset.t -> (unit, error) result
+(** Def. 1's side condition, decided symbolically:
+    α ⊆ ∪{αᵒ | o ∈ O} − I(O). *)
+
+val v : name:string -> objs:Oid.t list -> alpha:Eventset.t -> Tset.t -> t
+(** Build a well-formed specification; raises [Invalid_argument] when
+    {!validate} fails. *)
+
+val name : t -> string
+val objs : t -> Oid.Set.t
+val alpha : t -> Eventset.t
+val tset : t -> Tset.t
+val with_name : string -> t -> t
+
+val is_interface : t -> bool
+(** A specification of a single object (Section 2). *)
+
+val environment : t -> Oset.t
+(** The communication environment: objects outside O involved in events
+    of α (Section 2).  Exact and possibly co-finite (infinite). *)
+
+val mem : Tset.ctx -> t -> Posl_trace.Trace.t -> bool
+(** [mem ctx s h] — h ∈ T(Γ) and h ranges over α(Γ). *)
+
+val concrete_alphabet : Universe.t -> t -> Posl_trace.Event.t array
+(** The symbol set of automata and bounded exploration. *)
+
+val adequate_universe : ?extra_objects:int -> t list -> Universe.t
+(** A universe sample adequate for the given specifications: every
+    identifier they mention, padded with fresh environment objects (so
+    co-finite sorts have unnamed inhabitants) and default method/value
+    entries if empty. *)
+
+val pp : Format.formatter -> t -> unit

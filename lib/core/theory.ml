@@ -1,0 +1,335 @@
+(** The paper's propositions as executable checkers.
+
+    The authors verified these properties in PVS; this module is the
+    reproduction's substitute.  Each proposition becomes a function on a
+    concrete instance that checks the premises and then the conclusion,
+    so the universally quantified statements can be exercised both on
+    the paper's own examples and on large random instance families
+    (see the test suite and the benchmark harness).
+
+    Outcomes: [Pass] (with the confidence of the underlying trace
+    checks), [Vacuous] (the instance does not satisfy the premises — the
+    proposition says nothing about it), or [Fail] with a human-readable
+    counterexample. *)
+
+open Posl_ident
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Bmc = Posl_bmc.Bmc
+
+type outcome =
+  | Pass of Bmc.confidence
+  | Vacuous of string
+  | Fail of string
+
+let pp_outcome ppf = function
+  | Pass c -> Format.fprintf ppf "pass [%a]" Bmc.pp_confidence c
+  | Vacuous why -> Format.fprintf ppf "vacuous (%s)" why
+  | Fail why -> Format.fprintf ppf "FAIL: %s" why
+
+let is_pass = function Pass _ -> true | Vacuous _ | Fail _ -> false
+let is_fail = function Fail _ -> true | Pass _ | Vacuous _ -> false
+
+let both a b =
+  match (a, b) with
+  | Fail _, _ -> a
+  | _, Fail _ -> b
+  | Vacuous _, _ -> a
+  | _, Vacuous _ -> b
+  | Pass c1, Pass c2 ->
+      Pass (match (c1, c2) with Bmc.Exact, Bmc.Exact -> Bmc.Exact | Bmc.Bounded k, _ | _, Bmc.Bounded k -> Bmc.Bounded k)
+
+let all outcomes = List.fold_left both (Pass Bmc.Exact) outcomes
+
+(** {1 The filter law}
+
+    h/S₁\S₂ = h\S₂/(S₁−S₂) — the identity the proof of Theorem 7 leans
+    on ("since h/S₁\S₂ = h\S₂/(S₁−S₂) for any sequence h and sets S₁ and
+    S₂").  Checked pointwise on traces. *)
+let filter_law s1 s2 h =
+  let lhs = Eventset.delete_trace s2 (Eventset.restrict_trace s1 h) in
+  let rhs =
+    Eventset.restrict_trace (Eventset.diff s1 s2) (Eventset.delete_trace s2 h)
+  in
+  Trace.equal lhs rhs
+
+(** {1 Specification equality} *)
+
+(** Equality of the {e trace sets} alone, over the sampled union of the
+    two alphabets.  Example 6 of the paper equates
+    T(RW2‖Client) = T(WriteAcc‖Client) although the composed alphabets
+    differ — the extra events of the refined constituent never occur. *)
+let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
+  let u = ctx.Tset.universe in
+  let alphabet =
+    Array.of_list
+      (Eventset.sample u (Eventset.union (Spec.alpha a) (Spec.alpha b)))
+  in
+  let fail h side =
+    let where =
+      match side with
+      | `Left_only -> Format.asprintf "in T(%s) only" (Spec.name a)
+      | `Right_only -> Format.asprintf "in T(%s) only" (Spec.name b)
+    in
+    Fail (Format.asprintf "trace %a is %s" Trace.pp h where)
+  in
+  let automata () =
+    try
+      match
+        ( Tset.compile ctx alphabet (Spec.tset a),
+          Tset.compile ctx alphabet (Spec.tset b) )
+      with
+      | Some da, Some db ->
+          let word_trace w =
+            Trace.of_list (List.map (fun s -> alphabet.(s)) w)
+          in
+          (match Posl_automata.Dfa.included da db with
+          | Error w -> Some (fail (word_trace w) `Left_only)
+          | Ok () -> (
+              match Posl_automata.Dfa.included db da with
+              | Error w -> Some (fail (word_trace w) `Right_only)
+              | Ok () -> Some (Pass Bmc.Exact)))
+      | _, _ -> None
+    with Tset.Closure_overflow _ -> None
+  in
+  match automata () with
+  | Some outcome -> outcome
+  | None -> (
+      match
+        Bmc.check_equal ?domains ctx ~alphabet ~depth ~left:(Spec.tset a)
+          ~right:(Spec.tset b)
+      with
+      | Bmc.Holds c -> Pass c
+      | Bmc.Refuted (h, side) -> fail h side)
+
+(** Semantic equality of specifications: equal object sets, equal
+    alphabets (exact, symbolic) and equal trace sets. *)
+let spec_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
+  if not (Oid.Set.equal (Spec.objs a) (Spec.objs b)) then
+    Fail
+      (Format.asprintf "object sets differ: %s vs %s" (Spec.name a)
+         (Spec.name b))
+  else if not (Eventset.equal (Spec.alpha a) (Spec.alpha b)) then
+    Fail
+      (Format.asprintf "alphabets differ: %a vs %a" Eventset.pp (Spec.alpha a)
+         Eventset.pp (Spec.alpha b))
+  else tset_equal ?domains ctx ~depth a b
+
+let refine_outcome ?domains ctx ~depth gamma' gamma : outcome =
+  match Refine.check ?domains ctx ~depth gamma' gamma with
+  | Ok c -> Pass c
+  | Error f ->
+      Fail
+        (Format.asprintf "%s ⋢ %s: %a" (Spec.name gamma') (Spec.name gamma)
+           Refine.pp_failure f)
+
+(** {1 Property 5} — Γ‖Γ = Γ for an interface specification Γ.  This is
+    where object identity departs from process algebra: composing a
+    specification with itself adds nothing, because I(o,o) is
+    unobservable. *)
+let property5 ?domains ctx ~depth (gamma : Spec.t) : outcome =
+  if not (Spec.is_interface gamma) then
+    Vacuous "Property 5 concerns interface specifications"
+  else spec_equal ?domains ctx ~depth (Compose.interface gamma gamma) gamma
+
+(** {1 Lemma 6} — for interface specifications Γ₁, Γ₂ of the same
+    object, Γ₁‖Γ₂ is the weakest common refinement. *)
+
+let lemma6_premise g1 g2 =
+  if not (Spec.is_interface g1 && Spec.is_interface g2) then
+    Some "Lemma 6 concerns interface specifications"
+  else if not (Oid.Set.equal (Spec.objs g1) (Spec.objs g2)) then
+    Some "Lemma 6 requires specifications of the same object"
+  else None
+
+(* Part 1: Γ₁‖Γ₂ ⊑ Γ₁ and Γ₁‖Γ₂ ⊑ Γ₂. *)
+let lemma6_refines ?domains ctx ~depth g1 g2 : outcome =
+  match lemma6_premise g1 g2 with
+  | Some why -> Vacuous why
+  | None ->
+      let comp = Compose.interface g1 g2 in
+      all
+        [
+          refine_outcome ?domains ctx ~depth comp g1;
+          refine_outcome ?domains ctx ~depth comp g2;
+        ]
+
+(* Part 2: any ∆ refining both Γ₁ and Γ₂ refines Γ₁‖Γ₂. *)
+let lemma6_weakest ?domains ctx ~depth ~delta g1 g2 : outcome =
+  match lemma6_premise g1 g2 with
+  | Some why -> Vacuous why
+  | None ->
+      if
+        not
+          (Refine.refines ?domains ctx ~depth delta g1
+          && Refine.refines ?domains ctx ~depth delta g2)
+      then Vacuous "∆ does not refine both Γ₁ and Γ₂"
+      else refine_outcome ?domains ctx ~depth delta (Compose.interface g1 g2)
+
+(** {1 Theorem 7} — compositional refinement for interface
+    specifications: Γ′ ⊑ Γ ⟹ Γ′‖∆ ⊑ Γ‖∆. *)
+let theorem7 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
+  if
+    not
+      (Spec.is_interface gamma' && Spec.is_interface gamma
+     && Spec.is_interface delta)
+  then Vacuous "Theorem 7 concerns interface specifications"
+  else if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
+    Vacuous "Theorem 7 keeps the object set unchanged"
+  else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+    Vacuous "premise Γ′ ⊑ Γ does not hold"
+  else
+    refine_outcome ?domains ctx ~depth
+      (Compose.interface gamma' delta)
+      (Compose.interface gamma delta)
+
+(** {1 Lemma 13} — composition preserves soundness: sound specifications
+    Γ, ∆ of a component C compose to a sound specification of C. *)
+let lemma13 ?domains ctx ~depth (c : Component.t) (gamma : Spec.t)
+    (delta : Spec.t) : outcome =
+  let sound spec =
+    match Component.sound ?domains ctx ~depth spec c with
+    | Bmc.Holds _ -> true
+    | Bmc.Refuted _ -> false
+  in
+  match Compose.compose gamma delta with
+  | Error _ -> Vacuous "Γ and ∆ are not composable"
+  | Ok comp ->
+      if not (sound gamma && sound delta) then
+        Vacuous "premise: Γ and ∆ must both be sound for C"
+      else (
+        match Component.sound ?domains ctx ~depth comp c with
+        | Bmc.Holds conf -> Pass conf
+        | Bmc.Refuted h ->
+            Fail
+              (Format.asprintf
+                 "component trace %a projects outside T(%s)" Trace.pp h
+                 (Spec.name comp)))
+
+(** {1 Lemma 15} — under composability and properness, refinement does
+    not disturb the visible alphabet:
+    (α(Γ) ∪ α(∆)) ∩ I(O(Γ′‖∆)) = (α(Γ) ∪ α(∆)) ∩ I(O(Γ‖∆)).
+    Purely symbolic, hence always exact. *)
+let lemma15 ~gamma' ~gamma ~delta : outcome =
+  if not (Compose.composable gamma' delta) then
+    Vacuous "Γ′ and ∆ are not composable"
+  else if not (Compose.proper ~refined:gamma' ~abstract:gamma ~context:delta)
+  then Vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
+  else if
+    not
+      (Oid.Set.subset (Spec.objs gamma) (Spec.objs gamma')
+      && Eventset.subset (Spec.alpha gamma) (Spec.alpha gamma'))
+  then Vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
+  else
+    let union_alpha = Eventset.union (Spec.alpha gamma) (Spec.alpha delta) in
+    let i_refined =
+      Internal.of_set (Oid.Set.union (Spec.objs gamma') (Spec.objs delta))
+    in
+    let i_abstract =
+      Internal.of_set (Oid.Set.union (Spec.objs gamma) (Spec.objs delta))
+    in
+    if
+      Eventset.equal
+        (Eventset.inter union_alpha i_refined)
+        (Eventset.inter union_alpha i_abstract)
+    then Pass Bmc.Exact
+    else
+      Fail
+        (Format.asprintf "visible alphabet disturbed: %a vs %a" Eventset.pp
+           (Eventset.inter union_alpha i_refined)
+           Eventset.pp
+           (Eventset.inter union_alpha i_abstract))
+
+(** {1 Theorem 16} — compositional refinement for component
+    specifications: if Γ′ is a proper refinement of Γ w.r.t. ∆ and Γ′, ∆
+    are composable, then Γ′‖∆ ⊑ Γ‖∆. *)
+let theorem16 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
+  match Compose.check_composable gamma' delta with
+  | Error f ->
+      Vacuous
+        (Format.asprintf "Γ′ and ∆ are not composable (%a)"
+           Compose.pp_composability_failure f)
+  | Ok () ->
+      if not (Compose.proper ~refined:gamma' ~abstract:gamma ~context:delta)
+      then Vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
+      else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+        Vacuous "premise Γ′ ⊑ Γ does not hold"
+      else (
+        match Compose.compose gamma delta with
+        | Error f ->
+            (* Cannot happen when Γ′ ⊑ Γ and Γ′, ∆ composable (see the
+               proof of Lemma 15); surface it rather than masking. *)
+            Fail
+              (Format.asprintf "Γ and ∆ unexpectedly not composable: %a"
+                 Compose.pp_composability_failure f)
+        | Ok abstract_comp ->
+            let refined_comp = Compose.compose_exn gamma' delta in
+            refine_outcome ?domains ctx ~depth refined_comp abstract_comp)
+
+(** {1 Property 17} — refinement without new objects preserves
+    composability.  Note: this holds when the refinement's alphabet
+    growth respects well-formedness (Def. 1) and the object sets of Γ
+    and ∆ are disjoint; our specifications enforce Def. 1 at
+    construction. *)
+let property17 ~gamma' ~gamma ~delta : outcome =
+  if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
+    Vacuous "Property 17 requires O(Γ′) = O(Γ)"
+  else if
+    not
+      (Oid.Set.subset (Spec.objs gamma) (Spec.objs gamma')
+      && Eventset.subset (Spec.alpha gamma) (Spec.alpha gamma'))
+  then Vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
+  else if not (Compose.composable gamma delta) then
+    Vacuous "Γ and ∆ are not composable"
+  else if Compose.composable gamma' delta then Pass Bmc.Exact
+  else
+    Fail
+      (Format.asprintf "Γ′ and ∆ are not composable although Γ and ∆ are")
+
+(** {1 Theorem 18} — compositional refinement without new objects:
+    Γ′ ⊑ Γ ∧ O(Γ′) = O(Γ) ⟹ Γ′‖∆ ⊑ Γ‖∆. *)
+let theorem18 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
+  if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
+    Vacuous "Theorem 18 requires O(Γ′) = O(Γ)"
+  else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+    Vacuous "premise Γ′ ⊑ Γ does not hold"
+  else
+    match (Compose.compose gamma' delta, Compose.compose gamma delta) with
+    | Ok refined_comp, Ok abstract_comp ->
+        refine_outcome ?domains ctx ~depth refined_comp abstract_comp
+    | Error f, _ | _, Error f ->
+        Vacuous
+          (Format.asprintf "not composable (%a)"
+             Compose.pp_composability_failure f)
+
+(** {1 Refinement partial-order laws} (Section 3: "the refinement
+    relation given here is a partial order") *)
+
+let refinement_reflexive ?domains ctx ~depth gamma : outcome =
+  refine_outcome ?domains ctx ~depth gamma gamma
+
+let refinement_transitive ?domains ctx ~depth ~g1 ~g2 ~g3 : outcome =
+  if
+    not
+      (Refine.refines ?domains ctx ~depth g1 g2
+      && Refine.refines ?domains ctx ~depth g2 g3)
+  then Vacuous "premises Γ₁ ⊑ Γ₂ ⊑ Γ₃ do not hold"
+  else refine_outcome ?domains ctx ~depth g1 g3
+
+(** {1 Composition laws} (Property 12: commutative and associative) *)
+
+let composition_commutative ?domains ctx ~depth g d : outcome =
+  match (Compose.compose g d, Compose.compose d g) with
+  | Ok gd, Ok dg -> spec_equal ?domains ctx ~depth gd dg
+  | Error f, _ | _, Error f ->
+      Vacuous (Format.asprintf "not composable (%a)" Compose.pp_composability_failure f)
+
+let composition_associative ?domains ctx ~depth g d e : outcome =
+  let ( >>= ) = Result.bind in
+  let left = Compose.compose g d >>= fun gd -> Compose.compose gd e in
+  let right = Compose.compose d e >>= fun de -> Compose.compose g de in
+  match (left, right) with
+  | Ok l, Ok r -> spec_equal ?domains ctx ~depth l r
+  | Error f, _ | _, Error f ->
+      Vacuous (Format.asprintf "not composable (%a)" Compose.pp_composability_failure f)

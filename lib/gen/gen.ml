@@ -1,0 +1,311 @@
+(** QCheck generators for the formalism's values.
+
+    Random universes, events, traces, symbolic event sets, regular
+    expressions, trace sets and specifications — the raw material of the
+    property-based tests and of the randomized theorem campaigns
+    (Theorems 7, 16, 18 over thousands of generated instances).
+
+    Generators are organised around a fixed {e scenario}: a universe
+    sample together with the object sets specifications will describe.
+    Specification generators produce {e well-formed} specifications by
+    construction (alphabets avoid internal events), and
+    {!refinement_of} produces pairs Γ′ ⊑ Γ that satisfy Def. 2 by
+    construction — trace-set clause included — so theorem premises never
+    need rejection sampling. *)
+
+open Posl_ident
+open Posl_sets
+module G = QCheck2.Gen
+module Epat = Posl_regex.Epat
+module Regex = Posl_regex.Regex
+module Tset = Posl_tset.Tset
+module Counting = Posl_tset.Counting
+module Event = Posl_trace.Event
+module Trace = Posl_trace.Trace
+module Spec = Posl_core.Spec
+
+(** {1 Scenarios} *)
+
+type scenario = {
+  universe : Universe.t;
+  component_objs : Oid.t list;  (** objects that specifications describe *)
+  env_objs : Oid.t list;  (** sampled environment objects *)
+  reserved_objs : Oid.t list;
+      (** objects kept out of every generated communication environment,
+          available for object introduction in refinement steps — the
+          paper notes that objects added by a refinement "cannot be in
+          the communication environment" of the abstract specification *)
+}
+
+(* A scenario with [n_comp] component objects, [n_env] environment
+   objects, [n_reserved] introducible objects, [n_mth] methods and
+   [n_val] values. *)
+let scenario ?(n_comp = 2) ?(n_env = 2) ?(n_reserved = 1) ?(n_mth = 3)
+    ?(n_val = 1) () =
+  let component_objs = List.init n_comp (fun i -> Oid.v (Printf.sprintf "k%d" i)) in
+  let env_objs = List.init n_env (fun i -> Oid.v (Printf.sprintf "e%d" i)) in
+  let reserved_objs =
+    List.init n_reserved (fun i -> Oid.v (Printf.sprintf "r%d" i))
+  in
+  let methods = List.init n_mth (fun i -> Mth.v (Printf.sprintf "m%d" i)) in
+  let values = List.init n_val (fun i -> Value.v (Printf.sprintf "d%d" i)) in
+  {
+    universe =
+      Universe.make
+        ~objects:(component_objs @ env_objs @ reserved_objs)
+        ~methods ~values;
+    component_objs;
+    env_objs;
+    reserved_objs;
+  }
+
+let default_scenario = scenario ()
+
+(** {1 Base generators} *)
+
+let oneofl = G.oneofl
+
+let oid sc = oneofl (Universe.objects sc.universe)
+let mth sc = oneofl (Universe.methods sc.universe)
+let value sc = oneofl (Universe.values sc.universe)
+
+let sub_list xs =
+  (* A random (possibly empty) subset of [xs], preserving order. *)
+  let open G in
+  list_size (pure (List.length xs)) bool >|= fun keeps ->
+  List.filteri (fun i _ -> List.nth keeps i) xs
+
+let nonempty_sub_list xs =
+  let open G in
+  sub_list xs >>= function
+  | [] -> oneofl xs >|= fun x -> [ x ]
+  | l -> pure l
+
+let event sc =
+  let open G in
+  let* caller = oid sc in
+  let* callee =
+    oneofl
+      (List.filter
+         (fun o -> not (Oid.equal o caller))
+         (Universe.objects sc.universe))
+  in
+  let* m = mth sc in
+  let* arg = G.opt (value sc) in
+  pure (Event.make ?arg ~caller ~callee m)
+
+let trace ?(max_len = 6) sc =
+  let open G in
+  list_size (int_bound max_len) (event sc) >|= Trace.of_list
+
+(** {1 Symbolic sets} *)
+
+let oset sc =
+  let open G in
+  let* cofinite = bool in
+  let* support = sub_list (Universe.objects sc.universe) in
+  pure (if cofinite then Oset.cofin_of_list support else Oset.of_list support)
+
+let mset sc =
+  let open G in
+  let* cofinite = G.frequency [ (1, pure true); (3, pure false) ] in
+  let* support = nonempty_sub_list (Universe.methods sc.universe) in
+  pure (if cofinite then Mset.cofin_of_list support else Mset.of_list support)
+
+let argsel sc =
+  let open G in
+  let* allow_none = bool in
+  let* cofinite = bool in
+  let* support = sub_list (Universe.values sc.universe) in
+  let values =
+    if cofinite then Vset.cofin_of_list support else Vset.of_list support
+  in
+  pure (Argsel.make ~allow_none values)
+
+let rect sc =
+  let open G in
+  let* callers = oset sc in
+  let* callees = oset sc in
+  let* mths = mset sc in
+  let* args = argsel sc in
+  pure (Rect.make ~callers ~callees ~mths ~args)
+
+let eventset ?(max_width = 3) sc =
+  let open G in
+  list_size (int_range 0 max_width) (rect sc) >|= Eventset.of_rects
+
+(** {1 Regular expressions}
+
+    Ground expressions whose atoms stay inside a given event set, so
+    generated trace sets are consistent with generated alphabets. *)
+
+let epat_within sc (alpha_events : Event.t list) =
+  let open G in
+  match alpha_events with
+  | [] -> pure (Epat.make ~caller:(Epat.In Oset.empty) ~callee:(Epat.In Oset.empty) Mset.empty)
+  | _ ->
+      let* e = oneofl alpha_events in
+      let* widen_caller = bool in
+      ignore sc;
+      let caller =
+        if widen_caller then Epat.In (Oset.cofin_of_list [ Event.callee e ])
+        else Epat.Const (Event.caller e)
+      in
+      let args =
+        match Event.arg e with
+        | None -> Argsel.none_only
+        | Some _ -> Argsel.any_value
+      in
+      pure
+        (Epat.make ~args ~caller ~callee:(Epat.Const (Event.callee e))
+           (Mset.singleton (Event.mth e)))
+
+let regex_within ?(max_depth = 3) sc alpha_events =
+  let open G in
+  let atom = epat_within sc alpha_events >|= Regex.atom in
+  fix
+    (fun self depth ->
+      if depth = 0 then atom
+      else
+        frequency
+          [
+            (3, atom);
+            ( 2,
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              pure (Regex.seq a b) );
+            ( 2,
+              let* a = self (depth - 1) in
+              let* b = self (depth - 1) in
+              pure (Regex.alt a b) );
+            (2, self (depth - 1) >|= Regex.star);
+          ])
+    max_depth
+
+(** {1 Trace sets} *)
+
+let counting_within sc alpha_events =
+  let open G in
+  ignore sc;
+  match alpha_events with
+  | [] -> pure (let b = Counting.Build.create () in Counting.Build.(finish b true_))
+  | _ ->
+      let* open_evt = oneofl alpha_events in
+      let* close_evt = oneofl alpha_events in
+      let* bound = int_range 1 3 in
+      let b = Counting.Build.create () in
+      let open Counting.Build in
+      let c_open = cls b (Eventset.of_event open_evt) in
+      let c_close = cls b (Eventset.of_event close_evt) in
+      pure
+        (finish b
+           (count c_open -- count c_close <=. bound
+           &&. (count c_open -- count c_close >=. 0)))
+
+let tset_within ?(max_depth = 2) sc alpha_events =
+  let open G in
+  let star_regex = regex_within ~max_depth:2 sc alpha_events >|= Regex.star in
+  fix
+    (fun self depth ->
+      let leaves =
+        [
+          (2, pure Tset.all);
+          (3, star_regex >|= Tset.prs);
+          (2, counting_within sc alpha_events >|= Tset.counting);
+        ]
+      in
+      if depth = 0 then frequency leaves
+      else
+        frequency
+          (leaves
+          @ [
+              ( 2,
+                let* a = self (depth - 1) in
+                let* b = self (depth - 1) in
+                pure (Tset.conj [ a; b ]) );
+            ]))
+    max_depth
+
+(** {1 Specifications} *)
+
+(* A well-formed alphabet for the object set [objs]: calls from sampled
+   environment objects (or the co-finite environment sort) to the
+   specified objects, and replies from the specified objects outward —
+   internal events are excluded by construction. *)
+let alpha_for sc (objs : Oid.t list) =
+  let open G in
+  let obj_set = Oset.of_list objs in
+  (* Reserved objects are excluded from the co-finite environment sort,
+     so they stay introducible by later refinement steps. *)
+  let excluded =
+    objs @ List.filter (fun r -> not (List.mem r objs)) sc.reserved_objs
+  in
+  let env_sort = Oset.cofin_of_list excluded in
+  let inbound =
+    let* callers =
+      frequency
+        [
+          (2, pure env_sort);
+          (2, nonempty_sub_list sc.env_objs >|= Oset.of_list);
+        ]
+    in
+    let* callees = nonempty_sub_list objs >|= Oset.of_list in
+    let* mths = mset sc in
+    let* args = argsel sc in
+    pure (Rect.make ~callers ~callees ~mths ~args)
+  in
+  let outbound =
+    let* callers = nonempty_sub_list objs >|= Oset.of_list in
+    let* callees = nonempty_sub_list sc.env_objs >|= Oset.of_list in
+    let* mths = mset sc in
+    let* args = argsel sc in
+    pure (Rect.make ~callers ~callees ~mths ~args)
+  in
+  let* n_in = int_range 1 2 in
+  let* n_out = int_range 0 1 in
+  let* rects_in = list_repeat n_in inbound in
+  let* rects_out = list_repeat n_out outbound in
+  let alpha = Eventset.of_rects (rects_in @ rects_out) in
+  (* Defensive: strip any internal residue (cannot arise by
+     construction, but keep the generator's contract local). *)
+  pure
+    (Eventset.normalise
+       (Eventset.diff alpha (Eventset.between obj_set obj_set)))
+
+let spec_name_counter = ref 0
+
+let fresh_spec_name prefix =
+  incr spec_name_counter;
+  Printf.sprintf "%s%d" prefix !spec_name_counter
+
+(** A random well-formed specification of the given objects. *)
+let spec ?(name_prefix = "G") sc (objs : Oid.t list) =
+  let open G in
+  let* alpha = alpha_for sc objs in
+  let alpha_events = Eventset.sample sc.universe alpha in
+  let* tset = tset_within sc alpha_events in
+  pure (Spec.v ~name:(fresh_spec_name name_prefix) ~objs ~alpha tset)
+
+(** An interface specification of one object. *)
+let interface_spec ?(name_prefix = "I") sc o = spec ~name_prefix sc [ o ]
+
+(** {1 Refinements by construction}
+
+    Γ′ ⊑ Γ holds by construction: the refined trace set is the
+    projection-membership lift of T(Γ) conjoined with fresh constraints
+    over the expanded alphabet (Def. 2's clause 3 is then immediate:
+    h ∈ T(Γ′) implies h/α(Γ) ∈ T(Γ)). *)
+let refinement_of ?(new_objs = []) sc (gamma : Spec.t) =
+  let open G in
+  let objs' = Oid.Set.elements (Spec.objs gamma) @ new_objs in
+  let* extra_alpha = alpha_for sc objs' in
+  let alpha' = Eventset.union (Spec.alpha gamma) extra_alpha in
+  let alpha_events = Eventset.sample sc.universe alpha' in
+  let* extra_tset = tset_within sc alpha_events in
+  let tset' =
+    Tset.conj [ Tset.restrict (Spec.alpha gamma) (Spec.tset gamma); extra_tset ]
+  in
+  pure
+    (Spec.v
+       ~name:(fresh_spec_name (Spec.name gamma ^ "'"))
+       ~objs:objs' ~alpha:alpha' tset')

@@ -1,0 +1,100 @@
+(** QCheck generators for the formalism's values.
+
+    Random universes, events, traces, symbolic event sets, regular
+    expressions, trace sets and specifications — the raw material of
+    the property-based tests and of the randomized theorem campaigns.
+    Specification generators produce {e well-formed} specifications by
+    construction, and {!refinement_of} produces pairs Γ′ ⊑ Γ that
+    satisfy Def. 2 {e by construction} (the refined trace set is the
+    projection-membership lift of the abstract one, conjoined with
+    fresh constraints), so theorem premises never need rejection
+    sampling. *)
+
+open Posl_ident
+open Posl_sets
+module G := QCheck2.Gen
+
+type scenario = {
+  universe : Universe.t;
+  component_objs : Oid.t list;  (** objects that specifications describe *)
+  env_objs : Oid.t list;  (** sampled environment objects *)
+  reserved_objs : Oid.t list;
+      (** objects kept out of every generated communication environment,
+          available for object introduction in refinement steps (the
+          paper: objects added by a refinement cannot be in the
+          abstract specification's communication environment) *)
+}
+
+val scenario :
+  ?n_comp:int ->
+  ?n_env:int ->
+  ?n_reserved:int ->
+  ?n_mth:int ->
+  ?n_val:int ->
+  unit ->
+  scenario
+
+val default_scenario : scenario
+
+(** {1 Base generators} *)
+
+val oid : scenario -> Oid.t G.t
+val mth : scenario -> Mth.t G.t
+val value : scenario -> Value.t G.t
+val sub_list : 'a list -> 'a list G.t
+val nonempty_sub_list : 'a list -> 'a list G.t
+val event : scenario -> Posl_trace.Event.t G.t
+val trace : ?max_len:int -> scenario -> Posl_trace.Trace.t G.t
+
+(** {1 Symbolic sets} *)
+
+val oset : scenario -> Oset.t G.t
+val mset : scenario -> Mset.t G.t
+val argsel : scenario -> Argsel.t G.t
+val rect : scenario -> Rect.t G.t
+val eventset : ?max_width:int -> scenario -> Eventset.t G.t
+
+(** {1 Expressions and trace sets}
+
+    Atoms and counters are drawn from a given list of concrete events,
+    so generated trace sets are consistent with generated alphabets. *)
+
+val epat_within :
+  scenario -> Posl_trace.Event.t list -> Posl_regex.Epat.t G.t
+
+val regex_within :
+  ?max_depth:int ->
+  scenario ->
+  Posl_trace.Event.t list ->
+  Posl_regex.Regex.t G.t
+
+val counting_within :
+  scenario -> Posl_trace.Event.t list -> Posl_tset.Counting.t G.t
+
+val tset_within :
+  ?max_depth:int ->
+  scenario ->
+  Posl_trace.Event.t list ->
+  Posl_tset.Tset.t G.t
+
+(** {1 Specifications} *)
+
+val alpha_for : scenario -> Oid.t list -> Eventset.t G.t
+(** A well-formed alphabet for the object set: inbound and outbound
+    calls, no internal events; reserved objects excluded from co-finite
+    environment sorts. *)
+
+val spec :
+  ?name_prefix:string -> scenario -> Oid.t list -> Posl_core.Spec.t G.t
+
+val interface_spec :
+  ?name_prefix:string -> scenario -> Oid.t -> Posl_core.Spec.t G.t
+
+val refinement_of :
+  ?new_objs:Oid.t list ->
+  scenario ->
+  Posl_core.Spec.t ->
+  Posl_core.Spec.t G.t
+(** A refinement of the given specification, by construction: optional
+    new objects (use {!scenario}'s [reserved_objs]), expanded alphabet,
+    trace set = lift of the abstract one ∧ fresh constraints. *)

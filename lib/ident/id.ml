@@ -1,0 +1,73 @@
+(** Shared implementation for the three name-like identifier domains of
+    the formalism: object identities ([Obj] in the paper), method names
+    ([Mtd]) and data values ([Data]).  Each domain is conceptually
+    countably infinite; identifiers are interned strings.  The functor
+    produces a fresh abstract type per domain so that object identities,
+    methods and values cannot be confused. *)
+
+module type NAMED = sig
+  type t
+
+  val v : string -> t
+  (** [v s] is the identifier named [s].  Raises [Invalid_argument] on
+      the empty string. *)
+
+  val name : t -> string
+  val equal : t -> t -> bool
+  val compare : t -> t -> int
+  val hash : t -> int
+  val pp : Format.formatter -> t -> unit
+  val to_string : t -> string
+
+  module Set : Set.S with type elt = t
+  module Map : Map.S with type key = t
+
+  val fresh_outside : Set.t -> t
+  (** [fresh_outside s] is an identifier of the domain that is not a
+      member of the finite set [s].  Witnesses that the domain is
+      infinite; used to sample co-finite symbolic sets. *)
+
+  val fresh_many_outside : int -> Set.t -> t list
+  (** [fresh_many_outside n s] is a list of [n] distinct identifiers,
+      none a member of [s]. *)
+end
+
+module type PREFIX = sig
+  val prefix : string
+  (** Prefix used when inventing fresh identifiers, e.g. ["o"] yields
+      [o1, o2, ...]. *)
+end
+
+module Make (P : PREFIX) : NAMED = struct
+  type t = string
+
+  let v s =
+    if String.length s = 0 then invalid_arg "Id.v: empty name";
+    s
+
+  let name t = t
+  let equal = String.equal
+  let compare = String.compare
+  let hash = Hashtbl.hash
+  let pp ppf t = Format.pp_print_string ppf t
+  let to_string t = t
+
+  module Set = Set.Make (String)
+  module Map = Map.Make (String)
+
+  let fresh_outside s =
+    let rec loop i =
+      let candidate = Printf.sprintf "%s%d" P.prefix i in
+      if Set.mem candidate s then loop (i + 1) else candidate
+    in
+    loop 1
+
+  let fresh_many_outside n s =
+    let rec loop acc s remaining =
+      if remaining = 0 then List.rev acc
+      else
+        let x = fresh_outside s in
+        loop (x :: acc) (Set.add x s) (remaining - 1)
+    in
+    loop [] s n
+end

@@ -1,0 +1,6 @@
+(** Method names — the domain [Mtd] of the paper.  A communication
+    event records which remote method was called. *)
+
+include Id.Make (struct
+  let prefix = "m"
+end)

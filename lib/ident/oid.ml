@@ -1,0 +1,7 @@
+(** Object identities — the domain [Obj] of the paper.  Objects are the
+    communicating entities of the formalism; every communication event
+    names a caller and a callee identity. *)
+
+include Id.Make (struct
+  let prefix = "obj"
+end)

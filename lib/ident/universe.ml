@@ -1,0 +1,63 @@
+(** Finite instantiations of the infinite identifier domains.
+
+    The formalism's alphabets and communication environments are
+    infinite (Section 2 of the paper).  Symbolic checks (alphabet
+    inclusion, composability, properness) never finitise them, but trace
+    enumeration and automata construction operate over a finite sample
+    of each domain.  A {!t} fixes such a sample.  Soundness of bounded
+    verdicts is always relative to the chosen universe. *)
+
+type t = {
+  objects : Oid.t list;
+  methods : Mth.t list;
+  values : Value.t list;
+}
+
+let check_distinct what names compare =
+  let sorted = List.sort_uniq compare names in
+  if List.length sorted <> List.length names then
+    invalid_arg (Printf.sprintf "Universe.make: duplicate %s" what)
+
+let make ~objects ~methods ~values =
+  check_distinct "object" objects Oid.compare;
+  check_distinct "method" methods Mth.compare;
+  check_distinct "value" values Value.compare;
+  { objects; methods; values }
+
+let objects t = t.objects
+let methods t = t.methods
+let values t = t.values
+let object_set t = Oid.Set.of_list t.objects
+
+(* Growing a universe never invalidates previously valid members, so
+   extension is the natural way to add environment objects to a sample. *)
+
+let add_objects t objects =
+  make ~objects:(t.objects @ objects) ~methods:t.methods ~values:t.values
+
+let add_methods t methods =
+  make ~objects:t.objects ~methods:(t.methods @ methods) ~values:t.values
+
+let add_values t values =
+  make ~objects:t.objects ~methods:t.methods ~values:(t.values @ values)
+
+let size t =
+  List.length t.objects + List.length t.methods + List.length t.values
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>objects: %a@,methods: %a@,values: %a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Oid.pp)
+    t.objects
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Mth.pp)
+    t.methods
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Value.pp)
+    t.values
+
+(** A small default universe for tests and examples: objects [o], [c],
+    [e1], [e2]; methods [R], [W], [OW], [CW], [OR], [CR], [OK]; values
+    [d1], [d2]. *)
+let default () =
+  make
+    ~objects:(List.map Oid.v [ "o"; "c"; "e1"; "e2" ])
+    ~methods:(List.map Mth.v [ "R"; "W"; "OW"; "CW"; "OR"; "CR"; "OK" ])
+    ~values:(List.map Value.v [ "d1"; "d2" ])

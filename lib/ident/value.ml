@@ -1,0 +1,7 @@
+(** Data values — the domain [Data] of the paper's examples.  Method
+    calls such as [W(d)] carry a single data parameter ranging over this
+    domain. *)
+
+include Id.Make (struct
+  let prefix = "d"
+end)

@@ -1,0 +1,111 @@
+(** Abstract syntax of OUN-lite, the textual specification notation.
+
+    The paper notes that its formalism "can be augmented with further
+    syntactic coating, in order to improve on the ease of use" (citing
+    the OUN language); OUN-lite is that coating for this library.  A
+    file is a sequence of specifications:
+
+    {v
+    spec Write {
+      objects o;
+      sort Env = all except { o };
+      alphabet call Env -> o : OW, CW, W(data);
+      traces prs (bind x in Env . (<x,o,OW> <x,o,W(_)>* <x,o,CW>))*;
+    }
+    v} *)
+
+type pos = { line : int; col : int }
+
+let pp_pos ppf p = Format.fprintf ppf "line %d, column %d" p.line p.col
+
+(* Sort expressions: finite enumerations or co-finite complements. *)
+type sort_expr =
+  | Sort_finite of string list
+  | Sort_cofinite of string list  (** [all except { ... }] *)
+
+(* A name in caller/callee position of an atom: resolved during
+   elaboration to a bound variable, a declared sort, or an object
+   constant. *)
+type oref = string
+
+(* Method with argument shape: [M] carries no data, [M(data)] carries
+   any data value. *)
+type mth_decl = { mth_name : string; takes_data : bool }
+
+type alpha_clause = {
+  callers : oref;
+  callees : oref;
+  mths : mth_decl list;
+}
+
+type regex =
+  | R_eps
+  | R_atom of { caller : oref; callee : oref; mth : string; arg : arg_pat }
+  | R_seq of regex * regex
+  | R_alt of regex * regex
+  | R_star of regex
+  | R_bind of string * oref * regex  (** [bind x in S . (R)] *)
+
+and arg_pat = A_none | A_any  (** [<x,o,M>] vs [<x,o,M(_)>] *)
+
+type cmp = C_le | C_ge | C_eq
+
+type csum = (bool * string) list
+(** signed method counters: [(positive?, method name)] *)
+
+type cformula =
+  | C_cmp of csum * cmp * int
+  | C_and of cformula * cformula
+  | C_or of cformula * cformula
+
+type texpr =
+  | T_all
+  | T_prs of regex
+  | T_forall of string * oref * texpr  (** [forall x in S . T] *)
+  | T_count of cformula
+  | T_and of texpr * texpr
+
+type spec_decl = {
+  spec_name : string;
+  spec_pos : pos;
+  objects : string list;
+  sorts : (string * sort_expr) list;
+  alphabet : alpha_clause list;
+  traces : texpr list;  (** several [traces] clauses conjoin *)
+}
+
+(* Top-level assertions turn a specification file into a verification
+   script: [assert Read2 refines Read;], [assert not RW refines Read2;],
+   [assert deadlockfree Client || WriteAcc;], ... *)
+type check =
+  | Chk_refines of string * string
+  | Chk_composable of string * string
+  | Chk_proper of string * string * string  (** refined, abstract, context *)
+  | Chk_consistent of string * string
+  | Chk_equals of string * string  (** trace sets *)
+  | Chk_deadlock_free of string * string  (** of the composition *)
+
+type assertion = { expected : bool; check : check; assert_pos : pos }
+
+type item = I_spec of spec_decl | I_assert of assertion
+
+type file = item list
+
+let specs (f : file) =
+  List.filter_map (function I_spec d -> Some d | I_assert _ -> None) f
+
+let assertions (f : file) =
+  List.filter_map (function I_assert a -> Some a | I_spec _ -> None) f
+
+let dummy_pos = { line = 0; col = 0 }
+
+(* Structural equality up to source positions — what a print/parse round
+   trip preserves. *)
+let strip_pos (f : file) : file =
+  List.map
+    (function
+      | I_spec d -> I_spec { d with spec_pos = dummy_pos }
+      | I_assert a -> I_assert { a with assert_pos = dummy_pos })
+    f
+
+let equal_file (a : file) (b : file) = strip_pos a = strip_pos b

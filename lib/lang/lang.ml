@@ -1,0 +1,44 @@
+(** OUN-lite: the textual front end, assembled.
+
+    {[
+      let specs = Lang.specs_of_string source in
+      let by_name = Lang.lookup specs in
+      ...
+    ]} *)
+
+type error = { message : string; pos : Ast.pos }
+
+let pp_error ppf e =
+  Format.fprintf ppf "%a: %s" Ast.pp_pos e.pos e.message
+
+exception Error = Elab.Elab_error
+
+(** Parse a source string into syntax trees. *)
+let parse_string (src : string) : (Ast.file, error) result =
+  match Parser.file src with
+  | f -> Ok f
+  | exception Lexer.Lex_error (message, pos) -> Error { message; pos }
+  | exception Parser.Parse_error (message, pos) -> Error { message; pos }
+
+(** Parse and elaborate a source string into specifications. *)
+let specs_of_string (src : string) : (Posl_core.Spec.t list, error) result =
+  match parse_string src with
+  | Error e -> Error e
+  | Ok f -> (
+      match Elab.elab_file f with
+      | specs -> Ok specs
+      | exception Elab.Elab_error (message, pos) -> Error { message; pos })
+
+let specs_of_file (path : string) :
+    (Posl_core.Spec.t list, error) result =
+  let ic = open_in_bin path in
+  let src =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  specs_of_string src
+
+let lookup (specs : Posl_core.Spec.t list) (name : string) :
+    Posl_core.Spec.t option =
+  List.find_opt (fun s -> String.equal (Posl_core.Spec.name s) name) specs

@@ -1,0 +1,225 @@
+(** Hand-rolled lexer for OUN-lite. *)
+
+type token =
+  | IDENT of string
+  | INT of int
+  | KW_SPEC
+  | KW_OBJECTS
+  | KW_SORT
+  | KW_ALPHABET
+  | KW_TRACES
+  | KW_ALL
+  | KW_EXCEPT
+  | KW_PRS
+  | KW_FORALL
+  | KW_BIND
+  | KW_IN
+  | KW_AND
+  | KW_OR
+  | KW_COUNT
+  | KW_EPS
+  | KW_DATA
+  | KW_CALL
+  | KW_ASSERT
+  | KW_NOT
+  | KW_REFINES
+  | KW_COMPOSABLE
+  | KW_PROPER
+  | KW_WRT
+  | KW_CONSISTENT
+  | KW_EQUALS
+  | KW_DEADLOCKFREE
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | LANGLE
+  | RANGLE
+  | COMMA
+  | SEMI
+  | COLON
+  | DOT
+  | PIPE
+  | STAR
+  | HASH
+  | ARROW
+  | EQ
+  | LE
+  | GE
+  | PLUS
+  | MINUS
+  | UNDERSCORE
+  | EOF
+
+let pp_token ppf = function
+  | IDENT s -> Format.fprintf ppf "identifier %S" s
+  | INT n -> Format.fprintf ppf "integer %d" n
+  | KW_SPEC -> Format.pp_print_string ppf "'spec'"
+  | KW_OBJECTS -> Format.pp_print_string ppf "'objects'"
+  | KW_SORT -> Format.pp_print_string ppf "'sort'"
+  | KW_ALPHABET -> Format.pp_print_string ppf "'alphabet'"
+  | KW_TRACES -> Format.pp_print_string ppf "'traces'"
+  | KW_ALL -> Format.pp_print_string ppf "'all'"
+  | KW_EXCEPT -> Format.pp_print_string ppf "'except'"
+  | KW_PRS -> Format.pp_print_string ppf "'prs'"
+  | KW_FORALL -> Format.pp_print_string ppf "'forall'"
+  | KW_BIND -> Format.pp_print_string ppf "'bind'"
+  | KW_IN -> Format.pp_print_string ppf "'in'"
+  | KW_AND -> Format.pp_print_string ppf "'and'"
+  | KW_OR -> Format.pp_print_string ppf "'or'"
+  | KW_COUNT -> Format.pp_print_string ppf "'count'"
+  | KW_EPS -> Format.pp_print_string ppf "'eps'"
+  | KW_DATA -> Format.pp_print_string ppf "'data'"
+  | KW_CALL -> Format.pp_print_string ppf "'call'"
+  | KW_ASSERT -> Format.pp_print_string ppf "'assert'"
+  | KW_NOT -> Format.pp_print_string ppf "'not'"
+  | KW_REFINES -> Format.pp_print_string ppf "'refines'"
+  | KW_COMPOSABLE -> Format.pp_print_string ppf "'composable'"
+  | KW_PROPER -> Format.pp_print_string ppf "'proper'"
+  | KW_WRT -> Format.pp_print_string ppf "'wrt'"
+  | KW_CONSISTENT -> Format.pp_print_string ppf "'consistent'"
+  | KW_EQUALS -> Format.pp_print_string ppf "'equals'"
+  | KW_DEADLOCKFREE -> Format.pp_print_string ppf "'deadlockfree'"
+  | LBRACE -> Format.pp_print_string ppf "'{'"
+  | RBRACE -> Format.pp_print_string ppf "'}'"
+  | LPAREN -> Format.pp_print_string ppf "'('"
+  | RPAREN -> Format.pp_print_string ppf "')'"
+  | LANGLE -> Format.pp_print_string ppf "'<'"
+  | RANGLE -> Format.pp_print_string ppf "'>'"
+  | COMMA -> Format.pp_print_string ppf "','"
+  | SEMI -> Format.pp_print_string ppf "';'"
+  | COLON -> Format.pp_print_string ppf "':'"
+  | DOT -> Format.pp_print_string ppf "'.'"
+  | PIPE -> Format.pp_print_string ppf "'|'"
+  | STAR -> Format.pp_print_string ppf "'*'"
+  | HASH -> Format.pp_print_string ppf "'#'"
+  | ARROW -> Format.pp_print_string ppf "'->'"
+  | EQ -> Format.pp_print_string ppf "'='"
+  | LE -> Format.pp_print_string ppf "'<='"
+  | GE -> Format.pp_print_string ppf "'>='"
+  | PLUS -> Format.pp_print_string ppf "'+'"
+  | MINUS -> Format.pp_print_string ppf "'-'"
+  | UNDERSCORE -> Format.pp_print_string ppf "'_'"
+  | EOF -> Format.pp_print_string ppf "end of input"
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [
+    ("spec", KW_SPEC);
+    ("objects", KW_OBJECTS);
+    ("sort", KW_SORT);
+    ("alphabet", KW_ALPHABET);
+    ("traces", KW_TRACES);
+    ("all", KW_ALL);
+    ("except", KW_EXCEPT);
+    ("prs", KW_PRS);
+    ("forall", KW_FORALL);
+    ("bind", KW_BIND);
+    ("in", KW_IN);
+    ("and", KW_AND);
+    ("or", KW_OR);
+    ("count", KW_COUNT);
+    ("eps", KW_EPS);
+    ("data", KW_DATA);
+    ("call", KW_CALL);
+    ("assert", KW_ASSERT);
+    ("not", KW_NOT);
+    ("refines", KW_REFINES);
+    ("composable", KW_COMPOSABLE);
+    ("proper", KW_PROPER);
+    ("wrt", KW_WRT);
+    ("consistent", KW_CONSISTENT);
+    ("equals", KW_EQUALS);
+    ("deadlockfree", KW_DEADLOCKFREE);
+  ]
+
+let is_ident_start c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+
+let is_ident_char c =
+  is_ident_start c || ('0' <= c && c <= '9') || c = '_' || c = '\''
+
+let is_digit c = '0' <= c && c <= '9'
+
+(** Tokenise a whole string.  Comments run from [//] to end of line.
+    Returns tokens paired with their source positions, ending with
+    [EOF]. *)
+let tokenize (src : string) : (token * Ast.pos) list =
+  let n = String.length src in
+  let tokens = ref [] in
+  let line = ref 1 and col = ref 1 in
+  let i = ref 0 in
+  let pos () = { Ast.line = !line; col = !col } in
+  let advance k =
+    for j = !i to min (n - 1) (!i + k - 1) do
+      if src.[j] = '\n' then begin
+        incr line;
+        col := 1
+      end
+      else incr col
+    done;
+    i := !i + k
+  in
+  let emit tok k =
+    tokens := (tok, pos ()) :: !tokens;
+    advance k
+  in
+  while !i < n do
+    let c = src.[!i] in
+    if c = ' ' || c = '\t' || c = '\r' || c = '\n' then advance 1
+    else if c = '/' && !i + 1 < n && src.[!i + 1] = '/' then begin
+      (* line comment *)
+      while !i < n && src.[!i] <> '\n' do
+        advance 1
+      done
+    end
+    else if is_ident_start c then begin
+      let j = ref !i in
+      while !j < n && is_ident_char src.[!j] do
+        incr j
+      done;
+      let word = String.sub src !i (!j - !i) in
+      let tok =
+        match List.assoc_opt word keywords with
+        | Some kw -> kw
+        | None -> IDENT word
+      in
+      emit tok (!j - !i)
+    end
+    else if is_digit c then begin
+      let j = ref !i in
+      while !j < n && is_digit src.[!j] do
+        incr j
+      done;
+      emit (INT (int_of_string (String.sub src !i (!j - !i)))) (!j - !i)
+    end
+    else
+      let two = if !i + 1 < n then String.sub src !i 2 else "" in
+      match two with
+      | "->" -> emit ARROW 2
+      | "<=" -> emit LE 2
+      | ">=" -> emit GE 2
+      | _ -> (
+          match c with
+          | '{' -> emit LBRACE 1
+          | '}' -> emit RBRACE 1
+          | '(' -> emit LPAREN 1
+          | ')' -> emit RPAREN 1
+          | '<' -> emit LANGLE 1
+          | '>' -> emit RANGLE 1
+          | ',' -> emit COMMA 1
+          | ';' -> emit SEMI 1
+          | ':' -> emit COLON 1
+          | '.' -> emit DOT 1
+          | '|' -> emit PIPE 1
+          | '*' -> emit STAR 1
+          | '#' -> emit HASH 1
+          | '=' -> emit EQ 1
+          | '+' -> emit PLUS 1
+          | '-' -> emit MINUS 1
+          | '_' -> emit UNDERSCORE 1
+          | _ ->
+              raise
+                (Lex_error (Printf.sprintf "unexpected character %C" c, pos ())))
+  done;
+  List.rev ((EOF, pos ()) :: !tokens)

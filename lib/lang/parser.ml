@@ -1,0 +1,393 @@
+(** Recursive-descent parser for OUN-lite (grammar in {!Ast}). *)
+
+open Ast
+open Lexer
+
+exception Parse_error of string * pos
+
+type stream = { mutable toks : (token * pos) list }
+
+let peek s = match s.toks with (t, p) :: _ -> (t, p) | [] -> (EOF, { line = 0; col = 0 })
+
+let advance s = match s.toks with _ :: rest -> s.toks <- rest | [] -> ()
+
+let next s =
+  let t, p = peek s in
+  advance s;
+  (t, p)
+
+let error s what =
+  let t, p = peek s in
+  raise
+    (Parse_error (Format.asprintf "expected %s, found %a" what pp_token t, p))
+
+let expect s tok what =
+  let t, _ = peek s in
+  if t = tok then advance s else error s what
+
+let ident s =
+  match peek s with
+  | IDENT name, _ ->
+      advance s;
+      name
+  | _ -> error s "an identifier"
+
+let int_lit s =
+  match peek s with
+  | INT n, _ ->
+      advance s;
+      n
+  | MINUS, _ ->
+      advance s;
+      (match peek s with
+      | INT n, _ ->
+          advance s;
+          -n
+      | _ -> error s "an integer")
+  | _ -> error s "an integer"
+
+let ident_list s =
+  let rec loop acc =
+    let name = ident s in
+    match peek s with
+    | COMMA, _ ->
+        advance s;
+        loop (name :: acc)
+    | _ -> List.rev (name :: acc)
+  in
+  loop []
+
+(* sortexpr := "all" "except" "{" idents "}" | "{" idents "}" *)
+let sort_expr s =
+  match peek s with
+  | KW_ALL, _ ->
+      advance s;
+      expect s KW_EXCEPT "'except'";
+      expect s LBRACE "'{'";
+      let names = ident_list s in
+      expect s RBRACE "'}'";
+      Sort_cofinite names
+  | LBRACE, _ ->
+      advance s;
+      let names = ident_list s in
+      expect s RBRACE "'}'";
+      Sort_finite names
+  | _ -> error s "a sort expression ('all except {...}' or '{...}')"
+
+(* mth_decl := IDENT ("(" "data" ")")? *)
+let mth_decl s =
+  let name = ident s in
+  match peek s with
+  | LPAREN, _ ->
+      advance s;
+      expect s KW_DATA "'data'";
+      expect s RPAREN "')'";
+      { mth_name = name; takes_data = true }
+  | _ -> { mth_name = name; takes_data = false }
+
+let mth_list s =
+  let rec loop acc =
+    let m = mth_decl s in
+    match peek s with
+    | COMMA, _ ->
+        advance s;
+        loop (m :: acc)
+    | _ -> List.rev (m :: acc)
+  in
+  loop []
+
+(* alpha_clause := "call" IDENT "->" IDENT ":" mth_list *)
+let alpha_clause s =
+  expect s KW_CALL "'call'";
+  let callers = ident s in
+  expect s ARROW "'->'";
+  let callees = ident s in
+  expect s COLON "':'";
+  let mths = mth_list s in
+  { callers; callees; mths }
+
+(* atom := "<" oref "," oref "," mth ("(" "_" ")")? ">"
+   where oref and mth may be "_" (wildcard: any object / any method). *)
+let ident_or_wild s =
+  match peek s with
+  | UNDERSCORE, _ ->
+      advance s;
+      "_"
+  | _ -> ident s
+
+let atom s =
+  expect s LANGLE "'<'";
+  let caller = ident_or_wild s in
+  expect s COMMA "','";
+  let callee = ident_or_wild s in
+  expect s COMMA "','";
+  let mth = ident_or_wild s in
+  let arg =
+    match peek s with
+    | LPAREN, _ ->
+        advance s;
+        expect s UNDERSCORE "'_'";
+        expect s RPAREN "')'";
+        A_any
+    | _ -> A_none
+  in
+  expect s RANGLE "'>'";
+  R_atom { caller; callee; mth; arg }
+
+(* regex precedence: alt > seq > star > primary *)
+let rec regex s =
+  let left = regex_seq s in
+  match peek s with
+  | PIPE, _ ->
+      advance s;
+      R_alt (left, regex s)
+  | _ -> left
+
+and regex_seq s =
+  let first = regex_star s in
+  let rec loop acc =
+    match peek s with
+    | (LANGLE | LPAREN | KW_BIND | KW_EPS), _ ->
+        let next_r = regex_star s in
+        loop (R_seq (acc, next_r))
+    | _ -> acc
+  in
+  loop first
+
+and regex_star s =
+  let base = regex_primary s in
+  let rec stars r =
+    match peek s with
+    | STAR, _ ->
+        advance s;
+        stars (R_star r)
+    | _ -> r
+  in
+  stars base
+
+and regex_primary s =
+  match peek s with
+  | LANGLE, _ -> atom s
+  | KW_EPS, _ ->
+      advance s;
+      R_eps
+  | LPAREN, _ ->
+      advance s;
+      let r = regex s in
+      expect s RPAREN "')'";
+      r
+  | KW_BIND, _ ->
+      advance s;
+      let x = ident s in
+      expect s KW_IN "'in'";
+      let sort = ident s in
+      expect s DOT "'.'";
+      expect s LPAREN "'('";
+      let r = regex s in
+      expect s RPAREN "')'";
+      R_bind (x, sort, r)
+  | _ -> error s "a regular expression"
+
+(* counting formulas: or > and > cmp *)
+let rec cformula s =
+  let left = cconj s in
+  match peek s with
+  | KW_OR, _ ->
+      advance s;
+      C_or (left, cformula s)
+  | _ -> left
+
+and cconj s =
+  let left = catom s in
+  match peek s with
+  | KW_AND, _ ->
+      advance s;
+      C_and (left, cconj s)
+  | _ -> left
+
+and catom s =
+  match peek s with
+  | LPAREN, _ ->
+      advance s;
+      let f = cformula s in
+      expect s RPAREN "')'";
+      f
+  | _ ->
+      let sum = csum s in
+      let cmp =
+        match next s with
+        | LE, _ -> C_le
+        | GE, _ -> C_ge
+        | EQ, _ -> C_eq
+        | t, p ->
+            raise
+              (Parse_error
+                 (Format.asprintf "expected a comparison, found %a" pp_token t, p))
+      in
+      let k = int_lit s in
+      C_cmp (sum, cmp, k)
+
+and csum s =
+  expect s HASH "'#'";
+  let first = (true, ident s) in
+  let rec loop acc =
+    match peek s with
+    | PLUS, _ ->
+        advance s;
+        expect s HASH "'#'";
+        loop ((true, ident s) :: acc)
+    | MINUS, _ ->
+        advance s;
+        expect s HASH "'#'";
+        loop ((false, ident s) :: acc)
+    | _ -> List.rev acc
+  in
+  loop [ first ]
+
+(* texpr := "all" | "prs" regex | "forall" x "in" S "." texpr
+          | "count" cformula | texpr "and" texpr *)
+let rec texpr s =
+  let left = texpr_base s in
+  match peek s with
+  | KW_AND, _ ->
+      advance s;
+      T_and (left, texpr s)
+  | _ -> left
+
+and texpr_base s =
+  match peek s with
+  | KW_ALL, _ ->
+      advance s;
+      T_all
+  | KW_PRS, _ ->
+      advance s;
+      T_prs (regex s)
+  | KW_FORALL, _ ->
+      advance s;
+      let x = ident s in
+      expect s KW_IN "'in'";
+      let sort = ident s in
+      expect s DOT "'.'";
+      T_forall (x, sort, texpr_base s)
+  | KW_COUNT, _ ->
+      advance s;
+      T_count (cformula s)
+  | LPAREN, _ ->
+      advance s;
+      let t = texpr s in
+      expect s RPAREN "')'";
+      t
+  | _ -> error s "a trace-set expression"
+
+(* spec := "spec" NAME "{" section* "}" *)
+let spec_decl s =
+  let _, pos = peek s in
+  expect s KW_SPEC "'spec'";
+  let name = ident s in
+  expect s LBRACE "'{'";
+  let objects = ref [] in
+  let sorts = ref [] in
+  let alphabet = ref [] in
+  let traces = ref [] in
+  let rec sections () =
+    match peek s with
+    | RBRACE, _ -> advance s
+    | KW_OBJECTS, _ ->
+        advance s;
+        objects := !objects @ ident_list s;
+        expect s SEMI "';'";
+        sections ()
+    | KW_SORT, _ ->
+        advance s;
+        let sname = ident s in
+        expect s EQ "'='";
+        let se = sort_expr s in
+        expect s SEMI "';'";
+        sorts := !sorts @ [ (sname, se) ];
+        sections ()
+    | KW_ALPHABET, _ ->
+        advance s;
+        let rec clauses () =
+          alphabet := !alphabet @ [ alpha_clause s ];
+          expect s SEMI "';'";
+          match peek s with
+          | KW_CALL, _ -> clauses ()
+          | _ -> ()
+        in
+        clauses ();
+        sections ()
+    | KW_TRACES, _ ->
+        advance s;
+        let t = texpr s in
+        expect s SEMI "';'";
+        traces := !traces @ [ t ];
+        sections ()
+    | _ ->
+        error s "a section ('objects', 'sort', 'alphabet', 'traces') or '}'"
+  in
+  sections ();
+  {
+    spec_name = name;
+    spec_pos = pos;
+    objects = !objects;
+    sorts = !sorts;
+    alphabet = !alphabet;
+    traces = !traces;
+  }
+
+(* assertion := "assert" ("not")? check ";"
+   check := NAME "refines" NAME | NAME "composable" NAME
+          | NAME "proper" NAME "wrt" NAME | NAME "consistent" NAME
+          | NAME "equals" NAME | "deadlockfree" NAME "||" NAME *)
+let assertion s =
+  let _, assert_pos = peek s in
+  expect s KW_ASSERT "'assert'";
+  let expected =
+    match peek s with
+    | KW_NOT, _ ->
+        advance s;
+        false
+    | _ -> true
+  in
+  let check =
+    match peek s with
+    | KW_DEADLOCKFREE, _ ->
+        advance s;
+        let left = ident s in
+        expect s PIPE "'||'";
+        expect s PIPE "'||'";
+        let right = ident s in
+        Chk_deadlock_free (left, right)
+    | _ -> (
+        let left = ident s in
+        match next s with
+        | KW_REFINES, _ -> Chk_refines (left, ident s)
+        | KW_COMPOSABLE, _ -> Chk_composable (left, ident s)
+        | KW_CONSISTENT, _ -> Chk_consistent (left, ident s)
+        | KW_EQUALS, _ -> Chk_equals (left, ident s)
+        | KW_PROPER, _ ->
+            let abstract = ident s in
+            expect s KW_WRT "'wrt'";
+            Chk_proper (left, abstract, ident s)
+        | t, p ->
+            raise
+              (Parse_error
+                 ( Format.asprintf
+                     "expected a relation (refines, composable, proper, \
+                      consistent, equals), found %a"
+                     pp_token t,
+                   p )))
+  in
+  expect s SEMI "';'";
+  { expected; check; assert_pos }
+
+let file (src : string) : file =
+  let s = { toks = Lexer.tokenize src } in
+  let rec items acc =
+    match peek s with
+    | EOF, _ -> List.rev acc
+    | KW_SPEC, _ -> items (I_spec (spec_decl s) :: acc)
+    | KW_ASSERT, _ -> items (I_assert (assertion s) :: acc)
+    | _ -> error s "'spec', 'assert' or end of input"
+  in
+  items []

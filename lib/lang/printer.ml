@@ -1,0 +1,118 @@
+(** Pretty-printer for OUN-lite syntax trees.  [Parser.file] ∘
+    [to_string] is the identity on elaborable files (round-trip tested),
+    which makes the printer usable for spec file generation. *)
+
+open Ast
+
+let pp_list sep pp ppf xs =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep)
+    pp ppf xs
+
+let pp_name ppf s = Format.pp_print_string ppf s
+
+let pp_sort_expr ppf = function
+  | Sort_finite names -> Format.fprintf ppf "{ %a }" (pp_list ", " pp_name) names
+  | Sort_cofinite names ->
+      Format.fprintf ppf "all except { %a }" (pp_list ", " pp_name) names
+
+let pp_mth ppf m =
+  if m.takes_data then Format.fprintf ppf "%s(data)" m.mth_name
+  else Format.pp_print_string ppf m.mth_name
+
+let pp_alpha ppf c =
+  Format.fprintf ppf "call %s -> %s : %a" c.callers c.callees
+    (pp_list ", " pp_mth) c.mths
+
+let rec pp_regex ppf = function
+  | R_alt (a, b) -> Format.fprintf ppf "%a | %a" pp_regex_seq a pp_regex b
+  | r -> pp_regex_seq ppf r
+
+and pp_regex_seq ppf = function
+  | R_seq (a, b) -> Format.fprintf ppf "%a %a" pp_regex_seq a pp_regex_star b
+  | r -> pp_regex_star ppf r
+
+and pp_regex_star ppf = function
+  | R_star r -> Format.fprintf ppf "%a*" pp_regex_primary r
+  | r -> pp_regex_primary ppf r
+
+and pp_regex_primary ppf = function
+  | R_eps -> Format.pp_print_string ppf "eps"
+  | R_atom { caller; callee; mth; arg } ->
+      let args = match arg with A_none -> "" | A_any -> "(_)" in
+      Format.fprintf ppf "<%s,%s,%s%s>" caller callee mth args
+  | R_bind (x, sort, r) ->
+      Format.fprintf ppf "bind %s in %s . (%a)" x sort pp_regex r
+  | (R_alt _ | R_seq _ | R_star _) as r -> Format.fprintf ppf "(%a)" pp_regex r
+
+let pp_csum ppf terms =
+  List.iteri
+    (fun i (positive, name) ->
+      if i = 0 then
+        Format.fprintf ppf "%s#%s" (if positive then "" else "-") name
+      else Format.fprintf ppf " %s #%s" (if positive then "+" else "-") name)
+    terms
+
+let rec pp_cformula ppf = function
+  | C_or (a, b) -> Format.fprintf ppf "%a or %a" pp_cconj a pp_cformula b
+  | f -> pp_cconj ppf f
+
+and pp_cconj ppf = function
+  | C_and (a, b) -> Format.fprintf ppf "%a and %a" pp_catom a pp_cconj b
+  | f -> pp_catom ppf f
+
+and pp_catom ppf = function
+  | C_cmp (sum, cmp, k) ->
+      let op = match cmp with C_le -> "<=" | C_ge -> ">=" | C_eq -> "=" in
+      Format.fprintf ppf "%a %s %d" pp_csum sum op k
+  | (C_and _ | C_or _) as f -> Format.fprintf ppf "(%a)" pp_cformula f
+
+let rec pp_texpr ppf = function
+  | T_and (a, b) -> Format.fprintf ppf "%a and %a" pp_texpr_base a pp_texpr b
+  | t -> pp_texpr_base ppf t
+
+and pp_texpr_base ppf = function
+  | T_all -> Format.pp_print_string ppf "all"
+  | T_prs r -> Format.fprintf ppf "prs %a" pp_regex r
+  | T_forall (x, sort, body) ->
+      Format.fprintf ppf "forall %s in %s . %a" x sort pp_texpr_base body
+  | T_count f -> Format.fprintf ppf "count %a" pp_cformula f
+  | T_and _ as t -> Format.fprintf ppf "(%a)" pp_texpr t
+
+let pp_spec ppf (d : spec_decl) =
+  Format.fprintf ppf "@[<v>spec %s {@," d.spec_name;
+  Format.fprintf ppf "  objects %a;@," (pp_list ", " pp_name) d.objects;
+  List.iter
+    (fun (n, se) -> Format.fprintf ppf "  sort %s = %a;@," n pp_sort_expr se)
+    d.sorts;
+  (match d.alphabet with
+  | [] -> ()
+  | first :: rest ->
+      Format.fprintf ppf "  alphabet %a;@," pp_alpha first;
+      List.iter (fun c -> Format.fprintf ppf "    %a;@," pp_alpha c) rest);
+  List.iter (fun t -> Format.fprintf ppf "  traces %a;@," pp_texpr t) d.traces;
+  Format.fprintf ppf "}@]"
+
+let pp_check ppf = function
+  | Chk_refines (a, b) -> Format.fprintf ppf "%s refines %s" a b
+  | Chk_composable (a, b) -> Format.fprintf ppf "%s composable %s" a b
+  | Chk_proper (a, b, c) -> Format.fprintf ppf "%s proper %s wrt %s" a b c
+  | Chk_consistent (a, b) -> Format.fprintf ppf "%s consistent %s" a b
+  | Chk_equals (a, b) -> Format.fprintf ppf "%s equals %s" a b
+  | Chk_deadlock_free (a, b) -> Format.fprintf ppf "deadlockfree %s || %s" a b
+
+let pp_assertion ppf a =
+  Format.fprintf ppf "assert %s%a;"
+    (if a.expected then "" else "not ")
+    pp_check a.check
+
+let pp_item ppf = function
+  | I_spec d -> pp_spec ppf d
+  | I_assert a -> pp_assertion ppf a
+
+let pp_file ppf (f : file) =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@,@,")
+    pp_item ppf f
+
+let to_string f = Format.asprintf "@[<v>%a@]@." pp_file f

@@ -1,0 +1,93 @@
+(** Liveness extension — the paper's stated future work (Section 9).
+
+    The formalism is safety-only, and Example 5 shows that refinement
+    can introduce deadlocks.  This module adds, within the finite-trace
+    setting: deadlock freedom, response obligations ("every open
+    trigger stays answerable"), live specifications, a liveness-aware
+    refinement relation that rejects Client2-style refinements, and the
+    compositional deadlock-preservation analysis that makes Example 5's
+    phenomenon checkable.
+
+    All checks are relative to a universe sample and a depth, like the
+    trace clause of refinement; verdicts carry witnesses. *)
+
+open Posl_sets
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Bmc = Posl_bmc.Bmc
+module Spec = Posl_core.Spec
+module Refine = Posl_core.Refine
+
+type obligation = {
+  name : string;
+  trigger : Eventset.t;
+  response : Eventset.t;
+}
+
+val obligation :
+  name:string -> trigger:Eventset.t -> response:Eventset.t -> obligation
+(** Whenever a trace has more [trigger] than [response] events, some
+    [response] event must remain reachable. *)
+
+val pp_obligation : Format.formatter -> obligation -> unit
+
+type t
+(** A live specification: safety plus obligations. *)
+
+val v : ?deadlock_free:bool -> ?obligations:obligation list -> Spec.t -> t
+(** [deadlock_free] defaults to [true]. *)
+
+val spec : t -> Spec.t
+val obligations : t -> obligation list
+
+type violation =
+  | Deadlock of Trace.t
+      (** a reachable trace after which nothing is enabled *)
+  | Unanswerable of obligation * Trace.t
+      (** a reachable trace with an open trigger from which no response
+          is reachable *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+type verdict = (Bmc.confidence, violation) result
+
+val pp_verdict : Format.formatter -> verdict -> unit
+
+val check_obligation :
+  Tset.ctx ->
+  alphabet:Posl_trace.Event.t array ->
+  depth:int ->
+  Tset.t ->
+  obligation ->
+  (Bmc.confidence, Trace.t) result
+
+val check : ?domains:int -> Tset.ctx -> depth:int -> t -> verdict
+(** Deadlock freedom (when required) and every obligation. *)
+
+type live_refinement_failure =
+  | Safety of Refine.failure
+  | Liveness of violation
+
+val pp_live_refinement_failure :
+  Format.formatter -> live_refinement_failure -> unit
+
+val refine :
+  ?domains:int ->
+  Tset.ctx ->
+  depth:int ->
+  t ->
+  t ->
+  (Bmc.confidence, live_refinement_failure) result
+(** Live refinement: Def. 2 refinement plus preservation of the
+    abstract specification's obligations and deadlock freedom. *)
+
+val compositional_deadlock_preservation :
+  Tset.ctx ->
+  depth:int ->
+  gamma':Spec.t ->
+  gamma:Spec.t ->
+  delta:Spec.t ->
+  (unit, Trace.t) result
+(** Example 5 as an analysis: given the interface refinement Γ → Γ′,
+    does Γ′‖∆ stay deadlock free when Γ‖∆ is?  [Error] carries the
+    fresh deadlock. *)

@@ -1,0 +1,54 @@
+(** Minimal fork/join parallelism over OCaml 5 domains.
+
+    The state-space exploration of {!Posl_bmc} expands breadth-first
+    levels whose items are independent, which static partitioning over a
+    handful of domains serves well.  The sealed build environment has no
+    domainslib, so this module provides the one combinator we need —
+    a deterministic parallel [map] — on stock [Domain]s.
+
+    Exceptions raised by worker tasks are re-raised in the caller, after
+    all domains have joined. *)
+
+let default_domains () =
+  match Sys.getenv_opt "POSL_DOMAINS" with
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> 1)
+  | None -> min 4 (Domain.recommended_domain_count ())
+
+(** [map ~domains f xs] = [List.map f xs], computed by [domains] domains
+    over a static block partition.  [domains <= 1], or a short input,
+    degrades to the sequential map. *)
+let map ?domains f xs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if domains <= 1 || n < 2 * domains then List.map f xs
+  else begin
+    let output = Array.make n None in
+    let errors = Array.make domains None in
+    let chunk = (n + domains - 1) / domains in
+    let worker d () =
+      let lo = d * chunk and hi = min n ((d + 1) * chunk) in
+      try
+        for i = lo to hi - 1 do
+          output.(i) <- Some (f input.(i))
+        done
+      with exn -> errors.(d) <- Some exn
+    in
+    let spawned =
+      List.init (domains - 1) (fun d -> Domain.spawn (worker (d + 1)))
+    in
+    worker 0 ();
+    List.iter Domain.join spawned;
+    Array.iter (function Some exn -> raise exn | None -> ()) errors;
+    Array.to_list
+      (Array.map
+         (function
+           | Some y -> y
+           | None -> invalid_arg "Par.map: missing result (worker died)")
+         output)
+  end
+
+let iter ?domains f xs = ignore (map ?domains (fun x -> f x; ()) xs)

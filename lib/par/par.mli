@@ -1,0 +1,17 @@
+(** Minimal fork/join parallelism over OCaml 5 domains.
+
+    One combinator — a deterministic parallel [map] over a static block
+    partition — used by the state-space exploration to expand
+    breadth-first levels.  Worker exceptions are re-raised in the
+    caller after all domains have joined. *)
+
+val default_domains : unit -> int
+(** [POSL_DOMAINS] from the environment, else
+    [min 4 (Domain.recommended_domain_count ())]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~domains f xs] = [List.map f xs].  [domains <= 1] or a short
+    input degrades to the sequential map.  [f] must be safe to run on
+    multiple domains (pure, or racing only on its own state). *)
+
+val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,72 @@
+(** Event patterns — the atoms of the regular expressions in trace-set
+    predicates.
+
+    A pattern describes a set of events, like a rectangle of
+    {!Posl_sets.Eventset}, except that the caller and callee positions
+    may also hold an {e object variable}: the paper's binding operator
+    [•] ("x is bound for each traversal of the loop", Example 1) ranges
+    such variables over a sort.  A pattern with no variables is
+    {e ground} and denotes the corresponding rectangle. *)
+
+open Posl_ident
+open Posl_sets
+
+type opat =
+  | Const of Oid.t  (** a fixed object identity, e.g. the specified [o] *)
+  | In of Oset.t  (** any identity in a symbolic set (a sort) *)
+  | Var of string  (** an object variable bound by [Bind] *)
+
+type t = { caller : opat; callee : opat; mths : Mset.t; args : Argsel.t }
+
+let make ?(args = Argsel.none_only) ~caller ~callee mths =
+  { caller; callee; mths; args }
+
+let caller t = t.caller
+let callee t = t.callee
+let mths t = t.mths
+let args t = t.args
+
+let opat_is_ground = function Const _ | In _ -> true | Var _ -> false
+let is_ground t = opat_is_ground t.caller && opat_is_ground t.callee
+
+let subst_opat x o = function
+  | Var y when String.equal x y -> Const o
+  | (Const _ | In _ | Var _) as p -> p
+
+let subst x o t =
+  { t with caller = subst_opat x o t.caller; callee = subst_opat x o t.callee }
+
+let opat_mem oid = function
+  | Const o -> Oid.equal o oid
+  | In s -> Oset.mem oid s
+  | Var x -> invalid_arg ("Epat: unbound object variable " ^ x)
+
+(* Ground membership: does a concrete event match the pattern? *)
+let mem e t =
+  opat_mem (Posl_trace.Event.caller e) t.caller
+  && opat_mem (Posl_trace.Event.callee e) t.callee
+  && Mset.mem (Posl_trace.Event.mth e) t.mths
+  && Argsel.mem (Posl_trace.Event.arg e) t.args
+
+let opat_to_oset = function
+  | Const o -> Oset.singleton o
+  | In s -> s
+  | Var x -> invalid_arg ("Epat: unbound object variable " ^ x)
+
+(* The rectangle denoted by a ground pattern. *)
+let to_eventset t =
+  Eventset.calls ~args:t.args
+    ~callers:(opat_to_oset t.caller)
+    ~callees:(opat_to_oset t.callee)
+    t.mths
+
+let is_empty t = Eventset.is_empty (to_eventset t)
+
+let pp_opat ppf = function
+  | Const o -> Oid.pp ppf o
+  | In s -> Oset.pp ppf s
+  | Var x -> Format.fprintf ppf "?%s" x
+
+let pp ppf t =
+  Format.fprintf ppf "<%a,%a,%a%a>" pp_opat t.caller pp_opat t.callee Mset.pp
+    t.mths Argsel.pp t.args

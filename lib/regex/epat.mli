@@ -1,0 +1,41 @@
+(** Event patterns — the atoms of trace-set regular expressions.
+
+    A pattern describes a set of events like a rectangle of
+    {!Posl_sets.Eventset}, except that the caller and callee positions
+    may hold an {e object variable}: the paper's binding operator [•]
+    ranges such variables over a sort.  Patterns without variables are
+    {e ground} and denote the corresponding rectangle. *)
+
+open Posl_ident
+open Posl_sets
+
+type opat =
+  | Const of Oid.t  (** a fixed object identity, e.g. the specified [o] *)
+  | In of Oset.t  (** any identity in a symbolic set (a sort) *)
+  | Var of string  (** an object variable bound by [Regex.bind] *)
+
+type t
+
+val make : ?args:Argsel.t -> caller:opat -> callee:opat -> Mset.t -> t
+(** Default argument selector: argument-less calls only. *)
+
+val caller : t -> opat
+val callee : t -> opat
+val mths : t -> Mset.t
+val args : t -> Argsel.t
+
+val is_ground : t -> bool
+
+val subst : string -> Oid.t -> t -> t
+(** Substitute an object for a variable (no effect on other names). *)
+
+val mem : Posl_trace.Event.t -> t -> bool
+(** Ground membership; raises [Invalid_argument] on unbound
+    variables. *)
+
+val to_eventset : t -> Eventset.t
+(** The rectangle a ground pattern denotes. *)
+
+val is_empty : t -> bool
+val pp_opat : Format.formatter -> opat -> unit
+val pp : Format.formatter -> t -> unit

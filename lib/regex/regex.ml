@@ -1,0 +1,235 @@
+(** Regular expressions over communication events, with the paper's
+    binding operator and the [prs] prefix relation.
+
+    Trace sets in the examples of the paper are written as
+    [h prs R] — "the trace h is a prefix of the regular expression R" —
+    where [R] may contain the binding operator [•]; in
+    [[R • x ∈ Objects]]{^ *} the variable [x] is bound anew for each
+    traversal of the loop.  Here [Bind (x, s, r)] matches a trace that
+    matches [r] under some binding of [x] to a member of [s]; wrapping a
+    [Bind] in [Star] therefore reproduces the per-iteration binding of
+    the paper exactly.
+
+    Ground expressions (no binders) support Brzozowski-derivative
+    matching, the [prs] test, and compilation to an NFA over a concrete
+    alphabet.  [expand] eliminates binders relative to a finite universe
+    sample. *)
+
+open Posl_ident
+open Posl_sets
+
+type t =
+  | Empty
+  | Eps
+  | Atom of Epat.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Bind of string * Oset.t * t
+
+(* Smart constructors keep derivative terms small. *)
+
+let empty = Empty
+let eps = Eps
+let atom p = if Epat.is_ground p && Epat.is_empty p then Empty else Atom p
+
+let seq a b =
+  match (a, b) with
+  | Empty, _ | _, Empty -> Empty
+  | Eps, r | r, Eps -> r
+  | a, b -> Seq (a, b)
+
+let alt a b =
+  match (a, b) with
+  | Empty, r | r, Empty -> r
+  | a, b -> if a = b then a else Alt (a, b)
+
+let star = function
+  | Empty | Eps -> Eps
+  | Star _ as r -> r
+  | r -> Star r
+
+let bind x s r = Bind (x, s, r)
+let seq_list rs = List.fold_right seq rs eps
+let alt_list rs = List.fold_left alt empty rs
+
+(* [opt r] = r | ε. *)
+let opt r = alt eps r
+
+let rec is_ground = function
+  | Empty | Eps -> true
+  | Atom p -> Epat.is_ground p
+  | Seq (a, b) | Alt (a, b) -> is_ground a && is_ground b
+  | Star r -> is_ground r
+  | Bind _ -> false
+
+let rec subst x o = function
+  | (Empty | Eps) as r -> r
+  | Atom p -> atom (Epat.subst x o p)
+  | Seq (a, b) -> seq (subst x o a) (subst x o b)
+  | Alt (a, b) -> alt (subst x o a) (subst x o b)
+  | Star r -> star (subst x o r)
+  | Bind (y, s, r) when String.equal x y -> Bind (y, s, r)  (* shadowed *)
+  | Bind (y, s, r) -> Bind (y, s, subst x o r)
+
+(** Eliminate binders relative to a universe: [Bind (x, s, r)] becomes
+    the alternation of [r[x↦o]] over the members of [s] in the sample.
+    Exact for the instantiated universe; a larger universe yields a
+    larger (still finite) expansion. *)
+let rec expand (u : Universe.t) = function
+  | (Empty | Eps) as r -> r
+  | Atom _ as r -> r
+  | Seq (a, b) -> seq (expand u a) (expand u b)
+  | Alt (a, b) -> alt (expand u a) (expand u b)
+  | Star r -> star (expand u r)
+  | Bind (x, s, r) ->
+      let r = expand u r in
+      alt_list
+        (List.map (fun o -> subst x o r) (Oset.sample (Universe.objects u) s))
+
+let rec nullable = function
+  | Empty -> false
+  | Eps -> true
+  | Atom _ -> false
+  | Seq (a, b) -> nullable a && nullable b
+  | Alt (a, b) -> nullable a || nullable b
+  | Star _ -> true
+  | Bind (_, _, r) -> nullable r
+
+(* Does the language contain any word at all?  (Ground only.) *)
+let rec nonempty = function
+  | Empty -> false
+  | Eps -> true
+  | Atom p -> not (Epat.is_empty p)
+  | Seq (a, b) -> nonempty a && nonempty b
+  | Alt (a, b) -> nonempty a || nonempty b
+  | Star _ -> true
+  | Bind _ -> invalid_arg "Regex.nonempty: expression has binders"
+
+(* Brzozowski derivative with respect to one concrete event (ground). *)
+let rec deriv e = function
+  | Empty | Eps -> Empty
+  | Atom p -> if Epat.mem e p then Eps else Empty
+  | Seq (a, b) ->
+      let d = seq (deriv e a) b in
+      if nullable a then alt d (deriv e b) else d
+  | Alt (a, b) -> alt (deriv e a) (deriv e b)
+  | Star r as star_r -> seq (deriv e r) star_r
+  | Bind _ -> invalid_arg "Regex.deriv: expression has binders"
+
+let deriv_trace h r =
+  List.fold_left (fun r e -> deriv e r) r (Posl_trace.Trace.to_list h)
+
+(** Exact word membership: h ∈ L(R). *)
+let matches r h = nullable (deriv_trace h r)
+
+(** The paper's [h prs R]: h is a prefix of some word of L(R) — i.e. the
+    residual language after consuming h is non-empty.  The set
+    [{h | h prs R}] is prefix closed by construction. *)
+let prs r h = nonempty (deriv_trace h r)
+
+(** Thompson construction over a concrete alphabet.  [events.(i)] is the
+    event denoted by symbol [i]; an atom yields a transition for every
+    matching event.  Ground expressions only. *)
+let to_nfa ~(events : Posl_trace.Event.t array) r =
+  let n_syms = Array.length events in
+  let states = ref 0 in
+  let fresh () =
+    let q = !states in
+    incr states;
+    q
+  in
+  let delta = ref [] and eps_edges = ref [] in
+  let add_edge q sym q' = delta := (q, sym, q') :: !delta in
+  let add_eps q q' = eps_edges := (q, q') :: !eps_edges in
+  (* Compile r between a fresh (entry, exit) pair. *)
+  let rec compile r =
+    let entry = fresh () and exit = fresh () in
+    (match r with
+    | Empty -> ()
+    | Eps -> add_eps entry exit
+    | Atom p ->
+        Array.iteri (fun i e -> if Epat.mem e p then add_edge entry i exit) events
+    | Seq (a, b) ->
+        let ea, xa = compile a and eb, xb = compile b in
+        add_eps entry ea;
+        add_eps xa eb;
+        add_eps xb exit
+    | Alt (a, b) ->
+        let ea, xa = compile a and eb, xb = compile b in
+        add_eps entry ea;
+        add_eps entry eb;
+        add_eps xa exit;
+        add_eps xb exit
+    | Star a ->
+        let ea, xa = compile a in
+        add_eps entry exit;
+        add_eps entry ea;
+        add_eps xa ea;
+        add_eps xa exit
+    | Bind _ -> invalid_arg "Regex.to_nfa: expression has binders");
+    (entry, exit)
+  in
+  let entry, exit = compile r in
+  let n = !states in
+  let delta_arr = Array.make n [] in
+  List.iter (fun (q, sym, q') -> delta_arr.(q) <- (sym, q') :: delta_arr.(q)) !delta;
+  let eps_arr = Array.make n [] in
+  List.iter (fun (q, q') -> eps_arr.(q) <- q' :: eps_arr.(q)) !eps_edges;
+  let accept = Array.make n false in
+  accept.(exit) <- true;
+  Posl_automata.Nfa.make ~n_states:n ~n_syms ~start:[ entry ] ~accept
+    ~delta:delta_arr ~eps:eps_arr
+
+(** DFA of the {e prefix closure} of L(R) over the concrete alphabet:
+    the automaton recognising [{h | h prs R}]. *)
+let prs_dfa ~events r =
+  let nfa = Posl_automata.Nfa.prefix_close (to_nfa ~events r) in
+  Posl_automata.Dfa.minimize (Posl_automata.Nfa.to_dfa nfa)
+
+(** The union of the event sets of all atoms (ground expressions only):
+    every event a word of the language can contain.  The DFA-backed
+    monitors compile over a concrete sample of this set; any event
+    outside it can only be rejected. *)
+let rec atom_union = function
+  | Empty | Eps -> Eventset.empty
+  | Atom p -> Epat.to_eventset p
+  | Seq (a, b) | Alt (a, b) -> Eventset.union (atom_union a) (atom_union b)
+  | Star a -> atom_union a
+  | Bind _ -> invalid_arg "Regex.atom_union: expression has binders"
+
+(* Identifiers named by the expression: pattern components plus binder
+   sorts.  Used to build universe samples that are adequate for the
+   expression (see {!Posl_sets.Eventset.mentioned}). *)
+let mentioned r =
+  let opat_oids = function
+    | Epat.Const o -> Oid.Set.singleton o
+    | Epat.In s -> Oset.mentioned s
+    | Epat.Var _ -> Oid.Set.empty
+  in
+  let rec loop (os, ms, vs) = function
+    | Empty | Eps -> (os, ms, vs)
+    | Atom p ->
+        ( Oid.Set.union os
+            (Oid.Set.union (opat_oids (Epat.caller p)) (opat_oids (Epat.callee p))),
+          Mth.Set.union ms (Mset.mentioned (Epat.mths p)),
+          Value.Set.union vs (Vset.mentioned (Argsel.values (Epat.args p))) )
+    | Seq (a, b) | Alt (a, b) -> loop (loop (os, ms, vs) a) b
+    | Star a -> loop (os, ms, vs) a
+    | Bind (_, s, a) -> loop (Oid.Set.union os (Oset.mentioned s), ms, vs) a
+  in
+  loop (Oid.Set.empty, Mth.Set.empty, Value.Set.empty) r
+
+let rec pp ppf = function
+  | Empty -> Format.pp_print_string ppf "∅"
+  | Eps -> Format.pp_print_string ppf "ε"
+  | Atom p -> Epat.pp ppf p
+  | Seq (a, b) -> Format.fprintf ppf "%a %a" pp_tight a pp_tight b
+  | Alt (a, b) -> Format.fprintf ppf "%a | %a" pp_tight a pp_tight b
+  | Star r -> Format.fprintf ppf "%a*" pp_tight r
+  | Bind (x, s, r) -> Format.fprintf ppf "[%a • %s ∈ %a]" pp r x Oset.pp s
+
+and pp_tight ppf r =
+  match r with
+  | Seq _ | Alt _ -> Format.fprintf ppf "[%a]" pp r
+  | Empty | Eps | Atom _ | Star _ | Bind _ -> pp ppf r

@@ -1,0 +1,88 @@
+(** Regular expressions over communication events, with the paper's
+    binding operator and the [prs] prefix relation.
+
+    Trace sets in the paper's examples are written [h prs R] — "h is a
+    prefix of the regular expression R" — where [R] may contain the
+    binding operator [•]: in [[R • x ∈ Objects]]{^ *} the variable [x]
+    is bound anew for each traversal of the loop.  [bind x s r] matches
+    a trace matching [r] under {e some} binding of [x] in [s];
+    [star (bind ...)] therefore reproduces the paper's semantics
+    exactly. *)
+
+open Posl_ident
+open Posl_sets
+
+type t =
+  | Empty
+  | Eps
+  | Atom of Epat.t
+  | Seq of t * t
+  | Alt of t * t
+  | Star of t
+  | Bind of string * Oset.t * t
+
+(** {1 Smart constructors} (keep terms small; use instead of the bare
+    constructors) *)
+
+val empty : t
+val eps : t
+val atom : Epat.t -> t
+val seq : t -> t -> t
+val alt : t -> t -> t
+val star : t -> t
+val bind : string -> Oset.t -> t -> t
+val seq_list : t list -> t
+val alt_list : t list -> t
+
+val opt : t -> t
+(** [opt r] = r | ε. *)
+
+(** {1 Binders} *)
+
+val is_ground : t -> bool
+
+val subst : string -> Oid.t -> t -> t
+(** Capture-avoiding substitution (shadowing binders are left alone). *)
+
+val expand : Universe.t -> t -> t
+(** Eliminate binders relative to a universe sample: [Bind (x, s, r)]
+    becomes the alternation of [r[x↦o]] over the members of [s] in the
+    sample.  Exact for traces over that universe. *)
+
+(** {1 Ground operations} (raise [Invalid_argument] on binders) *)
+
+val nullable : t -> bool
+(** ε ∈ L(R)? *)
+
+val nonempty : t -> bool
+(** L(R) ≠ ∅? *)
+
+val deriv : Posl_trace.Event.t -> t -> t
+(** Brzozowski derivative with respect to one event. *)
+
+val deriv_trace : Posl_trace.Trace.t -> t -> t
+
+val matches : t -> Posl_trace.Trace.t -> bool
+(** Exact word membership h ∈ L(R). *)
+
+val prs : t -> Posl_trace.Trace.t -> bool
+(** The paper's [h prs R]: the residual language after [h] is
+    non-empty.  [{h | prs r h}] is prefix closed by construction. *)
+
+val to_nfa : events:Posl_trace.Event.t array -> t -> Posl_automata.Nfa.t
+(** Thompson construction over a concrete alphabet; [events.(i)] is the
+    event denoted by symbol [i]. *)
+
+val prs_dfa : events:Posl_trace.Event.t array -> t -> Posl_automata.Dfa.t
+(** Minimized DFA of pref(L(R)) over the concrete alphabet: the
+    automaton of [{h | h prs R}]. *)
+
+val atom_union : t -> Eventset.t
+(** Union of all atom event sets (ground only): every event a word of
+    the language can contain. *)
+
+val mentioned : t -> Oid.Set.t * Mth.Set.t * Value.Set.t
+(** Identifiers named by the expression, including binder sorts; see
+    {!Posl_sets.Eventset.mentioned}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,62 @@
+(** Plain-text table rendering for the experiment harness.
+
+    The benchmark binary prints, for every experiment of the paper
+    reproduction, a row of "paper claim vs measured verdict" plus any
+    swept parameters.  Tables are computed column-width first so the
+    output is stable and diffable (EXPERIMENTS.md embeds it). *)
+
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+let add_row t row = t.rows <- row :: t.rows
+
+let add_rowf t fmt = Format.kasprintf (fun s -> add_row t [ s ]) fmt
+
+(* Measure in Unicode scalar values so box alignment survives the ⊑/‖
+   glyphs in verdict cells. *)
+let utf8_length s =
+  let rec count i acc =
+    if i >= String.length s then acc
+    else
+      let d = String.get_utf_8_uchar s i in
+      count (i + Uchar.utf_decode_length d) (acc + 1)
+  in
+  count 0 0
+
+let widths t =
+  let all = t.headers :: List.rev t.rows in
+  let n = List.length t.headers in
+  let w = Array.make n 0 in
+  List.iter
+    (fun row ->
+      List.iteri
+        (fun i cell -> if i < n then w.(i) <- max w.(i) (utf8_length cell))
+        row)
+    all;
+  w
+
+let pad width s =
+  let len = utf8_length s in
+  if len >= width then s else s ^ String.make (width - len) ' '
+
+let print ?(out = Format.std_formatter) t =
+  let w = widths t in
+  let print_row row =
+    let cells =
+      List.mapi (fun i cell -> if i < Array.length w then pad w.(i) cell else cell) row
+    in
+    Format.fprintf out "| %s |@." (String.concat " | " cells)
+  in
+  let rule =
+    Array.to_list w
+    |> List.map (fun width -> String.make (width + 2) '-')
+    |> String.concat "+"
+  in
+  Format.fprintf out "+%s+@." rule;
+  print_row t.headers;
+  Format.fprintf out "+%s+@." rule;
+  List.iter print_row (List.rev t.rows);
+  Format.fprintf out "+%s+@." rule
+
+let section ?(out = Format.std_formatter) title =
+  Format.fprintf out "@.== %s ==@.@." title

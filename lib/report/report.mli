@@ -1,0 +1,16 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Column widths are computed over all cells (in Unicode scalar
+    values, so ⊑/‖ glyphs align); output is stable and diffable —
+    EXPERIMENTS.md embeds it. *)
+
+type t
+
+val create : string list -> t
+(** [create headers] is an empty table. *)
+
+val add_row : t -> string list -> unit
+val add_rowf : t -> ('a, Format.formatter, unit, unit) format4 -> 'a
+val print : ?out:Format.formatter -> t -> unit
+val section : ?out:Format.formatter -> string -> unit
+val utf8_length : string -> int

@@ -1,0 +1,131 @@
+(** Finite/co-finite sets over a countably infinite identifier domain.
+
+    The alphabets of the paper are infinite — "the communication
+    environment (and therefore the alphabet) of a specification is
+    infinite" (Section 2) — so sets of object identities, methods and
+    values must be represented symbolically.  The boolean algebra of
+    finite and co-finite subsets of a countably infinite domain is
+    closed under union, intersection, complement and difference, and
+    membership, emptiness, subset and disjointness are all decidable.
+    That is exactly what the static checks of the paper (alphabet
+    inclusion, composability, properness) require. *)
+
+module type S = sig
+  type elt
+  type elt_set
+
+  type t =
+    | Fin of elt_set  (** the finite set itself *)
+    | Cofin of elt_set  (** the complement of the finite set *)
+
+  val empty : t
+  val full : t
+  val of_list : elt list -> t
+  val singleton : elt -> t
+
+  val cofin_of_list : elt list -> t
+  (** [cofin_of_list xs] is the co-finite set of all identifiers except
+      [xs] — e.g. the paper's sort [Objects], "a subtype of Obj not
+      containing o", is [cofin_of_list [o]]. *)
+
+  val mem : elt -> t -> bool
+  val compl : t -> t
+  val union : t -> t -> t
+  val inter : t -> t -> t
+  val diff : t -> t -> t
+  val is_empty : t -> bool
+  val is_full : t -> bool
+  val is_finite : t -> bool
+  val subset : t -> t -> bool
+  val disjoint : t -> t -> bool
+  val equal : t -> t -> bool
+
+  val as_singleton : t -> elt option
+  (** [as_singleton t] is [Some x] iff [t] denotes exactly [{x}].  Used
+      by the diagonal-emptiness rule of the rectangle algebra. *)
+
+  val sample : elt list -> t -> elt list
+  (** [sample u t] is the members of [t] within the finite universe
+      sample [u], preserving the order of [u]. *)
+
+  val witness : t -> elt option
+  (** A member of [t], if any; co-finite sets invent a fresh identifier
+      outside the excluded names. *)
+
+  val mentioned : t -> elt_set
+  (** The identifiers named by the representation (the support of the
+      finite or co-finite part).  A universe containing all mentioned
+      identifiers of all sets under consideration, plus at least one
+      extra identifier per co-finite set, distinguishes the sets. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (X : Posl_ident.Id.NAMED) :
+  S with type elt = X.t and type elt_set = X.Set.t =
+struct
+  type elt = X.t
+  type elt_set = X.Set.t
+
+  type t = Fin of X.Set.t | Cofin of X.Set.t
+
+  let empty = Fin X.Set.empty
+  let full = Cofin X.Set.empty
+  let of_list xs = Fin (X.Set.of_list xs)
+  let singleton x = Fin (X.Set.singleton x)
+  let cofin_of_list xs = Cofin (X.Set.of_list xs)
+
+  let mem x = function
+    | Fin s -> X.Set.mem x s
+    | Cofin s -> not (X.Set.mem x s)
+
+  let compl = function Fin s -> Cofin s | Cofin s -> Fin s
+
+  let union a b =
+    match (a, b) with
+    | Fin s1, Fin s2 -> Fin (X.Set.union s1 s2)
+    | Fin s1, Cofin s2 | Cofin s2, Fin s1 -> Cofin (X.Set.diff s2 s1)
+    | Cofin s1, Cofin s2 -> Cofin (X.Set.inter s1 s2)
+
+  let inter a b =
+    match (a, b) with
+    | Fin s1, Fin s2 -> Fin (X.Set.inter s1 s2)
+    | Fin s1, Cofin s2 | Cofin s2, Fin s1 -> Fin (X.Set.diff s1 s2)
+    | Cofin s1, Cofin s2 -> Cofin (X.Set.union s1 s2)
+
+  let diff a b = inter a (compl b)
+  let is_empty = function Fin s -> X.Set.is_empty s | Cofin _ -> false
+  let is_full = function Cofin s -> X.Set.is_empty s | Fin _ -> false
+  let is_finite = function Fin _ -> true | Cofin _ -> false
+  let subset a b = is_empty (diff a b)
+  let disjoint a b = is_empty (inter a b)
+
+  let equal a b =
+    match (a, b) with
+    | Fin s1, Fin s2 | Cofin s1, Cofin s2 -> X.Set.equal s1 s2
+    | Fin _, Cofin _ | Cofin _, Fin _ -> false
+
+  let as_singleton = function
+    | Fin s when X.Set.cardinal s = 1 -> Some (X.Set.choose s)
+    | Fin _ | Cofin _ -> None
+
+  let sample u t = List.filter (fun x -> mem x t) u
+
+  let witness = function
+    | Fin s -> X.Set.choose_opt s
+    | Cofin s -> Some (X.fresh_outside s)
+
+  let mentioned = function Fin s | Cofin s -> s
+
+  let pp ppf t =
+    let pp_names ppf s =
+      Format.pp_print_list
+        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+        X.pp ppf (X.Set.elements s)
+    in
+    match t with
+    | Fin s when X.Set.is_empty s -> Format.pp_print_string ppf "{}"
+    | Fin s -> Format.fprintf ppf "{%a}" pp_names s
+    | Cofin s when X.Set.is_empty s -> Format.pp_print_string ppf "U"
+    | Cofin s -> Format.fprintf ppf "U\\{%a}" pp_names s
+end

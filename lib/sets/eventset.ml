@@ -1,0 +1,150 @@
+(** Symbolic sets of communication events: finite unions of rectangles.
+
+    This is the representation of the paper's alphabets α(Γ) and of the
+    internal-event sets I(·).  All the set-theoretic side conditions of
+    the paper — alphabet inclusion in refinement (Def. 2), hiding in
+    composition (Defs. 4, 11), composability (Def. 10) and properness
+    (Def. 14) — are decided {e exactly} on this representation; infinite
+    alphabets are never finitised for those checks.  A finite universe
+    sample is only needed by {!sample}, which concretises a symbolic set
+    for trace enumeration and automata construction. *)
+
+open Posl_ident
+
+type t = Rect.t list
+
+let empty : t = []
+let of_rect r : t = if Rect.is_empty r then [] else [ r ]
+let of_rects rs : t = List.filter (fun r -> not (Rect.is_empty r)) rs
+let full : t = [ Rect.full ]
+let rects (t : t) = t
+
+(** [calls ?args ~callers ~callees mths] — the events where an object in
+    [callers] invokes a method in [mths] of an object in [callees].
+    Defaults: any argument shape. *)
+let calls ?(args = Argsel.full) ~callers ~callees mths =
+  of_rect (Rect.make ~callers ~callees ~mths ~args)
+
+let of_event e =
+  let open Posl_trace.Event in
+  calls
+    ~callers:(Oset.singleton (caller e))
+    ~callees:(Oset.singleton (callee e))
+    (Mset.singleton (mth e))
+    ~args:
+      (match arg e with
+      | None -> Argsel.none_only
+      | Some v -> Argsel.value_in (Vset.singleton v))
+
+(** All events between two given sets of objects, in either direction:
+    the building block of the internal-event sets I(o₁,o₂) and I(S). *)
+let between os1 os2 : t =
+  of_rects
+    [
+      Rect.make ~callers:os1 ~callees:os2 ~mths:Mset.full ~args:Argsel.full;
+      Rect.make ~callers:os2 ~callees:os1 ~mths:Mset.full ~args:Argsel.full;
+    ]
+
+(** All events involving (on either side) an object of [os]. *)
+let touching os : t = between os Oset.full
+
+let mem e (t : t) = List.exists (Rect.mem e) t
+let union (a : t) (b : t) : t = a @ b
+
+let inter (a : t) (b : t) : t =
+  List.concat_map (fun ra -> List.map (Rect.inter ra) b) a
+  |> List.filter (fun r -> not (Rect.is_empty r))
+
+let diff_rect_set (r : Rect.t) (b : t) : t =
+  List.fold_left
+    (fun remaining rb -> List.concat_map (fun r -> Rect.diff r rb) remaining)
+    [ r ] b
+
+let diff (a : t) (b : t) : t = List.concat_map (fun ra -> diff_rect_set ra b) a
+let compl (t : t) : t = diff full t
+let is_empty (t : t) = List.for_all Rect.is_empty t
+let subset a b = is_empty (diff a b)
+let disjoint a b = is_empty (inter a b)
+let equal a b = subset a b && subset b a
+let width (t : t) = List.length t
+
+(* Keeping rectangle unions small matters for the algebra's cost: drop
+   empty rectangles and rectangles already covered component-wise. *)
+let normalise (t : t) : t =
+  let nonempty = List.filter (fun r -> not (Rect.is_empty r)) t in
+  let covered r others =
+    List.exists (fun r' -> r != r' && Rect.subset_components r r') others
+  in
+  let rec keep acc = function
+    | [] -> List.rev acc
+    | r :: rest ->
+        if covered r (List.rev_append acc rest) then keep acc rest
+        else keep (r :: acc) rest
+  in
+  keep [] nonempty
+
+(* Membership predicate form, the bridge to trace filtering: h/S. *)
+let to_pred (t : t) = fun e -> mem e t
+
+let restrict_trace (t : t) h = Posl_trace.Trace.restrict ~keep:(to_pred t) h
+let delete_trace (t : t) h = Posl_trace.Trace.delete ~drop:(to_pred t) h
+
+(** Concretisation: the members of the symbolic set whose identifiers
+    all lie in the universe sample.  Events are produced without
+    duplicates, in a deterministic order. *)
+let sample (u : Universe.t) (t : t) : Posl_trace.Event.t list =
+  let seen = ref Posl_trace.Event.Set.empty in
+  let out = ref [] in
+  let add e =
+    if not (Posl_trace.Event.Set.mem e !seen) then begin
+      seen := Posl_trace.Event.Set.add e !seen;
+      out := e :: !out
+    end
+  in
+  let sample_rect r =
+    let callers = Oset.sample (Universe.objects u) (Rect.callers r) in
+    let callees = Oset.sample (Universe.objects u) (Rect.callees r) in
+    let mths = Mset.sample (Universe.methods u) (Rect.mths r) in
+    let args = Argsel.sample (Universe.values u) (Rect.args r) in
+    List.iter
+      (fun caller ->
+        List.iter
+          (fun callee ->
+            if not (Oid.equal caller callee) then
+              List.iter
+                (fun m ->
+                  List.iter
+                    (fun arg ->
+                      add (Posl_trace.Event.make ?arg ~caller ~callee m))
+                    args)
+                mths)
+          callees)
+      callers
+  in
+  List.iter sample_rect t;
+  List.rev !out
+
+(** Identifiers named by the representation.  Any universe that contains
+    them all (plus spare identifiers for co-finite components) is an
+    adequate sample for the sets under consideration. *)
+let mentioned (t : t) =
+  List.fold_left
+    (fun (os, ms, vs) r ->
+      ( Oid.Set.union os
+          (Oid.Set.union
+             (Oset.mentioned (Rect.callers r))
+             (Oset.mentioned (Rect.callees r))),
+        Mth.Set.union ms (Mset.mentioned (Rect.mths r)),
+        Value.Set.union vs (Vset.mentioned (Argsel.values (Rect.args r))) ))
+    (Oid.Set.empty, Mth.Set.empty, Value.Set.empty)
+    t
+
+let pp ppf (t : t) =
+  match t with
+  | [] -> Format.pp_print_string ppf "∅"
+  | _ ->
+      Format.fprintf ppf "@[<hov>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ∪ ")
+           Rect.pp)
+        t

@@ -1,0 +1,74 @@
+(** Symbolic sets of communication events: finite unions of rectangles.
+
+    The representation of the paper's alphabets α(Γ) and internal-event
+    sets I(·).  All the set-theoretic side conditions of the paper —
+    alphabet inclusion in refinement (Def. 2), hiding in composition
+    (Defs. 4, 11), composability (Def. 10) and properness (Def. 14) —
+    are decided {e exactly} on this representation; the infinite
+    alphabets are never finitised for those checks.  A finite universe
+    sample is needed only by {!sample}, which concretises a symbolic
+    set for trace enumeration and automata construction. *)
+
+open Posl_ident
+
+type t
+
+val empty : t
+val full : t
+val of_rect : Rect.t -> t
+val of_rects : Rect.t list -> t
+val rects : t -> Rect.t list
+
+val calls :
+  ?args:Argsel.t -> callers:Oset.t -> callees:Oset.t -> Mset.t -> t
+(** [calls ?args ~callers ~callees mths] — the events where an object
+    in [callers] invokes a method in [mths] of an object in [callees].
+    Default argument selector: any shape. *)
+
+val of_event : Posl_trace.Event.t -> t
+(** The singleton set of one concrete event. *)
+
+val between : Oset.t -> Oset.t -> t
+(** All events between the two object sets, in either direction — the
+    building block of the internal-event sets I(o₁,o₂) and I(S). *)
+
+val touching : Oset.t -> t
+(** All events involving (on either side) an object of the set: the
+    paper's αᵒ when applied to a singleton. *)
+
+val mem : Posl_trace.Event.t -> t -> bool
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+val compl : t -> t
+val is_empty : t -> bool
+val subset : t -> t -> bool
+val disjoint : t -> t -> bool
+val equal : t -> t -> bool
+
+val width : t -> int
+(** Number of rectangles in the union — the cost parameter of the
+    algebra. *)
+
+val normalise : t -> t
+(** Drop empty and component-wise-covered rectangles.  Semantics
+    preserved; width never grows. *)
+
+val to_pred : t -> Posl_trace.Event.t -> bool
+
+val restrict_trace : t -> Posl_trace.Trace.t -> Posl_trace.Trace.t
+(** The paper's [h/S]. *)
+
+val delete_trace : t -> Posl_trace.Trace.t -> Posl_trace.Trace.t
+(** The paper's [h\S]. *)
+
+val sample : Universe.t -> t -> Posl_trace.Event.t list
+(** The members of the symbolic set whose identifiers all lie in the
+    universe sample; duplicate-free, deterministic order. *)
+
+val mentioned : t -> Oid.Set.t * Mth.Set.t * Value.Set.t
+(** Identifiers named by the representation.  A universe containing all
+    of them (plus spare identifiers for co-finite components) is an
+    adequate sample for the sets under consideration. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,3 @@
+(** Symbolic sets of method names. *)
+
+include Cset.Make (Posl_ident.Mth)

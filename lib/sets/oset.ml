@@ -1,0 +1,3 @@
+(** Symbolic sets of object identities. *)
+
+include Cset.Make (Posl_ident.Oid)

@@ -1,0 +1,79 @@
+(** Event rectangles: products of component selectors.
+
+    A rectangle denotes the set of events ⟨caller, callee, m(arg)⟩ with
+    [caller ∈ callers], [callee ∈ callees], [m ∈ mths], [arg ∈ args] —
+    interpreted inside the diagonal-free event universe (well-formed
+    events always have caller ≠ callee, see {!Posl_trace.Event}).  The
+    quotient makes the algebra exact: complementing a rectangle yields a
+    union of four rectangles, and a rectangle is empty iff a component
+    is empty or the caller and callee selectors are one and the same
+    singleton (only diagonal pairs remain). *)
+
+type t = {
+  callers : Oset.t;
+  callees : Oset.t;
+  mths : Mset.t;
+  args : Argsel.t;
+}
+
+let make ~callers ~callees ~mths ~args = { callers; callees; mths; args }
+let full = make ~callers:Oset.full ~callees:Oset.full ~mths:Mset.full ~args:Argsel.full
+let callers t = t.callers
+let callees t = t.callees
+let mths t = t.mths
+let args t = t.args
+
+let mem e t =
+  Oset.mem (Posl_trace.Event.caller e) t.callers
+  && Oset.mem (Posl_trace.Event.callee e) t.callees
+  && Mset.mem (Posl_trace.Event.mth e) t.mths
+  && Argsel.mem (Posl_trace.Event.arg e) t.args
+
+(* Emptiness in the diagonal-free quotient. *)
+let is_empty t =
+  Oset.is_empty t.callers || Oset.is_empty t.callees
+  || Mset.is_empty t.mths || Argsel.is_empty t.args
+  ||
+  match (Oset.as_singleton t.callers, Oset.as_singleton t.callees) with
+  | Some a, Some b -> Posl_ident.Oid.equal a b
+  | _, _ -> false
+
+let inter a b =
+  {
+    callers = Oset.inter a.callers b.callers;
+    callees = Oset.inter a.callees b.callees;
+    mths = Mset.inter a.mths b.mths;
+    args = Argsel.inter a.args b.args;
+  }
+
+(* ¬(A×B×M×V) = ¬A×U×U×U ∪ A×¬B×U×U ∪ A×B×¬M×U ∪ A×B×M×¬V; exact in the
+   diagonal-free quotient since the quotient distributes over each part. *)
+let compl t =
+  [
+    { full with callers = Oset.compl t.callers };
+    { full with callers = t.callers; callees = Oset.compl t.callees };
+    {
+      full with
+      callers = t.callers;
+      callees = t.callees;
+      mths = Mset.compl t.mths;
+    };
+    {
+      callers = t.callers;
+      callees = t.callees;
+      mths = t.mths;
+      args = Argsel.compl t.args;
+    };
+  ]
+
+let diff a b = List.filter (fun r -> not (is_empty r)) (List.map (inter a) (compl b))
+
+let subset_components a b =
+  Oset.subset a.callers b.callers
+  && Oset.subset a.callees b.callees
+  && Mset.subset a.mths b.mths
+  && Argsel.subset a.args b.args
+
+let pp ppf t =
+  Format.fprintf ppf "<%a,%a,%a%a>" Oset.pp t.callers Oset.pp t.callees
+    Mset.pp t.mths Argsel.pp t.args

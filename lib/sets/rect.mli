@@ -1,0 +1,38 @@
+(** Event rectangles: products of component selectors.
+
+    A rectangle denotes the set of events ⟨caller, callee, m(arg)⟩ with
+    each component drawn from its selector, interpreted inside the
+    diagonal-free event universe (well-formed events have distinct end
+    points).  In that quotient the algebra is exact: the complement of
+    a rectangle is a union of four rectangles, and a rectangle is empty
+    iff some component is empty or the caller and callee selectors are
+    one and the same singleton. *)
+
+type t
+
+val make : callers:Oset.t -> callees:Oset.t -> mths:Mset.t -> args:Argsel.t -> t
+val full : t
+val callers : t -> Oset.t
+val callees : t -> Oset.t
+val mths : t -> Mset.t
+val args : t -> Argsel.t
+
+val mem : Posl_trace.Event.t -> t -> bool
+
+val is_empty : t -> bool
+(** Emptiness in the diagonal-free quotient (the equal-singleton rule
+    included). *)
+
+val inter : t -> t -> t
+
+val compl : t -> t list
+(** The complement, as a union of at most four rectangles. *)
+
+val diff : t -> t -> t list
+(** [diff a b] = a ∩ ¬b, as a union of non-empty rectangles. *)
+
+val subset_components : t -> t -> bool
+(** Component-wise inclusion — sufficient (not necessary) for set
+    inclusion; used to prune redundant rectangles. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,3 @@
+(** Symbolic sets of data values. *)
+
+include Cset.Make (Posl_ident.Value)

@@ -1,0 +1,467 @@
+(** Trace sets: prefix-closed sets of communication traces.
+
+    A specification's trace set T(Γ) is a prefix-closed subset of
+    Seq[α(Γ)] (Def. 1 of the paper).  Each constructor below is prefix
+    closed {e by construction}:
+
+    - [All] — every trace (Example 1's Read: "no restrictions");
+    - [Prs r] — the paper's [h prs R] notation;
+    - [Counting c] — largest prefix-closed subset of a counting
+      predicate (Example 3's P{_RW2});
+    - [Pointwise (name, p)] — largest prefix-closed subset of an
+      arbitrary predicate (the fallback semantics of Section 2);
+    - [Forall_obj (s, body)] — per-environment-object projection
+      predicates: ∀x ∈ s : h/x ∈ body x (Example 2's Read2, Example 3's
+      P{_RW1});
+    - [Conj ts] — intersection;
+    - [Restrict (es, t)] — {h | h/es ∈ t}, projection membership;
+    - [Product (parts, vis)] — the trace set of a composition
+      (Defs. 4 and 11): observable traces over [vis] that extend to a
+      joint trace whose projection on each part's alphabet lies in that
+      part's trace set.
+
+    All membership questions are answered by one incremental {e monitor}
+    semantics ({!start}/{!step}); a denotational reference
+    implementation ({!mem_naive}) exists for differential testing, and
+    {!compile} turns any monitor with a finite reachable state space
+    into an exact DFA over a concrete alphabet. *)
+
+open Posl_ident
+open Posl_sets
+module Event = Posl_trace.Event
+module Trace = Posl_trace.Trace
+module Regex = Posl_regex.Regex
+
+type t =
+  | All
+  | Prs of Regex.t
+  | Counting of Counting.t
+  | Pointwise of string * (Trace.t -> bool)
+  | Forall_obj of Oset.t * (Oid.t -> t)
+  | Conj of t list
+  | Restrict of Eventset.t * t
+  | Product of part list * Eventset.t
+
+and part = { part_alpha : Eventset.t; part_tset : t }
+
+let all = All
+let prs r = Prs r
+let counting c = Counting c
+let pointwise name p = Pointwise (name, p)
+let forall_obj s body = Forall_obj (s, body)
+let conj ts = match ts with [ t ] -> t | ts -> Conj ts
+let restrict es t = Restrict (es, t)
+let product parts vis = Product (parts, vis)
+let part ~alpha tset = { part_alpha = alpha; part_tset = tset }
+
+(** {1 Monitor semantics} *)
+
+(* Monitor states mirror the structure of the trace set.  They contain
+   only data (no closures), so structural comparison is available for
+   state de-duplication.  [Prs] monitors are DFA-backed: the expanded
+   expression is compiled once per context (memoized) and the state is a
+   single DFA state index — keeping states small and state spaces finite
+   is what makes product (composition) monitors tractable. *)
+type state =
+  | S_all
+  | S_dfa of int  (* DFA state of the compiled prs-automaton *)
+  | S_count of int array
+  | S_point of Event.t list  (* the prefix read so far, reversed *)
+  | S_forall of (Oid.t * state) list  (* sorted by object *)
+  | S_conj of state list
+  | S_restrict of state
+  | S_product of state list list  (* set of composites, sorted *)
+
+exception Closure_overflow of int
+(** Raised when the hidden-event closure of a [Product] monitor exceeds
+    the context's cap; verdicts derived after catching this exception
+    must be reported as bounded, not exact. *)
+
+(* The compiled form of a prs-expression over a universe: a minimized
+   DFA of pref(L(R)) over the concrete sample of the expression's atom
+   events, with a symbol index.  In a prefix-closed DFA rejection is
+   permanent, so "non-accepting" means "dead". *)
+type compiled_prs = {
+  dfa : Posl_automata.Dfa.t;
+  index : int Event.Map.t;
+  atoms : Eventset.t;  (* symbolic union of the atom event sets *)
+}
+
+type ctx = {
+  universe : Universe.t;
+  closure_cap : int;
+  prs_cache : (Regex.t, compiled_prs) Hashtbl.t;
+}
+
+let ctx ?(closure_cap = 20_000) universe =
+  { universe; closure_cap; prs_cache = Hashtbl.create 64 }
+
+let with_closure_cap closure_cap c = { c with closure_cap }
+
+let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
+  match Hashtbl.find_opt c.prs_cache r with
+  | Some compiled -> compiled
+  | None ->
+      let ground = Regex.expand c.universe r in
+      let atoms = Regex.atom_union ground in
+      let events = Array.of_list (Eventset.sample c.universe atoms) in
+      let dfa = Posl_regex.Regex.prs_dfa ~events ground in
+      let index =
+        Array.to_list events
+        |> List.mapi (fun i e -> (e, i))
+        |> List.to_seq |> Event.Map.of_seq
+      in
+      let compiled = { dfa; index; atoms } in
+      Hashtbl.add c.prs_cache r compiled;
+      compiled
+
+(* Step the compiled automaton.  Events outside the concrete sample are
+   rejected when they match no atom symbolically (exact); an event that
+   matches an atom but was not sampled would need a larger universe —
+   fail loudly rather than give a wrong verdict. *)
+let step_prs compiled q e =
+  match Event.Map.find_opt e compiled.index with
+  | Some sym ->
+      let q' = Posl_automata.Dfa.step compiled.dfa q sym in
+      if Posl_automata.Dfa.accept_state compiled.dfa q' then Some q' else None
+  | None ->
+      if Eventset.mem e compiled.atoms then
+        invalid_arg
+          "Tset: event matches the specification but is outside the \
+           context universe; extend the universe sample"
+      else None
+
+let compare_state (a : state) (b : state) = Stdlib.compare a b
+
+module Composite_set = Set.Make (struct
+  type t = state list
+
+  let compare = Stdlib.compare
+end)
+
+(* ∀-monitors must reject immediately when the body rejects the empty
+   trace for fresh environment objects; otherwise an object that never
+   appears in the trace would never be checked.  The body is assumed
+   uniform over sort members that are not treated specially — true of
+   every predicate in the paper, where the bound variable ranges over an
+   anonymous environment sort. *)
+let forall_witness s =
+  match Oset.witness s with
+  | Some w -> Some w
+  | None -> None
+
+let rec start (c : ctx) (t : t) : state option =
+  match t with
+  | All -> Some S_all
+  | Prs r ->
+      let compiled = compile_prs c r in
+      let q0 = Posl_automata.Dfa.start compiled.dfa in
+      if Posl_automata.Dfa.accept_state compiled.dfa q0 then Some (S_dfa q0)
+      else None
+  | Counting ct ->
+      let counts = Counting.initial ct in
+      if Counting.holds ct counts then Some (S_count counts) else None
+  | Pointwise (_, p) -> if p Trace.empty then Some (S_point []) else None
+  | Forall_obj (s, body) -> (
+      match forall_witness s with
+      | None -> Some (S_forall [])  (* empty sort: vacuous *)
+      | Some w -> (
+          match start c (body w) with
+          | Some _ -> Some (S_forall [])
+          | None -> None))
+  | Conj ts ->
+      let rec loop acc = function
+        | [] -> Some (S_conj (List.rev acc))
+        | t :: rest -> (
+            match start c t with
+            | Some s -> loop (s :: acc) rest
+            | None -> None)
+      in
+      loop [] ts
+  | Restrict (_, t') -> Option.map (fun s -> S_restrict s) (start c t')
+  | Product (parts, vis) -> (
+      let rec starts acc = function
+        | [] -> Some (List.rev acc)
+        | p :: rest -> (
+            match start c p.part_tset with
+            | Some s -> starts (s :: acc) rest
+            | None -> None)
+      in
+      match starts [] parts with
+      | None -> None
+      | Some composite ->
+          let hidden = hidden_events c parts vis in
+          let set =
+            product_closure c parts hidden (Composite_set.singleton composite)
+          in
+          if Composite_set.is_empty set then None
+          else Some (S_product (Composite_set.elements set)))
+
+and step (c : ctx) (t : t) (s : state) (e : Event.t) : state option =
+  match (t, s) with
+  | All, S_all -> Some S_all
+  | Prs r, S_dfa q ->
+      Option.map (fun q' -> S_dfa q') (step_prs (compile_prs c r) q e)
+  | Counting ct, S_count counts ->
+      let counts' = Counting.bump ct counts e in
+      if Counting.holds ct counts' then Some (S_count counts')
+      else None
+  | Pointwise (_, p), S_point rev ->
+      let rev' = e :: rev in
+      if p (Trace.of_list (List.rev rev')) then Some (S_point rev') else None
+  | Forall_obj (sort, body), S_forall assoc ->
+      let touch o acc =
+        match acc with
+        | None -> None
+        | Some assoc ->
+            if not (Oset.mem o sort) then Some assoc
+            else
+              let current =
+                match List.assoc_opt o assoc with
+                | Some st -> Some st
+                | None -> start c (body o)
+              in
+              (match current with
+              | None -> None
+              | Some st -> (
+                  match step c (body o) st e with
+                  | None -> None
+                  | Some st' ->
+                      Some ((o, st') :: List.remove_assoc o assoc)))
+      in
+      (match touch (Event.caller e) (Some assoc) with
+      | None -> None
+      | Some assoc -> (
+          match touch (Event.callee e) (Some assoc) with
+          | None -> None
+          | Some assoc ->
+              Some (S_forall (List.sort (fun (a, _) (b, _) -> Oid.compare a b) assoc))))
+  | Conj ts, S_conj states ->
+      let rec loop acc ts states =
+        match (ts, states) with
+        | [], [] -> Some (S_conj (List.rev acc))
+        | t :: ts', st :: states' -> (
+            match step c t st e with
+            | Some st' -> loop (st' :: acc) ts' states'
+            | None -> None)
+        | _, _ -> invalid_arg "Tset.step: conjunction state mismatch"
+      in
+      loop [] ts states
+  | Restrict (es, t'), S_restrict st ->
+      if Eventset.mem e es then
+        Option.map (fun st' -> S_restrict st') (step c t' st e)
+      else Some s
+  | Product (parts, vis), S_product composites ->
+      if not (Eventset.mem e vis) then None
+      else
+        let stepped =
+          List.filter_map (fun comp -> step_composite c parts comp e) composites
+        in
+        let hidden = hidden_events c parts vis in
+        let set = product_closure c parts hidden (Composite_set.of_list stepped) in
+        if Composite_set.is_empty set then None
+        else Some (S_product (Composite_set.elements set))
+  | _, _ -> invalid_arg "Tset.step: state does not match trace-set structure"
+
+(* Advance every part that observes [e]; parts whose alphabet does not
+   contain [e] are unaffected (projection drops the event). *)
+and step_composite c parts comp e =
+  let rec loop acc parts comp =
+    match (parts, comp) with
+    | [], [] -> Some (List.rev acc)
+    | p :: parts', st :: comp' ->
+        if Eventset.mem e p.part_alpha then
+          match step c p.part_tset st e with
+          | Some st' -> loop (st' :: acc) parts' comp'
+          | None -> None
+        else loop (st :: acc) parts' comp'
+    | _, _ -> invalid_arg "Tset.step_composite: arity mismatch"
+  in
+  loop [] parts comp
+
+(* Concrete internal events of a composition: the union of the part
+   alphabets minus the visible alphabet, sampled over the universe. *)
+and hidden_events c parts vis =
+  let union_alpha =
+    List.fold_left
+      (fun acc p -> Eventset.union acc p.part_alpha)
+      Eventset.empty parts
+  in
+  Eventset.sample c.universe (Eventset.diff union_alpha vis)
+
+(* Close a set of composites under internal (hidden) events: the
+   observable trace set of a composition existentially quantifies over
+   interleavings with internal activity, so after every visible step the
+   monitor tracks every internal continuation.  The closure is a fixpoint
+   over a finite set; [closure_cap] is a safety valve against parts with
+   unbounded state (raises {!Closure_overflow}). *)
+and product_closure c parts hidden set =
+  let rec grow frontier set =
+    if Composite_set.is_empty frontier then set
+    else begin
+      let next = ref Composite_set.empty in
+      Composite_set.iter
+        (fun comp ->
+          List.iter
+            (fun e ->
+              match step_composite c parts comp e with
+              | Some comp' when not (Composite_set.mem comp' set) ->
+                  next := Composite_set.add comp' !next
+              | Some _ | None -> ())
+            hidden)
+        frontier;
+      let set' = Composite_set.union set !next in
+      if Composite_set.cardinal set' > c.closure_cap then
+        raise (Closure_overflow (Composite_set.cardinal set'));
+      grow !next set'
+    end
+  in
+  grow set set
+
+(** {1 Membership} *)
+
+(** [mem c t h] — h ∈ T, via the incremental monitor. *)
+let mem c t h =
+  let rec loop st = function
+    | [] -> true
+    | e :: rest -> (
+        match step c t st e with None -> false | Some st' -> loop st' rest)
+  in
+  match start c t with
+  | None -> false
+  | Some st -> loop st (Trace.to_list h)
+
+(** Denotational reference semantics, for differential testing against
+    {!mem}.  [Product] necessarily shares the monitor's search. *)
+let rec mem_naive c t h =
+  match t with
+  | All -> true
+  | Prs r -> Regex.prs (Regex.expand c.universe r) h
+  | Counting ct -> List.for_all (Counting.satisfied_by ct) (Trace.prefixes h)
+  | Pointwise (_, p) -> List.for_all p (Trace.prefixes h)
+  | Forall_obj (sort, body) ->
+      let occurring = Oid.Set.elements (Trace.objects h) in
+      let in_sort = List.filter (fun o -> Oset.mem o sort) occurring in
+      let fresh_ok =
+        match Oset.witness (Oset.diff sort (Oset.of_list occurring)) with
+        | None -> true
+        | Some w -> mem_naive c (body w) Trace.empty
+      in
+      fresh_ok
+      && List.for_all
+           (fun o -> mem_naive c (body o) (Trace.restrict_obj o h))
+           in_sort
+  | Conj ts -> List.for_all (fun t -> mem_naive c t h) ts
+  | Restrict (es, t') -> mem_naive c t' (Eventset.restrict_trace es h)
+  | Product (_, _) -> mem c t h
+
+(** {1 Compilation to automata}
+
+    Explore the monitor's reachable state space over a concrete
+    alphabet.  If it is finite (and below [max_states]) the result is an
+    {e exact} DFA for the trace set restricted to traces over the given
+    events: state 0 is a rejecting sink, every other state accepts
+    (prefix-closed languages are exactly the survival languages of
+    monitors). *)
+let compile ?(max_states = 200_000) c (events : Event.t array) t :
+    Posl_automata.Dfa.t option =
+  match start c t with
+  | None -> Some (Posl_automata.Dfa.empty ~n_syms:(Array.length events))
+  | Some init -> (
+      let module SM = Map.Make (struct
+        type t = state
+
+        let compare = compare_state
+      end) in
+      let index = ref SM.empty in
+      let states = ref [] in
+      let n = ref 1 (* 0 is the sink *) in
+      let intern st =
+        match SM.find_opt st !index with
+        | Some i -> (i, false)
+        | None ->
+            let i = !n in
+            index := SM.add st i !index;
+            states := st :: !states;
+            incr n;
+            (i, true)
+      in
+      let i0, _ = intern init in
+      let queue = Queue.create () in
+      Queue.add (i0, init) queue;
+      let rows = ref [] in
+      try
+        while not (Queue.is_empty queue) do
+          let i, st = Queue.take queue in
+          let row = Array.make (Array.length events) 0 in
+          Array.iteri
+            (fun sym e ->
+              match step c t st e with
+              | None -> row.(sym) <- 0
+              | Some st' ->
+                  let j, fresh = intern st' in
+                  row.(sym) <- j;
+                  if fresh then Queue.add (j, st') queue;
+                  if !n > max_states then raise Exit)
+            events;
+          rows := (i, row) :: !rows
+        done;
+        let n_states = !n in
+        let n_syms = Array.length events in
+        let delta = Array.init n_states (fun _ -> Array.make n_syms 0) in
+        List.iter (fun (i, row) -> delta.(i) <- row) !rows;
+        let accept = Array.make n_states true in
+        accept.(0) <- false;
+        Some
+          (Posl_automata.Dfa.make ~n_states ~n_syms ~start:i0 ~accept ~delta)
+      with
+      | Exit -> None
+      | Closure_overflow _ -> None)
+
+(** {1 Utilities} *)
+
+let rec mentioned t =
+  let union3 (a, b, c) (a', b', c') =
+    (Oid.Set.union a a', Mth.Set.union b b', Value.Set.union c c')
+  in
+  match t with
+  | All -> (Oid.Set.empty, Mth.Set.empty, Value.Set.empty)
+  | Prs r -> Regex.mentioned r
+  | Counting c -> Counting.mentioned c
+  | Pointwise _ -> (Oid.Set.empty, Mth.Set.empty, Value.Set.empty)
+  | Forall_obj (s, body) -> (
+      (* Sample the body at a witness: uniform bodies expose their
+         structure at any sort member. *)
+      let base = (Oset.mentioned s, Mth.Set.empty, Value.Set.empty) in
+      match Oset.witness s with
+      | None -> base
+      | Some w -> union3 base (mentioned (body w)))
+  | Conj ts ->
+      List.fold_left
+        (fun acc t -> union3 acc (mentioned t))
+        (Oid.Set.empty, Mth.Set.empty, Value.Set.empty)
+        ts
+  | Restrict (es, t') ->
+      let os, ms, vs = Eventset.mentioned es in
+      union3 (os, ms, vs) (mentioned t')
+  | Product (parts, vis) ->
+      List.fold_left
+        (fun acc p ->
+          union3 acc (union3 (Eventset.mentioned p.part_alpha) (mentioned p.part_tset)))
+        (Eventset.mentioned vis) parts
+
+let rec pp ppf = function
+  | All -> Format.pp_print_string ppf "all"
+  | Prs r -> Format.fprintf ppf "prs %a" Regex.pp r
+  | Counting c -> Format.fprintf ppf "counting %a" Counting.pp c
+  | Pointwise (name, _) -> Format.fprintf ppf "pointwise <%s>" name
+  | Forall_obj (s, _) -> Format.fprintf ppf "forall x ∈ %a. <body x>" Oset.pp s
+  | Conj ts ->
+      Format.fprintf ppf "@[<hov>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ∧ ")
+           pp)
+        ts
+  | Restrict (es, t) -> Format.fprintf ppf "(h/%a ∈ %a)" Eventset.pp es pp t
+  | Product (parts, _) ->
+      Format.fprintf ppf "product(%d parts)" (List.length parts)

@@ -1,0 +1,115 @@
+(** Trace sets: prefix-closed sets of communication traces.
+
+    A specification's trace set T(Γ) is a prefix-closed subset of
+    Seq[α(Γ)] (Def. 1 of the paper).  Every constructor below is prefix
+    closed {e by construction}; all membership questions are answered
+    by one incremental {e monitor} semantics ({!start}/{!step}), with a
+    denotational reference ({!mem_naive}) for differential testing, and
+    {!compile} turns any monitor with a finite reachable state space
+    into an exact DFA over a concrete alphabet. *)
+
+open Posl_ident
+open Posl_sets
+module Regex = Posl_regex.Regex
+
+type t =
+  | All  (** every trace — Example 1's Read ("no restrictions") *)
+  | Prs of Regex.t  (** the paper's [h prs R] *)
+  | Counting of Counting.t
+      (** largest prefix-closed subset of a counting predicate
+          (Example 3's P{_RW2}) *)
+  | Pointwise of string * (Posl_trace.Trace.t -> bool)
+      (** largest prefix-closed subset of a named arbitrary predicate *)
+  | Forall_obj of Oset.t * (Oid.t -> t)
+      (** per-environment-object projection predicates:
+          ∀x ∈ s : h/x ∈ body x (Example 2's Read2, Example 3's
+          P{_RW1}).  The body must treat unnamed sort members
+          uniformly. *)
+  | Conj of t list  (** intersection *)
+  | Restrict of Eventset.t * t  (** [{h | h/es ∈ t}] *)
+  | Product of part list * Eventset.t
+      (** the trace set of a composition (Defs. 4 and 11): observable
+          traces over the visible alphabet that extend to a joint trace
+          projecting into every part *)
+
+and part = { part_alpha : Eventset.t; part_tset : t }
+
+(** {1 Constructors} *)
+
+val all : t
+val prs : Regex.t -> t
+val counting : Counting.t -> t
+val pointwise : string -> (Posl_trace.Trace.t -> bool) -> t
+val forall_obj : Oset.t -> (Oid.t -> t) -> t
+val conj : t list -> t
+val restrict : Eventset.t -> t -> t
+val product : part list -> Eventset.t -> t
+val part : alpha:Eventset.t -> t -> part
+
+(** {1 Contexts}
+
+    All trace-level operations are relative to a {!ctx}: the finite
+    universe sample (binder expansion, internal-event sampling), a
+    safety cap for product closures, and the memo table of compiled
+    prs-automata. *)
+
+type ctx = private {
+  universe : Universe.t;
+  closure_cap : int;
+  prs_cache : (Regex.t, compiled_prs) Hashtbl.t;
+}
+
+and compiled_prs
+
+val ctx : ?closure_cap:int -> Universe.t -> ctx
+
+val with_closure_cap : int -> ctx -> ctx
+(** Same universe and cache, different closure cap. *)
+
+exception Closure_overflow of int
+(** Raised when the hidden-event closure of a [Product] monitor exceeds
+    [closure_cap]; verdicts derived after catching this must be
+    reported as bounded, not exact. *)
+
+(** {1 Monitor semantics}
+
+    Monitor states are pure data; {!compare_state} gives structural
+    comparison for de-duplication.  A state is "alive": prefix-closed
+    languages are exactly the survival languages of monitors. *)
+
+type state
+
+val compare_state : state -> state -> int
+
+val start : ctx -> t -> state option
+(** [None] iff even the empty trace is outside the set (degenerate). *)
+
+val step : ctx -> t -> state -> Posl_trace.Event.t -> state option
+(** [None] = the extended trace is outside the set (permanently). *)
+
+(** {1 Membership} *)
+
+val mem : ctx -> t -> Posl_trace.Trace.t -> bool
+
+val mem_naive : ctx -> t -> Posl_trace.Trace.t -> bool
+(** Denotational reference semantics ([Product] shares the monitor's
+    search); for differential testing. *)
+
+(** {1 Compilation} *)
+
+val compile :
+  ?max_states:int ->
+  ctx ->
+  Posl_trace.Event.t array ->
+  t ->
+  Posl_automata.Dfa.t option
+(** Explore the monitor's reachable state space over a concrete
+    alphabet.  [Some dfa] is an {e exact} automaton of the trace set
+    restricted to traces over the given events (state 0 a rejecting
+    sink, all others accepting); [None] when the space exceeds
+    [max_states] or a closure overflows. *)
+
+(** {1 Utilities} *)
+
+val mentioned : t -> Oid.Set.t * Mth.Set.t * Value.Set.t
+val pp : Format.formatter -> t -> unit

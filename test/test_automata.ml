@@ -1,0 +1,148 @@
+(* NFA/DFA library: determinisation, minimisation, boolean operations,
+   inclusion, prefix closure.  Differential testing against direct word
+   evaluation over all short words. *)
+
+module Nfa = Posl_automata.Nfa
+module Dfa = Posl_automata.Dfa
+module G = QCheck2.Gen
+
+let n_syms = 2
+
+(* Random small NFA. *)
+let gen_nfa : Nfa.t G.t =
+  let open G in
+  let* n = int_range 1 5 in
+  let* accept = array_size (pure n) bool in
+  let* edges =
+    list_size (int_bound 10)
+      (triple (int_bound (n - 1)) (int_bound (n_syms - 1)) (int_bound (n - 1)))
+  in
+  let* eps_edges =
+    list_size (int_bound 3) (pair (int_bound (n - 1)) (int_bound (n - 1)))
+  in
+  let delta = Array.make n [] in
+  List.iter (fun (q, s, q') -> delta.(q) <- (s, q') :: delta.(q)) edges;
+  let eps = Array.make n [] in
+  List.iter (fun (q, q') -> eps.(q) <- q' :: eps.(q)) eps_edges;
+  pure (Nfa.make ~n_states:n ~n_syms ~start:[ 0 ] ~accept ~delta ~eps)
+
+let gen_dfa = G.map Nfa.to_dfa gen_nfa
+
+(* All words over the alphabet up to length k. *)
+let words upto =
+  let rec go k =
+    if k = 0 then [ [] ]
+    else
+      let shorter = go (k - 1) in
+      shorter
+      @ List.concat_map
+          (fun w -> List.init n_syms (fun s -> s :: w))
+          (List.filter (fun w -> List.length w = k - 1) shorter)
+  in
+  go upto
+
+let probe_words = words 5
+
+let same_lang_on_probes a b =
+  List.for_all (fun w -> Dfa.accepts a w = Dfa.accepts b w) probe_words
+
+let qsuite =
+  [
+    Util.qtest ~count:150 "subset construction preserves language" gen_nfa
+      (fun nfa ->
+        let dfa = Nfa.to_dfa nfa in
+        List.for_all
+          (fun w -> Dfa.accepts dfa w = Nfa.accepts nfa w)
+          probe_words);
+    Util.qtest ~count:150 "minimisation preserves language" gen_dfa (fun d ->
+        same_lang_on_probes d (Dfa.minimize d));
+    Util.qtest ~count:150 "minimisation is minimal fixpoint" gen_dfa (fun d ->
+        let m = Dfa.minimize d in
+        Dfa.n_states (Dfa.minimize m) = Dfa.n_states m);
+    Util.qtest ~count:150 "complement flips membership" gen_dfa (fun d ->
+        let c = Dfa.complement d in
+        List.for_all (fun w -> Dfa.accepts c w = not (Dfa.accepts d w)) probe_words);
+    Util.qtest ~count:150 "product inter" (G.pair gen_dfa gen_dfa) (fun (a, b) ->
+        let p = Dfa.inter a b in
+        List.for_all
+          (fun w -> Dfa.accepts p w = (Dfa.accepts a w && Dfa.accepts b w))
+          probe_words);
+    Util.qtest ~count:150 "product union" (G.pair gen_dfa gen_dfa) (fun (a, b) ->
+        let p = Dfa.union a b in
+        List.for_all
+          (fun w -> Dfa.accepts p w = (Dfa.accepts a w || Dfa.accepts b w))
+          probe_words);
+    Util.qtest ~count:150 "inclusion sound and counterexamples real"
+      (G.pair gen_dfa gen_dfa) (fun (a, b) ->
+        match Dfa.included a b with
+        | Ok () ->
+            List.for_all
+              (fun w -> (not (Dfa.accepts a w)) || Dfa.accepts b w)
+              probe_words
+        | Error w -> Dfa.accepts a w && not (Dfa.accepts b w));
+    Util.qtest ~count:150 "shortest_accepted is accepted and minimal" gen_dfa
+      (fun d ->
+        match Dfa.shortest_accepted d with
+        | None -> List.for_all (fun w -> not (Dfa.accepts d w)) probe_words
+        | Some w ->
+            Dfa.accepts d w
+            && List.for_all
+                 (fun w' ->
+                   List.length w' >= List.length w || not (Dfa.accepts d w'))
+                 probe_words);
+    Util.qtest ~count:150 "prefix closure accepts prefixes of the language"
+      gen_dfa (fun d ->
+        let p = Dfa.prefix_close d in
+        List.for_all
+          (fun w ->
+            (* w accepted by p iff some probe extension of w accepted by
+               d (complete only up to probe length, so test one
+               direction exactly and the other within probes). *)
+            if Dfa.accepts d w then
+              List.for_all
+                (fun i ->
+                  Dfa.accepts p (List.filteri (fun j _ -> j < i) w))
+                (List.init (List.length w + 1) Fun.id)
+            else true)
+          probe_words);
+    Util.qtest ~count:150 "nfa projection erases symbols"
+      (G.pair gen_nfa (G.list_size (G.int_bound 4) (G.int_bound (n_syms - 1))))
+      (fun (nfa, w) ->
+        (* Map symbol 0 to itself and erase symbol 1: the projected
+           automaton must accept the filtered word whenever the original
+           accepts the word. *)
+        let keep s = if s = 0 then Some 0 else None in
+        let projected = Nfa.project ~n_syms':1 ~keep nfa in
+        if Nfa.accepts nfa w then
+          Nfa.accepts projected (List.filter (fun s -> s = 0) w)
+        else true);
+  ]
+
+let test_empty_all () =
+  let e = Dfa.empty ~n_syms and a = Dfa.all ~n_syms in
+  Util.check_bool "empty accepts nothing" true (Dfa.is_empty e);
+  Util.check_bool "all accepts ε" true (Dfa.accepts a []);
+  Util.check_bool "all accepts a word" true (Dfa.accepts a [ 0; 1; 0 ]);
+  Util.check_bool "empty ⊆ all" true (Result.is_ok (Dfa.included e a));
+  (match Dfa.included a e with
+  | Error [] -> ()
+  | Error w ->
+      Alcotest.failf "expected ε counterexample, got length %d" (List.length w)
+  | Ok () -> Alcotest.fail "all ⊆ empty cannot hold")
+
+let test_lift () =
+  (* A DFA over 1 symbol, lifted to 2 symbols with the second ignored. *)
+  let d =
+    Dfa.make ~n_states:2 ~n_syms:1 ~start:0 ~accept:[| true; false |]
+      ~delta:[| [| 1 |]; [| 1 |] |]
+  in
+  let lifted = Dfa.lift ~n_syms:2 ~map:(fun s -> if s = 0 then Some 0 else None) d in
+  Util.check_bool "ignored symbol self-loops" true (Dfa.accepts lifted [ 1; 1; 1 ]);
+  Util.check_bool "real symbol still counts" false (Dfa.accepts lifted [ 1; 0; 1 ])
+
+let suite =
+  [
+    Alcotest.test_case "empty/all automata" `Quick test_empty_all;
+    Alcotest.test_case "lift" `Quick test_lift;
+  ]
+  @ qsuite

@@ -1,0 +1,166 @@
+(* The state-space exploration engine: inclusion, equality, deadlock,
+   counting, enumeration, and serial/parallel agreement. *)
+
+module Bmc = Posl_bmc.Bmc
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Spec = Posl_core.Spec
+module Ex = Posl_core.Examples_paper
+module Eventset = Posl_sets.Eventset
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+
+let ctx = Util.paper_ctx
+let u = Util.paper_universe
+
+let read_alphabet = Spec.concrete_alphabet u Ex.read
+let write_alphabet = Spec.concrete_alphabet u Ex.write
+
+let test_count_matches_enumerate () =
+  let t = Spec.tset Ex.write in
+  let counts = Bmc.count_traces ctx ~alphabet:write_alphabet ~depth:4 t in
+  let traces = Bmc.enumerate ctx ~alphabet:write_alphabet ~depth:4 t in
+  let by_len = Array.make 5 0 in
+  List.iter
+    (fun h -> by_len.(Trace.length h) <- by_len.(Trace.length h) + 1)
+    traces;
+  Array.iteri
+    (fun i c -> Util.check_int (Printf.sprintf "length %d" i) c by_len.(i))
+    counts
+
+let test_enumerate_members_only () =
+  let t = Spec.tset Ex.write in
+  let traces = Bmc.enumerate ctx ~alphabet:write_alphabet ~depth:3 t in
+  List.iter
+    (fun h -> Util.check_bool "member" true (Tset.mem ctx t h))
+    traces
+
+let test_inclusion_positive () =
+  (* T(Read2) projected on α(Read) is included in T(Read) = All. *)
+  let alphabet = Spec.concrete_alphabet u Ex.read2 in
+  match
+    Bmc.check_inclusion ctx ~alphabet ~depth:5 ~lhs:(Spec.tset Ex.read2)
+      ~proj:(Spec.alpha Ex.read) ~rhs:(Spec.tset Ex.read)
+  with
+  | Bmc.Holds _ -> ()
+  | Bmc.Refuted h -> Alcotest.failf "unexpected refutation: %a" Trace.pp h
+
+let test_inclusion_negative_witness () =
+  (* T(RW) projected on α(Read2) escapes T(Read2); the witness must be a
+     genuine member of T(RW) whose projection escapes. *)
+  let alphabet = Spec.concrete_alphabet u Ex.rw in
+  match
+    Bmc.check_inclusion ctx ~alphabet ~depth:5 ~lhs:(Spec.tset Ex.rw)
+      ~proj:(Spec.alpha Ex.read2) ~rhs:(Spec.tset Ex.read2)
+  with
+  | Bmc.Holds _ -> Alcotest.fail "expected refutation"
+  | Bmc.Refuted h ->
+      Util.check_bool "witness in T(RW)" true (Tset.mem ctx (Spec.tset Ex.rw) h);
+      Util.check_bool "projection escapes" false
+        (Tset.mem ctx (Spec.tset Ex.read2)
+           (Eventset.restrict_trace (Spec.alpha Ex.read2) h))
+
+let test_deadlock_client2 () =
+  (* Example 5: T(Client2‖WriteAcc) = {ε}. *)
+  let comp = Posl_core.Compose.interface Ex.client2 Ex.write_acc in
+  let alphabet = Spec.concrete_alphabet u comp in
+  (match Bmc.find_deadlock ctx ~alphabet ~depth:6 (Spec.tset comp) with
+  | Some h -> Util.check_bool "deadlock at ε" true (Trace.is_empty h)
+  | None -> Alcotest.fail "expected a deadlock");
+  let counts = Bmc.count_traces ctx ~alphabet ~depth:4 (Spec.tset comp) in
+  Alcotest.(check (array int)) "only ε" [| 1; 0; 0; 0; 0 |] counts
+
+let test_no_deadlock_client () =
+  let comp = Posl_core.Compose.interface Ex.client Ex.write_acc in
+  let alphabet = Spec.concrete_alphabet u comp in
+  Util.check_bool "no deadlock" true
+    (Option.is_none (Bmc.find_deadlock ctx ~alphabet ~depth:6 (Spec.tset comp)))
+
+let test_enabled () =
+  (* After OW from c, only W/CW by c are enabled in WriteAcc. *)
+  let t = Spec.tset Ex.write_acc in
+  let h = Util.tr [ Util.ev "c" "o" "OW" ] in
+  let enabled = Bmc.enabled ctx ~alphabet:write_alphabet t h in
+  Util.check_bool "some events enabled" true (enabled <> []);
+  List.iter
+    (fun e ->
+      Util.check_bool "caller is c" true
+        (Posl_ident.Oid.equal (Posl_trace.Event.caller e) (Posl_ident.Oid.v "c")))
+    enabled
+
+let test_exact_on_exhaustion () =
+  (* Read's monitor has one state: exploration exhausts immediately and
+     the verdict is exact even with a huge depth. *)
+  match
+    Bmc.check_inclusion ctx ~alphabet:read_alphabet ~depth:1_000_000
+      ~lhs:(Spec.tset Ex.read) ~proj:(Spec.alpha Ex.read)
+      ~rhs:(Spec.tset Ex.read)
+  with
+  | Bmc.Holds Bmc.Exact -> ()
+  | Bmc.Holds (Bmc.Bounded _) -> Alcotest.fail "expected exhaustion"
+  | Bmc.Refuted _ -> Alcotest.fail "reflexive inclusion refuted"
+
+let test_parallel_agrees_with_serial () =
+  let alphabet = Spec.concrete_alphabet u Ex.rw in
+  let run domains =
+    Bmc.check_inclusion ~domains ctx ~alphabet ~depth:4 ~lhs:(Spec.tset Ex.rw)
+      ~proj:(Spec.alpha Ex.write) ~rhs:(Spec.tset Ex.write)
+  in
+  match (run 1, run 4) with
+  | Bmc.Holds _, Bmc.Holds _ -> ()
+  | Bmc.Refuted _, Bmc.Refuted _ -> ()
+  | _, _ -> Alcotest.fail "serial and parallel disagree"
+
+let test_count_states () =
+  let n = Bmc.count_states ctx ~alphabet:write_alphabet ~depth:6 (Spec.tset Ex.write) in
+  Util.check_bool "more than one state" true (n > 1);
+  (* All accepts everything with a single monitor state. *)
+  Util.check_int "All has one state" 1
+    (Bmc.count_states ctx ~alphabet:write_alphabet ~depth:6 Tset.all)
+
+let sc = Util.sc
+let gctx = Util.ctx
+let probes = Eventset.sample sc.Gen.universe Eventset.full
+
+let qsuite =
+  [
+    Util.qtest ~count:40 "count_traces matches enumerate"
+      (Gen.tset_within sc probes) (fun t ->
+        let alphabet = Array.of_list probes in
+        let counts = gctx |> fun c -> Bmc.count_traces c ~alphabet ~depth:3 t in
+        let traces = Bmc.enumerate gctx ~alphabet ~depth:3 t in
+        let by_len = Array.make 4 0 in
+        List.iter
+          (fun h -> by_len.(Trace.length h) <- by_len.(Trace.length h) + 1)
+          traces;
+        counts = by_len);
+    Util.qtest ~count:40 "reflexive inclusion always holds"
+      (Gen.tset_within sc probes) (fun t ->
+        match
+          Bmc.check_inclusion gctx ~alphabet:(Array.of_list probes) ~depth:3
+            ~lhs:t ~proj:Eventset.full ~rhs:t
+        with
+        | Bmc.Holds _ -> true
+        | Bmc.Refuted _ -> false);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "count matches enumerate (Write)" `Quick
+      test_count_matches_enumerate;
+    Alcotest.test_case "enumerate yields members only" `Quick
+      test_enumerate_members_only;
+    Alcotest.test_case "inclusion positive" `Quick test_inclusion_positive;
+    Alcotest.test_case "inclusion negative witness" `Quick
+      test_inclusion_negative_witness;
+    Alcotest.test_case "deadlock of Client2 (Example 5)" `Quick
+      test_deadlock_client2;
+    Alcotest.test_case "no deadlock for Client (Example 4)" `Quick
+      test_no_deadlock_client;
+    Alcotest.test_case "enabled events" `Quick test_enabled;
+    Alcotest.test_case "exact on exhaustion" `Quick test_exact_on_exhaustion;
+    Alcotest.test_case "parallel agrees with serial" `Quick
+      test_parallel_agrees_with_serial;
+    Alcotest.test_case "count_states" `Quick test_count_states;
+  ]
+  @ qsuite

@@ -1,0 +1,153 @@
+(* Composition: interface composition (Def. 4), composability (Def. 10),
+   component composition (Def. 11), properness (Def. 14), and the
+   algebraic laws (Property 5, Property 12, Lemma 6). *)
+
+open Posl_ident
+open Posl_sets
+module Spec = Posl_core.Spec
+module Compose = Posl_core.Compose
+module Theory = Posl_core.Theory
+module Internal = Posl_core.Internal
+module Tset = Posl_tset.Tset
+module Ex = Posl_core.Examples_paper
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+
+let ctx = Util.paper_ctx
+let depth = 5
+
+let test_interface_hides_internal () =
+  let comp = Compose.interface Ex.client Ex.write_acc in
+  (* Events between c and o are hidden... *)
+  Util.check_bool "c->o W hidden" false
+    (Eventset.mem
+       (Util.ev ~arg:(Value.v "d1") "c" "o" "W")
+       (Spec.alpha comp));
+  (* ... events to third parties remain. *)
+  Util.check_bool "c->om OK visible" true
+    (Eventset.mem (Util.ev "c" "om" "OK") (Spec.alpha comp));
+  (* the object set is the union *)
+  Util.check_bool "objects union" true
+    (Oid.Set.equal (Spec.objs comp) (Oid.Set.of_list [ Oid.v "c"; Oid.v "o" ]))
+
+let test_same_object_composition_no_hiding () =
+  (* Lemma 6 proof: composing two specs of the same object hides
+     nothing. *)
+  let comp = Compose.interface Ex.write Ex.read2 in
+  Util.check_bool "alphabet is the union" true
+    (Eventset.equal (Spec.alpha comp)
+       (Eventset.union (Spec.alpha Ex.write) (Spec.alpha Ex.read2)))
+
+let test_composability () =
+  Util.check_bool "Client and WriteAcc composable" true
+    (Compose.composable Ex.client Ex.write_acc);
+  (* Two specs of the same object are always composable: I({o}) is
+     empty in the observable universe. *)
+  Util.check_bool "same-object specs composable" true
+    (Compose.composable Ex.write Ex.read2);
+  (* A spec whose alphabet looks into another component's internals is
+     not composable with it. *)
+  let nosy =
+    Spec.v ~name:"nosy"
+      ~objs:[ Oid.v "spy" ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.singleton (Oid.v "spy"))
+           ~callees:(Oset.singleton (Oid.v "s1"))
+           (Mset.of_list [ Mth.v "m" ]))
+      Tset.all
+  in
+  let two_obj =
+    Spec.v ~name:"two"
+      ~objs:[ Oid.v "s1"; Oid.v "s2"; Oid.v "spy" ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.cofin_of_list [ Oid.v "s1"; Oid.v "s2"; Oid.v "spy" ])
+           ~callees:(Oset.singleton (Oid.v "s2"))
+           (Mset.of_list [ Mth.v "m" ]))
+      Tset.all
+  in
+  (match Compose.check_composable nosy two_obj with
+  | Error f ->
+      Util.check_bool "witness nonempty" false (Eventset.is_empty f.Compose.offending)
+  | Ok () -> Alcotest.fail "nosy spec should not be composable")
+
+let test_internal_sets () =
+  let o1 = Oid.v "a" and o2 = Oid.v "b" in
+  let i = Internal.pair o1 o2 in
+  Util.check_bool "pair symmetric" true
+    (Eventset.equal i (Internal.pair o2 o1));
+  let s = Oid.Set.of_list [ o1; o2 ] in
+  Util.check_bool "of_set contains pair" true
+    (Eventset.subset i (Internal.of_set s));
+  Util.check_bool "of_set of singleton empty" true
+    (Eventset.is_empty (Internal.of_set (Oid.Set.singleton o1)))
+
+let test_properness_witness () =
+  (* α₀ of Def. 14 for the paper-style scenario (see the
+     component_upgrade example). *)
+  let objs = Oid.Set.of_list [ Oid.v "s1" ] in
+  let objs' = Oid.Set.of_list [ Oid.v "s1"; Oid.v "n" ] in
+  let a0 = Internal.alpha0 ~objs' ~objs in
+  (* events touching the new object n but not s1 *)
+  Util.check_bool "x->n in α₀" true (Eventset.mem (Util.ev "x" "n" "m") a0);
+  Util.check_bool "n->x in α₀" true (Eventset.mem (Util.ev "n" "x" "m") a0);
+  Util.check_bool "n->s1 not in α₀" false
+    (Eventset.mem (Util.ev "n" "s1" "m") a0);
+  Util.check_bool "x->y not in α₀" false
+    (Eventset.mem (Util.ev "x" "y" "m") a0)
+
+let test_noproj_ablation () =
+  (* Without projection, the Client/WriteAcc composition admits only ε
+     (Example 4's discussion). *)
+  let noproj = Compose.interface_noproj Ex.client Ex.write_acc in
+  let ok = Util.ev "c" "om" "OK" in
+  Util.check_bool "ε admitted" true
+    (Tset.mem ctx (Spec.tset noproj) Posl_trace.Trace.empty);
+  Util.check_bool "OK not admitted" false
+    (Tset.mem ctx (Spec.tset noproj) (Util.tr [ ok ]))
+
+(* Random-instance laws. *)
+let sc = Util.sc
+let gctx = Util.ctx
+let gen_iface o = Gen.interface_spec sc o
+let k0 = Oid.v "k0"
+let k1 = Oid.v "k1"
+
+let qsuite =
+  [
+    Util.qtest ~count:30 "Property 5: Γ‖Γ = Γ" (gen_iface k0) (fun g ->
+        Theory.is_pass (Theory.property5 gctx ~depth g));
+    Util.qtest ~count:30 "Lemma 6: upper bounds" (G.pair (gen_iface k0) (gen_iface k0))
+      (fun (g1, g2) -> Theory.is_pass (Theory.lemma6_refines gctx ~depth g1 g2));
+    Util.qtest ~count:20 "Lemma 6: weakest common refinement"
+      (G.pair (gen_iface k0) (gen_iface k0))
+      (fun (g1, g2) ->
+        (* Γ₁‖Γ₂ itself refines both, so use it as the ∆ of part 2. *)
+        let delta = Compose.interface g1 g2 in
+        not
+          (Theory.is_fail (Theory.lemma6_weakest gctx ~depth ~delta g1 g2)));
+    Util.qtest ~count:30 "composition commutative (trace sets)"
+      (G.pair (gen_iface k0) (gen_iface k1))
+      (fun (g, d) ->
+        not (Theory.is_fail (Theory.composition_commutative gctx ~depth g d)));
+    Util.qtest ~count:15 "composition associative (trace sets)"
+      (G.triple (gen_iface k0) (gen_iface k1) (Gen.interface_spec sc (Oid.v "e0")))
+      (fun (g, d, e) ->
+        not (Theory.is_fail (Theory.composition_associative gctx ~depth:4 g d e)));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "interface composition hides internals" `Quick
+      test_interface_hides_internal;
+    Alcotest.test_case "same-object composition: no hiding" `Quick
+      test_same_object_composition_no_hiding;
+    Alcotest.test_case "composability" `Quick test_composability;
+    Alcotest.test_case "internal event sets" `Quick test_internal_sets;
+    Alcotest.test_case "properness witness set α₀" `Quick
+      test_properness_witness;
+    Alcotest.test_case "no-projection ablation deadlocks" `Quick
+      test_noproj_ablation;
+  ]
+  @ qsuite

@@ -1,0 +1,100 @@
+(* Non-trivial consistency (Section 7 / Boiten et al.). *)
+
+open Posl_ident
+open Posl_sets
+module Consistency = Posl_core.Consistency
+module Spec = Posl_core.Spec
+module Tset = Posl_tset.Tset
+module Regex = Posl_regex.Regex
+module Epat = Posl_regex.Epat
+module Ex = Posl_core.Examples_paper
+
+let ctx = Util.paper_ctx
+let depth = 4
+
+let test_viewpoints_consistent () =
+  (* The paper's viewpoints of o are non-trivially consistent: their
+     merge admits real behaviour. *)
+  (match Consistency.check ctx ~depth Ex.write Ex.read2 with
+  | Consistency.Consistent h ->
+      Util.check_bool "witness non-empty" false
+        (Posl_trace.Trace.is_empty h)
+  | v -> Alcotest.failf "Write/Read2: %a" Consistency.pp_verdict v);
+  match Consistency.check ctx ~depth Ex.read Ex.write with
+  | Consistency.Consistent _ -> ()
+  | v -> Alcotest.failf "Read/Write: %a" Consistency.pp_verdict v
+
+let mk_order name first second =
+  (* prs (<x,o,first> <x,o,second>)* from the fixed client c. *)
+  let atom m =
+    Regex.atom
+      (Epat.make ~caller:(Epat.Const Ex.c) ~callee:(Epat.Const Ex.o)
+         (Mset.singleton m))
+  in
+  Spec.v ~name ~objs:[ Ex.o ]
+    ~alpha:
+      (Eventset.calls
+         ~callers:(Oset.cofin_of_list [ Ex.o ])
+         ~callees:(Oset.singleton Ex.o)
+         (Mset.of_list [ Ex.m_ow; Ex.m_cw ]))
+    (Tset.prs (Regex.star (Regex.seq (atom first) (atom second))))
+
+let test_contradicting_specs_trivial () =
+  (* One viewpoint insists OW before CW, the other CW before OW: the
+     weakest common refinement admits only ε. *)
+  let a = mk_order "OwFirst" Ex.m_ow Ex.m_cw in
+  let b = mk_order "CwFirst" Ex.m_cw Ex.m_ow in
+  match Consistency.check ctx ~depth a b with
+  | Consistency.Only_trivial -> ()
+  | v -> Alcotest.failf "expected trivial consistency: %a" Consistency.pp_verdict v
+
+let test_not_composable_reported () =
+  (* A spec peeking into another component's internals: consistency is
+     not externally determinable (the paper's proviso). *)
+  let nosy =
+    Spec.v ~name:"nosy"
+      ~objs:[ Oid.v "spy" ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.singleton (Oid.v "spy"))
+           ~callees:(Oset.singleton (Oid.v "s1"))
+           (Mset.singleton (Mth.v "m")))
+      Tset.all
+  in
+  let two =
+    Spec.v ~name:"two"
+      ~objs:[ Oid.v "s1"; Oid.v "s2"; Oid.v "spy" ]
+      ~alpha:
+        (Eventset.calls
+           ~callers:(Oset.cofin_of_list [ Oid.v "s1"; Oid.v "s2"; Oid.v "spy" ])
+           ~callees:(Oset.singleton (Oid.v "s2"))
+           (Mset.singleton (Mth.v "m")))
+      Tset.all
+  in
+  match Consistency.check ctx ~depth nosy two with
+  | Consistency.Not_composable _ -> ()
+  | v -> Alcotest.failf "expected not-composable: %a" Consistency.pp_verdict v
+
+let test_bound_property () =
+  (* RW refines both Read and Write, so it refines their composition. *)
+  match
+    Consistency.common_refinement_bound ctx ~depth ~delta:Ex.rw Ex.read
+      Ex.write
+  with
+  | Some (Ok _) -> ()
+  | Some (Error f) ->
+      Alcotest.failf "RW should refine Read‖Write: %a"
+        Posl_core.Refine.pp_failure f
+  | None -> Alcotest.fail "Read and Write should be composable"
+
+let suite =
+  [
+    Alcotest.test_case "paper viewpoints non-trivially consistent" `Quick
+      test_viewpoints_consistent;
+    Alcotest.test_case "contradicting orders: only trivial" `Quick
+      test_contradicting_specs_trivial;
+    Alcotest.test_case "non-composable reported" `Quick
+      test_not_composable_reported;
+    Alcotest.test_case "weakest common refinement bounds" `Quick
+      test_bound_property;
+  ]

@@ -1,0 +1,69 @@
+(* Counting constraints: incremental evaluation vs whole-trace
+   evaluation, and the paper's P_RW2 shape. *)
+
+open Posl_sets
+module Counting = Posl_tset.Counting
+module Trace = Posl_trace.Trace
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+
+let sc = Util.sc
+let probes = Eventset.sample sc.Gen.universe Eventset.full
+let gen_counting = Gen.counting_within sc probes
+let gen_trace = Gen.trace sc
+
+let mk_rw2 () = Posl_core.Examples_paper.rw_p2
+
+let test_rw2_shape () =
+  let c = mk_rw2 () in
+  let ow x = Util.ev x "o" "OW" and cw x = Util.ev x "o" "CW" in
+  let or_ x = Util.ev x "o" "OR" and cr x = Util.ev x "o" "CR" in
+  let sat h = Counting.satisfied_by c (Util.tr h) in
+  Util.check_bool "empty ok" true (sat []);
+  Util.check_bool "one OW ok" true (sat [ ow "c" ]);
+  Util.check_bool "two OW violates" false (sat [ ow "c"; ow "e1" ]);
+  Util.check_bool "OW CW OW ok" true (sat [ ow "c"; cw "c"; ow "e1" ]);
+  Util.check_bool "OR while OW open violates" false (sat [ ow "c"; or_ "e1" ]);
+  Util.check_bool "two readers ok" true (sat [ or_ "c"; or_ "e1" ]);
+  Util.check_bool "reader closes then writer ok" true
+    (sat [ or_ "c"; cr "c"; ow "e1" ])
+
+let test_incremental_matches_reference () =
+  let c = mk_rw2 () in
+  let h =
+    Util.tr [ Util.ev "c" "o" "OR"; Util.ev "e1" "o" "OR"; Util.ev "c" "o" "CR" ]
+  in
+  let final =
+    List.fold_left (Counting.bump c) (Counting.initial c) (Trace.to_list h)
+  in
+  Util.check_bool "incremental = reference" true
+    (Counting.holds c final = Counting.satisfied_by c h)
+
+let qsuite =
+  [
+    Util.qtest "incremental equals whole-trace evaluation"
+      (G.pair gen_counting gen_trace) (fun (c, h) ->
+        let final =
+          List.fold_left (Counting.bump c) (Counting.initial c)
+            (Trace.to_list h)
+        in
+        Counting.holds c final = Counting.satisfied_by c h);
+    Util.qtest "initial state holds iff ε satisfies" gen_counting (fun c ->
+        Counting.holds c (Counting.initial c) = Counting.satisfied_by c Trace.empty);
+    Util.qtest "bump is order-insensitive in value"
+      (G.triple gen_counting (G.oneofl probes) (G.oneofl probes))
+      (fun (c, e1, e2) ->
+        (* expression values are sums of per-event deltas, so the final
+           vector cannot depend on the order of two events *)
+        let v12 = Counting.bump c (Counting.bump c (Counting.initial c) e1) e2 in
+        let v21 = Counting.bump c (Counting.bump c (Counting.initial c) e2) e1 in
+        v12 = v21);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "P_RW2 shape (Example 3)" `Quick test_rw2_shape;
+    Alcotest.test_case "incremental vs reference" `Quick
+      test_incremental_matches_reference;
+  ]
+  @ qsuite

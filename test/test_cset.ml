@@ -1,0 +1,96 @@
+(* Finite/co-finite set algebra: the boolean-algebra laws that the
+   symbolic decision procedures rely on. *)
+
+open Posl_ident
+open Posl_sets
+module G = QCheck2.Gen
+
+(* Generator over a small name pool, mixing finite and co-finite sets. *)
+let pool = List.map Oid.v [ "a"; "b"; "c"; "d" ]
+
+let gen_oset : Oset.t G.t =
+  let open G in
+  let* cofinite = bool in
+  let* keeps = list_size (pure (List.length pool)) bool in
+  let support = List.filteri (fun i _ -> List.nth keeps i) pool in
+  pure (if cofinite then Oset.cofin_of_list support else Oset.of_list support)
+
+(* Membership probes: the pool plus one identifier outside it. *)
+let probes = pool @ [ Oid.v "zz_outside" ]
+
+let same_set a b =
+  (* Extensional check on probes, plus the exact decision procedure. *)
+  List.for_all (fun x -> Oset.mem x a = Oset.mem x b) probes
+  && Oset.equal a b
+
+let pair = G.pair gen_oset gen_oset
+let triple = G.triple gen_oset gen_oset gen_oset
+
+let qsuite =
+  [
+    Util.qtest "mem distributes over union" pair (fun (a, b) ->
+        List.for_all
+          (fun x -> Oset.mem x (Oset.union a b) = (Oset.mem x a || Oset.mem x b))
+          probes);
+    Util.qtest "mem distributes over inter" pair (fun (a, b) ->
+        List.for_all
+          (fun x -> Oset.mem x (Oset.inter a b) = (Oset.mem x a && Oset.mem x b))
+          probes);
+    Util.qtest "complement involutive" gen_oset (fun a ->
+        same_set a (Oset.compl (Oset.compl a)));
+    Util.qtest "de morgan" pair (fun (a, b) ->
+        same_set
+          (Oset.compl (Oset.union a b))
+          (Oset.inter (Oset.compl a) (Oset.compl b)));
+    Util.qtest "union commutative" pair (fun (a, b) ->
+        same_set (Oset.union a b) (Oset.union b a));
+    Util.qtest "inter associative" triple (fun (a, b, c) ->
+        same_set
+          (Oset.inter a (Oset.inter b c))
+          (Oset.inter (Oset.inter a b) c));
+    Util.qtest "diff = inter compl" pair (fun (a, b) ->
+        same_set (Oset.diff a b) (Oset.inter a (Oset.compl b)));
+    Util.qtest "subset agrees with membership" pair (fun (a, b) ->
+        (* subset is exact, so it must imply membership inclusion on
+           probes; and on this finite pool plus co-finite tails, probe
+           inclusion plus tail inclusion implies subset. *)
+        if Oset.subset a b then
+          List.for_all (fun x -> (not (Oset.mem x a)) || Oset.mem x b) probes
+        else true);
+    Util.qtest "disjoint iff empty inter" pair (fun (a, b) ->
+        Oset.disjoint a b = Oset.is_empty (Oset.inter a b));
+    Util.qtest "witness is a member" gen_oset (fun a ->
+        match Oset.witness a with
+        | None -> Oset.is_empty a
+        | Some x -> Oset.mem x a);
+    Util.qtest "sample = members of pool" gen_oset (fun a ->
+        List.equal Oid.equal
+          (Oset.sample pool a)
+          (List.filter (fun x -> Oset.mem x a) pool));
+  ]
+
+let test_singleton () =
+  let a = Oid.v "a" in
+  (match Oset.as_singleton (Oset.singleton a) with
+  | Some x -> Util.check_bool "singleton element" true (Oid.equal a x)
+  | None -> Alcotest.fail "singleton not recognised");
+  Util.check_bool "cofinite never singleton" true
+    (Option.is_none (Oset.as_singleton (Oset.cofin_of_list pool)));
+  Util.check_bool "two-element set not singleton" true
+    (Option.is_none (Oset.as_singleton (Oset.of_list [ a; Oid.v "b" ])))
+
+let test_full_empty () =
+  Util.check_bool "empty is empty" true (Oset.is_empty Oset.empty);
+  Util.check_bool "full is full" true (Oset.is_full Oset.full);
+  Util.check_bool "full not empty" false (Oset.is_empty Oset.full);
+  Util.check_bool "cofinite is infinite" false
+    (Oset.is_finite (Oset.cofin_of_list pool));
+  Util.check_bool "everything subset of full" true
+    (Oset.subset (Oset.of_list pool) Oset.full)
+
+let suite =
+  [
+    Alcotest.test_case "singleton recognition" `Quick test_singleton;
+    Alcotest.test_case "full/empty" `Quick test_full_empty;
+  ]
+  @ qsuite

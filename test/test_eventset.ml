@@ -1,0 +1,142 @@
+(* Symbolic event-set algebra: rectangles and their unions.  The
+   decision procedures must agree with concrete membership on every
+   event of an adequate universe sample — this is what makes the
+   static checks of the paper (alphabet inclusion, composability,
+   properness) trustworthy. *)
+
+open Posl_ident
+open Posl_sets
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+
+let sc = Util.sc
+let u = sc.Gen.universe
+
+(* Membership probes: every well-formed event over the universe. *)
+let probes = Eventset.sample u Eventset.full
+
+let gen_es = Gen.eventset sc
+let pair = G.pair gen_es gen_es
+let triple = G.triple gen_es gen_es gen_es
+
+let agree_on_probes f_sym f_conc (a, b) =
+  let c = f_sym a b in
+  List.for_all
+    (fun e -> Eventset.mem e c = f_conc (Eventset.mem e a) (Eventset.mem e b))
+    probes
+
+let qsuite =
+  [
+    Util.qtest "union is pointwise or" pair
+      (agree_on_probes Eventset.union ( || ));
+    Util.qtest "inter is pointwise and" pair
+      (agree_on_probes Eventset.inter ( && ));
+    Util.qtest "diff is pointwise and-not" pair
+      (agree_on_probes Eventset.diff (fun x y -> x && not y));
+    Util.qtest "compl is pointwise not" gen_es (fun a ->
+        let c = Eventset.compl a in
+        List.for_all (fun e -> Eventset.mem e c = not (Eventset.mem e a)) probes);
+    Util.qtest "is_empty iff no member in a covering sample" gen_es (fun a ->
+        (* The universe mentions every identifier the generator uses, so
+           emptiness over the sample coincides with symbolic emptiness
+           when the set is built from universe names only...  except for
+           co-finite components, which always have members outside the
+           sample.  The sound direction: symbolically empty sets have no
+           members at all. *)
+        if Eventset.is_empty a then
+          List.for_all (fun e -> not (Eventset.mem e a)) probes
+        else true);
+    Util.qtest "subset sound on probes" pair (fun (a, b) ->
+        if Eventset.subset a b then
+          List.for_all (fun e -> (not (Eventset.mem e a)) || Eventset.mem e b) probes
+        else true);
+    Util.qtest "subset complete: diff witnesses escape" pair (fun (a, b) ->
+        (* If not a ⊆ b, the symbolic difference is non-empty; check the
+           witness structure is usable by sampling a wider universe. *)
+        Eventset.subset a b
+        || not (Eventset.is_empty (Eventset.diff a b)));
+    Util.qtest "equal is extensional equality (on probes)" pair (fun (a, b) ->
+        if Eventset.equal a b then
+          List.for_all (fun e -> Eventset.mem e a = Eventset.mem e b) probes
+        else true);
+    Util.qtest "normalise preserves membership" gen_es (fun a ->
+        let n = Eventset.normalise a in
+        List.for_all (fun e -> Eventset.mem e a = Eventset.mem e n) probes);
+    Util.qtest "normalise never widens" gen_es (fun a ->
+        Eventset.width (Eventset.normalise a) <= Eventset.width a);
+    Util.qtest "sample members only" gen_es (fun a ->
+        List.for_all (fun e -> Eventset.mem e a) (Eventset.sample u a));
+    Util.qtest "sample complete for the universe" gen_es (fun a ->
+        let sampled = Eventset.sample u a in
+        List.for_all
+          (fun e ->
+            if Eventset.mem e a then
+              List.exists (Posl_trace.Event.equal e) sampled
+            else true)
+          probes);
+    Util.qtest "union associative (symbolic equal)" triple (fun (a, b, c) ->
+        Eventset.equal
+          (Eventset.union a (Eventset.union b c))
+          (Eventset.union (Eventset.union a b) c));
+    Util.qtest "de morgan (symbolic equal)" pair (fun (a, b) ->
+        Eventset.equal
+          (Eventset.compl (Eventset.union a b))
+          (Eventset.inter (Eventset.compl a) (Eventset.compl b)));
+  ]
+
+(* The diagonal rule: a rectangle whose caller and callee components are
+   the same singleton denotes the empty set of observable events. *)
+let test_diagonal () =
+  let o = Oid.v "o" in
+  let diag =
+    Rect.make ~callers:(Oset.singleton o) ~callees:(Oset.singleton o)
+      ~mths:Mset.full ~args:Argsel.full
+  in
+  Util.check_bool "diagonal rect empty" true (Rect.is_empty diag);
+  Util.check_bool "diagonal eventset empty" true
+    (Eventset.is_empty (Eventset.of_rect diag));
+  (* ... and I(o,o) of the paper is empty, enabling Property 5. *)
+  Util.check_bool "I(o,o) empty" true
+    (Eventset.is_empty (Posl_core.Internal.pair o o))
+
+let test_between_touching () =
+  let a = Oid.v "a" and b = Oid.v "b" and c = Oid.v "c" in
+  let ab = Eventset.between (Oset.singleton a) (Oset.singleton b) in
+  let m = Mth.v "m" in
+  Util.check_bool "a->b internal" true
+    (Eventset.mem (Posl_trace.Event.make ~caller:a ~callee:b m) ab);
+  Util.check_bool "b->a internal" true
+    (Eventset.mem (Posl_trace.Event.make ~caller:b ~callee:a m) ab);
+  Util.check_bool "a->c not internal" false
+    (Eventset.mem (Posl_trace.Event.make ~caller:a ~callee:c m) ab);
+  let touch_a = Eventset.touching (Oset.singleton a) in
+  Util.check_bool "a->c touches a" true
+    (Eventset.mem (Posl_trace.Event.make ~caller:a ~callee:c m) touch_a);
+  Util.check_bool "c->a touches a" true
+    (Eventset.mem (Posl_trace.Event.make ~caller:c ~callee:a m) touch_a);
+  Util.check_bool "b->c does not touch a" false
+    (Eventset.mem (Posl_trace.Event.make ~caller:b ~callee:c m) touch_a)
+
+let test_full_compl_empty () =
+  Util.check_bool "compl full = empty" true
+    (Eventset.is_empty (Eventset.compl Eventset.full));
+  Util.check_bool "compl empty = full" true
+    (Eventset.equal (Eventset.compl Eventset.empty) Eventset.full)
+
+let test_of_event () =
+  let e = Util.ev "a" "b" "m" in
+  let s = Eventset.of_event e in
+  Util.check_bool "own member" true (Eventset.mem e s);
+  Util.check_bool "other caller out" false
+    (Eventset.mem (Util.ev "c" "b" "m") s);
+  Util.check_bool "arg variant out" false
+    (Eventset.mem (Util.ev ~arg:(Value.v "d1") "a" "b" "m") s)
+
+let suite =
+  [
+    Alcotest.test_case "diagonal quotient" `Quick test_diagonal;
+    Alcotest.test_case "between/touching" `Quick test_between_touching;
+    Alcotest.test_case "full/empty complement" `Quick test_full_compl_empty;
+    Alcotest.test_case "of_event precision" `Quick test_of_event;
+  ]
+  @ qsuite

@@ -1,0 +1,60 @@
+(* Identifier domains and universes. *)
+
+open Posl_ident
+
+let test_basics () =
+  let a = Oid.v "a" and b = Oid.v "b" in
+  Util.check_bool "equal self" true (Oid.equal a a);
+  Util.check_bool "distinct" false (Oid.equal a b);
+  Util.check_int "compare reflexive" 0 (Oid.compare a a);
+  Alcotest.(check string) "name round-trip" "a" (Oid.name a)
+
+let test_empty_name_rejected () =
+  Alcotest.check_raises "empty name" (Invalid_argument "Id.v: empty name")
+    (fun () -> ignore (Oid.v ""))
+
+let test_fresh_outside () =
+  let s = Oid.Set.of_list [ Oid.v "obj1"; Oid.v "obj2" ] in
+  let f = Oid.fresh_outside s in
+  Util.check_bool "fresh not member" false (Oid.Set.mem f s)
+
+let test_fresh_many () =
+  let s = Oid.Set.of_list [ Oid.v "obj1" ] in
+  let fs = Oid.fresh_many_outside 5 s in
+  Util.check_int "five names" 5 (List.length fs);
+  Util.check_int "all distinct" 5
+    (List.length (List.sort_uniq Oid.compare fs));
+  List.iter
+    (fun f -> Util.check_bool "outside" false (Oid.Set.mem f s))
+    fs
+
+let test_universe_dup_rejected () =
+  Alcotest.check_raises "duplicate object"
+    (Invalid_argument "Universe.make: duplicate object") (fun () ->
+      ignore
+        (Universe.make
+           ~objects:[ Oid.v "a"; Oid.v "a" ]
+           ~methods:[] ~values:[]))
+
+let test_universe_extend () =
+  let u = Universe.make ~objects:[ Oid.v "a" ] ~methods:[ Mth.v "m" ] ~values:[] in
+  let u' = Universe.add_objects u [ Oid.v "b" ] in
+  Util.check_int "two objects" 2 (List.length (Universe.objects u'));
+  Util.check_int "size counts all" 3 (Universe.size u')
+
+let test_default_universe () =
+  let u = Universe.default () in
+  Util.check_bool "has o" true
+    (Oid.Set.mem (Oid.v "o") (Universe.object_set u))
+
+let suite =
+  [
+    Alcotest.test_case "identifier basics" `Quick test_basics;
+    Alcotest.test_case "empty name rejected" `Quick test_empty_name_rejected;
+    Alcotest.test_case "fresh_outside avoids the set" `Quick test_fresh_outside;
+    Alcotest.test_case "fresh_many distinct and outside" `Quick test_fresh_many;
+    Alcotest.test_case "universe rejects duplicates" `Quick
+      test_universe_dup_rejected;
+    Alcotest.test_case "universe extension" `Quick test_universe_extend;
+    Alcotest.test_case "default universe" `Quick test_default_universe;
+  ]

@@ -1,0 +1,133 @@
+(* The liveness extension (the paper's future work, Section 9):
+   deadlock freedom, response obligations, live refinement, and the
+   compositional deadlock-preservation analysis that makes Example 5's
+   phenomenon checkable. *)
+
+open Posl_sets
+module Live = Posl_live.Live
+module Spec = Posl_core.Spec
+module Compose = Posl_core.Compose
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+module Trace = Posl_trace.Trace
+module Ex = Posl_core.Examples_paper
+
+let ctx = Util.paper_ctx
+let depth = 6
+
+(* Obligation on the write protocol: every open OW is answerable by a
+   CW. *)
+let write_progress =
+  Live.obligation ~name:"write-bracket"
+    ~trigger:
+      (Eventset.calls ~callers:Oset.full ~callees:Oset.full
+         (Mset.singleton Ex.m_ow))
+    ~response:
+      (Eventset.calls ~callers:Oset.full ~callees:Oset.full
+         (Mset.singleton Ex.m_cw))
+
+let test_write_is_live () =
+  let lspec = Live.v ~obligations:[ write_progress ] Ex.write in
+  match Live.check ctx ~depth lspec with
+  | Ok _ -> ()
+  | Error v -> Alcotest.failf "Write should be live: %a" Live.pp_violation v
+
+let test_obligation_violation_detected () =
+  (* A spec where OW can never be answered: only OW events exist. *)
+  let alpha =
+    Eventset.calls
+      ~callers:(Oset.cofin_of_list [ Ex.o ])
+      ~callees:(Oset.singleton Ex.o)
+      (Mset.singleton Ex.m_ow)
+  in
+  let stuck = Spec.v ~name:"StuckOW" ~objs:[ Ex.o ] ~alpha Tset.all in
+  let lspec =
+    Live.v ~deadlock_free:false ~obligations:[ write_progress ] stuck
+  in
+  match Live.check ctx ~depth lspec with
+  | Error (Live.Unanswerable (ob, h)) ->
+      Alcotest.(check string) "right obligation" "write-bracket" ob.Live.name;
+      Util.check_bool "witness nonempty" false (Trace.is_empty h)
+  | Error (Live.Deadlock _) -> Alcotest.fail "expected unanswerable, got deadlock"
+  | Ok _ -> Alcotest.fail "expected an obligation violation"
+
+let test_deadlock_detected () =
+  let comp = Compose.interface Ex.client2 Ex.write_acc in
+  let lspec = Live.v comp in
+  match Live.check ctx ~depth lspec with
+  | Error (Live.Deadlock h) ->
+      Util.check_bool "deadlock at ε" true (Trace.is_empty h)
+  | Error (Live.Unanswerable _) -> Alcotest.fail "expected a deadlock"
+  | Ok _ -> Alcotest.fail "Client2‖WriteAcc should deadlock"
+
+let test_live_refinement_rejects_client2 () =
+  (* Safety refinement accepts Client2 ⊑ Client (Example 5)... *)
+  Util.check_bool "safety accepts" true
+    (Posl_core.Refine.refines ctx ~depth Ex.client2 Ex.client);
+  (* ... but live refinement, with an obligation that every W is
+     answerable by an OK confirmation, rejects it: after W OK OW, the
+     client must emit W before the next OK, and for WriteAcc-composed
+     behaviour this breaks — here we check the simpler, spec-local
+     obligation that the OW Client2 adds is itself answerable, which
+     fails because Client2 has no CW at all. *)
+  let ow_answerable =
+    Live.obligation ~name:"ow-answerable"
+      ~trigger:
+        (Eventset.calls ~callers:Oset.full ~callees:Oset.full
+           (Mset.singleton Ex.m_ow))
+      ~response:
+        (Eventset.calls ~callers:Oset.full ~callees:Oset.full
+           (Mset.singleton Ex.m_cw))
+  in
+  let abstract = Live.v ~deadlock_free:false Ex.client in
+  let refined =
+    Live.v ~deadlock_free:false ~obligations:[ ow_answerable ] Ex.client2
+  in
+  match Live.refine ctx ~depth refined abstract with
+  | Error (Live.Liveness (Live.Unanswerable _)) -> ()
+  | Error f ->
+      Alcotest.failf "wrong failure: %a" Live.pp_live_refinement_failure f
+  | Ok _ -> Alcotest.fail "live refinement should reject Client2"
+
+let test_live_refinement_accepts_read2 () =
+  let abstract = Live.v ~deadlock_free:false Ex.read in
+  let refined = Live.v ~deadlock_free:false Ex.read2 in
+  match Live.refine ctx ~depth refined abstract with
+  | Ok _ -> ()
+  | Error f ->
+      Alcotest.failf "Read2 should live-refine Read: %a"
+        Live.pp_live_refinement_failure f
+
+let test_compositional_deadlock_preservation () =
+  (* Example 5, as an analysis: Client → Client2 does NOT preserve
+     deadlock freedom of the composition with WriteAcc. *)
+  (match
+     Live.compositional_deadlock_preservation ctx ~depth ~gamma':Ex.client2
+       ~gamma:Ex.client ~delta:Ex.write_acc
+   with
+  | Error h -> Util.check_bool "fresh deadlock at ε" true (Trace.is_empty h)
+  | Ok () -> Alcotest.fail "expected the Example 5 deadlock");
+  (* Example 6's refinement is harmless: WriteAcc → RW2 preserves the
+     composition's deadlock freedom with Client. *)
+  match
+    Live.compositional_deadlock_preservation ctx ~depth ~gamma':Ex.rw2
+      ~gamma:Ex.write_acc ~delta:Ex.client
+  with
+  | Ok () -> ()
+  | Error h -> Alcotest.failf "unexpected deadlock after %a" Trace.pp h
+
+let suite =
+  [
+    Alcotest.test_case "Write satisfies its bracket obligation" `Quick
+      test_write_is_live;
+    Alcotest.test_case "unanswerable obligation detected" `Quick
+      test_obligation_violation_detected;
+    Alcotest.test_case "deadlock detected (Example 5)" `Quick
+      test_deadlock_detected;
+    Alcotest.test_case "live refinement rejects Client2" `Quick
+      test_live_refinement_rejects_client2;
+    Alcotest.test_case "live refinement accepts Read2 ⊑ Read" `Quick
+      test_live_refinement_accepts_read2;
+    Alcotest.test_case "compositional deadlock preservation" `Quick
+      test_compositional_deadlock_preservation;
+  ]

@@ -1,0 +1,51 @@
+(* The domain pool: equivalence with sequential map, exception
+   propagation, degradation cases. *)
+
+module Par = Posl_par.Par
+module G = QCheck2.Gen
+
+let test_small_input_sequential () =
+  (* Inputs shorter than 2×domains run sequentially. *)
+  Alcotest.(check (list int)) "tiny" [ 2; 4 ] (Par.map ~domains:4 (fun x -> 2 * x) [ 1; 2 ])
+
+let test_order_preserved () =
+  let xs = List.init 1000 Fun.id in
+  Alcotest.(check (list int))
+    "order" (List.map succ xs)
+    (Par.map ~domains:4 succ xs)
+
+let test_exception_propagates () =
+  let xs = List.init 100 Fun.id in
+  match Par.map ~domains:4 (fun x -> if x = 63 then failwith "boom" else x) xs with
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | _ -> Alcotest.fail "expected the worker failure to propagate"
+
+let test_empty () =
+  Alcotest.(check (list int)) "empty" [] (Par.map ~domains:4 succ [])
+
+let test_iter_side_effects () =
+  (* iter visits every element exactly once (atomic counter). *)
+  let counter = Atomic.make 0 in
+  Par.iter ~domains:4 (fun _ -> Atomic.incr counter) (List.init 500 Fun.id);
+  Util.check_int "count" 500 (Atomic.get counter)
+
+let qsuite =
+  [
+    Util.qtest ~count:50 "map agrees with List.map"
+      (G.pair (G.int_range 1 6) (G.list_size (G.int_bound 200) G.int))
+      (fun (domains, xs) ->
+        Par.map ~domains (fun x -> (3 * x) + 1) xs
+        = List.map (fun x -> (3 * x) + 1) xs);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "small inputs run sequentially" `Quick
+      test_small_input_sequential;
+    Alcotest.test_case "order preserved" `Quick test_order_preserved;
+    Alcotest.test_case "worker exceptions propagate" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "empty input" `Quick test_empty;
+    Alcotest.test_case "iter visits all" `Quick test_iter_side_effects;
+  ]
+  @ qsuite

@@ -1,0 +1,143 @@
+(* Regular expressions over events: derivative matching, the prs
+   relation, binder expansion, NFA compilation. *)
+
+open Posl_ident
+open Posl_sets
+module Epat = Posl_regex.Epat
+module Regex = Posl_regex.Regex
+module Trace = Posl_trace.Trace
+module Nfa = Posl_automata.Nfa
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+
+let sc = Util.sc
+let u = sc.Gen.universe
+let probes = Eventset.sample u Eventset.full
+let gen_regex = Gen.regex_within sc probes
+let gen_trace = Gen.trace ~max_len:5 sc
+
+let atom caller callee m =
+  Regex.atom
+    (Epat.make ~caller:(Epat.Const (Oid.v caller))
+       ~callee:(Epat.Const (Oid.v callee))
+       (Mset.singleton (Mth.v m)))
+
+let test_basic_matching () =
+  let r = Regex.seq (atom "a" "b" "m") (atom "b" "c" "n") in
+  Util.check_bool "full match" true
+    (Regex.matches r (Util.tr [ Util.ev "a" "b" "m"; Util.ev "b" "c" "n" ]));
+  Util.check_bool "prefix not full match" false
+    (Regex.matches r (Util.tr [ Util.ev "a" "b" "m" ]));
+  Util.check_bool "prefix prs" true
+    (Regex.prs r (Util.tr [ Util.ev "a" "b" "m" ]));
+  Util.check_bool "empty trace prs" true (Regex.prs r Trace.empty);
+  Util.check_bool "wrong event not prs" false
+    (Regex.prs r (Util.tr [ Util.ev "b" "c" "n" ]))
+
+let test_star () =
+  let r = Regex.star (atom "a" "b" "m") in
+  Util.check_bool "empty matches star" true (Regex.matches r Trace.empty);
+  Util.check_bool "three iterations" true
+    (Regex.matches r
+       (Util.tr [ Util.ev "a" "b" "m"; Util.ev "a" "b" "m"; Util.ev "a" "b" "m" ]))
+
+let test_smart_constructors () =
+  Util.check_bool "seq with empty" true (Regex.seq Regex.empty (atom "a" "b" "m") = Regex.empty);
+  Util.check_bool "alt unit" true (Regex.alt Regex.empty (atom "a" "b" "m") = atom "a" "b" "m");
+  Util.check_bool "star of eps" true (Regex.star Regex.eps = Regex.eps);
+  Util.check_bool "star idempotent" true
+    (Regex.star (Regex.star (atom "a" "b" "m"))
+    = Regex.star (atom "a" "b" "m"))
+
+let test_binder_expansion () =
+  (* [<x,k0,m0> • x ∈ U\{k0}]: after expansion over the universe, any
+     single call from a universe object to k0 matches. *)
+  let k0 = Oid.v "k0" in
+  let sort = Oset.cofin_of_list [ k0 ] in
+  let r =
+    Regex.bind "x" sort
+      (Regex.atom
+         (Epat.make ~caller:(Epat.Var "x") ~callee:(Epat.Const k0)
+            (Mset.singleton (Mth.v "m0"))))
+  in
+  Util.check_bool "not ground before expansion" false (Regex.is_ground r);
+  let ground = Regex.expand u r in
+  Util.check_bool "ground after expansion" true (Regex.is_ground ground);
+  Util.check_bool "e0 call matches" true
+    (Regex.matches ground (Util.tr [ Util.ev "e0" "k0" "m0" ]));
+  Util.check_bool "k1 call matches" true
+    (Regex.matches ground (Util.tr [ Util.ev "k1" "k0" "m0" ]));
+  (* Per-iteration binding: under a star, different objects may be bound
+     in different iterations (the paper's • semantics). *)
+  let star = Regex.expand u (Regex.star r) in
+  Util.check_bool "mixed callers match star of bind" true
+    (Regex.matches star
+       (Util.tr [ Util.ev "e0" "k0" "m0"; Util.ev "e1" "k0" "m0" ]))
+
+let test_binder_scoping () =
+  (* Substitution must not cross a shadowing binder. *)
+  let k0 = Oid.v "k0" in
+  let inner =
+    Regex.bind "x" (Oset.cofin_of_list [ k0 ])
+      (Regex.atom
+         (Epat.make ~caller:(Epat.Var "x") ~callee:(Epat.Const k0)
+            (Mset.singleton (Mth.v "m0"))))
+  in
+  let substituted = Regex.subst "x" (Oid.v "e0") inner in
+  Util.check_bool "shadowed binder untouched" true (substituted = inner)
+
+let word_of_trace events h =
+  List.map
+    (fun e ->
+      let rec find i = function
+        | [] -> Alcotest.fail "event not in alphabet"
+        | e' :: rest -> if Posl_trace.Event.equal e e' then i else find (i + 1) rest
+      in
+      find 0 (Array.to_list events))
+    (Trace.to_list h)
+
+let qsuite =
+  [
+    Util.qtest ~count:100 "nfa agrees with derivative matching"
+      (G.pair gen_regex (G.list_size (G.int_bound 4) (G.oneofl probes)))
+      (fun (r, events) ->
+        let h = Trace.of_list events in
+        let alphabet = Array.of_list probes in
+        let nfa = Regex.to_nfa ~events:alphabet r in
+        Nfa.accepts nfa (word_of_trace alphabet h) = Regex.matches r h);
+    Util.qtest ~count:100 "prs_dfa agrees with prs"
+      (G.pair gen_regex (G.list_size (G.int_bound 4) (G.oneofl probes)))
+      (fun (r, events) ->
+        let h = Trace.of_list events in
+        let alphabet = Array.of_list probes in
+        let dfa = Regex.prs_dfa ~events:alphabet r in
+        Posl_automata.Dfa.accepts dfa (word_of_trace alphabet h)
+        = Regex.prs r h);
+    Util.qtest "prs is prefix closed" (G.pair gen_regex gen_trace)
+      (fun (r, h) ->
+        if Regex.prs r h then
+          List.for_all (fun p -> Regex.prs r p) (Trace.prefixes h)
+        else true);
+    Util.qtest "matches implies prs" (G.pair gen_regex gen_trace) (fun (r, h) ->
+        (not (Regex.matches r h)) || Regex.prs r h);
+    Util.qtest "deriv unfolds matching" (G.pair gen_regex gen_trace) (fun (r, h) ->
+        match Trace.to_list h with
+        | [] -> true
+        | e :: rest ->
+            Regex.matches r h
+            = Regex.matches (Regex.deriv e r) (Trace.of_list rest));
+    Util.qtest "nonempty sound" gen_regex (fun r ->
+        (* If nonempty, prs ε must hold; if empty, nothing matches. *)
+        if Regex.nonempty r then Regex.prs r Trace.empty
+        else not (Regex.matches r Trace.empty));
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "basic matching and prs" `Quick test_basic_matching;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "smart constructors" `Quick test_smart_constructors;
+    Alcotest.test_case "binder expansion" `Quick test_binder_expansion;
+    Alcotest.test_case "binder scoping" `Quick test_binder_scoping;
+  ]
+  @ qsuite

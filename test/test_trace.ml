@@ -1,0 +1,88 @@
+(* Traces and the paper's filtering operators, including the filter law
+   used in the proof of Theorem 7. *)
+
+open Posl_ident
+module Trace = Posl_trace.Trace
+module G = QCheck2.Gen
+module Gen = Posl_gen.Gen
+module Eventset = Posl_sets.Eventset
+
+let sc = Util.sc
+let gen_trace = Gen.trace sc
+let gen_es = Gen.eventset sc
+
+let test_prefixes () =
+  let h = Util.tr [ Util.ev "a" "b" "m"; Util.ev "b" "c" "n"; Util.ev "c" "a" "m" ] in
+  let ps = Trace.prefixes h in
+  Util.check_int "four prefixes" 4 (List.length ps);
+  Util.check_bool "first is empty" true (Trace.is_empty (List.hd ps));
+  Util.check_bool "last is whole" true (Trace.equal h (List.nth ps 3));
+  Util.check_int "proper prefixes" 3 (List.length (Trace.proper_prefixes h))
+
+let test_restrict_obj () =
+  let a = Oid.v "a" in
+  let h = Util.tr [ Util.ev "a" "b" "m"; Util.ev "b" "c" "n"; Util.ev "c" "a" "m" ] in
+  let ha = Trace.restrict_obj a h in
+  Util.check_int "two events involve a" 2 (Trace.length ha)
+
+let test_count_mth () =
+  let h = Util.tr [ Util.ev "a" "b" "m"; Util.ev "b" "c" "n"; Util.ev "c" "a" "m" ] in
+  Util.check_int "#(h/m)" 2 (Trace.count_mth (Mth.v "m") h);
+  Util.check_int "#(h/n)" 1 (Trace.count_mth (Mth.v "n") h);
+  Util.check_int "#(h/x)" 0 (Trace.count_mth (Mth.v "x") h)
+
+let test_objects () =
+  let h = Util.tr [ Util.ev "a" "b" "m" ] in
+  let os = Trace.objects h in
+  Util.check_int "two objects" 2 (Oid.Set.cardinal os)
+
+let qsuite =
+  [
+    Util.qtest "prefixes ordered by length" gen_trace (fun h ->
+        let ps = Trace.prefixes h in
+        List.for_all2
+          (fun p i -> Trace.length p = i)
+          ps
+          (List.init (List.length ps) Fun.id));
+    Util.qtest "every prefix is a prefix" gen_trace (fun h ->
+        List.for_all (fun p -> Trace.is_prefix_of p h) (Trace.prefixes h));
+    Util.qtest "restrict then restrict = inter" (G.triple gen_trace gen_es gen_es)
+      (fun (h, s1, s2) ->
+        Trace.equal
+          (Eventset.restrict_trace s2 (Eventset.restrict_trace s1 h))
+          (Eventset.restrict_trace (Eventset.inter s1 s2) h));
+    Util.qtest "restrict idempotent" (G.pair gen_trace gen_es) (fun (h, s) ->
+        let once = Eventset.restrict_trace s h in
+        Trace.equal once (Eventset.restrict_trace s once));
+    Util.qtest "delete = restrict by complement" (G.pair gen_trace gen_es)
+      (fun (h, s) ->
+        Trace.equal
+          (Eventset.delete_trace s h)
+          (Eventset.restrict_trace (Eventset.compl s) h));
+    (* The law the proof of Theorem 7 invokes:
+       h/S1\S2 = h\S2/(S1−S2). *)
+    Util.qtest "filter law (Theorem 7 proof)" (G.triple gen_trace gen_es gen_es)
+      (fun (h, s1, s2) -> Posl_core.Theory.filter_law s1 s2 h);
+    Util.qtest "projection commutes with prefixes" (G.pair gen_trace gen_es)
+      (fun (h, s) ->
+        (* the projection of every prefix is a prefix of the
+           projection — the fact that makes projected trace sets
+           prefix closed *)
+        List.for_all
+          (fun p ->
+            Trace.is_prefix_of
+              (Eventset.restrict_trace s p)
+              (Eventset.restrict_trace s h))
+          (Trace.prefixes h));
+    Util.qtest "snoc grows by one" (G.pair gen_trace (Gen.event sc))
+      (fun (h, e) -> Trace.length (Trace.snoc h e) = Trace.length h + 1);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "prefixes" `Quick test_prefixes;
+    Alcotest.test_case "restrict to object" `Quick test_restrict_obj;
+    Alcotest.test_case "method counting" `Quick test_count_mth;
+    Alcotest.test_case "objects of a trace" `Quick test_objects;
+  ]
+  @ qsuite
