@@ -32,6 +32,10 @@ module Gen = Posl_gen.Gen
 module Ex = Posl_core.Examples_paper
 module Oid = Posl_ident.Oid
 module Mth = Posl_ident.Mth
+module Engine = Posl_engine.Engine
+module Job = Posl_engine.Job
+module Vcache = Posl_engine.Cache
+module Edigest = Posl_engine.Digest
 
 let universe = Spec.adequate_universe Ex.all_specs
 let ctx = Tset.ctx universe
@@ -659,6 +663,52 @@ let p3 () =
     [ 2; 4; 8; 16 ];
   Report.print t
 
+(* P4 — engine batch throughput: every ordered refinement pair over the
+   paper cast, scheduled across 1/2/4 domains, cold cache then warm
+   cache (the warm pass answers everything from the verdict store). *)
+let engine_batch ~depth =
+  List.concat_map
+    (fun g' ->
+      List.filter_map
+        (fun g ->
+          if g' == g then None
+          else
+            Some
+              (Engine.request ~depth ~universe
+                 (Job.Refine { refined = g'; abstract = g })))
+        Ex.all_specs)
+    Ex.all_specs
+
+let p4 () =
+  Report.section "P4: engine batch throughput (serial vs domains, cold vs warm)";
+  let batch = engine_batch ~depth:4 in
+  let t =
+    Report.create
+      [ "domains"; "cache"; "jobs"; "wall ms"; "hits"; "busy ms"; "util %" ]
+  in
+  List.iter
+    (fun domains ->
+      let cache = Vcache.create () in
+      let pass label =
+        let _, (stats : Engine.stats) =
+          Engine.run_batch ~domains ~cache batch
+        in
+        Report.add_row t
+          [
+            string_of_int domains;
+            label;
+            string_of_int stats.Engine.jobs;
+            Printf.sprintf "%.1f" stats.Engine.wall_ms;
+            string_of_int stats.Engine.cache_hits;
+            Printf.sprintf "%.1f" stats.Engine.busy_ms;
+            Printf.sprintf "%.0f" (100. *. stats.Engine.utilization);
+          ]
+      in
+      pass "cold";
+      pass "warm")
+    [ 1; 2; 4 ];
+  Report.print t
+
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
@@ -729,6 +779,18 @@ let bechamel_tests () =
            Eventset.diff
              (Eventset.union (Spec.alpha Ex.client) (Spec.alpha Ex.write_acc))
              (Internal.pair (Oid.v "c") (Oid.v "o"))));
+    (* P4: verdict-cache machinery — content digest of a query, and a
+       warm batch answered entirely from the cache *)
+    Test.make ~name:"P4/engine/digest"
+      (stage (fun () ->
+           Edigest.query ~universe ~depth:4
+             (Job.Refine { refined = Ex.rw2; abstract = Ex.write_acc })));
+    Test.make ~name:"P4/engine/warm-batch"
+      (stage
+         (let batch = engine_batch ~depth:3 in
+          let cache = Vcache.create () in
+          let _ = Engine.run_batch ~domains:1 ~cache batch in
+          fun () -> Engine.run_batch ~domains:1 ~cache batch));
   ]
 
 let run_bechamel () =
@@ -775,5 +837,6 @@ let () =
   p1 ();
   p2 ();
   p3 ();
+  p4 ();
   run_bechamel ();
   Format.printf "@.done.@."

@@ -7,19 +7,47 @@
      posl-check proper file.oun G' G D         -- properness (Def. 14)
      posl-check deadlock file.oun G D          -- deadlock of G ‖ D
      posl-check equal file.oun A B             -- trace-set equality
+     posl-check batch manifest                 -- batch of queries, engine-run
 
    Verdicts are printed with their confidence (exact for the sampled
    universe, or bounded by the exploration depth), and failures carry
-   counterexample traces. *)
+   counterexample traces.
+
+   Exit codes (CI contracts rely on these being distinct):
+     0   every checked property holds
+     1   a check ran and the property fails (refinement refuted,
+         deadlock found, not composable, ...)
+     2   input error: unreadable file, parse error, unknown spec name,
+         malformed manifest
+     124 command-line usage error (cmdliner) *)
 
 open Cmdliner
 module Spec = Posl_core.Spec
-module Refine = Posl_core.Refine
 module Compose = Posl_core.Compose
-module Theory = Posl_core.Theory
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
 module Lang = Posl_lang.Lang
+module Job = Posl_engine.Job
+module Engine = Posl_engine.Engine
+module Cache = Posl_engine.Cache
+module Report = Posl_report.Report
+
+let exit_verdict = 1
+let exit_input = 2
+
+(* A failed run is either a failed verdict (the check worked; the
+   property does not hold) or an input-side error.  CI scripts branch
+   on the difference. *)
+type run_error = Verdict of string | Input of string
+
+let code = function
+  | Ok () -> 0
+  | Error (Verdict msg) ->
+      Format.eprintf "%s@." msg;
+      exit_verdict
+  | Error (Input msg) ->
+      Format.eprintf "%s@." msg;
+      exit_input
 
 let read_whole_file path =
   let ic = open_in_bin path in
@@ -30,16 +58,17 @@ let read_whole_file path =
 let load file =
   match Lang.specs_of_file file with
   | Ok specs -> Ok specs
-  | Error e -> Error (Format.asprintf "%s: %a" file Lang.pp_error e)
-  | exception Sys_error m -> Error m
+  | Error e -> Error (Input (Format.asprintf "%s: %a" file Lang.pp_error e))
+  | exception Sys_error m -> Error (Input m)
 
 let find specs name =
   match Lang.lookup specs name with
   | Some s -> Ok s
   | None ->
       Error
-        (Format.asprintf "no spec named %s (file declares: %s)" name
-           (String.concat ", " (List.map Spec.name specs)))
+        (Input
+           (Format.asprintf "no spec named %s (file declares: %s)" name
+              (String.concat ", " (List.map Spec.name specs))))
 
 let context specs extra_objects =
   let universe = Spec.adequate_universe ~extra_objects specs in
@@ -49,7 +78,7 @@ let ( let* ) = Result.bind
 
 (* Shared options. *)
 let file_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"OUN-lite specification file.")
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"OUN-lite specification file.")
 
 let name_arg n docv =
   Arg.(required & pos n (some string) None & info [] ~docv ~doc:(docv ^ " specification name."))
@@ -60,148 +89,119 @@ let depth_arg =
 let extra_objects_arg =
   Arg.(value & opt int 2 & info [ "extra-objects" ] ~docv:"N" ~doc:"Fresh environment objects added to the universe sample.")
 
-let run_result = function
-  | Ok () -> `Ok ()
-  | Error msg -> `Error (false, msg)
+(* One query subcommand = load file, resolve names, run the job the
+   engine would run, print its verdict.  Batch answers and single-shot
+   answers agree by construction. *)
+let run_query file names depth extra make_query =
+  code
+    (let* specs = load file in
+     let* resolved =
+       List.fold_left
+         (fun acc n ->
+           let* acc = acc in
+           let* s = find specs n in
+           Ok (s :: acc))
+         (Ok []) names
+     in
+     let query = make_query (List.rev resolved) in
+     let ctx = context specs extra in
+     let verdict = Job.run ctx ~depth query in
+     Format.printf "%s: %s@." (Job.describe query) verdict.Job.detail;
+     (* compose additionally displays the composition itself *)
+     (match (query, verdict.Job.holds) with
+     | Job.Compose { left; right }, true -> (
+         match Compose.compose left right with
+         | Ok comp -> Format.printf "@.%a@." Spec.pp comp
+         | Error _ -> ())
+     | _ -> ());
+     if verdict.Job.holds then Ok ()
+     else Error (Verdict (Format.asprintf "check failed: %s" verdict.Job.detail)))
 
 (* show *)
 let show_cmd =
   let run file =
-    run_result
+    code
       (let* specs = load file in
        List.iter (fun s -> Format.printf "%a@.@." Spec.pp s) specs;
        Ok ())
   in
   Cmd.v (Cmd.info "show" ~doc:"Parse a specification file and display it.")
-    Term.(ret (const run $ file_arg))
+    Term.(const run $ file_arg)
 
 (* refine *)
 let refine_cmd =
   let run file refined abstract depth extra =
-    run_result
-      (let* specs = load file in
-       let* g' = find specs refined in
-       let* g = find specs abstract in
-       let ctx = context specs extra in
-       let verdict = Refine.check ctx ~depth g' g in
-       Format.printf "%s ⊑ %s: %a@." refined abstract Refine.pp_result verdict;
-       match verdict with Ok _ -> Ok () | Error _ -> Error "refinement refuted")
+    run_query file [ refined; abstract ] depth extra (function
+      | [ refined; abstract ] -> Job.Refine { refined; abstract }
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-        $ depth_arg $ extra_objects_arg))
+      const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
+      $ depth_arg $ extra_objects_arg)
 
 (* compose *)
 let compose_cmd =
-  let run file left right =
-    run_result
-      (let* specs = load file in
-       let* g = find specs left in
-       let* d = find specs right in
-       match Compose.compose g d with
-       | Ok comp ->
-           Format.printf "composable.@.@.%a@." Spec.pp comp;
-           Ok ()
-       | Error f ->
-           Error
-             (Format.asprintf "not composable: %a"
-                Compose.pp_composability_failure f))
+  let run file left right depth extra =
+    run_query file [ left; right ] depth extra (function
+      | [ left; right ] -> Job.Compose { left; right }
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
-    Term.(ret (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"))
+    Term.(
+      const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
+      $ extra_objects_arg)
 
 (* proper *)
 let proper_cmd =
-  let run file refined abstract ctx_name =
-    run_result
-      (let* specs = load file in
-       let* g' = find specs refined in
-       let* g = find specs abstract in
-       let* d = find specs ctx_name in
-       let a0 = Compose.alpha0 ~refined:g' ~abstract:g in
-       if Compose.proper ~refined:g' ~abstract:g ~context:d then begin
-         Format.printf "proper: α₀ ∩ α(%s) = ∅ (α₀ = %a)@." ctx_name
-           Posl_sets.Eventset.pp a0;
-         Ok ()
-       end
-       else
-         Error
-           (Format.asprintf
-              "not proper: α₀ meets α(%s); offending events: %a" ctx_name
-              Posl_sets.Eventset.pp
-              (Posl_sets.Eventset.normalise
-                 (Posl_sets.Eventset.inter a0 (Spec.alpha d)))))
+  let run file refined abstract ctx_name depth extra =
+    run_query file [ refined; abstract; ctx_name ] depth extra (function
+      | [ refined; abstract; context ] ->
+          Job.Proper { refined; abstract; context }
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "proper" ~doc:"Check properness of a refinement w.r.t. a context spec (Def. 14).")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-        $ name_arg 3 "CONTEXT"))
+      const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
+      $ name_arg 3 "CONTEXT" $ depth_arg $ extra_objects_arg)
 
 (* deadlock *)
 let deadlock_cmd =
   let run file left right depth extra =
-    run_result
-      (let* specs = load file in
-       let* g = find specs left in
-       let* d = find specs right in
-       let ctx = context specs extra in
-       let* comp =
-         Result.map_error
-           (Format.asprintf "not composable: %a"
-              Compose.pp_composability_failure)
-           (Compose.compose g d)
-       in
-       let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
-       match Bmc.find_deadlock ctx ~alphabet ~depth (Spec.tset comp) with
-       | None ->
-           Format.printf "no deadlock up to depth %d.@." depth;
-           Ok ()
-       | Some h ->
-           Error
-             (Format.asprintf "deadlock after %a" Posl_trace.Trace.pp h))
+    run_query file [ left; right ] depth extra (function
+      | [ left; right ] -> Job.Deadlock { left; right }
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
-        $ depth_arg $ extra_objects_arg))
+      const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
+      $ extra_objects_arg)
 
 (* equal *)
 let equal_cmd =
   let run file left right depth extra =
-    run_result
-      (let* specs = load file in
-       let* a = find specs left in
-       let* b = find specs right in
-       let ctx = context specs extra in
-       match Theory.tset_equal ctx ~depth a b with
-       | Theory.Pass c ->
-           Format.printf "trace sets equal [%a]@." Bmc.pp_confidence c;
-           Ok ()
-       | Theory.Vacuous why -> Error why
-       | Theory.Fail why -> Error why)
+    run_query file [ left; right ] depth extra (function
+      | [ left; right ] -> Job.Equal { left; right }
+      | _ -> assert false)
   in
   Cmd.v
     (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
-        $ depth_arg $ extra_objects_arg))
+      const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
+      $ extra_objects_arg)
 
 (* run: evaluate the assert statements of a file *)
 let run_cmd =
   let run file depth extra =
-    run_result
+    code
       (match Posl_lang.Lang.parse_string (read_whole_file file) with
+      | exception Sys_error m -> Error (Input m)
       | Error e ->
-          Error (Format.asprintf "%s: %a" file Posl_lang.Lang.pp_error e)
+          Error (Input (Format.asprintf "%s: %a" file Posl_lang.Lang.pp_error e))
       | Ok ast -> (
           match
             Posl_lang.Runner.run_file ~depth ~extra_objects:extra ast
@@ -216,22 +216,24 @@ let run_cmd =
               Format.printf "%d assertion(s), %d failure(s)@."
                 (List.length results) failures;
               if failures = 0 then Ok ()
-              else Error "assertions failed"
+              else Error (Verdict "assertions failed")
           | exception Posl_lang.Runner.Unknown_spec (name, pos) ->
               Error
-                (Format.asprintf "%a: unknown spec %s" Posl_lang.Ast.pp_pos pos
-                   name)
+                (Input
+                   (Format.asprintf "%a: unknown spec %s" Posl_lang.Ast.pp_pos
+                      pos name))
           | exception Posl_lang.Lang.Error (message, pos) ->
-              Error (Format.asprintf "%a: %s" Posl_lang.Ast.pp_pos pos message)))
+              Error
+                (Input (Format.asprintf "%a: %s" Posl_lang.Ast.pp_pos pos message))))
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Evaluate the assert statements of a specification file.")
-    Term.(ret (const run $ file_arg $ depth_arg $ extra_objects_arg))
+    Term.(const run $ file_arg $ depth_arg $ extra_objects_arg)
 
 (* simulate: random walk through a spec's monitor *)
 let simulate_cmd =
   let run file name steps seed extra =
-    run_result
+    code
       (let* specs = load file in
        let* s = find specs name in
        let ctx = context specs extra in
@@ -264,14 +266,13 @@ let simulate_cmd =
   Cmd.v
     (Cmd.info "simulate" ~doc:"Random walk through a specification's admissible traces.")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "SPEC" $ steps_arg $ seed_arg
-        $ extra_objects_arg))
+      const run $ file_arg $ name_arg 1 "SPEC" $ steps_arg $ seed_arg
+      $ extra_objects_arg)
 
 (* consistent: non-trivial consistency of two specs *)
 let consistent_cmd =
   let run file left right depth extra =
-    run_result
+    code
       (let* specs = load file in
        let* a = find specs left in
        let* b = find specs right in
@@ -282,23 +283,259 @@ let consistent_cmd =
              Posl_trace.Trace.pp h;
            Ok ()
        | Posl_core.Consistency.Only_trivial ->
-           Error "only trivially consistent (the specs contradict each other)"
+           Error
+             (Verdict
+                "only trivially consistent (the specs contradict each other)")
        | Posl_core.Consistency.Not_composable f ->
            Error
-             (Format.asprintf
-                "not composable, consistency not externally determinable: %a"
-                Compose.pp_composability_failure f))
+             (Verdict
+                (Format.asprintf
+                   "not composable, consistency not externally determinable: %a"
+                   Compose.pp_composability_failure f)))
   in
   Cmd.v
     (Cmd.info "consistent" ~doc:"Check non-trivial consistency of two specs (Section 7).")
     Term.(
-      ret
-        (const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT"
-        $ depth_arg $ extra_objects_arg))
+      const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
+      $ extra_objects_arg)
+
+(* ------------------------------------------------------------------ *)
+(* batch: a manifest of queries, answered by the engine                *)
+(* ------------------------------------------------------------------ *)
+
+(* Manifest grammar, line-oriented ('#' and '//' start comments):
+
+     use FILE            switch the current spec file (relative paths
+                         resolve against the manifest's directory)
+     depth N             exploration depth for subsequent queries
+     refine G' G
+     compose G D
+     proper G' G D
+     deadlock G D
+     equal A B
+*)
+let parse_manifest ~default_depth ~extra path =
+  let dir = Filename.dirname path in
+  let resolve f = if Filename.is_relative f then Filename.concat dir f else f in
+  let text =
+    try Ok (read_whole_file path) with Sys_error m -> Error (Input m)
+  in
+  let* text = text in
+  let lines = String.split_on_char '\n' text in
+  (* '#' and '//' comments, without pulling in a string library *)
+  let strip line =
+    let cut_at i = String.sub line 0 i in
+    let line =
+      match String.index_opt line '#' with Some i -> cut_at i | None -> line
+    in
+    let rec slash i =
+      if i + 1 >= String.length line then line
+      else if line.[i] = '/' && line.[i + 1] = '/' then String.sub line 0 i
+      else slash (i + 1)
+    in
+    String.trim (slash 0)
+  in
+  let files : (string, Spec.t list * Posl_ident.Universe.t) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  let load_file f =
+    match Hashtbl.find_opt files f with
+    | Some v -> Ok v
+    | None ->
+        let* specs = load f in
+        let universe = Spec.adequate_universe ~extra_objects:extra specs in
+        let v = (specs, universe) in
+        Hashtbl.add files f v;
+        Ok v
+  in
+  let err lineno msg =
+    Error (Input (Printf.sprintf "%s:%d: %s" path lineno msg))
+  in
+  let rec go lineno current depth acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let words =
+          strip line |> String.split_on_char ' '
+          |> List.filter (fun w -> w <> "")
+        in
+        let with_specs names k =
+          match current with
+          | None -> err lineno "no 'use FILE' before the first query"
+          | Some (file, specs, universe) ->
+              let* resolved =
+                List.fold_left
+                  (fun acc n ->
+                    let* acc = acc in
+                    match Lang.lookup specs n with
+                    | Some s -> Ok (s :: acc)
+                    | None ->
+                        err lineno
+                          (Printf.sprintf "no spec named %s in %s" n file))
+                  (Ok []) names
+              in
+              let query = k (List.rev resolved) in
+              let label =
+                Printf.sprintf "%s: %s" (Filename.basename file)
+                  (Job.describe query)
+              in
+              let req = Engine.request ~label ~depth ~universe query in
+              go (lineno + 1) current depth (req :: acc) rest
+        in
+        match words with
+        | [] -> go (lineno + 1) current depth acc rest
+        | [ "use"; f ] ->
+            let f = resolve f in
+            let* specs, universe = load_file f in
+            go (lineno + 1) (Some (f, specs, universe)) depth acc rest
+        | [ "depth"; n ] -> (
+            match int_of_string_opt n with
+            | Some d when d >= 0 -> go (lineno + 1) current d acc rest
+            | Some _ | None -> err lineno ("bad depth: " ^ n))
+        | [ "refine"; g'; g ] ->
+            with_specs [ g'; g ] (function
+              | [ refined; abstract ] -> Job.Refine { refined; abstract }
+              | _ -> assert false)
+        | [ "compose"; g; d ] ->
+            with_specs [ g; d ] (function
+              | [ left; right ] -> Job.Compose { left; right }
+              | _ -> assert false)
+        | [ "proper"; g'; g; d ] ->
+            with_specs [ g'; g; d ] (function
+              | [ refined; abstract; context ] ->
+                  Job.Proper { refined; abstract; context }
+              | _ -> assert false)
+        | [ "deadlock"; g; d ] ->
+            with_specs [ g; d ] (function
+              | [ left; right ] -> Job.Deadlock { left; right }
+              | _ -> assert false)
+        | [ "equal"; a; b ] ->
+            with_specs [ a; b ] (function
+              | [ left; right ] -> Job.Equal { left; right }
+              | _ -> assert false)
+        | w :: _ -> err lineno ("unknown manifest directive: " ^ w))
+  in
+  go 1 None default_depth [] lines
+
+(* Minimal JSON printing; string details may carry UTF-8, which passes
+   through JSON strings byte-for-byte. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_stats (s : Engine.stats) ~failed =
+  Printf.sprintf
+    "{\"jobs\":%d,\"failed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
+     \"uncacheable\":%d,\"busy_ms\":%.3f,\"wall_ms\":%.3f,\"domains\":%d,\
+     \"utilization\":%.4f}"
+    s.Engine.jobs failed s.Engine.cache_hits s.Engine.cache_misses
+    s.Engine.uncacheable s.Engine.busy_ms s.Engine.wall_ms s.Engine.domains
+    s.Engine.utilization
+
+let json_of_result (r : Engine.result) =
+  let confidence =
+    match r.Engine.verdict.Job.confidence with
+    | None -> "null"
+    | Some c -> Printf.sprintf "\"%s\"" (Format.asprintf "%a" Bmc.pp_confidence c)
+  in
+  Printf.sprintf
+    "{\"label\":\"%s\",\"kind\":\"%s\",\"depth\":%d,\"holds\":%b,\
+     \"confidence\":%s,\"cached\":%b,\"ms\":%.3f,\"detail\":\"%s\"}"
+    (json_escape r.Engine.request.Engine.label)
+    (Job.kind r.Engine.request.Engine.query)
+    r.Engine.request.Engine.depth r.Engine.verdict.Job.holds confidence
+    r.Engine.cached r.Engine.ms
+    (json_escape r.Engine.verdict.Job.detail)
+
+let batch_cmd =
+  let manifest_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
+         ~doc:"Query manifest ('use FILE', then one query per line).")
+  in
+  let domains_arg =
+    Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N"
+         ~doc:"Worker domains (default: POSL_DOMAINS or the machine's).")
+  in
+  let json_arg =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
+         ~doc:"Write the full machine-readable result list to this file.")
+  in
+  let run manifest depth extra domains json_path =
+    code
+      (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
+       if requests = [] then Error (Input (manifest ^ ": no queries"))
+       else begin
+         let results, stats = Engine.run_batch ?domains requests in
+         let table =
+           Report.create [ "#"; "query"; "verdict"; "cached"; "ms" ]
+         in
+         List.iteri
+           (fun i (r : Engine.result) ->
+             Report.add_row table
+               [
+                 string_of_int (i + 1);
+                 r.Engine.request.Engine.label;
+                 Format.asprintf "%a" Job.pp_verdict r.Engine.verdict;
+                 (if r.Engine.cached then "hit" else "");
+                 Printf.sprintf "%.1f" r.Engine.ms;
+               ])
+           results;
+         Report.print table;
+         let failed =
+           List.length
+             (List.filter
+                (fun (r : Engine.result) -> not r.Engine.verdict.Job.holds)
+                results)
+         in
+         Format.printf "@.%a@." Engine.pp_stats stats;
+         Format.printf "%s@." (json_of_stats stats ~failed);
+         let* () =
+           match json_path with
+           | None -> Ok ()
+           | Some path -> (
+               try
+                 let oc = open_out path in
+                 Fun.protect
+                   ~finally:(fun () -> close_out_noerr oc)
+                   (fun () ->
+                     output_string oc
+                       (Printf.sprintf "{\"stats\":%s,\"results\":[%s]}\n"
+                          (json_of_stats stats ~failed)
+                          (String.concat ","
+                             (List.map json_of_result results))));
+                 Ok ()
+               with Sys_error m -> Error (Input m))
+         in
+         if failed = 0 then Ok ()
+         else
+           Error
+             (Verdict
+                (Printf.sprintf "%d of %d quer%s failed" failed
+                   (List.length results)
+                   (if List.length results = 1 then "y" else "ies")))
+       end)
+  in
+  Cmd.v
+    (Cmd.info "batch"
+       ~doc:"Answer a manifest of queries with the parallel batch engine.")
+    Term.(
+      const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
+      $ json_arg)
 
 let main_cmd =
   let doc = "composition and refinement checker for partial object specifications" in
-  let info = Cmd.info "posl-check" ~version:"1.0.0" ~doc in
+  let info = Cmd.info "posl-check" ~version:"1.1.0" ~doc in
   Cmd.group info
     [
       show_cmd;
@@ -310,6 +547,7 @@ let main_cmd =
       run_cmd;
       simulate_cmd;
       consistent_cmd;
+      batch_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () = exit (Cmd.eval' main_cmd)

@@ -57,7 +57,10 @@ module Explore = struct
       if frontier = [] then Ok true
       else if d >= depth then Ok false
       else begin
-        let expanded = Posl_par.Par.map ?domains expand frontier in
+        (* Dynamic scheduling: successor fan-out varies widely between
+           frontier states (dead states are cheap, product closures are
+           not), which starves static partitions. *)
+        let expanded = Posl_par.Par.map_dyn ?domains expand frontier in
         let result = ref None in
         let next = ref [] in
         List.iter

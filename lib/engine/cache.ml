@@ -1,0 +1,22 @@
+(** Content-addressed verdict cache: a mutex-protected hash table
+    shared by all worker domains.  Lookups and inserts are short
+    critical sections around pure data; the heavy work (running the
+    job) happens outside the lock, so a miss by two domains at once
+    merely computes the same verdict twice and inserts it twice —
+    identical values, last write wins. *)
+
+type t = {
+  lock : Mutex.t;
+  table : (Digest.t, Job.verdict) Hashtbl.t;
+}
+
+let create () = { lock = Mutex.create (); table = Hashtbl.create 256 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let find t key = locked t (fun () -> Hashtbl.find_opt t.table key)
+let add t key verdict = locked t (fun () -> Hashtbl.replace t.table key verdict)
+let size t = locked t (fun () -> Hashtbl.length t.table)
+let clear t = locked t (fun () -> Hashtbl.reset t.table)

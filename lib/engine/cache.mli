@@ -1,0 +1,16 @@
+(** Content-addressed verdict cache.
+
+    Maps {!Digest.t} keys to {!Job.verdict}s under a mutex, so worker
+    domains share one store.  Verdicts are pure data and a pure
+    function of their digest (see {!Digest}), so a racing double-insert
+    of the same key is harmless — both writers carry the same value.
+    A cache outlives a batch: passing the same cache to a later
+    {!Engine.run_batch} is what "warm" means. *)
+
+type t
+
+val create : unit -> t
+val find : t -> Digest.t -> Job.verdict option
+val add : t -> Digest.t -> Job.verdict -> unit
+val size : t -> int
+val clear : t -> unit

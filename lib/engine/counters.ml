@@ -1,0 +1,49 @@
+(** Lightweight engine statistics over [Atomic] counters.  Workers on
+    any domain may bump them concurrently; snapshots are taken after
+    join, so they are exact. *)
+
+type t = {
+  jobs : int Atomic.t;
+  hits : int Atomic.t;
+  misses : int Atomic.t;
+  uncacheable : int Atomic.t;
+  busy_ns : int Atomic.t;
+}
+
+let create () =
+  {
+    jobs = Atomic.make 0;
+    hits = Atomic.make 0;
+    misses = Atomic.make 0;
+    uncacheable = Atomic.make 0;
+    busy_ns = Atomic.make 0;
+  }
+
+let incr_jobs t = Atomic.incr t.jobs
+let incr_hits t = Atomic.incr t.hits
+let incr_misses t = Atomic.incr t.misses
+let incr_uncacheable t = Atomic.incr t.uncacheable
+
+let add_busy_ns t ns = ignore (Atomic.fetch_and_add t.busy_ns ns)
+
+type snapshot = {
+  jobs : int;
+  hits : int;
+  misses : int;
+  uncacheable : int;
+  busy_ms : float;
+}
+
+let snapshot (c : t) : snapshot =
+  {
+    jobs = Atomic.get c.jobs;
+    hits = Atomic.get c.hits;
+    misses = Atomic.get c.misses;
+    uncacheable = Atomic.get c.uncacheable;
+    busy_ms = float_of_int (Atomic.get c.busy_ns) /. 1e6;
+  }
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "jobs=%d hits=%d misses=%d uncacheable=%d busy=%.1fms" s.jobs s.hits
+    s.misses s.uncacheable s.busy_ms

@@ -1,0 +1,26 @@
+(** Lightweight engine statistics: lock-free atomic counters bumped by
+    worker domains, snapshotted into plain integers for reporting. *)
+
+type t
+
+val create : unit -> t
+val incr_jobs : t -> unit
+val incr_hits : t -> unit
+val incr_misses : t -> unit
+val incr_uncacheable : t -> unit
+
+val add_busy_ns : t -> int -> unit
+(** Accumulate one job's wall time (summed across workers, it measures
+    total useful work; divided by elapsed wall time × domains, worker
+    utilization). *)
+
+type snapshot = {
+  jobs : int;  (** jobs answered, cached or computed *)
+  hits : int;  (** verdicts served from the cache *)
+  misses : int;  (** verdicts computed and inserted *)
+  uncacheable : int;  (** jobs with no content address (opaque tsets) *)
+  busy_ms : float;  (** summed per-job wall time *)
+}
+
+val snapshot : t -> snapshot
+val pp_snapshot : Format.formatter -> snapshot -> unit

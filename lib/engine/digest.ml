@@ -1,0 +1,102 @@
+(** Content-addressed keys for check jobs: MD5 over a canonical
+    serialization of (query kind, spec bodies, universe, depth).
+
+    The serialization is length-prefixed per field, so concatenated
+    fields can never alias across field boundaries, and every
+    constructor is tagged.  Verdicts are a pure function of the
+    serialized data: the checkers consult specifications only through
+    their object sets, alphabets and trace-set monitors, all of which
+    are serialized below (with [Forall_obj] bodies expanded at every
+    universe member of their sort — the only objects a monitor over the
+    sampled alphabet can touch). *)
+
+module Spec = Posl_core.Spec
+module Tset = Posl_tset.Tset
+module Counting = Posl_tset.Counting
+module Regex = Posl_regex.Regex
+module Eventset = Posl_sets.Eventset
+module Oset = Posl_sets.Oset
+open Posl_ident
+
+type t = string
+
+exception Opaque
+(** A [Pointwise] trace set: an arbitrary OCaml function, no content
+    address. *)
+
+let field buf s =
+  Buffer.add_string buf (string_of_int (String.length s));
+  Buffer.add_char buf ':';
+  Buffer.add_string buf s
+
+let fieldf buf fmt = Format.kasprintf (field buf) fmt
+
+let rec ser_tset buf ~(universe : Universe.t) (t : Tset.t) =
+  match t with
+  | Tset.All -> field buf "all"
+  | Tset.Prs r ->
+      field buf "prs";
+      fieldf buf "%a" Regex.pp r
+  | Tset.Counting c ->
+      field buf "count";
+      fieldf buf "%a" Counting.pp c
+  | Tset.Pointwise _ -> raise Opaque
+  | Tset.Forall_obj (sort, body) ->
+      field buf "forall";
+      fieldf buf "%a" Oset.pp sort;
+      List.iter
+        (fun o ->
+          if Oset.mem o sort then begin
+            fieldf buf "%a" Oid.pp o;
+            ser_tset buf ~universe (body o)
+          end)
+        (Universe.objects universe)
+  | Tset.Conj ts ->
+      field buf "conj";
+      field buf (string_of_int (List.length ts));
+      List.iter (ser_tset buf ~universe) ts
+  | Tset.Restrict (es, t') ->
+      field buf "restrict";
+      fieldf buf "%a" Eventset.pp (Eventset.normalise es);
+      ser_tset buf ~universe t'
+  | Tset.Product (parts, vis) ->
+      field buf "product";
+      fieldf buf "%a" Eventset.pp (Eventset.normalise vis);
+      field buf (string_of_int (List.length parts));
+      List.iter
+        (fun (p : Tset.part) ->
+          fieldf buf "%a" Eventset.pp (Eventset.normalise p.Tset.part_alpha);
+          ser_tset buf ~universe p.Tset.part_tset)
+        parts
+
+(* The name is included deliberately: verdict details embed spec names
+   (counterexample context, composition labels), so two same-bodied but
+   differently-named specs must not share a cached verdict verbatim. *)
+let ser_spec buf ~universe s =
+  field buf (Spec.name s);
+  fieldf buf "%a"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_space Oid.pp)
+    (Oid.Set.elements (Spec.objs s));
+  fieldf buf "%a" Eventset.pp (Eventset.normalise (Spec.alpha s));
+  ser_tset buf ~universe (Spec.tset s)
+
+let serialize ~(universe : Universe.t) ~depth query =
+  let buf = Buffer.create 512 in
+  field buf (Job.kind query);
+  field buf (string_of_int depth);
+  fieldf buf "%a" Universe.pp universe;
+  List.iter (ser_spec buf ~universe) (Job.specs query);
+  Buffer.contents buf
+
+let query ~universe ~depth q =
+  match serialize ~universe ~depth q with
+  | s -> Some (Stdlib.Digest.to_hex (Stdlib.Digest.string s))
+  | exception Opaque -> None
+
+let spec_key ~universe s =
+  let buf = Buffer.create 256 in
+  match ser_spec buf ~universe s with
+  | () -> Some (Buffer.contents buf)
+  | exception Opaque -> None
+
+let pp = Format.pp_print_string

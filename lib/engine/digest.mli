@@ -1,0 +1,31 @@
+(** Content-addressed keys for check jobs.
+
+    A digest is an MD5 over a canonical serialization of
+    (query kind, specification bodies, universe sample, depth) — the
+    complete input of {!Job.run} — so the verdict cache answers
+    repeated and overlapping obligations by content, not by manifest
+    position or file identity.
+
+    Trace sets are serialized {e structurally}: [Forall_obj] bodies are
+    expanded at every universe member of their sort (exactly the
+    objects a monitor over the sampled alphabet can ever touch), so
+    the key captures everything the verdict can depend on.
+    [Pointwise] trace sets carry an opaque OCaml function and admit no
+    content address; queries touching one are reported uncacheable
+    ({!query} returns [None]) and the engine simply recomputes them. *)
+
+module Spec = Posl_core.Spec
+open Posl_ident
+
+type t = string
+(** Hex MD5. *)
+
+val query : universe:Universe.t -> depth:int -> Job.query -> t option
+(** [None] iff some specification's trace set contains an opaque
+    [Pointwise] predicate. *)
+
+val spec_key : universe:Universe.t -> Spec.t -> string option
+(** The canonical serialization of one specification body (exposed for
+    collision tests); [None] on opaque trace sets. *)
+
+val pp : Format.formatter -> t -> unit

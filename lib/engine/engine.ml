@@ -1,0 +1,148 @@
+(** The batch verification engine: dynamic scheduling of check jobs
+    over domains + content-addressed verdict caching.
+
+    Design notes.
+
+    - {e Batch-level parallelism only.}  Jobs fan out over
+      {!Posl_par.Par.map_dyn}; each job's own exploration runs with
+      [~domains:1].  Nesting domain pools oversubscribes the machine,
+      and verification batches have enough inter-job parallelism.
+    - {e Domain-local monitor contexts.}  [Tset.ctx] memoizes compiled
+      prs-automata in an unsynchronized hash table, so a context must
+      never be shared across domains.  Each worker lazily builds its
+      own context per universe (keyed physically: requests from one
+      manifest file share one universe value).
+    - {e Shared verdict cache.}  The {!Cache} is mutex-protected and
+      holds pure data; hits return the stored verdict without touching
+      any monitor. *)
+
+module Spec = Posl_core.Spec
+module Tset = Posl_tset.Tset
+module Par = Posl_par.Par
+open Posl_ident
+
+type request = {
+  label : string;
+  query : Job.query;
+  depth : int;
+  universe : Universe.t;
+}
+
+let request ?label ?(depth = 6) ~universe query =
+  let label = match label with Some l -> l | None -> Job.describe query in
+  { label; query; depth; universe }
+
+let of_specs ?label ?depth ?extra_objects query =
+  let universe =
+    Spec.adequate_universe ?extra_objects (Job.specs query)
+  in
+  request ?label ?depth ~universe query
+
+type result = {
+  request : request;
+  verdict : Job.verdict;
+  cached : bool;
+  digest : Digest.t option;
+  ms : float;
+}
+
+type stats = {
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+  uncacheable : int;
+  busy_ms : float;
+  wall_ms : float;
+  domains : int;
+  utilization : float;
+}
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d job%s on %d domain%s in %.1f ms (busy %.1f ms, utilization %.0f%%): \
+     %d cache hit%s, %d miss%s%s"
+    s.jobs
+    (if s.jobs = 1 then "" else "s")
+    s.domains
+    (if s.domains = 1 then "" else "s")
+    s.wall_ms s.busy_ms
+    (100. *. s.utilization)
+    s.cache_hits
+    (if s.cache_hits = 1 then "" else "s")
+    s.cache_misses
+    (if s.cache_misses = 1 then "" else "es")
+    (if s.uncacheable = 0 then ""
+     else Printf.sprintf ", %d uncacheable" s.uncacheable)
+
+(* Worker-local monitor contexts, one per universe, keyed physically:
+   the batch builder passes the same universe value for every request
+   against one spec file, and a fresh [Tset.ctx] per domain keeps the
+   unsynchronized prs-compilation cache single-domain. *)
+let ctx_key : (Universe.t * Tset.ctx) list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let ctx_for universe =
+  let known = Domain.DLS.get ctx_key in
+  match List.find_opt (fun (u, _) -> u == universe) !known with
+  | Some (_, ctx) -> ctx
+  | None ->
+      let ctx = Tset.ctx universe in
+      known := (universe, ctx) :: !known;
+      ctx
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+
+let run_batch ?domains ?cache requests =
+  let domains =
+    match domains with Some d -> max 1 d | None -> Par.default_domains ()
+  in
+  let cache = match cache with Some c -> c | None -> Cache.create () in
+  let counters = Counters.create () in
+  let answer req =
+    let t0 = now_ns () in
+    let digest =
+      Digest.query ~universe:req.universe ~depth:req.depth req.query
+    in
+    let compute () =
+      Job.run ~domains:1 (ctx_for req.universe) ~depth:req.depth req.query
+    in
+    let cached, verdict =
+      match digest with
+      | None ->
+          Counters.incr_uncacheable counters;
+          (false, compute ())
+      | Some key -> (
+          match Cache.find cache key with
+          | Some v ->
+              Counters.incr_hits counters;
+              (true, v)
+          | None ->
+              let v = compute () in
+              Cache.add cache key v;
+              Counters.incr_misses counters;
+              (false, v))
+    in
+    let elapsed = now_ns () - t0 in
+    Counters.incr_jobs counters;
+    Counters.add_busy_ns counters elapsed;
+    { request = req; verdict; cached; digest; ms = float_of_int elapsed /. 1e6 }
+  in
+  let t0 = Unix.gettimeofday () in
+  let results = Par.map_dyn ~domains answer requests in
+  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let c = Counters.snapshot counters in
+  let stats =
+    {
+      jobs = c.Counters.jobs;
+      cache_hits = c.Counters.hits;
+      cache_misses = c.Counters.misses;
+      uncacheable = c.Counters.uncacheable;
+      busy_ms = c.Counters.busy_ms;
+      wall_ms;
+      domains;
+      utilization =
+        (if wall_ms <= 0. then 1.
+         else c.Counters.busy_ms /. (wall_ms *. float_of_int domains));
+    }
+  in
+  (results, stats)

@@ -1,0 +1,61 @@
+(** The batch verification engine.
+
+    Accepts a batch of check {!request}s (the five query kinds of
+    {!Job}), schedules them across OCaml 5 domains through
+    {!Posl_par.Par.map_dyn}'s dynamic work queue, and memoizes verdicts
+    in a content-addressed {!Cache} keyed by {!Digest}.  Parallelism
+    lives at the batch level: each job runs its own state-space
+    exploration serially, so domains are never nested and the compiled
+    monitor caches stay domain-local. *)
+
+module Spec = Posl_core.Spec
+module Tset = Posl_tset.Tset
+open Posl_ident
+
+type request = {
+  label : string;
+  query : Job.query;
+  depth : int;
+  universe : Universe.t;
+      (** the universe bounded verdicts are relative to — single-query
+          CLI semantics: the adequate universe of the whole spec file *)
+}
+
+val request :
+  ?label:string -> ?depth:int -> universe:Universe.t -> Job.query -> request
+(** [label] defaults to {!Job.describe}; [depth] to 6 (the CLI
+    default). *)
+
+val of_specs : ?label:string -> ?depth:int -> ?extra_objects:int -> Job.query -> request
+(** Convenience: derive the universe from the query's own
+    specifications via {!Spec.adequate_universe}. *)
+
+type result = {
+  request : request;
+  verdict : Job.verdict;
+  cached : bool;  (** answered from the verdict cache *)
+  digest : Digest.t option;  (** [None] = uncacheable (opaque tset) *)
+  ms : float;  (** wall time spent answering this job *)
+}
+
+type stats = {
+  jobs : int;
+  cache_hits : int;
+  cache_misses : int;
+  uncacheable : int;
+  busy_ms : float;  (** summed per-job wall time across workers *)
+  wall_ms : float;  (** batch wall time *)
+  domains : int;  (** requested worker count *)
+  utilization : float;  (** busy_ms / (wall_ms × domains) *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_batch :
+  ?domains:int -> ?cache:Cache.t -> request list -> result list * stats
+(** Answer every request; results are order-stable with the input.
+    [domains] defaults to {!Posl_par.Par.default_domains}; [cache]
+    defaults to a fresh (cold) cache.  Passing a cache shared with a
+    previous batch serves repeated obligations without recomputation.
+    Deterministic: the verdict list is identical for every domain
+    count. *)

@@ -1,0 +1,166 @@
+(** Check jobs: the unit of work of the batch verification engine.
+
+    Each constructor mirrors one [posl-check] subcommand; {!run} is the
+    single implementation both the CLI and the engine call, so a batch
+    answer and a single-query answer can never drift apart. *)
+
+module Spec = Posl_core.Spec
+module Refine = Posl_core.Refine
+module Compose = Posl_core.Compose
+module Theory = Posl_core.Theory
+module Bmc = Posl_bmc.Bmc
+module Tset = Posl_tset.Tset
+module Trace = Posl_trace.Trace
+module Eventset = Posl_sets.Eventset
+
+type query =
+  | Refine of { refined : Spec.t; abstract : Spec.t }
+  | Compose of { left : Spec.t; right : Spec.t }
+  | Proper of { refined : Spec.t; abstract : Spec.t; context : Spec.t }
+  | Deadlock of { left : Spec.t; right : Spec.t }
+  | Equal of { left : Spec.t; right : Spec.t }
+
+type verdict = {
+  holds : bool;
+  confidence : Bmc.confidence option;
+  detail : string;
+}
+
+let kind = function
+  | Refine _ -> "refine"
+  | Compose _ -> "compose"
+  | Proper _ -> "proper"
+  | Deadlock _ -> "deadlock"
+  | Equal _ -> "equal"
+
+let specs = function
+  | Refine { refined; abstract } -> [ refined; abstract ]
+  | Compose { left; right } | Deadlock { left; right } | Equal { left; right }
+    ->
+      [ left; right ]
+  | Proper { refined; abstract; context } -> [ refined; abstract; context ]
+
+let describe = function
+  | Refine { refined; abstract } ->
+      Printf.sprintf "%s ⊑ %s" (Spec.name refined) (Spec.name abstract)
+  | Compose { left; right } ->
+      Printf.sprintf "%s ‖ %s" (Spec.name left) (Spec.name right)
+  | Proper { refined; abstract; context } ->
+      Printf.sprintf "proper(%s ⊑ %s wrt %s)" (Spec.name refined)
+        (Spec.name abstract) (Spec.name context)
+  | Deadlock { left; right } ->
+      Printf.sprintf "deadlock(%s ‖ %s)" (Spec.name left) (Spec.name right)
+  | Equal { left; right } ->
+      Printf.sprintf "T(%s) = T(%s)" (Spec.name left) (Spec.name right)
+
+(* Detail strings land in one table cell / JSON field each; pretty
+   printers break long event sets over lines, so collapse whitespace
+   runs. *)
+let oneline s =
+  let buf = Buffer.create (String.length s) in
+  let in_space = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\t' || c = ' ' then in_space := true
+      else begin
+        if !in_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        in_space := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let detailf fmt = Format.kasprintf oneline fmt
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s%s: %s"
+    (if v.holds then "holds" else "fails")
+    (match v.confidence with
+    | Some c -> Format.asprintf " [%a]" Bmc.pp_confidence c
+    | None -> "")
+    v.detail
+
+let run ?domains (ctx : Tset.ctx) ~depth query : verdict =
+  match query with
+  | Refine { refined; abstract } -> (
+      match Refine.check ?domains ctx ~depth refined abstract with
+      | Ok c ->
+          {
+            holds = true;
+            confidence = Some c;
+            detail = detailf "refines [%a]" Bmc.pp_confidence c;
+          }
+      | Error f ->
+          {
+            holds = false;
+            confidence = None;
+            detail = detailf "does not refine: %a" Refine.pp_failure f;
+          })
+  | Compose { left; right } -> (
+      match Compose.check_composable left right with
+      | Ok () ->
+          { holds = true; confidence = Some Bmc.Exact; detail = "composable" }
+      | Error f ->
+          {
+            holds = false;
+            confidence = Some Bmc.Exact;
+            detail =
+              detailf "not composable: %a"
+                Compose.pp_composability_failure f;
+          })
+  | Proper { refined; abstract; context } ->
+      let a0 = Compose.alpha0 ~refined ~abstract in
+      if Compose.proper ~refined ~abstract ~context then
+        {
+          holds = true;
+          confidence = Some Bmc.Exact;
+          detail =
+            detailf "proper: α₀ ∩ α(%s) = ∅ (α₀ = %a)"
+              (Spec.name context) Eventset.pp a0;
+        }
+      else
+        {
+          holds = false;
+          confidence = Some Bmc.Exact;
+          detail =
+            detailf "not proper: α₀ meets α(%s); offending events: %a"
+              (Spec.name context) Eventset.pp
+              (Eventset.normalise (Eventset.inter a0 (Spec.alpha context)));
+        }
+  | Deadlock { left; right } -> (
+      match Compose.compose left right with
+      | Error f ->
+          {
+            holds = false;
+            confidence = None;
+            detail =
+              detailf "not composable: %a"
+                Compose.pp_composability_failure f;
+          }
+      | Ok comp -> (
+          let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
+          match
+            Bmc.find_deadlock ?domains ctx ~alphabet ~depth (Spec.tset comp)
+          with
+          | None ->
+              {
+                holds = true;
+                confidence = Some (Bmc.Bounded depth);
+                detail = Printf.sprintf "no deadlock up to depth %d" depth;
+              }
+          | Some h ->
+              {
+                holds = false;
+                confidence = Some (Bmc.Bounded depth);
+                detail = detailf "deadlock after %a" Trace.pp h;
+              }))
+  | Equal { left; right } -> (
+      match Theory.tset_equal ?domains ctx ~depth left right with
+      | Theory.Pass c ->
+          {
+            holds = true;
+            confidence = Some c;
+            detail = detailf "trace sets equal [%a]" Bmc.pp_confidence c;
+          }
+      | Theory.Vacuous why | Theory.Fail why ->
+          { holds = false; confidence = None; detail = why })

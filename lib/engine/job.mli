@@ -1,0 +1,50 @@
+(** Check jobs: the unit of work of the batch verification engine.
+
+    A {!query} is one of the five verification questions the CLI
+    answers — refinement, composability, properness, deadlock and
+    trace-set equality — over already-elaborated specifications.
+    {!run} computes the {!verdict} a single-query CLI invocation would
+    report, so batch answers and single-shot answers coincide by
+    construction. *)
+
+module Spec = Posl_core.Spec
+module Bmc = Posl_bmc.Bmc
+module Tset = Posl_tset.Tset
+
+type query =
+  | Refine of { refined : Spec.t; abstract : Spec.t }
+      (** Γ′ ⊑ Γ (Def. 2) *)
+  | Compose of { left : Spec.t; right : Spec.t }
+      (** composability (Def. 10) *)
+  | Proper of { refined : Spec.t; abstract : Spec.t; context : Spec.t }
+      (** properness (Def. 14) *)
+  | Deadlock of { left : Spec.t; right : Spec.t }
+      (** deadlock search on the composition; holds = deadlock-free *)
+  | Equal of { left : Spec.t; right : Spec.t }
+      (** trace-set equality *)
+
+type verdict = {
+  holds : bool;
+  confidence : Bmc.confidence option;
+      (** [None] for purely symbolic checks' failures and input-side
+          errors; [Some] whenever a state space was explored or the
+          check is exact *)
+  detail : string;  (** one-line human-readable account, with witness *)
+}
+
+val kind : query -> string
+(** ["refine" | "compose" | "proper" | "deadlock" | "equal"]. *)
+
+val specs : query -> Spec.t list
+(** The specifications the query mentions, in positional order. *)
+
+val describe : query -> string
+(** E.g. ["Read2 ⊑ Read"], ["Client ‖ WriteAcc"]. *)
+
+val run : ?domains:int -> Tset.ctx -> depth:int -> query -> verdict
+(** Decide the query over [ctx]'s universe.  [domains] is forwarded to
+    the state-space exploration (the engine passes [~domains:1] so that
+    parallelism lives at the batch level only).  Deterministic: equal
+    inputs produce equal verdicts, whatever the domain count. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

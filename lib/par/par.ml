@@ -51,4 +51,57 @@ let map ?domains f xs =
          output)
   end
 
+(** [map_dyn ~domains f xs] = [List.map f xs], computed by [domains]
+    domains pulling indices from a shared mutex-protected queue.  Where
+    {!map} assigns each domain a fixed block up front, [map_dyn] lets
+    fast workers take over the stragglers' backlog, so uneven per-item
+    cost (verification jobs, skewed monitor expansions) no longer
+    leaves domains idle.  A condition variable is unnecessary: the work
+    list is fixed at the start, so an empty queue means done, never
+    "wait for a producer".
+
+    Results are order-stable; the first worker exception is re-raised
+    in the caller after all domains have joined (remaining queue items
+    are abandoned once an exception is recorded).  Degrades to the
+    sequential map under the same [domains <= 1 || n < 2 * domains]
+    rule as {!map}. *)
+let map_dyn ?domains f xs =
+  let domains = match domains with Some d -> d | None -> default_domains () in
+  let input = Array.of_list xs in
+  let n = Array.length input in
+  if domains <= 1 || n < 2 * domains then List.map f xs
+  else begin
+    let output = Array.make n None in
+    let error = Atomic.make None in
+    let next = ref 0 in
+    let queue_lock = Mutex.create () in
+    let take () =
+      Mutex.lock queue_lock;
+      let i = !next in
+      if i < n then incr next;
+      Mutex.unlock queue_lock;
+      if i < n then Some i else None
+    in
+    let rec worker () =
+      if Atomic.get error = None then
+        match take () with
+        | None -> ()
+        | Some i ->
+            (try output.(i) <- Some (f input.(i))
+             with exn ->
+               ignore (Atomic.compare_and_set error None (Some exn)));
+            worker ()
+    in
+    let spawned = List.init (domains - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join spawned;
+    (match Atomic.get error with Some exn -> raise exn | None -> ());
+    Array.to_list
+      (Array.map
+         (function
+           | Some y -> y
+           | None -> invalid_arg "Par.map_dyn: missing result (worker died)")
+         output)
+  end
+
 let iter ?domains f xs = ignore (map ?domains (fun x -> f x; ()) xs)

@@ -14,4 +14,11 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
     input degrades to the sequential map.  [f] must be safe to run on
     multiple domains (pure, or racing only on its own state). *)
 
+val map_dyn : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map_dyn ~domains f xs] = [List.map f xs], scheduled dynamically: a
+    shared mutex-protected index queue feeds idle domains, so uneven
+    per-item cost does not leave workers idle the way {!map}'s static
+    blocks do.  Order-stable; worker exceptions re-raised after join;
+    degrades to the sequential map under the same rule as {!map}. *)
+
 val iter : ?domains:int -> ('a -> unit) -> 'a list -> unit

@@ -1,0 +1,93 @@
+#!/usr/bin/env bash
+# Smoke test for the posl-check exit-code contract and the batch
+# subcommand.  Run by dune (see test/dune); $1 is the built binary.
+#
+#   0   verdict holds
+#   1   verdict fails (refinement refuted, deadlock found, batch with
+#       failing queries, ...)
+#   2   input error (unknown spec, unreadable file, manifest syntax)
+#   124 cmdliner usage error (unknown subcommand / flag)
+set -u
+
+BIN=$1
+HERE=$(cd "$(dirname "${BASH_SOURCE[0]}")" && pwd)
+SPECS=$HERE/../examples/specs
+fails=0
+
+expect() {
+  local want=$1 label=$2
+  shift 2
+  "$BIN" "$@" >/dev/null 2>&1
+  local got=$?
+  if [ "$got" -ne "$want" ]; then
+    echo "FAIL $label: expected exit $want, got $got ($*)" >&2
+    fails=$((fails + 1))
+  else
+    echo "ok   $label (exit $got)"
+  fi
+}
+
+# -- single-query verdicts -------------------------------------------
+expect 0 "refine holds" refine "$SPECS/paper.oun" Read2 Read
+expect 1 "refine fails" refine "$SPECS/paper.oun" Read Read2
+expect 0 "compose ok" compose "$SPECS/paper.oun" Client WriteAcc
+expect 0 "proper ok" proper "$SPECS/paper.oun" RW2 WriteAcc Client
+expect 0 "no deadlock" deadlock "$SPECS/paper.oun" Client WriteAcc --depth 4
+expect 1 "deadlock found" deadlock "$SPECS/paper.oun" Client2 WriteAcc --depth 6
+expect 0 "equal holds" equal "$SPECS/paper.oun" Read Read
+
+# -- input errors vs usage errors ------------------------------------
+expect 2 "unknown spec" refine "$SPECS/paper.oun" Nope Read
+expect 2 "missing file" refine "$SPECS/no_such_file.oun" Read2 Read
+expect 124 "unknown subcommand" frobnicate
+
+# -- batch ------------------------------------------------------------
+expect 0 "batch manifest holds" batch "$SPECS/batch.manifest" --domains 2
+expect 2 "batch missing manifest" batch "$SPECS/no_such.manifest"
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# A failing query in the manifest must turn the whole batch exit 1.
+cat >"$tmp/bad.manifest" <<EOF
+use $SPECS/paper.oun
+depth 4
+refine Read2 Read
+refine Read Read2
+EOF
+expect 1 "batch with failing query" batch "$tmp/bad.manifest"
+
+# Unwritable --json path is an input error, not a crash.
+expect 2 "batch unwritable json path" batch "$SPECS/batch.manifest" --json /nonexistent-dir/out.json
+
+# Manifest syntax errors are input errors.
+cat >"$tmp/syntax.manifest" <<EOF
+use $SPECS/paper.oun
+refine OnlyOneName
+EOF
+expect 2 "batch manifest syntax error" batch "$tmp/syntax.manifest"
+
+# JSON summary: file written, machine-readable fields present.
+out=$("$BIN" batch "$SPECS/batch.manifest" --domains 2 --json "$tmp/out.json" 2>&1)
+if [ $? -ne 0 ]; then
+  echo "FAIL batch --json: non-zero exit" >&2
+  fails=$((fails + 1))
+fi
+for field in '"jobs"' '"cache_hits"' '"cache_misses"' '"wall_ms"' '"results"' '"holds"'; do
+  if ! grep -q "$field" "$tmp/out.json"; then
+    echo "FAIL batch --json: field $field missing from $tmp/out.json" >&2
+    fails=$((fails + 1))
+  fi
+done
+# The stdout summary line carries the same stats JSON.
+if ! printf '%s' "$out" | grep -q '"cache_hits"'; then
+  echo "FAIL batch stdout: no JSON stats line" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   batch --json fields"
+
+if [ "$fails" -ne 0 ]; then
+  echo "$fails smoke check(s) failed" >&2
+  exit 1
+fi
+echo "all smoke checks passed"

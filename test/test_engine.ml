@@ -1,0 +1,250 @@
+(* The batch verification engine: cache soundness (cached verdict ≡
+   freshly computed verdict), scheduling determinism across domain
+   counts, digest separation of distinct queries, and the engine's
+   stats accounting. *)
+
+module Engine = Posl_engine.Engine
+module Job = Posl_engine.Job
+module Cache = Posl_engine.Cache
+module Dig = Posl_engine.Digest
+module Spec = Posl_core.Spec
+module Theory = Posl_core.Theory
+module Tset = Posl_tset.Tset
+module Gen = Posl_gen.Gen
+module Ex = Posl_core.Examples_paper
+module Oid = Posl_ident.Oid
+module Mth = Posl_ident.Mth
+module Oset = Posl_sets.Oset
+module Mset = Posl_sets.Mset
+module Eventset = Posl_sets.Eventset
+module G = QCheck2.Gen
+
+let u = Util.paper_universe
+let depth = 4
+
+let req ?depth:(d = depth) q = Engine.request ~depth:d ~universe:u q
+
+(* A representative mixed batch over the paper's cast: every query
+   kind, positive and negative verdicts. *)
+let paper_batch () =
+  [
+    req (Job.Refine { refined = Ex.read2; abstract = Ex.read });
+    req (Job.Refine { refined = Ex.read; abstract = Ex.read2 });
+    req (Job.Refine { refined = Ex.write_acc; abstract = Ex.write });
+    req (Job.Refine { refined = Ex.rw2; abstract = Ex.write_acc });
+    req (Job.Refine { refined = Ex.client2; abstract = Ex.client });
+    req (Job.Compose { left = Ex.client; right = Ex.write_acc });
+    req (Job.Compose { left = Ex.read; right = Ex.write });
+    req
+      (Job.Proper
+         { refined = Ex.rw2; abstract = Ex.write_acc; context = Ex.client });
+    req (Job.Deadlock { left = Ex.client; right = Ex.write_acc });
+    req (Job.Deadlock { left = Ex.client2; right = Ex.write_acc });
+    req (Job.Equal { left = Ex.read; right = Ex.read });
+    req (Job.Equal { left = Ex.write; right = Ex.write });
+    req (Job.Equal { left = Ex.write; right = Ex.write_acc });
+    req (Job.Refine { refined = Ex.read2; abstract = Ex.read });
+    (* repeat: cache food *)
+    req (Job.Equal { left = Ex.read; right = Ex.read });
+  ]
+
+let verdicts results = List.map (fun r -> r.Engine.verdict) results
+
+(* --- cache behaviour ------------------------------------------------ *)
+
+let test_cache_hit_on_repeat () =
+  let cache = Cache.create () in
+  let q = req (Job.Refine { refined = Ex.read2; abstract = Ex.read }) in
+  let results, stats = Engine.run_batch ~domains:1 ~cache [ q; q ] in
+  Util.check_int "jobs" 2 stats.Engine.jobs;
+  Util.check_int "misses" 1 stats.Engine.cache_misses;
+  Util.check_int "hits" 1 stats.Engine.cache_hits;
+  (match results with
+  | [ a; b ] ->
+      Util.check_bool "first computed" false a.Engine.cached;
+      Util.check_bool "second cached" true b.Engine.cached;
+      Util.check_bool "verdicts identical" true
+        (a.Engine.verdict = b.Engine.verdict)
+  | _ -> Alcotest.fail "expected two results");
+  (* A later batch against the same cache is all hits. *)
+  let _, stats2 = Engine.run_batch ~domains:1 ~cache [ q ] in
+  Util.check_int "warm misses" 0 stats2.Engine.cache_misses;
+  Util.check_int "warm hits" 1 stats2.Engine.cache_hits
+
+let test_cached_equals_fresh_paper () =
+  let cache = Cache.create () in
+  let batch = paper_batch () in
+  let cold, _ = Engine.run_batch ~domains:2 ~cache batch in
+  let warm, warm_stats = Engine.run_batch ~domains:2 ~cache batch in
+  Util.check_int "warm batch recomputes nothing" 0
+    warm_stats.Engine.cache_misses;
+  Util.check_bool "cold ≡ warm verdicts" true (verdicts cold = verdicts warm);
+  (* And both equal a computation that never saw the cache. *)
+  List.iter2
+    (fun (r : Engine.result) (q : Engine.request) ->
+      let fresh =
+        Job.run (Tset.ctx q.Engine.universe) ~depth:q.Engine.depth
+          q.Engine.query
+      in
+      Util.check_bool
+        (Printf.sprintf "cached ≡ fresh (%s)" q.Engine.label)
+        true
+        (r.Engine.verdict = fresh))
+    warm batch
+
+let test_stats_accounting () =
+  let results, stats = Engine.run_batch ~domains:2 (paper_batch ()) in
+  Util.check_int "jobs = batch size" (List.length results) stats.Engine.jobs;
+  Util.check_int "hits + misses + uncacheable = jobs"
+    stats.Engine.jobs
+    (stats.Engine.cache_hits + stats.Engine.cache_misses
+   + stats.Engine.uncacheable);
+  Util.check_bool "busy time accumulated" true (stats.Engine.busy_ms > 0.)
+
+(* --- determinism across domain counts ------------------------------- *)
+
+let test_deterministic_across_domains () =
+  let run domains =
+    verdicts (fst (Engine.run_batch ~domains (paper_batch ())))
+  in
+  let v1 = run 1 and v2 = run 2 and v4 = run 4 in
+  Util.check_bool "domains 1 = 2" true (v1 = v2);
+  Util.check_bool "domains 1 = 4" true (v1 = v4)
+
+(* --- uncacheable (opaque) queries ----------------------------------- *)
+
+let pointwise_spec =
+  let o = Oid.v "o" in
+  Spec.v ~name:"Tiny" ~objs:[ o ]
+    ~alpha:
+      (Eventset.calls
+         ~callers:(Oset.cofin_of_list [ o ])
+         ~callees:(Oset.singleton o)
+         (Mset.singleton (Mth.v "R")))
+    (Tset.pointwise "len<=2" (fun h -> Posl_trace.Trace.length h <= 2))
+
+let test_opaque_uncacheable () =
+  Alcotest.(check (option string))
+    "no digest" None
+    (Dig.query ~universe:u ~depth
+       (Job.Equal { left = pointwise_spec; right = pointwise_spec }));
+  let q = req (Job.Equal { left = pointwise_spec; right = pointwise_spec }) in
+  let cache = Cache.create () in
+  let results, stats = Engine.run_batch ~domains:1 ~cache [ q; q ] in
+  Util.check_int "both uncacheable" 2 stats.Engine.uncacheable;
+  Util.check_int "no cache traffic" 0
+    (stats.Engine.cache_hits + stats.Engine.cache_misses);
+  Util.check_bool "still answered, identically" true
+    (match verdicts results with [ a; b ] -> a = b | _ -> false)
+
+(* --- digests --------------------------------------------------------- *)
+
+let test_digest_separates_paper_specs () =
+  let keys =
+    List.map
+      (fun s ->
+        match Dig.spec_key ~universe:u s with
+        | Some k -> k
+        | None -> Alcotest.fail ("opaque key for " ^ Spec.name s))
+      Ex.all_specs
+  in
+  Util.check_int "all paper specs have distinct keys"
+    (List.length keys)
+    (List.length (List.sort_uniq compare keys))
+
+let test_digest_separates_kinds_and_depth () =
+  let qs =
+    [
+      Job.Refine { refined = Ex.write_acc; abstract = Ex.write };
+      Job.Compose { left = Ex.write_acc; right = Ex.write };
+      Job.Deadlock { left = Ex.write_acc; right = Ex.write };
+      Job.Equal { left = Ex.write_acc; right = Ex.write };
+      Job.Proper
+        { refined = Ex.write_acc; abstract = Ex.write; context = Ex.client };
+    ]
+  in
+  let digs =
+    List.map
+      (fun q ->
+        match Dig.query ~universe:u ~depth q with
+        | Some d -> d
+        | None -> Alcotest.fail "unexpectedly opaque")
+      qs
+  in
+  Util.check_int "kinds separated" (List.length digs)
+    (List.length (List.sort_uniq compare digs));
+  let q = Job.Refine { refined = Ex.read2; abstract = Ex.read } in
+  Util.check_bool "depth separated" true
+    (Dig.query ~universe:u ~depth:4 q <> Dig.query ~universe:u ~depth:6 q)
+
+(* --- randomized properties ------------------------------------------ *)
+
+let sc = Gen.default_scenario
+let k0 = Oid.v "k0"
+
+let qsuite =
+  [
+    (* (a) cached verdict ≡ freshly computed verdict on random pairs *)
+    Util.qtest ~count:25 "engine: cached ≡ fresh on random spec pairs"
+      (G.pair (Gen.interface_spec sc k0) (Gen.interface_spec sc k0))
+      (fun (a, b) ->
+        let q = Job.Refine { refined = a; abstract = b } in
+        let r = Engine.of_specs ~depth:3 q in
+        let cache = Cache.create () in
+        let first, _ = Engine.run_batch ~domains:1 ~cache [ r ] in
+        let second, stats = Engine.run_batch ~domains:1 ~cache [ r ] in
+        let fresh =
+          Job.run (Tset.ctx r.Engine.universe) ~depth:3 q
+        in
+        stats.Engine.cache_hits = 1
+        && verdicts first = verdicts second
+        && verdicts second = [ fresh ]);
+    (* (c) digest collisions do not conflate distinct queries *)
+    Util.qtest ~count:60 "digest: equal keys ⟹ semantically equal specs"
+      (G.pair (Gen.interface_spec sc k0) (Gen.interface_spec sc k0))
+      (fun (a, b) ->
+        let ka = Dig.spec_key ~universe:sc.Gen.universe a
+        and kb = Dig.spec_key ~universe:sc.Gen.universe b in
+        match (ka, kb) with
+        | Some ka, Some kb when ka = kb ->
+            (* identical content addresses must mean identical
+               specifications (names included by construction) *)
+            Spec.name a = Spec.name b
+            && Theory.is_pass
+                 (Theory.spec_equal
+                    (Tset.ctx sc.Gen.universe)
+                    ~depth:3 a b)
+        | _ -> true);
+    Util.qtest ~count:60 "digest: distinct bodies ⟹ distinct digests"
+      (G.pair (Gen.interface_spec sc k0) (Gen.interface_spec sc k0))
+      (fun (a, b) ->
+        let q1 = Job.Refine { refined = a; abstract = b }
+        and q2 = Job.Refine { refined = b; abstract = a } in
+        let d1 = Dig.query ~universe:sc.Gen.universe ~depth:3 q1
+        and d2 = Dig.query ~universe:sc.Gen.universe ~depth:3 q2 in
+        (* asymmetric queries over an unequal pair must key apart *)
+        match (d1, d2) with
+        | Some d1, Some d2 ->
+            d1 = d2
+            = (Dig.spec_key ~universe:sc.Gen.universe a
+               = Dig.spec_key ~universe:sc.Gen.universe b)
+        | _ -> true);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "cache hit on repeated query" `Quick
+      test_cache_hit_on_repeat;
+    Alcotest.test_case "cached ≡ fresh on the paper batch" `Slow
+      test_cached_equals_fresh_paper;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
+    Alcotest.test_case "deterministic across domain counts" `Slow
+      test_deterministic_across_domains;
+    Alcotest.test_case "opaque trace sets are uncacheable" `Quick
+      test_opaque_uncacheable;
+    Alcotest.test_case "digest separates the paper specs" `Quick
+      test_digest_separates_paper_specs;
+    Alcotest.test_case "digest separates kinds and depths" `Quick
+      test_digest_separates_kinds_and_depth;
+  ]
+  @ qsuite

@@ -23,6 +23,7 @@ let () =
       ("consistency", Test_consistency.suite);
       ("runner", Test_runner.suite);
       ("par", Test_par.suite);
+      ("engine", Test_engine.suite);
       ("report", Test_report.suite);
       ("async", Test_async.suite);
       ("ag", Test_ag.suite);

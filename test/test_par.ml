@@ -29,12 +29,51 @@ let test_iter_side_effects () =
   Par.iter ~domains:4 (fun _ -> Atomic.incr counter) (List.init 500 Fun.id);
   Util.check_int "count" 500 (Atomic.get counter)
 
+(* map_dyn: the dynamic work queue must be observationally identical to
+   the static-partition map. *)
+
+let test_dyn_order_preserved () =
+  let xs = List.init 1000 Fun.id in
+  Alcotest.(check (list int))
+    "order" (List.map succ xs)
+    (Par.map_dyn ~domains:4 succ xs)
+
+let test_dyn_exception_propagates () =
+  let xs = List.init 100 Fun.id in
+  match
+    Par.map_dyn ~domains:4 (fun x -> if x = 63 then failwith "boom" else x) xs
+  with
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | _ -> Alcotest.fail "expected the worker failure to propagate"
+
+let test_dyn_uneven_load () =
+  (* A few heavy items at the front must not serialize the rest: the
+     dynamic queue hands them to separate domains.  Checked for results
+     only (timing is not asserted). *)
+  let work x =
+    if x < 2 then (
+      let acc = ref 0 in
+      for i = 0 to 200_000 do acc := !acc + (i mod 7) done;
+      x + (!acc * 0))
+    else x
+  in
+  let xs = List.init 64 Fun.id in
+  Alcotest.(check (list int)) "uneven" xs (Par.map_dyn ~domains:4 work xs)
+
+let test_dyn_empty () =
+  Alcotest.(check (list int)) "empty" [] (Par.map_dyn ~domains:4 succ [])
+
 let qsuite =
   [
     Util.qtest ~count:50 "map agrees with List.map"
       (G.pair (G.int_range 1 6) (G.list_size (G.int_bound 200) G.int))
       (fun (domains, xs) ->
         Par.map ~domains (fun x -> (3 * x) + 1) xs
+        = List.map (fun x -> (3 * x) + 1) xs);
+    Util.qtest ~count:50 "map_dyn agrees with List.map"
+      (G.pair (G.int_range 1 6) (G.list_size (G.int_bound 200) G.int))
+      (fun (domains, xs) ->
+        Par.map_dyn ~domains (fun x -> (3 * x) + 1) xs
         = List.map (fun x -> (3 * x) + 1) xs);
   ]
 
@@ -47,5 +86,11 @@ let suite =
       test_exception_propagates;
     Alcotest.test_case "empty input" `Quick test_empty;
     Alcotest.test_case "iter visits all" `Quick test_iter_side_effects;
+    Alcotest.test_case "map_dyn: order preserved" `Quick
+      test_dyn_order_preserved;
+    Alcotest.test_case "map_dyn: worker exceptions propagate" `Quick
+      test_dyn_exception_propagates;
+    Alcotest.test_case "map_dyn: uneven load" `Quick test_dyn_uneven_load;
+    Alcotest.test_case "map_dyn: empty input" `Quick test_dyn_empty;
   ]
   @ qsuite
