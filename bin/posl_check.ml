@@ -76,6 +76,11 @@ let context specs extra_objects =
 
 let ( let* ) = Result.bind
 
+(* Destructure a resolved spec list at its known arity, then hand the
+   specs to one of the labelled {!Job} constructors. *)
+let spec2 k = function [ a; b ] -> k a b | _ -> assert false
+let spec3 k = function [ a; b; c ] -> k a b c | _ -> assert false
+
 (* Shared options. *)
 let file_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"OUN-lite specification file.")
@@ -131,9 +136,8 @@ let show_cmd =
 (* refine *)
 let refine_cmd =
   let run file refined abstract depth extra =
-    run_query file [ refined; abstract ] depth extra (function
-      | [ refined; abstract ] -> Job.Refine { refined; abstract }
-      | _ -> assert false)
+    run_query file [ refined; abstract ] depth extra
+      (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
@@ -144,9 +148,8 @@ let refine_cmd =
 (* compose *)
 let compose_cmd =
   let run file left right depth extra =
-    run_query file [ left; right ] depth extra (function
-      | [ left; right ] -> Job.Compose { left; right }
-      | _ -> assert false)
+    run_query file [ left; right ] depth extra
+      (spec2 (fun left right -> Job.compose ~left ~right))
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
@@ -157,10 +160,9 @@ let compose_cmd =
 (* proper *)
 let proper_cmd =
   let run file refined abstract ctx_name depth extra =
-    run_query file [ refined; abstract; ctx_name ] depth extra (function
-      | [ refined; abstract; context ] ->
-          Job.Proper { refined; abstract; context }
-      | _ -> assert false)
+    run_query file [ refined; abstract; ctx_name ] depth extra
+      (spec3 (fun refined abstract context ->
+           Job.proper ~refined ~abstract ~context))
   in
   Cmd.v
     (Cmd.info "proper" ~doc:"Check properness of a refinement w.r.t. a context spec (Def. 14).")
@@ -171,9 +173,8 @@ let proper_cmd =
 (* deadlock *)
 let deadlock_cmd =
   let run file left right depth extra =
-    run_query file [ left; right ] depth extra (function
-      | [ left; right ] -> Job.Deadlock { left; right }
-      | _ -> assert false)
+    run_query file [ left; right ] depth extra
+      (spec2 (fun left right -> Job.deadlock ~left ~right))
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
@@ -184,9 +185,8 @@ let deadlock_cmd =
 (* equal *)
 let equal_cmd =
   let run file left right depth extra =
-    run_query file [ left; right ] depth extra (function
-      | [ left; right ] -> Job.Equal { left; right }
-      | _ -> assert false)
+    run_query file [ left; right ] depth extra
+      (spec2 (fun left right -> Job.equal ~left ~right))
   in
   Cmd.v
     (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
@@ -237,7 +237,7 @@ let simulate_cmd =
       (let* specs = load file in
        let* s = find specs name in
        let ctx = context specs extra in
-       let alphabet = Spec.concrete_alphabet ctx.Tset.universe s in
+       let alphabet = Spec.concrete_alphabet (Tset.universe ctx) s in
        let rng = Random.State.make [| seed |] in
        let rec walk h n =
          if n = 0 then h
@@ -392,26 +392,21 @@ let parse_manifest ~default_depth ~extra path =
             | Some d when d >= 0 -> go (lineno + 1) current d acc rest
             | Some _ | None -> err lineno ("bad depth: " ^ n))
         | [ "refine"; g'; g ] ->
-            with_specs [ g'; g ] (function
-              | [ refined; abstract ] -> Job.Refine { refined; abstract }
-              | _ -> assert false)
+            with_specs [ g'; g ]
+              (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
         | [ "compose"; g; d ] ->
-            with_specs [ g; d ] (function
-              | [ left; right ] -> Job.Compose { left; right }
-              | _ -> assert false)
+            with_specs [ g; d ]
+              (spec2 (fun left right -> Job.compose ~left ~right))
         | [ "proper"; g'; g; d ] ->
-            with_specs [ g'; g; d ] (function
-              | [ refined; abstract; context ] ->
-                  Job.Proper { refined; abstract; context }
-              | _ -> assert false)
+            with_specs [ g'; g; d ]
+              (spec3 (fun refined abstract context ->
+                   Job.proper ~refined ~abstract ~context))
         | [ "deadlock"; g; d ] ->
-            with_specs [ g; d ] (function
-              | [ left; right ] -> Job.Deadlock { left; right }
-              | _ -> assert false)
+            with_specs [ g; d ]
+              (spec2 (fun left right -> Job.deadlock ~left ~right))
         | [ "equal"; a; b ] ->
-            with_specs [ a; b ] (function
-              | [ left; right ] -> Job.Equal { left; right }
-              | _ -> assert false)
+            with_specs [ a; b ]
+              (spec2 (fun left right -> Job.equal ~left ~right))
         | w :: _ -> err lineno ("unknown manifest directive: " ^ w))
   in
   go 1 None default_depth [] lines
@@ -437,11 +432,12 @@ let json_escape s =
 let json_of_stats (s : Engine.stats) ~failed =
   Printf.sprintf
     "{\"jobs\":%d,\"failed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
-     \"uncacheable\":%d,\"busy_ms\":%.3f,\"wall_ms\":%.3f,\"domains\":%d,\
+     \"uncacheable\":%d,\"dfa_cache_hits\":%d,\"dfa_compiles\":%d,\
+     \"busy_ms\":%.3f,\"wall_ms\":%.3f,\"domains\":%d,\
      \"utilization\":%.4f}"
     s.Engine.jobs failed s.Engine.cache_hits s.Engine.cache_misses
-    s.Engine.uncacheable s.Engine.busy_ms s.Engine.wall_ms s.Engine.domains
-    s.Engine.utilization
+    s.Engine.uncacheable s.Engine.dfa_cache_hits s.Engine.dfa_compiles
+    s.Engine.busy_ms s.Engine.wall_ms s.Engine.domains s.Engine.utilization
 
 let json_of_result (r : Engine.result) =
   let confidence =
@@ -451,11 +447,14 @@ let json_of_result (r : Engine.result) =
   in
   Printf.sprintf
     "{\"label\":\"%s\",\"kind\":\"%s\",\"depth\":%d,\"holds\":%b,\
-     \"confidence\":%s,\"cached\":%b,\"ms\":%.3f,\"detail\":\"%s\"}"
+     \"confidence\":%s,\"cached\":%b,\"cacheable\":%b,\"ms\":%.3f,\
+     \"detail\":\"%s\"}"
     (json_escape r.Engine.request.Engine.label)
     (Job.kind r.Engine.request.Engine.query)
     r.Engine.request.Engine.depth r.Engine.verdict.Job.holds confidence
-    r.Engine.cached r.Engine.ms
+    r.Engine.cached
+    (r.Engine.digest <> None)
+    r.Engine.ms
     (json_escape r.Engine.verdict.Job.detail)
 
 let batch_cmd =

@@ -78,7 +78,7 @@ let to_spec ?(name = "component") t =
     universe. *)
 let sound ?domains ctx ~depth (spec : Spec.t) (t : t) :
     Trace.t Posl_bmc.Bmc.verdict =
-  let u = ctx.Tset.universe in
+  let u = Tset.universe ctx in
   let alphabet = Array.of_list (Eventset.sample u (alpha t)) in
   Posl_bmc.Bmc.check_inclusion ?domains ctx ~alphabet ~depth ~lhs:(tset t)
     ~proj:(Spec.alpha spec) ~rhs:(Spec.tset spec)

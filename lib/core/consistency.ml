@@ -49,7 +49,7 @@ let weakest_common_refinement g1 g2 =
 
 (* A shortest non-empty trace of the composition, if any. *)
 let nonempty_witness ctx ~depth comp =
-  let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
+  let alphabet = Spec.concrete_alphabet (Tset.universe ctx) comp in
   let t = Spec.tset comp in
   match Tset.start ctx t with
   | None -> None

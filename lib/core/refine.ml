@@ -107,7 +107,7 @@ let check ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
     if not (Eventset.is_empty missing_alpha) then
       Error (Alphabet_missing missing_alpha)
     else begin
-      let u = ctx.Tset.universe in
+      let u = Tset.universe ctx in
       let alphabet = Spec.concrete_alphabet u gamma' in
       let automata () =
         try

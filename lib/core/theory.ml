@@ -61,7 +61,7 @@ let filter_law s1 s2 h =
     T(RW2‖Client) = T(WriteAcc‖Client) although the composed alphabets
     differ — the extra events of the refined constituent never occur. *)
 let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
-  let u = ctx.Tset.universe in
+  let u = Tset.universe ctx in
   let alphabet =
     Array.of_list
       (Eventset.sample u (Eventset.union (Spec.alpha a) (Spec.alpha b)))

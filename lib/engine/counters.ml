@@ -8,6 +8,9 @@ type t = {
   misses : int Atomic.t;
   uncacheable : int Atomic.t;
   busy_ns : int Atomic.t;
+  dfa_hits : int Atomic.t;
+  dfa_compiles : int Atomic.t;
+  dfa_contended : int Atomic.t;
 }
 
 let create () =
@@ -17,6 +20,9 @@ let create () =
     misses = Atomic.make 0;
     uncacheable = Atomic.make 0;
     busy_ns = Atomic.make 0;
+    dfa_hits = Atomic.make 0;
+    dfa_compiles = Atomic.make 0;
+    dfa_contended = Atomic.make 0;
   }
 
 let incr_jobs t = Atomic.incr t.jobs
@@ -26,12 +32,20 @@ let incr_uncacheable t = Atomic.incr t.uncacheable
 
 let add_busy_ns t ns = ignore (Atomic.fetch_and_add t.busy_ns ns)
 
+let add_dfa t ~hits ~compiles ~contended =
+  ignore (Atomic.fetch_and_add t.dfa_hits hits);
+  ignore (Atomic.fetch_and_add t.dfa_compiles compiles);
+  ignore (Atomic.fetch_and_add t.dfa_contended contended)
+
 type snapshot = {
   jobs : int;
   hits : int;
   misses : int;
   uncacheable : int;
   busy_ms : float;
+  dfa_hits : int;
+  dfa_compiles : int;
+  dfa_contended : int;
 }
 
 let snapshot (c : t) : snapshot =
@@ -41,9 +55,14 @@ let snapshot (c : t) : snapshot =
     misses = Atomic.get c.misses;
     uncacheable = Atomic.get c.uncacheable;
     busy_ms = float_of_int (Atomic.get c.busy_ns) /. 1e6;
+    dfa_hits = Atomic.get c.dfa_hits;
+    dfa_compiles = Atomic.get c.dfa_compiles;
+    dfa_contended = Atomic.get c.dfa_contended;
   }
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
-    "jobs=%d hits=%d misses=%d uncacheable=%d busy=%.1fms" s.jobs s.hits
-    s.misses s.uncacheable s.busy_ms
+    "jobs=%d hits=%d misses=%d uncacheable=%d busy=%.1fms dfa_hits=%d \
+     dfa_compiles=%d dfa_contended=%d"
+    s.jobs s.hits s.misses s.uncacheable s.busy_ms s.dfa_hits s.dfa_compiles
+    s.dfa_contended

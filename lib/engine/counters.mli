@@ -14,12 +14,20 @@ val add_busy_ns : t -> int -> unit
     total useful work; divided by elapsed wall time × domains, worker
     utilization). *)
 
+val add_dfa : t -> hits:int -> compiles:int -> contended:int -> unit
+(** Accumulate the traffic one batch generated against the shared
+    compiled-automata (DFA) cache — the {!Posl_tset.Prs_cache.stats}
+    delta measured around the batch. *)
+
 type snapshot = {
   jobs : int;  (** jobs answered, cached or computed *)
   hits : int;  (** verdicts served from the cache *)
   misses : int;  (** verdicts computed and inserted *)
   uncacheable : int;  (** jobs with no content address (opaque tsets) *)
   busy_ms : float;  (** summed per-job wall time *)
+  dfa_hits : int;  (** compiled automata served from the shared cache *)
+  dfa_compiles : int;  (** prs-expressions compiled to DFAs *)
+  dfa_contended : int;  (** contended stripe-lock acquisitions *)
 }
 
 val snapshot : t -> snapshot

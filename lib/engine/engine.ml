@@ -7,17 +7,20 @@
       {!Posl_par.Par.map_dyn}; each job's own exploration runs with
       [~domains:1].  Nesting domain pools oversubscribes the machine,
       and verification batches have enough inter-job parallelism.
-    - {e Domain-local monitor contexts.}  [Tset.ctx] memoizes compiled
-      prs-automata in an unsynchronized hash table, so a context must
-      never be shared across domains.  Each worker lazily builds its
-      own context per universe (keyed physically: requests from one
-      manifest file share one universe value).
+    - {e Shared monitor contexts.}  [Tset.ctx] is abstract and its
+      compiled-automata memo is a lock-striped {!Posl_tset.Prs_cache},
+      so one context per universe is shared by {e all} worker domains:
+      each prs-expression is compiled once per batch instead of once
+      per domain.  Compiled automata are universe-relative, so a
+      {!dfa_cache} keys striped caches by (structural) universe and can
+      be threaded across batches to keep automata warm.
     - {e Shared verdict cache.}  The {!Cache} is mutex-protected and
       holds pure data; hits return the stored verdict without touching
       any monitor. *)
 
 module Spec = Posl_core.Spec
 module Tset = Posl_tset.Tset
+module Prs_cache = Posl_tset.Prs_cache
 module Par = Posl_par.Par
 open Posl_ident
 
@@ -51,6 +54,8 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   uncacheable : int;
+  dfa_cache_hits : int;
+  dfa_compiles : int;
   busy_ms : float;
   wall_ms : float;
   domains : int;
@@ -60,7 +65,7 @@ type stats = {
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d job%s on %d domain%s in %.1f ms (busy %.1f ms, utilization %.0f%%): \
-     %d cache hit%s, %d miss%s%s"
+     %d cache hit%s, %d miss%s%s; %d DFA compile%s, %d DFA cache hit%s"
     s.jobs
     (if s.jobs = 1 then "" else "s")
     s.domains
@@ -73,31 +78,84 @@ let pp_stats ppf s =
     (if s.cache_misses = 1 then "" else "es")
     (if s.uncacheable = 0 then ""
      else Printf.sprintf ", %d uncacheable" s.uncacheable)
+    s.dfa_compiles
+    (if s.dfa_compiles = 1 then "" else "s")
+    s.dfa_cache_hits
+    (if s.dfa_cache_hits = 1 then "" else "s")
 
-(* Worker-local monitor contexts, one per universe, keyed physically:
-   the batch builder passes the same universe value for every request
-   against one spec file, and a fresh [Tset.ctx] per domain keeps the
-   unsynchronized prs-compilation cache single-domain. *)
-let ctx_key : (Universe.t * Tset.ctx) list ref Domain.DLS.key =
-  Domain.DLS.new_key (fun () -> ref [])
+(* The shared DFA-cache registry.  Compiled prs-automata are relative
+   to a universe sample (binder expansion and event sampling), so one
+   striped cache per distinct universe; universes are pure structural
+   data, so structural equality is the sound key.  The registry itself
+   is tiny (one entry per spec corpus) and mutex-guarded. *)
+type dfa_cache = {
+  dc_lock : Mutex.t;
+  mutable dc_caches : (Universe.t * Tset.prs_cache) list;
+  dc_stripes : int;
+}
 
-let ctx_for universe =
-  let known = Domain.DLS.get ctx_key in
-  match List.find_opt (fun (u, _) -> u == universe) !known with
-  | Some (_, ctx) -> ctx
-  | None ->
-      let ctx = Tset.ctx universe in
-      known := (universe, ctx) :: !known;
-      ctx
+let dfa_cache ?(stripes = 16) () =
+  { dc_lock = Mutex.create (); dc_caches = []; dc_stripes = stripes }
+
+let dfa_cache_for dc universe =
+  Mutex.lock dc.dc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dc.dc_lock)
+    (fun () ->
+      match List.find_opt (fun (u, _) -> u = universe) dc.dc_caches with
+      | Some (_, cache) -> cache
+      | None ->
+          let cache = Prs_cache.create ~stripes:dc.dc_stripes () in
+          dc.dc_caches <- (universe, cache) :: dc.dc_caches;
+          cache)
+
+let dfa_cache_stats dc =
+  Mutex.lock dc.dc_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock dc.dc_lock)
+    (fun () ->
+      List.fold_left
+        (fun (acc : Prs_cache.stats) (_, cache) ->
+          let s = Prs_cache.stats cache in
+          {
+            Prs_cache.hits = acc.Prs_cache.hits + s.Prs_cache.hits;
+            misses = acc.Prs_cache.misses + s.Prs_cache.misses;
+            duplicates = acc.Prs_cache.duplicates + s.Prs_cache.duplicates;
+            contended = acc.Prs_cache.contended + s.Prs_cache.contended;
+          })
+        { Prs_cache.hits = 0; misses = 0; duplicates = 0; contended = 0 }
+        dc.dc_caches)
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let run_batch ?domains ?cache requests =
+let run_batch ?domains ?cache ?dfa_cache:dc requests =
   let domains =
     match domains with Some d -> max 1 d | None -> Par.default_domains ()
   in
   let cache = match cache with Some c -> c | None -> Cache.create () in
+  let dc = match dc with Some d -> d | None -> dfa_cache () in
   let counters = Counters.create () in
+  (* One shared context per distinct universe, built before the workers
+     start so scheduling never races on context creation.  Requests
+     from one manifest file share a universe physically; structurally
+     equal universes additionally share their striped DFA cache through
+     the registry. *)
+  let ctxs =
+    List.fold_left
+      (fun acc req ->
+        if List.exists (fun (u, _) -> u == req.universe) acc then acc
+        else
+          ( req.universe,
+            Tset.ctx ~cache:(dfa_cache_for dc req.universe) req.universe )
+          :: acc)
+      [] requests
+  in
+  let ctx_for universe =
+    match List.find_opt (fun (u, _) -> u == universe) ctxs with
+    | Some (_, ctx) -> ctx
+    | None -> assert false (* every request was folded over above *)
+  in
+  let dfa_before = dfa_cache_stats dc in
   let answer req =
     let t0 = now_ns () in
     let digest =
@@ -130,6 +188,11 @@ let run_batch ?domains ?cache requests =
   let t0 = Unix.gettimeofday () in
   let results = Par.map_dyn ~domains answer requests in
   let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  let dfa =
+    Prs_cache.diff_stats ~before:dfa_before ~after:(dfa_cache_stats dc)
+  in
+  Counters.add_dfa counters ~hits:dfa.Prs_cache.hits
+    ~compiles:dfa.Prs_cache.misses ~contended:dfa.Prs_cache.contended;
   let c = Counters.snapshot counters in
   let stats =
     {
@@ -137,6 +200,8 @@ let run_batch ?domains ?cache requests =
       cache_hits = c.Counters.hits;
       cache_misses = c.Counters.misses;
       uncacheable = c.Counters.uncacheable;
+      dfa_cache_hits = c.Counters.dfa_hits;
+      dfa_compiles = c.Counters.dfa_compiles;
       busy_ms = c.Counters.busy_ms;
       wall_ms;
       domains;

@@ -5,8 +5,12 @@
     {!Posl_par.Par.map_dyn}'s dynamic work queue, and memoizes verdicts
     in a content-addressed {!Cache} keyed by {!Digest}.  Parallelism
     lives at the batch level: each job runs its own state-space
-    exploration serially, so domains are never nested and the compiled
-    monitor caches stay domain-local. *)
+    exploration serially, so domains are never nested.  Monitor
+    contexts are {e shared} across all worker domains — the compiled
+    prs-automata memo behind the abstract [Tset.ctx] is a lock-striped
+    {!Posl_tset.Prs_cache} — so each automaton is compiled once per
+    batch regardless of the domain count, and a {!dfa_cache} threaded
+    through successive batches keeps it compiled across them too. *)
 
 module Spec = Posl_core.Spec
 module Tset = Posl_tset.Tset
@@ -21,12 +25,16 @@ type request = {
           CLI semantics: the adequate universe of the whole spec file *)
 }
 
+(** Both request builders take their optional arguments in the same
+    order — [?label], [?depth], then what fixes the universe — so call
+    sites read uniformly.  [label] defaults to {!Job.describe}; [depth]
+    to 6 (the CLI default). *)
+
 val request :
   ?label:string -> ?depth:int -> universe:Universe.t -> Job.query -> request
-(** [label] defaults to {!Job.describe}; [depth] to 6 (the CLI
-    default). *)
 
-val of_specs : ?label:string -> ?depth:int -> ?extra_objects:int -> Job.query -> request
+val of_specs :
+  ?label:string -> ?depth:int -> ?extra_objects:int -> Job.query -> request
 (** Convenience: derive the universe from the query's own
     specifications via {!Spec.adequate_universe}. *)
 
@@ -43,6 +51,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   uncacheable : int;
+  dfa_cache_hits : int;
+      (** compiled prs-automata served from the shared striped cache *)
+  dfa_compiles : int;
+      (** prs-expressions compiled to DFAs during this batch; with the
+          shared cache this no longer scales with the domain count *)
   busy_ms : float;  (** summed per-job wall time across workers *)
   wall_ms : float;  (** batch wall time *)
   domains : int;  (** requested worker count *)
@@ -51,11 +64,34 @@ type stats = {
 
 val pp_stats : Format.formatter -> stats -> unit
 
+(** {1 Shared compiled-automata cache}
+
+    Compiled prs-automata are relative to a universe sample, so the
+    shareable unit is a registry of striped caches keyed by universe
+    (structural equality).  One registry may serve any number of
+    batches and domains concurrently. *)
+
+type dfa_cache
+
+val dfa_cache : ?stripes:int -> unit -> dfa_cache
+(** [stripes] (default 16, rounded up to a power of two) sizes each
+    per-universe {!Posl_tset.Prs_cache}. *)
+
+val dfa_cache_stats : dfa_cache -> Posl_tset.Prs_cache.stats
+(** Aggregate hit/miss/duplicate/contention counts over every universe
+    in the registry. *)
+
 val run_batch :
-  ?domains:int -> ?cache:Cache.t -> request list -> result list * stats
+  ?domains:int ->
+  ?cache:Cache.t ->
+  ?dfa_cache:dfa_cache ->
+  request list ->
+  result list * stats
 (** Answer every request; results are order-stable with the input.
     [domains] defaults to {!Posl_par.Par.default_domains}; [cache]
-    defaults to a fresh (cold) cache.  Passing a cache shared with a
-    previous batch serves repeated obligations without recomputation.
-    Deterministic: the verdict list is identical for every domain
-    count. *)
+    defaults to a fresh (cold) verdict cache and [dfa_cache] to a fresh
+    compiled-automata cache.  Passing either across batches serves
+    repeated obligations (verdicts) and repeated prs-expressions
+    (compiled DFAs) without recomputation.  All worker domains share
+    one monitor context per universe.  Deterministic: the verdict list
+    is identical for every domain count. *)

@@ -20,6 +20,12 @@ type query =
   | Deadlock of { left : Spec.t; right : Spec.t }
   | Equal of { left : Spec.t; right : Spec.t }
 
+let refine ~refined ~abstract = Refine { refined; abstract }
+let compose ~left ~right = Compose { left; right }
+let proper ~refined ~abstract ~context = Proper { refined; abstract; context }
+let deadlock ~left ~right = Deadlock { left; right }
+let equal ~left ~right = Equal { left; right }
+
 type verdict = {
   holds : bool;
   confidence : Bmc.confidence option;
@@ -138,7 +144,7 @@ let run ?domains (ctx : Tset.ctx) ~depth query : verdict =
                 Compose.pp_composability_failure f;
           }
       | Ok comp -> (
-          let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
+          let alphabet = Spec.concrete_alphabet (Tset.universe ctx) comp in
           match
             Bmc.find_deadlock ?domains ctx ~alphabet ~depth (Spec.tset comp)
           with

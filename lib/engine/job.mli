@@ -23,6 +23,16 @@ type query =
   | Equal of { left : Spec.t; right : Spec.t }
       (** trace-set equality *)
 
+(** Labelled constructors, one per query kind — the stable way to
+    build queries (callers need not pattern-build the variant records,
+    and positional mix-ups of same-typed specs are impossible). *)
+
+val refine : refined:Spec.t -> abstract:Spec.t -> query
+val compose : left:Spec.t -> right:Spec.t -> query
+val proper : refined:Spec.t -> abstract:Spec.t -> context:Spec.t -> query
+val deadlock : left:Spec.t -> right:Spec.t -> query
+val equal : left:Spec.t -> right:Spec.t -> query
+
 type verdict = {
   holds : bool;
   confidence : Bmc.confidence option;

@@ -85,7 +85,7 @@ let run_file ?(depth = 6) ?(extra_objects = 2) (f : file) : result list =
         | Error fl ->
             (false, Format.asprintf "%a" Compose.pp_composability_failure fl)
         | Ok comp -> (
-            let alphabet = Spec.concrete_alphabet ctx.Tset.universe comp in
+            let alphabet = Spec.concrete_alphabet (Tset.universe ctx) comp in
             match
               Bmc.find_deadlock ctx ~alphabet ~depth (Spec.tset comp)
             with

@@ -177,7 +177,7 @@ let check_obligation ctx ~alphabet ~depth tset ob : (Bmc.confidence, Trace.t) re
 (** Check all liveness requirements of a live specification. *)
 let check ?(domains = 1) ctx ~depth (t : t) : verdict =
   ignore domains;
-  let u = ctx.Tset.universe in
+  let u = Tset.universe ctx in
   let alphabet = Spec.concrete_alphabet u t.spec in
   let deadlock_verdict =
     if not t.deadlock_free then Ok Bmc.Exact
@@ -245,7 +245,7 @@ let refine ?domains ctx ~depth (refined : t) (abstract : t) :
     up to the depth; [Error] carries the fresh deadlock of Γ′‖∆. *)
 let compositional_deadlock_preservation ctx ~depth ~gamma' ~gamma ~delta :
     (unit, Trace.t) result =
-  let u = ctx.Tset.universe in
+  let u = Tset.universe ctx in
   let abstract_comp = Compose.interface gamma delta in
   let refined_comp = Compose.interface gamma' delta in
   let abstract_alpha = Spec.concrete_alphabet u abstract_comp in

@@ -87,21 +87,39 @@ type compiled_prs = {
   atoms : Eventset.t;  (* symbolic union of the atom event sets *)
 }
 
+type prs_cache = (Regex.t, compiled_prs) Prs_cache.t
+
+(* The record stays internal: outside the module a context is abstract
+   and reached through the accessors below, which is what lets the
+   compiled-automata memo be a domain-safe striped cache rather than a
+   leaked hashtable. *)
 type ctx = {
   universe : Universe.t;
   closure_cap : int;
-  prs_cache : (Regex.t, compiled_prs) Hashtbl.t;
+  prs_cache : prs_cache;
 }
 
-let ctx ?(closure_cap = 20_000) universe =
-  { universe; closure_cap; prs_cache = Hashtbl.create 64 }
+let ctx ?(closure_cap = 20_000) ?cache universe =
+  let prs_cache =
+    match cache with Some c -> c | None -> Prs_cache.create ()
+  in
+  { universe; closure_cap; prs_cache }
 
-let with_closure_cap closure_cap c = { c with closure_cap }
+let universe c = c.universe
+let closure_cap c = c.closure_cap
+let prs_cache c = c.prs_cache
+let share_cache donor c = { c with prs_cache = donor.prs_cache }
 
+(* Derived from the constructor — kept because "same context, tighter
+   cap" is the common way to probe closure overflows in tests. *)
+let with_closure_cap cap c = ctx ~closure_cap:cap ~cache:c.prs_cache c.universe
+
+(* Compilation happens outside the stripe lock; when two domains race
+   on a fresh regex both compile and the first insert wins, which is
+   sound because compiled automata for one (regex, universe) pair are
+   interchangeable pure values. *)
 let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
-  match Hashtbl.find_opt c.prs_cache r with
-  | Some compiled -> compiled
-  | None ->
+  Prs_cache.find_or_compute c.prs_cache r (fun () ->
       let ground = Regex.expand c.universe r in
       let atoms = Regex.atom_union ground in
       let events = Array.of_list (Eventset.sample c.universe atoms) in
@@ -111,9 +129,7 @@ let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
         |> List.mapi (fun i e -> (e, i))
         |> List.to_seq |> Event.Map.of_seq
       in
-      let compiled = { dfa; index; atoms } in
-      Hashtbl.add c.prs_cache r compiled;
-      compiled
+      { dfa; index; atoms })
 
 (* Step the compiled automaton.  Events outside the concrete sample are
    rejected when they match no atom symbolically (exact); an event that

@@ -104,12 +104,53 @@ let test_stats_accounting () =
 (* --- determinism across domain counts ------------------------------- *)
 
 let test_deterministic_across_domains () =
+  (* one DFA cache threaded through every run: domain count 1 runs
+     cold, 2 and 4 run against warm compiled automata — verdicts must
+     be identical either way *)
+  let dfa_cache = Engine.dfa_cache () in
   let run domains =
-    verdicts (fst (Engine.run_batch ~domains (paper_batch ())))
+    verdicts (fst (Engine.run_batch ~domains ~dfa_cache (paper_batch ())))
   in
   let v1 = run 1 and v2 = run 2 and v4 = run 4 in
   Util.check_bool "domains 1 = 2" true (v1 = v2);
   Util.check_bool "domains 1 = 4" true (v1 = v4)
+
+(* --- the shared compiled-automata cache ------------------------------ *)
+
+let test_dfa_compiles_do_not_scale_with_domains () =
+  let run domains =
+    snd (Engine.run_batch ~domains (paper_batch ()))
+  in
+  let s1 = run 1 and s4 = run 4 in
+  Util.check_bool "serial pass compiles automata" true
+    (s1.Engine.dfa_compiles > 0);
+  (* the per-domain compilation tax is gone: 4 domains share one
+     striped cache, so compiles stay at the distinct-regex count (plus
+     the occasional benign duplicate), not 4× the serial count *)
+  Util.check_bool "4-domain compiles ≪ 4× serial compiles" true
+    (s4.Engine.dfa_compiles < 2 * s1.Engine.dfa_compiles);
+  Util.check_bool "the shared cache is actually hit" true
+    (s4.Engine.dfa_cache_hits > 0)
+
+let test_dfa_cache_warm_across_batches () =
+  let dfa_cache = Engine.dfa_cache () in
+  let batch = paper_batch () in
+  let run () =
+    (* a fresh verdict cache each time: every job recomputes, so the
+       monitors must re-consult the compiled automata *)
+    snd (Engine.run_batch ~domains:2 ~cache:(Cache.create ()) ~dfa_cache batch)
+  in
+  let cold = run () in
+  let warm = run () in
+  Util.check_bool "cold batch compiled automata" true
+    (cold.Engine.dfa_compiles > 0);
+  Util.check_int "warm batch recompiles nothing" 0 warm.Engine.dfa_compiles;
+  Util.check_bool "warm batch reads the shared cache" true
+    (warm.Engine.dfa_cache_hits > 0);
+  let agg = Engine.dfa_cache_stats dfa_cache in
+  Util.check_int "registry aggregates both passes"
+    (cold.Engine.dfa_compiles + warm.Engine.dfa_compiles)
+    agg.Posl_tset.Prs_cache.misses
 
 (* --- uncacheable (opaque) queries ----------------------------------- *)
 
@@ -240,6 +281,10 @@ let suite =
     Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
     Alcotest.test_case "deterministic across domain counts" `Slow
       test_deterministic_across_domains;
+    Alcotest.test_case "DFA compiles don't scale with domains" `Slow
+      test_dfa_compiles_do_not_scale_with_domains;
+    Alcotest.test_case "DFA cache stays warm across batches" `Quick
+      test_dfa_cache_warm_across_batches;
     Alcotest.test_case "opaque trace sets are uncacheable" `Quick
       test_opaque_uncacheable;
     Alcotest.test_case "digest separates the paper specs" `Quick
