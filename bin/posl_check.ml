@@ -31,6 +31,8 @@ module Job = Posl_engine.Job
 module Engine = Posl_engine.Engine
 module Cache = Posl_engine.Cache
 module Report = Posl_report.Report
+module Verdict = Posl_verdict.Verdict
+module Json = Posl_verdict.Verdict.Json
 
 let exit_verdict = 1
 let exit_input = 2
@@ -94,10 +96,22 @@ let depth_arg =
 let extra_objects_arg =
   Arg.(value & opt int 2 & info [ "extra-objects" ] ~docv:"N" ~doc:"Fresh environment objects added to the universe sample.")
 
+(* The single-query JSON document: the same verdict schema the batch
+   --json file uses per result (see the README's "Verdict schema"). *)
+let json_of_query ~depth query verdict =
+  Json.Obj
+    [
+      ("label", Json.Str (Job.describe query));
+      ("kind", Json.Str (Job.kind query));
+      ("depth", Json.Int depth);
+      ("holds", Json.Bool (Verdict.to_bool verdict));
+      ("verdict", Verdict.to_json verdict);
+    ]
+
 (* One query subcommand = load file, resolve names, run the job the
    engine would run, print its verdict.  Batch answers and single-shot
    answers agree by construction. *)
-let run_query file names depth extra make_query =
+let run_query file names depth extra json make_query =
   code
     (let* specs = load file in
      let* resolved =
@@ -111,16 +125,33 @@ let run_query file names depth extra make_query =
      let query = make_query (List.rev resolved) in
      let ctx = context specs extra in
      let verdict = Job.run ctx ~depth query in
-     Format.printf "%s: %s@." (Job.describe query) verdict.Job.detail;
-     (* compose additionally displays the composition itself *)
-     (match (query, verdict.Job.holds) with
-     | Job.Compose { left; right }, true -> (
-         match Compose.compose left right with
-         | Ok comp -> Format.printf "@.%a@." Spec.pp comp
-         | Error _ -> ())
-     | _ -> ());
-     if verdict.Job.holds then Ok ()
-     else Error (Verdict (Format.asprintf "check failed: %s" verdict.Job.detail)))
+     let holds = Verdict.to_bool verdict in
+     if json then
+       print_endline (Json.to_string (json_of_query ~depth query verdict))
+     else begin
+       Format.printf "%s: %s@." (Job.describe query)
+         (Verdict.to_string verdict);
+       (* compose additionally displays the composition itself *)
+       match (query, holds) with
+       | Job.Compose { left; right }, true -> (
+           match Compose.compose left right with
+           | Ok comp -> Format.printf "@.%a@." Spec.pp comp
+           | Error _ -> ())
+       | _ -> ()
+     end;
+     if holds then Ok ()
+     else
+       Error
+         (Verdict
+            (Format.asprintf "check failed: %s" (Verdict.to_string verdict))))
+
+(* --json for single queries: print the machine-readable document
+   instead of the human-readable line. *)
+let query_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Print the verdict as a JSON document on stdout.")
 
 (* show *)
 let show_cmd =
@@ -135,32 +166,32 @@ let show_cmd =
 
 (* refine *)
 let refine_cmd =
-  let run file refined abstract depth extra =
-    run_query file [ refined; abstract ] depth extra
+  let run file refined abstract depth extra json =
+    run_query file [ refined; abstract ] depth extra json
       (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-      $ depth_arg $ extra_objects_arg)
+      $ depth_arg $ extra_objects_arg $ query_json_arg)
 
 (* compose *)
 let compose_cmd =
-  let run file left right depth extra =
-    run_query file [ left; right ] depth extra
+  let run file left right depth extra json =
+    run_query file [ left; right ] depth extra json
       (spec2 (fun left right -> Job.compose ~left ~right))
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg)
+      $ extra_objects_arg $ query_json_arg)
 
 (* proper *)
 let proper_cmd =
-  let run file refined abstract ctx_name depth extra =
-    run_query file [ refined; abstract; ctx_name ] depth extra
+  let run file refined abstract ctx_name depth extra json =
+    run_query file [ refined; abstract; ctx_name ] depth extra json
       (spec3 (fun refined abstract context ->
            Job.proper ~refined ~abstract ~context))
   in
@@ -168,31 +199,32 @@ let proper_cmd =
     (Cmd.info "proper" ~doc:"Check properness of a refinement w.r.t. a context spec (Def. 14).")
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-      $ name_arg 3 "CONTEXT" $ depth_arg $ extra_objects_arg)
+      $ name_arg 3 "CONTEXT" $ depth_arg $ extra_objects_arg
+      $ query_json_arg)
 
 (* deadlock *)
 let deadlock_cmd =
-  let run file left right depth extra =
-    run_query file [ left; right ] depth extra
+  let run file left right depth extra json =
+    run_query file [ left; right ] depth extra json
       (spec2 (fun left right -> Job.deadlock ~left ~right))
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg)
+      $ extra_objects_arg $ query_json_arg)
 
 (* equal *)
 let equal_cmd =
-  let run file left right depth extra =
-    run_query file [ left; right ] depth extra
+  let run file left right depth extra json =
+    run_query file [ left; right ] depth extra json
       (spec2 (fun left right -> Job.equal ~left ~right))
   in
   Cmd.v
     (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg)
+      $ extra_objects_arg $ query_json_arg)
 
 (* run: evaluate the assert statements of a file *)
 let run_cmd =
@@ -271,33 +303,40 @@ let simulate_cmd =
 
 (* consistent: non-trivial consistency of two specs *)
 let consistent_cmd =
-  let run file left right depth extra =
+  let run file left right depth extra json =
     code
       (let* specs = load file in
        let* a = find specs left in
        let* b = find specs right in
        let ctx = context specs extra in
-       match Posl_core.Consistency.check ctx ~depth a b with
-       | Posl_core.Consistency.Consistent h ->
-           Format.printf "non-trivially consistent; witness: %a@."
-             Posl_trace.Trace.pp h;
-           Ok ()
-       | Posl_core.Consistency.Only_trivial ->
-           Error
-             (Verdict
-                "only trivially consistent (the specs contradict each other)")
-       | Posl_core.Consistency.Not_composable f ->
-           Error
-             (Verdict
-                (Format.asprintf
-                   "not composable, consistency not externally determinable: %a"
-                   Compose.pp_composability_failure f)))
+       let v =
+         Posl_core.Consistency.to_verdict
+           (Posl_core.Consistency.check ctx ~depth a b)
+       in
+       if json then
+         print_endline
+           (Json.to_string
+              (Json.Obj
+                 [
+                   ( "label",
+                     Json.Str
+                       (Printf.sprintf "consistent(%s, %s)" left right) );
+                   ("kind", Json.Str "consistent");
+                   ("depth", Json.Int depth);
+                   ("holds", Json.Bool (Verdict.to_bool v));
+                   ("verdict", Verdict.to_json v);
+                 ]))
+       else
+         Format.printf "consistent(%s, %s): %s@." left right
+           (Verdict.to_string v);
+       if Verdict.to_bool v then Ok ()
+       else Error (Verdict (Format.asprintf "check failed: %s" (Verdict.to_string v))))
   in
   Cmd.v
     (Cmd.info "consistent" ~doc:"Check non-trivial consistency of two specs (Section 7).")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg)
+      $ extra_objects_arg $ query_json_arg)
 
 (* ------------------------------------------------------------------ *)
 (* batch: a manifest of queries, answered by the engine                *)
@@ -411,51 +450,36 @@ let parse_manifest ~default_depth ~extra path =
   in
   go 1 None default_depth [] lines
 
-(* Minimal JSON printing; string details may carry UTF-8, which passes
-   through JSON strings byte-for-byte. *)
-let json_escape s =
-  let buf = Buffer.create (String.length s + 8) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string buf "\\\""
-      | '\\' -> Buffer.add_string buf "\\\\"
-      | '\n' -> Buffer.add_string buf "\\n"
-      | '\t' -> Buffer.add_string buf "\\t"
-      | '\r' -> Buffer.add_string buf "\\r"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char buf c)
-    s;
-  Buffer.contents buf
-
+(* All JSON is built with posl.verdict's document AST — the one
+   escaping/serialization path shared with the library. *)
 let json_of_stats (s : Engine.stats) ~failed =
-  Printf.sprintf
-    "{\"jobs\":%d,\"failed\":%d,\"cache_hits\":%d,\"cache_misses\":%d,\
-     \"uncacheable\":%d,\"dfa_cache_hits\":%d,\"dfa_compiles\":%d,\
-     \"busy_ms\":%.3f,\"wall_ms\":%.3f,\"domains\":%d,\
-     \"utilization\":%.4f}"
-    s.Engine.jobs failed s.Engine.cache_hits s.Engine.cache_misses
-    s.Engine.uncacheable s.Engine.dfa_cache_hits s.Engine.dfa_compiles
-    s.Engine.busy_ms s.Engine.wall_ms s.Engine.domains s.Engine.utilization
+  Json.Obj
+    [
+      ("jobs", Json.Int s.Engine.jobs);
+      ("failed", Json.Int failed);
+      ("cache_hits", Json.Int s.Engine.cache_hits);
+      ("cache_misses", Json.Int s.Engine.cache_misses);
+      ("uncacheable", Json.Int s.Engine.uncacheable);
+      ("dfa_cache_hits", Json.Int s.Engine.dfa_cache_hits);
+      ("dfa_compiles", Json.Int s.Engine.dfa_compiles);
+      ("busy_ms", Json.Float s.Engine.busy_ms);
+      ("wall_ms", Json.Float s.Engine.wall_ms);
+      ("domains", Json.Int s.Engine.domains);
+      ("utilization", Json.Float s.Engine.utilization);
+    ]
 
 let json_of_result (r : Engine.result) =
-  let confidence =
-    match r.Engine.verdict.Job.confidence with
-    | None -> "null"
-    | Some c -> Printf.sprintf "\"%s\"" (Format.asprintf "%a" Bmc.pp_confidence c)
-  in
-  Printf.sprintf
-    "{\"label\":\"%s\",\"kind\":\"%s\",\"depth\":%d,\"holds\":%b,\
-     \"confidence\":%s,\"cached\":%b,\"cacheable\":%b,\"ms\":%.3f,\
-     \"detail\":\"%s\"}"
-    (json_escape r.Engine.request.Engine.label)
-    (Job.kind r.Engine.request.Engine.query)
-    r.Engine.request.Engine.depth r.Engine.verdict.Job.holds confidence
-    r.Engine.cached
-    (r.Engine.digest <> None)
-    r.Engine.ms
-    (json_escape r.Engine.verdict.Job.detail)
+  Json.Obj
+    [
+      ("label", Json.Str r.Engine.request.Engine.label);
+      ("kind", Json.Str (Job.kind r.Engine.request.Engine.query));
+      ("depth", Json.Int r.Engine.request.Engine.depth);
+      ("holds", Json.Bool (Verdict.to_bool r.Engine.verdict));
+      ("cached", Json.Bool r.Engine.cached);
+      ("cacheable", Json.Bool (r.Engine.digest <> None));
+      ("ms", Json.Float r.Engine.ms);
+      ("verdict", Verdict.to_json r.Engine.verdict);
+    ]
 
 let batch_cmd =
   let manifest_arg =
@@ -485,7 +509,7 @@ let batch_cmd =
                [
                  string_of_int (i + 1);
                  r.Engine.request.Engine.label;
-                 Format.asprintf "%a" Job.pp_verdict r.Engine.verdict;
+                 Verdict.to_string r.Engine.verdict;
                  (if r.Engine.cached then "hit" else "");
                  Printf.sprintf "%.1f" r.Engine.ms;
                ])
@@ -494,11 +518,12 @@ let batch_cmd =
          let failed =
            List.length
              (List.filter
-                (fun (r : Engine.result) -> not r.Engine.verdict.Job.holds)
+                (fun (r : Engine.result) ->
+                  not (Verdict.to_bool r.Engine.verdict))
                 results)
          in
          Format.printf "@.%a@." Engine.pp_stats stats;
-         Format.printf "%s@." (json_of_stats stats ~failed);
+         Format.printf "%s@." (Json.to_string (json_of_stats stats ~failed));
          let* () =
            match json_path with
            | None -> Ok ()
@@ -509,10 +534,15 @@ let batch_cmd =
                    ~finally:(fun () -> close_out_noerr oc)
                    (fun () ->
                      output_string oc
-                       (Printf.sprintf "{\"stats\":%s,\"results\":[%s]}\n"
-                          (json_of_stats stats ~failed)
-                          (String.concat ","
-                             (List.map json_of_result results))));
+                       (Json.to_string
+                          (Json.Obj
+                             [
+                               ("stats", json_of_stats stats ~failed);
+                               ( "results",
+                                 Json.List (List.map json_of_result results)
+                               );
+                             ]));
+                     output_string oc "\n");
                  Ok ()
                with Sys_error m -> Error (Input m))
          in

@@ -22,12 +22,11 @@ module Tset = Posl_tset.Tset
 module Event = Posl_trace.Event
 module Trace = Posl_trace.Trace
 module Eventset = Posl_sets.Eventset
+module Verdict = Posl_verdict.Verdict
 
-type confidence = Exact | Bounded of int
+type confidence = Verdict.confidence = Exact | Bounded of int
 
-let pp_confidence ppf = function
-  | Exact -> Format.pp_print_string ppf "exact"
-  | Bounded k -> Format.fprintf ppf "bounded(depth=%d)" k
+let pp_confidence = Verdict.pp_confidence
 
 type 'a verdict = Holds of confidence | Refuted of 'a
 
@@ -85,6 +84,40 @@ module Explore = struct
     level 0 init
 end
 
+(** {1 Self-certification}
+
+    Every counterexample the exploration produces is replayed through
+    the denotational reference semantics ([Tset.mem_naive]) before it
+    is reported: a wrong monitor/product implementation cannot emit a
+    plausible-looking witness. *)
+
+(* h refutes [lhs ⊆ rhs ∘ proj] iff h ∈ lhs and h/proj ∉ rhs. *)
+let certify_inclusion ctx ~lhs ~proj ~rhs h =
+  if not (Tset.mem_naive ctx lhs h) then
+    Verdict.uncertified
+      "inclusion counterexample %a is not a trace of the refined side"
+      Trace.pp h;
+  if Tset.mem_naive ctx rhs (Eventset.restrict_trace proj h) then
+    Verdict.uncertified
+      "inclusion counterexample %a projects back into the abstract trace set"
+      Trace.pp h;
+  h
+
+(* h witnesses a deadlock of t iff h is reachable (h ∈ t, or h = ε for
+   the degenerate empty trace set) and no event of the alphabet extends
+   it inside t. *)
+let certify_deadlock ctx ~alphabet t h =
+  if not (Trace.is_empty h || Tset.mem_naive ctx t h) then
+    Verdict.uncertified "deadlock witness %a is not a trace of the spec"
+      Trace.pp h;
+  Array.iter
+    (fun e ->
+      if Tset.mem_naive ctx t (Trace.snoc h e) then
+        Verdict.uncertified "deadlock witness %a can be extended by %a"
+          Trace.pp h Event.pp e)
+    alphabet;
+  h
+
 (** {1 Trace-set inclusion under projection}
 
     [check_inclusion ctx ~alphabet ~depth ~lhs ~proj ~rhs] decides
@@ -98,7 +131,9 @@ let check_inclusion ?domains (ctx : Tset.ctx) ~(alphabet : Event.t array)
   | None -> Holds Exact (* T(Γ′) degenerate: even ε is outside it *)
   | Some lhs0 -> (
       match Tset.start ctx rhs with
-      | None -> Refuted Trace.empty (* ε ∈ T(Γ′) but ε ∉ T(Γ) *)
+      | None ->
+          (* ε ∈ T(Γ′) but ε ∉ T(Γ) *)
+          Refuted (certify_inclusion ctx ~lhs ~proj ~rhs Trace.empty)
       | Some rhs0 ->
           let expand ((lhs_st, rhs_st), h) =
             let rec try_events acc = function
@@ -122,7 +157,7 @@ let check_inclusion ?domains (ctx : Tset.ctx) ~(alphabet : Event.t array)
                ~init:[ ((lhs0, rhs0), Trace.empty) ]
                ~expand ()
            with
-          | Error cex -> Refuted cex
+          | Error cex -> Refuted (certify_inclusion ctx ~lhs ~proj ~rhs cex)
           | Ok true -> Holds Exact
           | Ok false -> Holds (Bounded depth)))
 
@@ -159,7 +194,9 @@ let check_equal ?domains ctx ~alphabet ~depth ~(left : Tset.t)
 let find_deadlock ?domains ctx ~(alphabet : Event.t array) ~depth
     (t : Tset.t) : Trace.t option =
   match Tset.start ctx t with
-  | None -> Some Trace.empty (* not even ε: degenerate, report as stuck *)
+  | None ->
+      (* not even ε: degenerate, report as stuck *)
+      Some (certify_deadlock ctx ~alphabet t Trace.empty)
   | Some st0 ->
       let expand (st, h) =
         let succs =
@@ -174,7 +211,7 @@ let find_deadlock ?domains ctx ~(alphabet : Event.t array) ~depth
       (match
          Explore.run ?domains ~depth ~init:[ (st0, Trace.empty) ] ~expand ()
        with
-      | Error witness -> Some witness
+      | Error witness -> Some (certify_deadlock ctx ~alphabet t witness)
       | Ok _ -> None)
 
 (** The events enabled after [h] — the possible extensions within the

@@ -6,14 +6,20 @@
     (Example 6), and deadlock (Examples 4–5).  Exploration is
     breadth-first with structural de-duplication; when the reachable
     space is exhausted before the depth bound, the verdict holds for
-    {e all} depths over the given alphabet and is reported {!Exact}. *)
+    {e all} depths over the given alphabet and is reported {!Exact}.
+
+    Every counterexample ({!check_inclusion}, {!check_equal},
+    {!find_deadlock}) is {e self-certifying}: it is replayed through the
+    denotational reference semantics [Tset.mem_naive] before being
+    reported, and {!Posl_verdict.Verdict.Uncertified} is raised if the
+    replay disagrees with the exploration. *)
 
 module Tset = Posl_tset.Tset
 module Event = Posl_trace.Event
 module Trace = Posl_trace.Trace
 module Eventset = Posl_sets.Eventset
 
-type confidence =
+type confidence = Posl_verdict.Verdict.confidence =
   | Exact  (** state space exhausted: exact for the sampled universe *)
   | Bounded of int  (** exploration cut at this depth *)
 

@@ -63,6 +63,10 @@ let pp_composability_failure ppf f =
   in
   Format.fprintf ppf "%s: %a" side Eventset.pp f.offending
 
+let evidence_of_failure (f : composability_failure) =
+  Posl_verdict.Verdict.Not_composable
+    { offending = f.offending; side = f.side }
+
 let check_composable g d =
   let i_g = Internal.of_set (Spec.objs g) in
   let i_d = Internal.of_set (Spec.objs d) in

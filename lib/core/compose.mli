@@ -27,6 +27,10 @@ type composability_failure = {
 val pp_composability_failure :
   Format.formatter -> composability_failure -> unit
 
+val evidence_of_failure :
+  composability_failure -> Posl_verdict.Verdict.evidence
+(** The typed-evidence view of a composability failure. *)
+
 val check_composable : Spec.t -> Spec.t -> (unit, composability_failure) result
 (** Def. 10, decided symbolically: α(Γ) ∩ I(O(∆)) = ∅ and
     I(O(Γ)) ∩ α(∆) = ∅. *)

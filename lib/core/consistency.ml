@@ -21,6 +21,7 @@ open Posl_ident
 module Tset = Posl_tset.Tset
 module Trace = Posl_trace.Trace
 module Bmc = Posl_bmc.Bmc
+module Verdict = Posl_verdict.Verdict
 
 type verdict =
   | Consistent of Trace.t
@@ -62,7 +63,14 @@ let nonempty_witness ctx ~depth comp =
                | None -> None)
       in
       (match first with
-      | Some h -> Some h
+      | Some h ->
+          (* Witnesses are self-certifying: replay through the
+             reference semantics before reporting. *)
+          if Tset.mem_naive ctx t h then Some h
+          else
+            Verdict.uncertified
+              "consistency witness %a is not a trace of the composition"
+              Trace.pp h
       | None ->
           (* No single-event trace; deeper behaviour cannot exist either
              (prefix closure), but keep the exploration honest. *)
@@ -77,6 +85,29 @@ let check ctx ~depth g1 g2 : verdict =
       match nonempty_witness ctx ~depth comp with
       | Some h -> Consistent h
       | None -> Only_trivial)
+
+(** The structured view: non-trivial consistency holds with a witness
+    trace, fails when only ε is common, and is {e vacuous} (carrying
+    the composability failure) when the question is not externally
+    answerable. *)
+let to_verdict : verdict -> Verdict.t = function
+  | Consistent h ->
+      Verdict.holds ~confidence:Exact
+        ~evidence:[ Verdict.Consistency_witness h ] ()
+  | Only_trivial ->
+      Verdict.refuted ~confidence:Exact
+        [
+          Verdict.Note
+            "only trivially consistent: the weakest common refinement admits \
+             no non-empty trace";
+        ]
+  | Not_composable f ->
+      {
+        Verdict.status = Vacuous;
+        confidence = None;
+        evidence = [ Compose.evidence_of_failure f ];
+        provenance = Verdict.no_provenance;
+      }
 
 (** Every common refinement is below the weakest one: if ∆ refines both
     specifications, it refines their composition (Lemma 6 part 2 /

@@ -27,6 +27,14 @@ val weakest_common_refinement :
     composability). *)
 
 val check : Tset.ctx -> depth:int -> Spec.t -> Spec.t -> verdict
+(** Witness traces are certified against [Tset.mem_naive] before being
+    reported. *)
+
+val to_verdict : verdict -> Posl_verdict.Verdict.t
+(** The structured view: [Consistent] holds with a
+    [Consistency_witness], [Only_trivial] is refuted, and
+    [Not_composable] is vacuous with the composability failure as
+    evidence. *)
 
 val common_refinement_bound :
   ?domains:int ->

@@ -23,6 +23,7 @@ module Event = Posl_trace.Event
 module Bmc = Posl_bmc.Bmc
 module Dfa = Posl_automata.Dfa
 module Nfa = Posl_automata.Nfa
+module Verdict = Posl_verdict.Verdict
 
 type failure =
   | Objects_missing of Oid.Set.t
@@ -90,56 +91,104 @@ let trace_clause_automata ctx ~(alphabet : Event.t array) ~(proj : Eventset.t)
 
 type strategy = Auto | Automata_only | Bounded_only
 
-(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.
-
-    [depth] bounds the fallback exploration (and is reported in
-    [Bounded] verdicts); with [strategy = Auto] the exact automata route
-    is attempted first.  Trace-clause verdicts are relative to
-    [ctx.universe]. *)
-let check ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
-    (gamma : Spec.t) : result =
+(** [check_full] is [check] plus the decision procedure that settled
+    the question (clause 1–2 failures are symbolic; clause 3 is decided
+    by automata or bounded exploration). *)
+let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
+    (gamma : Spec.t) : result * Verdict.procedure =
   let missing_objs = Oid.Set.diff (Spec.objs gamma) (Spec.objs gamma') in
-  if not (Oid.Set.is_empty missing_objs) then Error (Objects_missing missing_objs)
+  if not (Oid.Set.is_empty missing_objs) then
+    (Error (Objects_missing missing_objs), Verdict.Symbolic)
   else
     let missing_alpha =
       Eventset.normalise (Eventset.diff (Spec.alpha gamma) (Spec.alpha gamma'))
     in
     if not (Eventset.is_empty missing_alpha) then
-      Error (Alphabet_missing missing_alpha)
+      (Error (Alphabet_missing missing_alpha), Verdict.Symbolic)
     else begin
       let u = Tset.universe ctx in
       let alphabet = Spec.concrete_alphabet u gamma' in
+      let lhs = Spec.tset gamma' and rhs = Spec.tset gamma in
+      let proj = Spec.alpha gamma in
+      (* The automata route decides inclusion on compiled DFAs, so its
+         counterexamples are replayed through the reference semantics
+         just like the exploration's (which certifies internally). *)
+      let certify h =
+        if
+          Tset.mem_naive ctx lhs h
+          && not (Tset.mem_naive ctx rhs (Eventset.restrict_trace proj h))
+        then h
+        else
+          Verdict.uncertified
+            "automata counterexample %a does not refute the inclusion under \
+             the reference semantics"
+            Trace.pp h
+      in
       let automata () =
-        try
-          trace_clause_automata ctx ~alphabet ~proj:(Spec.alpha gamma)
-            ~lhs:(Spec.tset gamma') ~rhs:(Spec.tset gamma)
+        try trace_clause_automata ctx ~alphabet ~proj ~lhs ~rhs
         with Tset.Closure_overflow _ -> None
       in
       let bounded () =
-        match
-          Bmc.check_inclusion ?domains ctx ~alphabet ~depth
-            ~lhs:(Spec.tset gamma') ~proj:(Spec.alpha gamma)
-            ~rhs:(Spec.tset gamma)
-        with
-        | Bmc.Holds c -> Ok c
-        | Bmc.Refuted h -> Error (Trace_escape h)
+        ( (match
+             Bmc.check_inclusion ?domains ctx ~alphabet ~depth ~lhs ~proj ~rhs
+           with
+          | Bmc.Holds c -> Ok c
+          | Bmc.Refuted h -> Error (Trace_escape h)),
+          Verdict.Bounded_search )
       in
       match strategy with
       | Automata_only -> (
           match automata () with
-          | Some (Ok ()) -> Ok Bmc.Exact
-          | Some (Error h) -> Error (Trace_escape h)
+          | Some (Ok ()) -> (Ok Bmc.Exact, Verdict.Automata)
+          | Some (Error h) ->
+              (Error (Trace_escape (certify h)), Verdict.Automata)
           | None ->
               invalid_arg
                 "Refine.check: automata strategy failed to compile monitors")
       | Bounded_only -> bounded ()
       | Auto -> (
           match automata () with
-          | Some (Ok ()) -> Ok Bmc.Exact
-          | Some (Error h) -> Error (Trace_escape h)
+          | Some (Ok ()) -> (Ok Bmc.Exact, Verdict.Automata)
+          | Some (Error h) ->
+              (Error (Trace_escape (certify h)), Verdict.Automata)
           | None -> bounded ())
     end
+
+(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.
+
+    [depth] bounds the fallback exploration (and is reported in
+    [Bounded] verdicts); with [strategy = Auto] the exact automata route
+    is attempted first.  Trace-clause verdicts are relative to
+    [ctx]'s universe. *)
+let check ?domains ?strategy ctx ~depth gamma' gamma =
+  fst (check_full ?domains ?strategy ctx ~depth gamma' gamma)
 
 (** Boolean convenience wrapper. *)
 let refines ?domains ?strategy ctx ~depth gamma' gamma =
   Result.is_ok (check ?domains ?strategy ctx ~depth gamma' gamma)
+
+(** The typed-evidence view of a failure.  [proj] is α(Γ), used to
+    attach the projected trace to an escape witness. *)
+let evidence_of_failure ~proj = function
+  | Objects_missing os -> Verdict.Objects_missing os
+  | Alphabet_missing es -> Verdict.Events_missing es
+  | Trace_escape h ->
+      Verdict.Trace_escape
+        { trace = h; projected = Eventset.restrict_trace proj h }
+
+(** [check] as a structured {!Verdict.t} (procedure and depth filled
+    in; the caller adds universe digest and elapsed time). *)
+let verdict ?domains ?strategy ctx ~depth gamma' gamma =
+  let result, procedure =
+    check_full ?domains ?strategy ctx ~depth gamma' gamma
+  in
+  let v =
+    match result with
+    | Ok c -> Verdict.holds ~confidence:c ()
+    | Error f ->
+        (* Object and alphabet failures are symbolic, hence exact; a
+           trace escape is a concrete counterexample, also exact. *)
+        Verdict.refuted ~confidence:Exact
+          [ evidence_of_failure ~proj:(Spec.alpha gamma) f ]
+  in
+  Verdict.with_context ~procedure ~depth v

@@ -17,6 +17,7 @@ open Posl_ident
 open Posl_sets
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
+module Verdict = Posl_verdict.Verdict
 
 type failure =
   | Objects_missing of Oid.Set.t
@@ -48,7 +49,34 @@ val check :
   result
 (** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.  Trace-clause
     verdicts are relative to [ctx]'s universe; [depth] bounds (and is
-    reported by) the exploration fallback. *)
+    reported by) the exploration fallback.  Counterexamples from both
+    decision routes are certified against [Tset.mem_naive] before they
+    are returned ({!Verdict.Uncertified} on disagreement). *)
+
+val check_full :
+  ?domains:int ->
+  ?strategy:strategy ->
+  Tset.ctx ->
+  depth:int ->
+  Spec.t ->
+  Spec.t ->
+  result * Verdict.procedure
+(** {!check} plus the decision procedure that settled the question. *)
+
+val evidence_of_failure : proj:Eventset.t -> failure -> Verdict.evidence
+(** The typed-evidence view of a failure; [proj] is α(Γ), used to
+    attach the projected trace to an escape witness. *)
+
+val verdict :
+  ?domains:int ->
+  ?strategy:strategy ->
+  Tset.ctx ->
+  depth:int ->
+  Spec.t ->
+  Spec.t ->
+  Verdict.t
+(** {!check} as a structured verdict with procedure and depth
+    provenance filled in. *)
 
 val refines :
   ?domains:int ->

@@ -7,40 +7,35 @@
     the paper's own examples and on large random instance families
     (see the test suite and the benchmark harness).
 
-    Outcomes: [Pass] (with the confidence of the underlying trace
-    checks), [Vacuous] (the instance does not satisfy the premises — the
-    proposition says nothing about it), or [Fail] with a human-readable
-    counterexample. *)
+    Outcomes are structured verdicts ({!Posl_verdict.Verdict.t}): a
+    proposition holds (with the confidence of the underlying trace
+    checks), is vacuous (the instance does not satisfy the premises —
+    the proposition says nothing about it), or is refuted with typed
+    evidence. *)
 
 open Posl_ident
 open Posl_sets
 module Tset = Posl_tset.Tset
 module Trace = Posl_trace.Trace
 module Bmc = Posl_bmc.Bmc
+module Verdict = Posl_verdict.Verdict
 
-type outcome =
-  | Pass of Bmc.confidence
-  | Vacuous of string
-  | Fail of string
+type outcome = Verdict.t
 
-let pp_outcome ppf = function
-  | Pass c -> Format.fprintf ppf "pass [%a]" Bmc.pp_confidence c
-  | Vacuous why -> Format.fprintf ppf "vacuous (%s)" why
-  | Fail why -> Format.fprintf ppf "FAIL: %s" why
+let pp_outcome = Verdict.pp
+let is_pass = Verdict.is_holds
+let is_fail = Verdict.is_refuted
+let is_vacuous = Verdict.is_vacuous
+let both = Verdict.both
+let all = Verdict.all
 
-let is_pass = function Pass _ -> true | Vacuous _ | Fail _ -> false
-let is_fail = function Fail _ -> true | Pass _ | Vacuous _ -> false
+(* Symbolic clauses are exact by construction. *)
+let pass c = Verdict.holds ~confidence:c ()
 
-let both a b =
-  match (a, b) with
-  | Fail _, _ -> a
-  | _, Fail _ -> b
-  | Vacuous _, _ -> a
-  | _, Vacuous _ -> b
-  | Pass c1, Pass c2 ->
-      Pass (match (c1, c2) with Bmc.Exact, Bmc.Exact -> Bmc.Exact | Bmc.Bounded k, _ | _, Bmc.Bounded k -> Bmc.Bounded k)
+let symbolic v =
+  Verdict.with_context ~procedure:Verdict.Symbolic v
 
-let all outcomes = List.fold_left both (Pass Bmc.Exact) outcomes
+let vacuousf fmt = Format.kasprintf Verdict.vacuous fmt
 
 (** {1 The filter law}
 
@@ -66,13 +61,25 @@ let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
     Array.of_list
       (Eventset.sample u (Eventset.union (Spec.alpha a) (Spec.alpha b)))
   in
+  (* Both decision routes funnel their counterexamples through here:
+     the witness must be a trace of exactly one side under the
+     reference semantics before it may be reported. *)
   let fail h side =
-    let where =
+    let inside, outside =
       match side with
-      | `Left_only -> Format.asprintf "in T(%s) only" (Spec.name a)
-      | `Right_only -> Format.asprintf "in T(%s) only" (Spec.name b)
+      | `Left_only -> (Spec.tset a, Spec.tset b)
+      | `Right_only -> (Spec.tset b, Spec.tset a)
     in
-    Fail (Format.asprintf "trace %a is %s" Trace.pp h where)
+    if not (Tset.mem_naive ctx inside h) || Tset.mem_naive ctx outside h then
+      Verdict.uncertified
+        "equality counterexample %a is not one-sided under the reference \
+         semantics"
+        Trace.pp h;
+    Verdict.refuted
+      [
+        Verdict.Equality_witness
+          { trace = h; side; left = Spec.name a; right = Spec.name b };
+      ]
   in
   let automata () =
     try
@@ -89,40 +96,52 @@ let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
           | Ok () -> (
               match Posl_automata.Dfa.included db da with
               | Error w -> Some (fail (word_trace w) `Right_only)
-              | Ok () -> Some (Pass Bmc.Exact)))
+              | Ok () -> Some (pass Exact)))
       | _, _ -> None
     with Tset.Closure_overflow _ -> None
   in
   match automata () with
-  | Some outcome -> outcome
-  | None -> (
-      match
-        Bmc.check_equal ?domains ctx ~alphabet ~depth ~left:(Spec.tset a)
-          ~right:(Spec.tset b)
-      with
-      | Bmc.Holds c -> Pass c
-      | Bmc.Refuted (h, side) -> fail h side)
+  | Some outcome -> Verdict.with_context ~procedure:Verdict.Automata outcome
+  | None ->
+      Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
+        (match
+           Bmc.check_equal ?domains ctx ~alphabet ~depth ~left:(Spec.tset a)
+             ~right:(Spec.tset b)
+         with
+        | Bmc.Holds c -> pass c
+        | Bmc.Refuted (h, side) -> fail h side)
 
 (** Semantic equality of specifications: equal object sets, equal
     alphabets (exact, symbolic) and equal trace sets. *)
 let spec_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
   if not (Oid.Set.equal (Spec.objs a) (Spec.objs b)) then
-    Fail
-      (Format.asprintf "object sets differ: %s vs %s" (Spec.name a)
-         (Spec.name b))
+    symbolic
+      (Verdict.refuted ~confidence:Exact
+         [
+           Verdict.Objects_differ
+             {
+               left_only = Oid.Set.diff (Spec.objs a) (Spec.objs b);
+               right_only = Oid.Set.diff (Spec.objs b) (Spec.objs a);
+             };
+         ])
   else if not (Eventset.equal (Spec.alpha a) (Spec.alpha b)) then
-    Fail
-      (Format.asprintf "alphabets differ: %a vs %a" Eventset.pp (Spec.alpha a)
-         Eventset.pp (Spec.alpha b))
+    symbolic
+      (Verdict.refuted ~confidence:Exact
+         [
+           Verdict.Alphabets_differ
+             {
+               left_only =
+                 Eventset.normalise
+                   (Eventset.diff (Spec.alpha a) (Spec.alpha b));
+               right_only =
+                 Eventset.normalise
+                   (Eventset.diff (Spec.alpha b) (Spec.alpha a));
+             };
+         ])
   else tset_equal ?domains ctx ~depth a b
 
 let refine_outcome ?domains ctx ~depth gamma' gamma : outcome =
-  match Refine.check ?domains ctx ~depth gamma' gamma with
-  | Ok c -> Pass c
-  | Error f ->
-      Fail
-        (Format.asprintf "%s ⋢ %s: %a" (Spec.name gamma') (Spec.name gamma)
-           Refine.pp_failure f)
+  Refine.verdict ?domains ctx ~depth gamma' gamma
 
 (** {1 Property 5} — Γ‖Γ = Γ for an interface specification Γ.  This is
     where object identity departs from process algebra: composing a
@@ -130,7 +149,7 @@ let refine_outcome ?domains ctx ~depth gamma' gamma : outcome =
     unobservable. *)
 let property5 ?domains ctx ~depth (gamma : Spec.t) : outcome =
   if not (Spec.is_interface gamma) then
-    Vacuous "Property 5 concerns interface specifications"
+    Verdict.vacuous "Property 5 concerns interface specifications"
   else spec_equal ?domains ctx ~depth (Compose.interface gamma gamma) gamma
 
 (** {1 Lemma 6} — for interface specifications Γ₁, Γ₂ of the same
@@ -146,7 +165,7 @@ let lemma6_premise g1 g2 =
 (* Part 1: Γ₁‖Γ₂ ⊑ Γ₁ and Γ₁‖Γ₂ ⊑ Γ₂. *)
 let lemma6_refines ?domains ctx ~depth g1 g2 : outcome =
   match lemma6_premise g1 g2 with
-  | Some why -> Vacuous why
+  | Some why -> Verdict.vacuous why
   | None ->
       let comp = Compose.interface g1 g2 in
       all
@@ -158,13 +177,13 @@ let lemma6_refines ?domains ctx ~depth g1 g2 : outcome =
 (* Part 2: any ∆ refining both Γ₁ and Γ₂ refines Γ₁‖Γ₂. *)
 let lemma6_weakest ?domains ctx ~depth ~delta g1 g2 : outcome =
   match lemma6_premise g1 g2 with
-  | Some why -> Vacuous why
+  | Some why -> Verdict.vacuous why
   | None ->
       if
         not
           (Refine.refines ?domains ctx ~depth delta g1
           && Refine.refines ?domains ctx ~depth delta g2)
-      then Vacuous "∆ does not refine both Γ₁ and Γ₂"
+      then Verdict.vacuous "∆ does not refine both Γ₁ and Γ₂"
       else refine_outcome ?domains ctx ~depth delta (Compose.interface g1 g2)
 
 (** {1 Theorem 7} — compositional refinement for interface
@@ -174,11 +193,11 @@ let theorem7 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
     not
       (Spec.is_interface gamma' && Spec.is_interface gamma
      && Spec.is_interface delta)
-  then Vacuous "Theorem 7 concerns interface specifications"
+  then Verdict.vacuous "Theorem 7 concerns interface specifications"
   else if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
-    Vacuous "Theorem 7 keeps the object set unchanged"
+    Verdict.vacuous "Theorem 7 keeps the object set unchanged"
   else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
-    Vacuous "premise Γ′ ⊑ Γ does not hold"
+    Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
   else
     refine_outcome ?domains ctx ~depth
       (Compose.interface gamma' delta)
@@ -194,18 +213,24 @@ let lemma13 ?domains ctx ~depth (c : Component.t) (gamma : Spec.t)
     | Bmc.Refuted _ -> false
   in
   match Compose.compose gamma delta with
-  | Error _ -> Vacuous "Γ and ∆ are not composable"
+  | Error _ -> Verdict.vacuous "Γ and ∆ are not composable"
   | Ok comp ->
       if not (sound gamma && sound delta) then
-        Vacuous "premise: Γ and ∆ must both be sound for C"
-      else (
-        match Component.sound ?domains ctx ~depth comp c with
-        | Bmc.Holds conf -> Pass conf
-        | Bmc.Refuted h ->
-            Fail
-              (Format.asprintf
-                 "component trace %a projects outside T(%s)" Trace.pp h
-                 (Spec.name comp)))
+        Verdict.vacuous "premise: Γ and ∆ must both be sound for C"
+      else
+        Verdict.with_context ~depth
+          (match Component.sound ?domains ctx ~depth comp c with
+          | Bmc.Holds conf -> pass conf
+          | Bmc.Refuted h ->
+              Verdict.refuted
+                [
+                  Verdict.Trace_escape
+                    {
+                      trace = h;
+                      projected =
+                        Eventset.restrict_trace (Spec.alpha comp) h;
+                    };
+                ])
 
 (** {1 Lemma 15} — under composability and properness, refinement does
     not disturb the visible alphabet:
@@ -213,14 +238,14 @@ let lemma13 ?domains ctx ~depth (c : Component.t) (gamma : Spec.t)
     Purely symbolic, hence always exact. *)
 let lemma15 ~gamma' ~gamma ~delta : outcome =
   if not (Compose.composable gamma' delta) then
-    Vacuous "Γ′ and ∆ are not composable"
+    Verdict.vacuous "Γ′ and ∆ are not composable"
   else if not (Compose.proper ~refined:gamma' ~abstract:gamma ~context:delta)
-  then Vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
+  then Verdict.vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
   else if
     not
       (Oid.Set.subset (Spec.objs gamma) (Spec.objs gamma')
       && Eventset.subset (Spec.alpha gamma) (Spec.alpha gamma'))
-  then Vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
+  then Verdict.vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
   else
     let union_alpha = Eventset.union (Spec.alpha gamma) (Spec.alpha delta) in
     let i_refined =
@@ -229,17 +254,24 @@ let lemma15 ~gamma' ~gamma ~delta : outcome =
     let i_abstract =
       Internal.of_set (Oid.Set.union (Spec.objs gamma) (Spec.objs delta))
     in
-    if
-      Eventset.equal
-        (Eventset.inter union_alpha i_refined)
-        (Eventset.inter union_alpha i_abstract)
-    then Pass Bmc.Exact
+    let visible_refined = Eventset.inter union_alpha i_refined in
+    let visible_abstract = Eventset.inter union_alpha i_abstract in
+    if Eventset.equal visible_refined visible_abstract then
+      symbolic (pass Exact)
     else
-      Fail
-        (Format.asprintf "visible alphabet disturbed: %a vs %a" Eventset.pp
-           (Eventset.inter union_alpha i_refined)
-           Eventset.pp
-           (Eventset.inter union_alpha i_abstract))
+      symbolic
+        (Verdict.refuted ~confidence:Exact
+           [
+             Verdict.Alphabets_differ
+               {
+                 left_only =
+                   Eventset.normalise
+                     (Eventset.diff visible_refined visible_abstract);
+                 right_only =
+                   Eventset.normalise
+                     (Eventset.diff visible_abstract visible_refined);
+               };
+           ])
 
 (** {1 Theorem 16} — compositional refinement for component
     specifications: if Γ′ is a proper refinement of Γ w.r.t. ∆ and Γ′, ∆
@@ -247,22 +279,21 @@ let lemma15 ~gamma' ~gamma ~delta : outcome =
 let theorem16 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
   match Compose.check_composable gamma' delta with
   | Error f ->
-      Vacuous
-        (Format.asprintf "Γ′ and ∆ are not composable (%a)"
-           Compose.pp_composability_failure f)
+      vacuousf "Γ′ and ∆ are not composable (%a)"
+        Compose.pp_composability_failure f
   | Ok () ->
       if not (Compose.proper ~refined:gamma' ~abstract:gamma ~context:delta)
-      then Vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
+      then Verdict.vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
       else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
-        Vacuous "premise Γ′ ⊑ Γ does not hold"
+        Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
       else (
         match Compose.compose gamma delta with
         | Error f ->
             (* Cannot happen when Γ′ ⊑ Γ and Γ′, ∆ composable (see the
                proof of Lemma 15); surface it rather than masking. *)
-            Fail
-              (Format.asprintf "Γ and ∆ unexpectedly not composable: %a"
-                 Compose.pp_composability_failure f)
+            symbolic
+              (Verdict.refuted ~confidence:Exact
+                 [ Compose.evidence_of_failure f ])
         | Ok abstract_comp ->
             let refined_comp = Compose.compose_exn gamma' delta in
             refine_outcome ?domains ctx ~depth refined_comp abstract_comp)
@@ -274,34 +305,35 @@ let theorem16 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
     construction. *)
 let property17 ~gamma' ~gamma ~delta : outcome =
   if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
-    Vacuous "Property 17 requires O(Γ′) = O(Γ)"
+    Verdict.vacuous "Property 17 requires O(Γ′) = O(Γ)"
   else if
     not
       (Oid.Set.subset (Spec.objs gamma) (Spec.objs gamma')
       && Eventset.subset (Spec.alpha gamma) (Spec.alpha gamma'))
-  then Vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
+  then Verdict.vacuous "premise Γ′ ⊑ Γ does not hold on objects/alphabet"
   else if not (Compose.composable gamma delta) then
-    Vacuous "Γ and ∆ are not composable"
-  else if Compose.composable gamma' delta then Pass Bmc.Exact
+    Verdict.vacuous "Γ and ∆ are not composable"
   else
-    Fail
-      (Format.asprintf "Γ′ and ∆ are not composable although Γ and ∆ are")
+    match Compose.check_composable gamma' delta with
+    | Ok () -> symbolic (pass Exact)
+    | Error f ->
+        symbolic
+          (Verdict.refuted ~confidence:Exact
+             [ Compose.evidence_of_failure f ])
 
 (** {1 Theorem 18} — compositional refinement without new objects:
     Γ′ ⊑ Γ ∧ O(Γ′) = O(Γ) ⟹ Γ′‖∆ ⊑ Γ‖∆. *)
 let theorem18 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
   if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
-    Vacuous "Theorem 18 requires O(Γ′) = O(Γ)"
+    Verdict.vacuous "Theorem 18 requires O(Γ′) = O(Γ)"
   else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
-    Vacuous "premise Γ′ ⊑ Γ does not hold"
+    Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
   else
     match (Compose.compose gamma' delta, Compose.compose gamma delta) with
     | Ok refined_comp, Ok abstract_comp ->
         refine_outcome ?domains ctx ~depth refined_comp abstract_comp
     | Error f, _ | _, Error f ->
-        Vacuous
-          (Format.asprintf "not composable (%a)"
-             Compose.pp_composability_failure f)
+        vacuousf "not composable (%a)" Compose.pp_composability_failure f
 
 (** {1 Refinement partial-order laws} (Section 3: "the refinement
     relation given here is a partial order") *)
@@ -314,7 +346,7 @@ let refinement_transitive ?domains ctx ~depth ~g1 ~g2 ~g3 : outcome =
     not
       (Refine.refines ?domains ctx ~depth g1 g2
       && Refine.refines ?domains ctx ~depth g2 g3)
-  then Vacuous "premises Γ₁ ⊑ Γ₂ ⊑ Γ₃ do not hold"
+  then Verdict.vacuous "premises Γ₁ ⊑ Γ₂ ⊑ Γ₃ do not hold"
   else refine_outcome ?domains ctx ~depth g1 g3
 
 (** {1 Composition laws} (Property 12: commutative and associative) *)
@@ -323,7 +355,7 @@ let composition_commutative ?domains ctx ~depth g d : outcome =
   match (Compose.compose g d, Compose.compose d g) with
   | Ok gd, Ok dg -> spec_equal ?domains ctx ~depth gd dg
   | Error f, _ | _, Error f ->
-      Vacuous (Format.asprintf "not composable (%a)" Compose.pp_composability_failure f)
+      vacuousf "not composable (%a)" Compose.pp_composability_failure f
 
 let composition_associative ?domains ctx ~depth g d e : outcome =
   let ( >>= ) = Result.bind in
@@ -332,4 +364,4 @@ let composition_associative ?domains ctx ~depth g d e : outcome =
   match (left, right) with
   | Ok l, Ok r -> spec_equal ?domains ctx ~depth l r
   | Error f, _ | _, Error f ->
-      Vacuous (Format.asprintf "not composable (%a)" Compose.pp_composability_failure f)
+      vacuousf "not composable (%a)" Compose.pp_composability_failure f

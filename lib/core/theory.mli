@@ -9,16 +9,23 @@
 open Posl_sets
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
+module Verdict = Posl_verdict.Verdict
 
-type outcome =
-  | Pass of Bmc.confidence
-  | Vacuous of string  (** premises unmet: the proposition says nothing *)
-  | Fail of string  (** conclusion violated; human-readable witness *)
+type outcome = Verdict.t
+(** A proposition's outcome is an ordinary structured verdict: it holds
+    (with the confidence of the underlying trace checks), is vacuous
+    (premises unmet — the proposition says nothing about the instance),
+    or is refuted with typed evidence. *)
 
 val pp_outcome : Format.formatter -> outcome -> unit
 val is_pass : outcome -> bool
 val is_fail : outcome -> bool
+val is_vacuous : outcome -> bool
+
 val both : outcome -> outcome -> outcome
+(** {!Verdict.both}: refutation dominates, then vacuity; two holding
+    outcomes meet their confidences. *)
+
 val all : outcome list -> outcome
 
 val filter_law : Eventset.t -> Eventset.t -> Posl_trace.Trace.t -> bool

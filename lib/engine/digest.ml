@@ -69,9 +69,10 @@ let rec ser_tset buf ~(universe : Universe.t) (t : Tset.t) =
           ser_tset buf ~universe p.Tset.part_tset)
         parts
 
-(* The name is included deliberately: verdict details embed spec names
-   (counterexample context, composition labels), so two same-bodied but
-   differently-named specs must not share a cached verdict verbatim. *)
+(* The name is included deliberately: verdict evidence embeds spec
+   names (equality-witness sides, improper-context labels), so two
+   same-bodied but differently-named specs must not share a cached
+   verdict verbatim. *)
 let ser_spec buf ~universe s =
   field buf (Spec.name s);
   fieldf buf "%a"

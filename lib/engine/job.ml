@@ -10,8 +10,9 @@ module Compose = Posl_core.Compose
 module Theory = Posl_core.Theory
 module Bmc = Posl_bmc.Bmc
 module Tset = Posl_tset.Tset
-module Trace = Posl_trace.Trace
 module Eventset = Posl_sets.Eventset
+module Verdict = Posl_verdict.Verdict
+open Posl_ident
 
 type query =
   | Refine of { refined : Spec.t; abstract : Spec.t }
@@ -26,11 +27,7 @@ let proper ~refined ~abstract ~context = Proper { refined; abstract; context }
 let deadlock ~left ~right = Deadlock { left; right }
 let equal ~left ~right = Equal { left; right }
 
-type verdict = {
-  holds : bool;
-  confidence : Bmc.confidence option;
-  detail : string;
-}
+type verdict = Verdict.t
 
 let kind = function
   | Refine _ -> "refine"
@@ -59,114 +56,78 @@ let describe = function
   | Equal { left; right } ->
       Printf.sprintf "T(%s) = T(%s)" (Spec.name left) (Spec.name right)
 
-(* Detail strings land in one table cell / JSON field each; pretty
-   printers break long event sets over lines, so collapse whitespace
-   runs. *)
-let oneline s =
-  let buf = Buffer.create (String.length s) in
-  let in_space = ref false in
-  String.iter
-    (fun c ->
-      if c = '\n' || c = '\t' || c = ' ' then in_space := true
-      else begin
-        if !in_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
-        in_space := false;
-        Buffer.add_char buf c
-      end)
-    s;
-  Buffer.contents buf
+let pp_verdict = Verdict.pp
 
-let detailf fmt = Format.kasprintf oneline fmt
-
-let pp_verdict ppf v =
-  Format.fprintf ppf "%s%s: %s"
-    (if v.holds then "holds" else "fails")
-    (match v.confidence with
-    | Some c -> Format.asprintf " [%a]" Bmc.pp_confidence c
-    | None -> "")
-    v.detail
+(* Every verdict is stamped with the content address of the universe it
+   is relative to; the same serialization feeds the engine's job
+   digests, so a cached verdict's provenance matches a fresh one's. *)
+let universe_digest u =
+  Stdlib.Digest.to_hex
+    (Stdlib.Digest.string (Format.asprintf "%a" Universe.pp u))
 
 let run ?domains (ctx : Tset.ctx) ~depth query : verdict =
-  match query with
-  | Refine { refined; abstract } -> (
-      match Refine.check ?domains ctx ~depth refined abstract with
-      | Ok c ->
-          {
-            holds = true;
-            confidence = Some c;
-            detail = detailf "refines [%a]" Bmc.pp_confidence c;
-          }
-      | Error f ->
-          {
-            holds = false;
-            confidence = None;
-            detail = detailf "does not refine: %a" Refine.pp_failure f;
-          })
-  | Compose { left; right } -> (
-      match Compose.check_composable left right with
-      | Ok () ->
-          { holds = true; confidence = Some Bmc.Exact; detail = "composable" }
-      | Error f ->
-          {
-            holds = false;
-            confidence = Some Bmc.Exact;
-            detail =
-              detailf "not composable: %a"
-                Compose.pp_composability_failure f;
-          })
-  | Proper { refined; abstract; context } ->
-      let a0 = Compose.alpha0 ~refined ~abstract in
-      if Compose.proper ~refined ~abstract ~context then
-        {
-          holds = true;
-          confidence = Some Bmc.Exact;
-          detail =
-            detailf "proper: α₀ ∩ α(%s) = ∅ (α₀ = %a)"
-              (Spec.name context) Eventset.pp a0;
-        }
-      else
-        {
-          holds = false;
-          confidence = Some Bmc.Exact;
-          detail =
-            detailf "not proper: α₀ meets α(%s); offending events: %a"
-              (Spec.name context) Eventset.pp
-              (Eventset.normalise (Eventset.inter a0 (Spec.alpha context)));
-        }
-  | Deadlock { left; right } -> (
-      match Compose.compose left right with
-      | Error f ->
-          {
-            holds = false;
-            confidence = None;
-            detail =
-              detailf "not composable: %a"
-                Compose.pp_composability_failure f;
-          }
-      | Ok comp -> (
-          let alphabet = Spec.concrete_alphabet (Tset.universe ctx) comp in
-          match
-            Bmc.find_deadlock ?domains ctx ~alphabet ~depth (Spec.tset comp)
-          with
-          | None ->
-              {
-                holds = true;
-                confidence = Some (Bmc.Bounded depth);
-                detail = Printf.sprintf "no deadlock up to depth %d" depth;
-              }
-          | Some h ->
-              {
-                holds = false;
-                confidence = Some (Bmc.Bounded depth);
-                detail = detailf "deadlock after %a" Trace.pp h;
-              }))
-  | Equal { left; right } -> (
-      match Theory.tset_equal ?domains ctx ~depth left right with
-      | Theory.Pass c ->
-          {
-            holds = true;
-            confidence = Some c;
-            detail = detailf "trace sets equal [%a]" Bmc.pp_confidence c;
-          }
-      | Theory.Vacuous why | Theory.Fail why ->
-          { holds = false; confidence = None; detail = why })
+  let t0 = Unix.gettimeofday () in
+  let v =
+    match query with
+    | Refine { refined; abstract } ->
+        Refine.verdict ?domains ctx ~depth refined abstract
+    | Compose { left; right } ->
+        Verdict.with_context ~procedure:Verdict.Symbolic
+          (match Compose.check_composable left right with
+          | Ok () -> Verdict.holds ~confidence:Exact ()
+          | Error f ->
+              Verdict.refuted ~confidence:Exact
+                [ Compose.evidence_of_failure f ])
+    | Proper { refined; abstract; context } ->
+        let a0 = Compose.alpha0 ~refined ~abstract in
+        Verdict.with_context ~procedure:Verdict.Symbolic
+          (if Compose.proper ~refined ~abstract ~context then
+             Verdict.holds ~confidence:Exact
+               ~evidence:
+                 [
+                   Verdict.Note
+                     (Format.asprintf "α₀ ∩ α(%s) = ∅ (α₀ = %a)"
+                        (Spec.name context) Eventset.pp a0);
+                 ]
+               ()
+           else
+             Verdict.refuted ~confidence:Exact
+               [
+                 Verdict.Improper
+                   {
+                     alpha0 = a0;
+                     offending =
+                       Eventset.normalise
+                         (Eventset.inter a0 (Spec.alpha context));
+                     context = Spec.name context;
+                   };
+               ])
+    | Deadlock { left; right } -> (
+        match Compose.compose left right with
+        | Error f ->
+            (* The question cannot be posed: there is no composition to
+               search.  Vacuous, with the composability failure as
+               evidence. *)
+            {
+              Verdict.status = Vacuous;
+              confidence = None;
+              evidence = [ Compose.evidence_of_failure f ];
+              provenance = Verdict.no_provenance;
+            }
+        | Ok comp ->
+            let alphabet = Spec.concrete_alphabet (Tset.universe ctx) comp in
+            Verdict.with_context ~procedure:Verdict.Bounded_search
+              (match
+                 Bmc.find_deadlock ?domains ctx ~alphabet ~depth
+                   (Spec.tset comp)
+               with
+              | None -> Verdict.holds ~confidence:(Bounded depth) ()
+              | Some h ->
+                  Verdict.refuted ~confidence:(Bounded depth)
+                    [ Verdict.Deadlock h ]))
+    | Equal { left; right } -> Theory.tset_equal ?domains ctx ~depth left right
+  in
+  let elapsed_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Verdict.with_context ~depth
+    ~universe_digest:(universe_digest (Tset.universe ctx))
+    ~elapsed_ms v

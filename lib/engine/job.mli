@@ -10,6 +10,7 @@
 module Spec = Posl_core.Spec
 module Bmc = Posl_bmc.Bmc
 module Tset = Posl_tset.Tset
+module Verdict = Posl_verdict.Verdict
 
 type query =
   | Refine of { refined : Spec.t; abstract : Spec.t }
@@ -33,14 +34,12 @@ val proper : refined:Spec.t -> abstract:Spec.t -> context:Spec.t -> query
 val deadlock : left:Spec.t -> right:Spec.t -> query
 val equal : left:Spec.t -> right:Spec.t -> query
 
-type verdict = {
-  holds : bool;
-  confidence : Bmc.confidence option;
-      (** [None] for purely symbolic checks' failures and input-side
-          errors; [Some] whenever a state space was explored or the
-          check is exact *)
-  detail : string;  (** one-line human-readable account, with witness *)
-}
+type verdict = Verdict.t
+(** Job verdicts are ordinary structured verdicts: typed evidence plus
+    provenance (procedure, depth, universe digest, elapsed wall-clock).
+    {!run} stamps every verdict with the universe's content address so
+    cached and fresh results agree as values ({!Verdict.equal} ignores
+    the elapsed time). *)
 
 val kind : query -> string
 (** ["refine" | "compose" | "proper" | "deadlock" | "equal"]. *)
@@ -55,6 +54,11 @@ val run : ?domains:int -> Tset.ctx -> depth:int -> query -> verdict
 (** Decide the query over [ctx]'s universe.  [domains] is forwarded to
     the state-space exploration (the engine passes [~domains:1] so that
     parallelism lives at the batch level only).  Deterministic: equal
-    inputs produce equal verdicts, whatever the domain count. *)
+    inputs produce {!Verdict.equal} verdicts, whatever the domain
+    count. *)
+
+val universe_digest : Posl_ident.Universe.t -> string
+(** MD5 (hex) over the universe's canonical rendering — the
+    [universe_digest] provenance field {!run} stamps on verdicts. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit

@@ -73,12 +73,17 @@ let run_file ?(depth = 6) ?(extra_objects = 2) (f : file) : result list =
         | Consistency.Only_trivial -> (false, "only trivially consistent")
         | Consistency.Not_composable fl ->
             (false, Format.asprintf "%a" Compose.pp_composability_failure fl))
-    | Chk_equals (l, r) -> (
+    | Chk_equals (l, r) ->
         let l, r = find2 l r in
-        match Theory.tset_equal ctx ~depth l r with
-        | Theory.Pass c ->
-            (true, Format.asprintf "equal [%a]" Bmc.pp_confidence c)
-        | Theory.Vacuous why | Theory.Fail why -> (false, why))
+        let v = Theory.tset_equal ctx ~depth l r in
+        if Theory.is_pass v then
+          ( true,
+            Format.asprintf "equal%a"
+              (fun ppf -> function
+                | None -> ()
+                | Some c -> Format.fprintf ppf " [%a]" Bmc.pp_confidence c)
+              v.Posl_verdict.Verdict.confidence )
+        else (false, Posl_verdict.Verdict.to_string v)
     | Chk_deadlock_free (l, r) -> (
         let l, r = find2 l r in
         match Compose.compose l r with

@@ -35,6 +35,7 @@ module Bmc = Posl_bmc.Bmc
 module Spec = Posl_core.Spec
 module Compose = Posl_core.Compose
 module Refine = Posl_core.Refine
+module Verdict = Posl_verdict.Verdict
 
 type obligation = {
   name : string;
@@ -79,6 +80,19 @@ type verdict = (Bmc.confidence, violation) result
 let pp_verdict ppf = function
   | Ok c -> Format.fprintf ppf "live [%a]" Bmc.pp_confidence c
   | Error v -> Format.fprintf ppf "not live: %a" pp_violation v
+
+let evidence_of_violation = function
+  | Deadlock h -> Verdict.Deadlock h
+  | Unanswerable (o, h) ->
+      Verdict.Unanswerable { obligation = o.name; trace = h }
+
+let to_verdict ~depth = function
+  | Ok c ->
+      Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
+        (Verdict.holds ~confidence:c ())
+  | Error v ->
+      Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
+        (Verdict.refuted [ evidence_of_violation v ])
 
 (* Forward reachability of a response event from a monitor state,
    memoized per state: BFS over monitor states looking for any enabled
@@ -172,7 +186,15 @@ let check_obligation ctx ~alphabet ~depth tset ob : (Bmc.confidence, Trace.t) re
           level (d + 1) !next
         end
       in
-      (try level 0 [ ((st0, 0), Trace.empty) ] with Violation h -> Error h)
+      (try level 0 [ ((st0, 0), Trace.empty) ]
+       with Violation h ->
+         (* Self-certification: the witness must be a genuine trace of
+            the specification under the reference semantics. *)
+         if not (Trace.is_empty h || Tset.mem_naive ctx tset h) then
+           Verdict.uncertified
+             "obligation witness %a is not a trace of the specification"
+             Trace.pp h;
+         Error h)
 
 (** Check all liveness requirements of a live specification. *)
 let check ?(domains = 1) ctx ~depth (t : t) : verdict =

@@ -53,6 +53,13 @@ type verdict = (Bmc.confidence, violation) result
 
 val pp_verdict : Format.formatter -> verdict -> unit
 
+val evidence_of_violation : violation -> Posl_verdict.Verdict.evidence
+(** [Deadlock] and [Unanswerable] as typed verdict evidence. *)
+
+val to_verdict : depth:int -> verdict -> Posl_verdict.Verdict.t
+(** The structured-verdict view of a liveness check, stamped with the
+    bounded-search procedure and [depth]. *)
+
 val check_obligation :
   Tset.ctx ->
   alphabet:Posl_trace.Event.t array ->

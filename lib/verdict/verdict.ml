@@ -1,0 +1,482 @@
+(** The typed evidence layer: one structured verdict for every check.
+
+    See the interface for the full story.  Design notes:
+
+    - Evidence is pure data (traces, symbolic sets, names): verdicts
+      can be cached, compared as values, and serialized without losing
+      the structure the checkers computed.
+    - [equal] ignores [elapsed_ms] so a cache hit is equal to a fresh
+      computation {e as a value}, not merely after rendering.
+    - [certify] is the self-certification hook: producers replay every
+      counterexample through the denotational reference semantics
+      before a refuted verdict escapes the checker. *)
+
+open Posl_ident
+open Posl_sets
+module Trace = Posl_trace.Trace
+module Event = Posl_trace.Event
+
+(* ------------------------------------------------------------------ *)
+(* Confidence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type confidence = Exact | Bounded of int
+
+let meet a b =
+  match (a, b) with
+  | Exact, Exact -> Exact
+  | Exact, Bounded k | Bounded k, Exact -> Bounded k
+  | Bounded j, Bounded k -> Bounded (min j k)
+
+let pp_confidence ppf = function
+  | Exact -> Format.pp_print_string ppf "exact"
+  | Bounded k -> Format.fprintf ppf "bounded(depth=%d)" k
+
+(* ------------------------------------------------------------------ *)
+(* Provenance                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type procedure = Symbolic | Automata | Bounded_search
+
+let pp_procedure ppf p =
+  Format.pp_print_string ppf
+    (match p with
+    | Symbolic -> "symbolic"
+    | Automata -> "automata"
+    | Bounded_search -> "bounded")
+
+type provenance = {
+  procedure : procedure option;
+  depth : int option;
+  universe_digest : string option;
+  elapsed_ms : float;
+}
+
+let provenance ?procedure ?depth ?universe_digest ?(elapsed_ms = 0.) () =
+  { procedure; depth; universe_digest; elapsed_ms }
+
+let no_provenance = provenance ()
+
+(* ------------------------------------------------------------------ *)
+(* Evidence                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type side = [ `Left_only | `Right_only ]
+
+type evidence =
+  | Trace_escape of { trace : Trace.t; projected : Trace.t }
+  | Objects_missing of Oid.Set.t
+  | Events_missing of Eventset.t
+  | Equality_witness of {
+      trace : Trace.t;
+      side : side;
+      left : string;
+      right : string;
+    }
+  | Deadlock of Trace.t
+  | Unanswerable of { obligation : string; trace : Trace.t }
+  | Not_composable of {
+      offending : Eventset.t;
+      side : [ `Left_sees_right_internal | `Right_sees_left_internal ];
+    }
+  | Improper of {
+      alpha0 : Eventset.t;
+      offending : Eventset.t;
+      context : string;
+    }
+  | Objects_differ of { left_only : Oid.Set.t; right_only : Oid.Set.t }
+  | Alphabets_differ of { left_only : Eventset.t; right_only : Eventset.t }
+  | Consistency_witness of Trace.t
+  | Law_violation of { law : string; trace : Trace.t }
+  | Premise_unmet of string
+  | Note of string
+
+let pp_oids ppf os =
+  Format.fprintf ppf "{%a}"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       Oid.pp)
+    (Oid.Set.elements os)
+
+let pp_evidence ppf = function
+  | Trace_escape { trace; projected } ->
+      if Trace.equal trace projected then
+        Format.fprintf ppf "trace escapes the abstract spec: %a" Trace.pp trace
+      else
+        Format.fprintf ppf
+          "trace escapes the abstract spec: %a (projected: %a)" Trace.pp trace
+          Trace.pp projected
+  | Objects_missing os ->
+      Format.fprintf ppf "objects of the abstract spec missing: %a" pp_oids os
+  | Events_missing es ->
+      Format.fprintf ppf "alphabet of the abstract spec not included: %a"
+        Eventset.pp es
+  | Equality_witness { trace; side; left; right } ->
+      Format.fprintf ppf "trace %a is in T(%s) only" Trace.pp trace
+        (match side with `Left_only -> left | `Right_only -> right)
+  | Deadlock h -> Format.fprintf ppf "deadlock after %a" Trace.pp h
+  | Unanswerable { obligation; trace } ->
+      Format.fprintf ppf "obligation %s unanswerable after %a" obligation
+        Trace.pp trace
+  | Not_composable { offending; side } ->
+      Format.fprintf ppf "%s sees the other's internal events: %a"
+        (match side with
+        | `Left_sees_right_internal -> "left alphabet"
+        | `Right_sees_left_internal -> "right alphabet")
+        Eventset.pp offending
+  | Improper { alpha0; offending; context } ->
+      Format.fprintf ppf
+        "α₀ = %a meets α(%s); offending events: %a" Eventset.pp alpha0 context
+        Eventset.pp offending
+  | Objects_differ { left_only; right_only } ->
+      Format.fprintf ppf "object sets differ: left-only %a, right-only %a"
+        pp_oids left_only pp_oids right_only
+  | Alphabets_differ { left_only; right_only } ->
+      Format.fprintf ppf "alphabets differ: left-only %a, right-only %a"
+        Eventset.pp left_only Eventset.pp right_only
+  | Consistency_witness h -> Format.fprintf ppf "witness %a" Trace.pp h
+  | Law_violation { law; trace } ->
+      Format.fprintf ppf "%s violated on %a" law Trace.pp trace
+  | Premise_unmet why -> Format.pp_print_string ppf why
+  | Note s -> Format.pp_print_string ppf s
+
+let evidence_traces = function
+  | Trace_escape { trace; _ } -> [ trace ]
+  | Equality_witness { trace; _ } -> [ trace ]
+  | Deadlock h -> [ h ]
+  | Unanswerable { trace; _ } -> [ trace ]
+  | Consistency_witness h -> [ h ]
+  | Law_violation { trace; _ } -> [ trace ]
+  | Objects_missing _ | Events_missing _ | Not_composable _ | Improper _
+  | Objects_differ _ | Alphabets_differ _ | Premise_unmet _ | Note _ ->
+      []
+
+(* ------------------------------------------------------------------ *)
+(* Verdicts                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type status = Holds | Refuted | Vacuous
+
+type t = {
+  status : status;
+  confidence : confidence option;
+  evidence : evidence list;
+  provenance : provenance;
+}
+
+let holds ?confidence ?(evidence = []) ?(provenance = no_provenance) () =
+  { status = Holds; confidence; evidence; provenance }
+
+let refuted ?confidence ?(provenance = no_provenance) evidence =
+  { status = Refuted; confidence; evidence; provenance }
+
+let vacuous ?(provenance = no_provenance) why =
+  {
+    status = Vacuous;
+    confidence = None;
+    evidence = [ Premise_unmet why ];
+    provenance;
+  }
+
+let is_holds v = v.status = Holds
+let is_refuted v = v.status = Refuted
+let is_vacuous v = v.status = Vacuous
+let to_bool v = v.status = Holds
+
+(* Refutation dominates, then vacuity; two holding verdicts meet their
+   confidences and concatenate their evidence.  The provenance of the
+   weaker-confidence side wins, so a bounded sub-check is not
+   misreported as exact provenance. *)
+let both a b =
+  match (a.status, b.status) with
+  | Refuted, _ -> a
+  | _, Refuted -> b
+  | Vacuous, _ -> a
+  | _, Vacuous -> b
+  | Holds, Holds ->
+      let confidence =
+        match (a.confidence, b.confidence) with
+        | Some ca, Some cb -> Some (meet ca cb)
+        | Some c, None | None, Some c -> Some c
+        | None, None -> None
+      in
+      let provenance =
+        match (a.confidence, b.confidence) with
+        | Some Exact, Some (Bounded _) -> b.provenance
+        | _ -> a.provenance
+      in
+      { status = Holds; confidence; evidence = a.evidence @ b.evidence;
+        provenance }
+
+let all = function
+  | [] -> holds ~confidence:Exact ()
+  | v :: vs -> List.fold_left both v vs
+
+let equal a b =
+  a.status = b.status && a.confidence = b.confidence
+  && a.evidence = b.evidence
+  && a.provenance.procedure = b.provenance.procedure
+  && a.provenance.depth = b.provenance.depth
+  && a.provenance.universe_digest = b.provenance.universe_digest
+
+let witness_traces v = List.concat_map evidence_traces v.evidence
+
+let with_context ?procedure ?depth ?universe_digest ?elapsed_ms v =
+  let fill current candidate =
+    match current with Some _ -> current | None -> candidate
+  in
+  let p = v.provenance in
+  {
+    v with
+    provenance =
+      {
+        procedure = fill p.procedure procedure;
+        depth = fill p.depth depth;
+        universe_digest = fill p.universe_digest universe_digest;
+        elapsed_ms =
+          (match elapsed_ms with Some ms -> ms | None -> p.elapsed_ms);
+      };
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Certification                                                       *)
+(* ------------------------------------------------------------------ *)
+
+exception Uncertified of string
+
+let uncertified fmt = Format.kasprintf (fun s -> raise (Uncertified s)) fmt
+
+let certify ~replay v =
+  if v.status = Refuted then
+    List.iter
+      (fun e ->
+        if not (replay e) then
+          uncertified
+            "witness failed to replay against the reference semantics: %a"
+            pp_evidence e)
+      v.evidence;
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let pp_evidence_list ppf = function
+  | [] -> ()
+  | es ->
+      Format.fprintf ppf ": %a"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_evidence)
+        es
+
+let pp ppf v =
+  match v.status with
+  | Holds ->
+      Format.fprintf ppf "holds%a%a"
+        (fun ppf -> function
+          | None -> ()
+          | Some c -> Format.fprintf ppf " [%a]" pp_confidence c)
+        v.confidence pp_evidence_list v.evidence
+  | Refuted -> Format.fprintf ppf "fails%a" pp_evidence_list v.evidence
+  | Vacuous -> (
+      match v.evidence with
+      | [ Premise_unmet why ] -> Format.fprintf ppf "vacuous (%s)" why
+      | es -> Format.fprintf ppf "vacuous%a" pp_evidence_list es)
+
+(* One table cell / log line each: collapse the line breaks the set and
+   trace printers introduce. *)
+let oneline s =
+  let buf = Buffer.create (String.length s) in
+  let in_space = ref false in
+  String.iter
+    (fun c ->
+      if c = '\n' || c = '\t' || c = ' ' then in_space := true
+      else begin
+        if !in_space && Buffer.length buf > 0 then Buffer.add_char buf ' ';
+        in_space := false;
+        Buffer.add_char buf c
+      end)
+    s;
+  Buffer.contents buf
+
+let to_string v = oneline (Format.asprintf "%a" pp v)
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | Str of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let rec write buf = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Int i -> Buffer.add_string buf (string_of_int i)
+    | Float f ->
+        (* %.3f keeps millisecond fields readable and never prints the
+           nan/inf forms JSON forbids (callers pass finite values). *)
+        Buffer.add_string buf (Printf.sprintf "%.3f" f)
+    | Str s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+    | List xs ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf x)
+          xs;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            write buf (Str k);
+            Buffer.add_char buf ':';
+            write buf v)
+          fields;
+        Buffer.add_char buf '}'
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    write buf t;
+    Buffer.contents buf
+
+  let pp ppf t = Format.pp_print_string ppf (to_string t)
+end
+
+let json_str fmt = Format.kasprintf (fun s -> Json.Str (oneline s)) fmt
+
+let json_of_trace h =
+  Json.List
+    (List.map (fun e -> json_str "%a" Event.pp e) (Trace.to_list h))
+
+let json_of_oids os =
+  Json.List (List.map (fun o -> json_str "%a" Oid.pp o) (Oid.Set.elements os))
+
+let json_of_eventset es = json_str "%a" Eventset.pp es
+
+let json_of_confidence = function
+  | None -> Json.Null
+  | Some Exact -> Json.Obj [ ("kind", Json.Str "exact") ]
+  | Some (Bounded k) ->
+      Json.Obj [ ("kind", Json.Str "bounded"); ("depth", Json.Int k) ]
+
+let json_of_evidence e =
+  let obj kind fields = Json.Obj (("kind", Json.Str kind) :: fields) in
+  match e with
+  | Trace_escape { trace; projected } ->
+      obj "trace_escape"
+        [
+          ("trace", json_of_trace trace); ("projected", json_of_trace projected);
+        ]
+  | Objects_missing os -> obj "objects_missing" [ ("objects", json_of_oids os) ]
+  | Events_missing es -> obj "events_missing" [ ("events", json_of_eventset es) ]
+  | Equality_witness { trace; side; left; right } ->
+      obj "equality_witness"
+        [
+          ("trace", json_of_trace trace);
+          ( "side",
+            Json.Str
+              (match side with
+              | `Left_only -> "left_only"
+              | `Right_only -> "right_only") );
+          ("left", Json.Str left);
+          ("right", Json.Str right);
+        ]
+  | Deadlock h -> obj "deadlock" [ ("trace", json_of_trace h) ]
+  | Unanswerable { obligation; trace } ->
+      obj "unanswerable"
+        [ ("obligation", Json.Str obligation); ("trace", json_of_trace trace) ]
+  | Not_composable { offending; side } ->
+      obj "not_composable"
+        [
+          ("offending", json_of_eventset offending);
+          ( "side",
+            Json.Str
+              (match side with
+              | `Left_sees_right_internal -> "left_sees_right_internal"
+              | `Right_sees_left_internal -> "right_sees_left_internal") );
+        ]
+  | Improper { alpha0; offending; context } ->
+      obj "improper"
+        [
+          ("alpha0", json_of_eventset alpha0);
+          ("offending", json_of_eventset offending);
+          ("context", Json.Str context);
+        ]
+  | Objects_differ { left_only; right_only } ->
+      obj "objects_differ"
+        [
+          ("left_only", json_of_oids left_only);
+          ("right_only", json_of_oids right_only);
+        ]
+  | Alphabets_differ { left_only; right_only } ->
+      obj "alphabets_differ"
+        [
+          ("left_only", json_of_eventset left_only);
+          ("right_only", json_of_eventset right_only);
+        ]
+  | Consistency_witness h ->
+      obj "consistency_witness" [ ("trace", json_of_trace h) ]
+  | Law_violation { law; trace } ->
+      obj "law_violation"
+        [ ("law", Json.Str law); ("trace", json_of_trace trace) ]
+  | Premise_unmet why -> obj "premise_unmet" [ ("reason", Json.Str why) ]
+  | Note s -> obj "note" [ ("text", Json.Str s) ]
+
+let json_of_provenance p =
+  Json.Obj
+    [
+      ( "procedure",
+        match p.procedure with
+        | None -> Json.Null
+        | Some proc -> json_str "%a" pp_procedure proc );
+      ("depth", match p.depth with None -> Json.Null | Some d -> Json.Int d);
+      ( "universe_digest",
+        match p.universe_digest with
+        | None -> Json.Null
+        | Some d -> Json.Str d );
+      ("elapsed_ms", Json.Float p.elapsed_ms);
+    ]
+
+let to_json v =
+  Json.Obj
+    [
+      ( "status",
+        Json.Str
+          (match v.status with
+          | Holds -> "holds"
+          | Refuted -> "refuted"
+          | Vacuous -> "vacuous") );
+      ("holds", Json.Bool (to_bool v));
+      ("confidence", json_of_confidence v.confidence);
+      ("evidence", Json.List (List.map json_of_evidence v.evidence));
+      ("provenance", json_of_provenance v.provenance);
+    ]

@@ -86,6 +86,46 @@ if ! printf '%s' "$out" | grep -q '"cache_hits"'; then
 fi
 echo "ok   batch --json fields"
 
+# The verdict objects inside the results carry the documented schema.
+for field in '"status"' '"confidence"' '"evidence"' '"provenance"' '"universe_digest"'; do
+  if ! grep -q "$field" "$tmp/out.json"; then
+    echo "FAIL batch --json: verdict field $field missing from $tmp/out.json" >&2
+    fails=$((fails + 1))
+  fi
+done
+echo "ok   batch --json verdict schema"
+
+# Single-query --json emits the same per-result document shape.
+"$BIN" refine "$SPECS/paper.oun" Read Read2 --json >"$tmp/single.json" 2>/dev/null
+if [ $? -ne 1 ]; then
+  echo "FAIL single --json: expected exit 1" >&2
+  fails=$((fails + 1))
+fi
+for field in '"kind"' '"holds"' '"verdict"' '"evidence"'; do
+  if ! grep -q "$field" "$tmp/single.json"; then
+    echo "FAIL single --json: field $field missing" >&2
+    fails=$((fails + 1))
+  fi
+done
+echo "ok   single-query --json fields"
+
+# Everything the CLI claims is JSON must actually parse as JSON.
+if command -v python3 >/dev/null 2>&1; then
+  for doc in "$tmp/out.json" "$tmp/single.json"; do
+    if ! python3 -m json.tool "$doc" >/dev/null 2>&1; then
+      echo "FAIL json.tool: $doc is not valid JSON" >&2
+      fails=$((fails + 1))
+    fi
+  done
+  if ! printf '%s' "$out" | tail -n 1 | python3 -m json.tool >/dev/null 2>&1; then
+    echo "FAIL json.tool: stdout stats line is not valid JSON" >&2
+    fails=$((fails + 1))
+  fi
+  echo "ok   JSON documents parse (python3 -m json.tool)"
+else
+  echo "skip JSON validation (python3 not available)"
+fi
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

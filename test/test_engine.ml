@@ -18,6 +18,7 @@ module Oset = Posl_sets.Oset
 module Mset = Posl_sets.Mset
 module Eventset = Posl_sets.Eventset
 module G = QCheck2.Gen
+module V = Posl_verdict.Verdict
 
 let u = Util.paper_universe
 let depth = 4
@@ -50,6 +51,11 @@ let paper_batch () =
 
 let verdicts results = List.map (fun r -> r.Engine.verdict) results
 
+(* Structural verdict-list equality: V.equal ignores the elapsed-time
+   provenance, which legitimately differs between runs. *)
+let verdicts_equal a b =
+  List.length a = List.length b && List.for_all2 V.equal a b
+
 (* --- cache behaviour ------------------------------------------------ *)
 
 let test_cache_hit_on_repeat () =
@@ -64,7 +70,7 @@ let test_cache_hit_on_repeat () =
       Util.check_bool "first computed" false a.Engine.cached;
       Util.check_bool "second cached" true b.Engine.cached;
       Util.check_bool "verdicts identical" true
-        (a.Engine.verdict = b.Engine.verdict)
+        (V.equal a.Engine.verdict b.Engine.verdict)
   | _ -> Alcotest.fail "expected two results");
   (* A later batch against the same cache is all hits. *)
   let _, stats2 = Engine.run_batch ~domains:1 ~cache [ q ] in
@@ -78,7 +84,8 @@ let test_cached_equals_fresh_paper () =
   let warm, warm_stats = Engine.run_batch ~domains:2 ~cache batch in
   Util.check_int "warm batch recomputes nothing" 0
     warm_stats.Engine.cache_misses;
-  Util.check_bool "cold ≡ warm verdicts" true (verdicts cold = verdicts warm);
+  Util.check_bool "cold ≡ warm verdicts" true
+    (verdicts_equal (verdicts cold) (verdicts warm));
   (* And both equal a computation that never saw the cache. *)
   List.iter2
     (fun (r : Engine.result) (q : Engine.request) ->
@@ -89,7 +96,7 @@ let test_cached_equals_fresh_paper () =
       Util.check_bool
         (Printf.sprintf "cached ≡ fresh (%s)" q.Engine.label)
         true
-        (r.Engine.verdict = fresh))
+        (V.equal r.Engine.verdict fresh))
     warm batch
 
 let test_stats_accounting () =
@@ -112,8 +119,8 @@ let test_deterministic_across_domains () =
     verdicts (fst (Engine.run_batch ~domains ~dfa_cache (paper_batch ())))
   in
   let v1 = run 1 and v2 = run 2 and v4 = run 4 in
-  Util.check_bool "domains 1 = 2" true (v1 = v2);
-  Util.check_bool "domains 1 = 4" true (v1 = v4)
+  Util.check_bool "domains 1 = 2" true (verdicts_equal v1 v2);
+  Util.check_bool "domains 1 = 4" true (verdicts_equal v1 v4)
 
 (* --- the shared compiled-automata cache ------------------------------ *)
 
@@ -176,7 +183,9 @@ let test_opaque_uncacheable () =
   Util.check_int "no cache traffic" 0
     (stats.Engine.cache_hits + stats.Engine.cache_misses);
   Util.check_bool "still answered, identically" true
-    (match verdicts results with [ a; b ] -> a = b | _ -> false)
+    (match verdicts results with
+    | [ a; b ] -> V.equal a b
+    | _ -> false)
 
 (* --- digests --------------------------------------------------------- *)
 
@@ -238,8 +247,8 @@ let qsuite =
           Job.run (Tset.ctx r.Engine.universe) ~depth:3 q
         in
         stats.Engine.cache_hits = 1
-        && verdicts first = verdicts second
-        && verdicts second = [ fresh ]);
+        && verdicts_equal (verdicts first) (verdicts second)
+        && verdicts_equal (verdicts second) [ fresh ]);
     (* (c) digest collisions do not conflate distinct queries *)
     Util.qtest ~count:60 "digest: equal keys ⟹ semantically equal specs"
       (G.pair (Gen.interface_spec sc k0) (Gen.interface_spec sc k0))

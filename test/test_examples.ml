@@ -112,7 +112,7 @@ let test_example6 () =
   let left = Compose.interface Ex.rw2 Ex.client in
   let right = Compose.interface Ex.write_acc Ex.client in
   match Theory.tset_equal ctx ~depth left right with
-  | Theory.Pass _ -> ()
+  | o when Theory.is_pass o -> ()
   | o -> Alcotest.failf "Example 6 equality: %a" Theory.pp_outcome o
 
 (* Theorem 7 instantiated as in Example 6's argument: RW2 ⊑ WriteAcc
@@ -122,7 +122,7 @@ let test_theorem7_on_paper_instance () =
     Theory.theorem7 ctx ~depth ~gamma':Ex.rw2 ~gamma:Ex.write_acc
       ~delta:Ex.client
   with
-  | Theory.Pass _ -> ()
+  | o when Theory.is_pass o -> ()
   | o -> Alcotest.failf "Theorem 7 on paper instance: %a" Theory.pp_outcome o
 
 (* Property 5 and Lemma 6 across all paper interface specs. *)
@@ -130,7 +130,7 @@ let test_property5_all () =
   List.iter
     (fun g ->
       match Theory.property5 ctx ~depth g with
-      | Theory.Pass _ -> ()
+      | o when Theory.is_pass o -> ()
       | o -> Alcotest.failf "Property 5 for %s: %a" (Spec.name g) Theory.pp_outcome o)
     Ex.all_specs
 
@@ -141,7 +141,7 @@ let test_lemma6_all_pairs () =
       List.iter
         (fun g2 ->
           match Theory.lemma6_refines ctx ~depth:4 g1 g2 with
-          | Theory.Pass _ -> ()
+          | o when Theory.is_pass o -> ()
           | o ->
               Alcotest.failf "Lemma 6 for %s, %s: %a" (Spec.name g1)
                 (Spec.name g2) Theory.pp_outcome o)

@@ -18,6 +18,7 @@ let () =
       ("bmc", Test_bmc.suite);
       ("component", Test_component.suite);
       ("theory", Test_theory.suite);
+      ("verdict", Test_verdict.suite);
       ("examples", Test_examples.suite);
       ("lang", Test_lang.suite);
       ("live", Test_live.suite);

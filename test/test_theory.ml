@@ -149,17 +149,21 @@ let test_theorem16_on_paper_style_instance () =
       Tset.all
   in
   match Theory.theorem16 ctx ~depth ~gamma' ~gamma ~delta with
-  | Theory.Pass _ -> ()
+  | o when Theory.is_pass o -> ()
   | o -> Alcotest.failf "Theorem 16: %a" Theory.pp_outcome o
 
 let test_outcome_combinators () =
   let open Theory in
-  Util.check_bool "pass both" true
-    (is_pass (both (Pass Posl_bmc.Bmc.Exact) (Pass Posl_bmc.Bmc.Exact)));
-  Util.check_bool "fail wins" true
-    (is_fail (both (Pass Posl_bmc.Bmc.Exact) (Fail "x")));
+  let module V = Posl_verdict.Verdict in
+  let pass = V.holds ~confidence:V.Exact () in
+  let fail = V.refuted [ V.Note "x" ] in
+  Util.check_bool "pass both" true (is_pass (both pass pass));
+  Util.check_bool "fail wins" true (is_fail (both pass fail));
   Util.check_bool "vacuous beats pass" false
-    (is_pass (both (Vacuous "v") (Pass Posl_bmc.Bmc.Exact)))
+    (is_pass (both (V.vacuous "v") pass));
+  Util.check_bool "bounded meets to bounded" true
+    ((both (V.holds ~confidence:(V.Bounded 3) ()) pass).V.confidence
+    = Some (V.Bounded 3))
 
 let suite =
   [

@@ -1,0 +1,211 @@
+(* The typed verdict layer (posl.verdict): lattice laws of the
+   confidence meet and the [both] join, self-certifying counterexamples
+   replayed against the reference semantics [Tset.mem_naive], cache
+   transparency (cached ≡ fresh as values), and the JSON serializer. *)
+
+module V = Posl_verdict.Verdict
+module Spec = Posl_core.Spec
+module Refine = Posl_core.Refine
+module Theory = Posl_core.Theory
+module Compose = Posl_core.Compose
+module Tset = Posl_tset.Tset
+module Bmc = Posl_bmc.Bmc
+module Trace = Posl_trace.Trace
+module Eventset = Posl_sets.Eventset
+module Engine = Posl_engine.Engine
+module Job = Posl_engine.Job
+module Ex = Posl_core.Examples_paper
+module G = QCheck2.Gen
+
+let ctx = Util.paper_ctx
+let u = Util.paper_universe
+let depth = 5
+
+(* Refinement counterexamples: the escape witness of RW ⋢ Read2 must
+   replay under the reference semantics — a genuine trace of T(RW)
+   whose projection on α(Read2) is not a trace of T(Read2). *)
+let test_refine_witness_replays () =
+  let v = Refine.verdict ctx ~depth Ex.rw Ex.read2 in
+  Util.check_bool "refuted" true (V.is_refuted v);
+  let traces = V.witness_traces v in
+  Util.check_bool "carries a witness" true (traces <> []);
+  List.iter
+    (fun h ->
+      Util.check_bool "witness ∈ T(RW) under mem_naive" true
+        (Tset.mem_naive ctx (Spec.tset Ex.rw) h);
+      Util.check_bool "projection escapes T(Read2) under mem_naive" false
+        (Tset.mem_naive ctx (Spec.tset Ex.read2)
+           (Eventset.restrict_trace (Spec.alpha Ex.read2) h)))
+    traces;
+  (* [certify] with the genuine replay accepts the verdict unchanged. *)
+  let replay = function
+    | V.Trace_escape { trace; projected } ->
+        Tset.mem_naive ctx (Spec.tset Ex.rw) trace
+        && not (Tset.mem_naive ctx (Spec.tset Ex.read2) projected)
+    | _ -> true
+  in
+  Util.check_bool "certify accepts" true (V.equal v (V.certify ~replay v))
+
+(* Equality witnesses are one-sided: a member of exactly one of the two
+   trace sets under the reference semantics. *)
+let test_equality_witness_one_sided () =
+  let v = Theory.tset_equal ctx ~depth Ex.read Ex.read2 in
+  Util.check_bool "T(Read) ≠ T(Read2)" true (V.is_refuted v);
+  let traces = V.witness_traces v in
+  Util.check_bool "carries a witness" true (traces <> []);
+  List.iter
+    (fun h ->
+      let l = Tset.mem_naive ctx (Spec.tset Ex.read) h in
+      let r = Tset.mem_naive ctx (Spec.tset Ex.read2) h in
+      Util.check_bool "in exactly one side" true (l <> r))
+    traces
+
+(* Example 5's deadlock: the witness from the composition search must
+   be a reachable trace with no enabled extension, under mem_naive. *)
+let test_deadlock_witness_replays () =
+  let v =
+    Job.run ctx ~depth:6 (Job.deadlock ~left:Ex.client2 ~right:Ex.write_acc)
+  in
+  Util.check_bool "deadlock found" true (V.is_refuted v);
+  match Compose.compose Ex.client2 Ex.write_acc with
+  | Error _ -> Alcotest.fail "Client2 ‖ WriteAcc should compose"
+  | Ok comp ->
+      let t = Spec.tset comp in
+      let alphabet = Spec.concrete_alphabet u comp in
+      let replay = function
+        | V.Deadlock h ->
+            (Trace.is_empty h || Tset.mem_naive ctx t h)
+            && Array.for_all
+                 (fun e -> not (Tset.mem_naive ctx t (Trace.snoc h e)))
+                 alphabet
+        | _ -> true
+      in
+      Util.check_bool "deadlock replays" true (V.equal v (V.certify ~replay v))
+
+(* Cache transparency: a cache hit returns a verdict structurally equal
+   to the freshly computed one — including typed evidence on refuted
+   queries — even though elapsed times differ. *)
+let test_cache_hit_equals_fresh () =
+  let q =
+    Engine.request ~depth ~universe:u
+      (Job.refine ~refined:Ex.read ~abstract:Ex.read2)
+  in
+  let cache = Posl_engine.Cache.create () in
+  let cold, _ = Engine.run_batch ~domains:1 ~cache [ q ] in
+  let warm, stats = Engine.run_batch ~domains:1 ~cache [ q ] in
+  Util.check_int "warm run hits the cache" 1 stats.Engine.cache_hits;
+  match (cold, warm) with
+  | [ a ], [ b ] ->
+      Util.check_bool "fresh is refuted with evidence" true
+        (V.is_refuted a.Engine.verdict
+        && V.witness_traces a.Engine.verdict <> []
+           || a.Engine.verdict.V.evidence <> []);
+      Util.check_bool "cached ≡ fresh" true
+        (V.equal a.Engine.verdict b.Engine.verdict)
+  | _ -> Alcotest.fail "one result per run expected"
+
+(* A wrong witness must not survive: certify raises Uncertified; holds
+   and vacuous verdicts carry no counterexamples to replay. *)
+let test_uncertified_raises () =
+  let bogus = V.refuted [ V.Note "bogus" ] in
+  (match V.certify ~replay:(fun _ -> false) bogus with
+  | exception V.Uncertified _ -> ()
+  | _ -> Alcotest.fail "expected Uncertified");
+  let ok = V.holds ~confidence:V.Exact ~evidence:[ V.Note "n" ] () in
+  Util.check_bool "holds verdicts are not replayed" true
+    (V.equal ok (V.certify ~replay:(fun _ -> false) ok));
+  let vac = V.vacuous "premise" in
+  Util.check_bool "vacuous verdicts are not replayed" true
+    (V.equal vac (V.certify ~replay:(fun _ -> false) vac))
+
+let test_equal_ignores_elapsed () =
+  let v = V.holds ~confidence:V.Exact () in
+  let v1 = V.with_context ~elapsed_ms:1.0 v in
+  let v2 = V.with_context ~elapsed_ms:250.0 v in
+  Util.check_bool "equal despite elapsed" true (V.equal v1 v2);
+  Util.check_bool "but different universes differ" false
+    (V.equal
+       (V.with_context ~universe_digest:"aa" v)
+       (V.with_context ~universe_digest:"bb" v))
+
+let test_json_serializer () =
+  Alcotest.(check string)
+    "escape" "a\\\"b\\\\c\\nd" (V.Json.escape "a\"b\\c\nd");
+  Alcotest.(check string)
+    "control chars" "\\u0001" (V.Json.escape "\x01");
+  (* A job verdict carries full provenance (digest, depth, elapsed). *)
+  let v =
+    Job.run ctx ~depth (Job.refine ~refined:Ex.rw ~abstract:Ex.read2)
+  in
+  let s = V.Json.to_string (V.to_json v) in
+  List.iter
+    (fun needle ->
+      Util.check_bool (Printf.sprintf "document has %s" needle) true
+        (Util.contains_substring ~needle s))
+    [
+      "\"status\"";
+      "\"refuted\"";
+      "\"holds\"";
+      "\"evidence\"";
+      "\"provenance\"";
+      "\"universe_digest\"";
+    ]
+
+(* Generators for the qcheck lattice laws. *)
+let conf_gen =
+  G.(
+    oneof
+      [
+        pure V.Exact;
+        map (fun k -> V.Bounded (1 + (abs k mod 9))) (int_bound 1000);
+      ])
+
+let verdict_gen =
+  G.(
+    oneof
+      [
+        map (fun c -> V.holds ~confidence:c ()) conf_gen;
+        pure (V.refuted [ V.Note "x" ]);
+        pure (V.vacuous "premise");
+      ])
+
+let qsuite =
+  [
+    Util.qtest ~count:200 "meet is commutative" G.(pair conf_gen conf_gen)
+      (fun (a, b) -> V.meet a b = V.meet b a);
+    Util.qtest ~count:200 "meet is associative"
+      G.(triple conf_gen conf_gen conf_gen)
+      (fun (a, b, c) -> V.meet a (V.meet b c) = V.meet (V.meet a b) c);
+    Util.qtest ~count:200 "meet is idempotent, Exact is the top" conf_gen
+      (fun c -> V.meet c c = c && V.meet c V.Exact = c);
+    Util.qtest ~count:200 "both: refutation dominates"
+      G.(pair verdict_gen verdict_gen)
+      (fun (a, b) ->
+        V.is_refuted (V.both a b) = (V.is_refuted a || V.is_refuted b));
+    Util.qtest ~count:200 "both: vacuity beats holding"
+      G.(pair verdict_gen verdict_gen)
+      (fun (a, b) ->
+        V.is_holds (V.both a b) = (V.is_holds a && V.is_holds b));
+    Util.qtest ~count:200 "both agrees with all" G.(pair verdict_gen verdict_gen)
+      (fun (a, b) -> V.equal (V.both a b) (V.all [ a; b ]));
+    Util.qtest ~count:50 "equal is reflexive" verdict_gen (fun v ->
+        V.equal v v);
+  ]
+
+let suite =
+  [
+    Alcotest.test_case "refinement witness replays (mem_naive)" `Quick
+      test_refine_witness_replays;
+    Alcotest.test_case "equality witness is one-sided (mem_naive)" `Quick
+      test_equality_witness_one_sided;
+    Alcotest.test_case "deadlock witness replays (mem_naive)" `Quick
+      test_deadlock_witness_replays;
+    Alcotest.test_case "cache hit ≡ fresh verdict" `Quick
+      test_cache_hit_equals_fresh;
+    Alcotest.test_case "certify rejects wrong witnesses" `Quick
+      test_uncertified_raises;
+    Alcotest.test_case "equal ignores elapsed time" `Quick
+      test_equal_ignores_elapsed;
+    Alcotest.test_case "JSON serializer" `Quick test_json_serializer;
+  ]
+  @ qsuite
