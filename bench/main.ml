@@ -36,6 +36,7 @@ module Engine = Posl_engine.Engine
 module Job = Posl_engine.Job
 module Vcache = Posl_engine.Cache
 module Edigest = Posl_engine.Digest
+module Store = Posl_store.Store
 
 let universe = Spec.adequate_universe Ex.all_specs
 let ctx = Tset.ctx universe
@@ -733,6 +734,67 @@ let p4 () =
     [ 1; 2; 4; 8 ];
   Report.print t
 
+(* P5 — the persistent verdict store across process lifetimes: the same
+   paper-corpus batch cold (empty store, computes and write-behinds),
+   warm in-process (the in-memory cache answers, the store is not even
+   consulted), and warm across processes (fresh handle, cold in-memory
+   cache — every distinct digest answered from disk).  The
+   across-process pass is simulated by closing and reopening the store
+   with a fresh in-memory cache, which is exactly what a new
+   posl-check invocation does. *)
+let p5 () =
+  Report.section
+    "P5: persistent verdict store (cold vs warm-in-process vs \
+     warm-across-process)";
+  let batch = engine_batch ~depth:4 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "posl-bench-store-%d" (Unix.getpid ()))
+  in
+  let t =
+    Report.create
+      [
+        "pass";
+        "jobs";
+        "wall ms";
+        "computed";
+        "cache hits";
+        "store hits";
+        "store writes";
+      ]
+  in
+  let pass label ~cache store =
+    let _, (stats : Engine.stats) =
+      Engine.run_batch ~domains:1 ~cache ~store batch
+    in
+    Report.add_row t
+      [
+        label;
+        string_of_int stats.Engine.jobs;
+        Printf.sprintf "%.1f" stats.Engine.wall_ms;
+        string_of_int stats.Engine.cache_misses;
+        string_of_int stats.Engine.cache_hits;
+        string_of_int stats.Engine.store_hits;
+        string_of_int stats.Engine.store_writes;
+      ]
+  in
+  let cache = Vcache.create () in
+  let s = Store.open_ dir in
+  pass "cold" ~cache s;
+  pass "warm in-process" ~cache s;
+  Store.close s;
+  (* a new process: new store handle, cold in-memory verdict cache *)
+  let s = Store.open_ dir in
+  pass "warm across-process" ~cache:(Vcache.create ()) s;
+  Store.close s;
+  Report.print t;
+  (try
+     Sys.remove (Store.log_path dir);
+     Sys.remove (Filename.concat dir "lock");
+     Unix.rmdir dir
+   with Sys_error _ | Unix.Unix_error _ -> ())
+
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
@@ -862,5 +924,6 @@ let () =
   p2 ();
   p3 ();
   p4 ();
+  p5 ();
   run_bechamel ();
   Format.printf "@.done.@."

@@ -33,6 +33,7 @@ module Cache = Posl_engine.Cache
 module Report = Posl_report.Report
 module Verdict = Posl_verdict.Verdict
 module Json = Posl_verdict.Verdict.Json
+module Store = Posl_store.Store
 
 let exit_verdict = 1
 let exit_input = 2
@@ -96,6 +97,21 @@ let depth_arg =
 let extra_objects_arg =
   Arg.(value & opt int 2 & info [ "extra-objects" ] ~docv:"N" ~doc:"Fresh environment objects added to the universe sample.")
 
+let store_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "store" ] ~docv:"DIR"
+        ~doc:
+          "Persistent verdict store directory (created if missing): cacheable \
+           verdicts are reused from it and fresh ones appended to it.")
+
+(* Open a store around [f], mapping store failures to input errors. *)
+let with_store dir f =
+  match Store.open_ dir with
+  | exception Store.Error m -> Error (Input m)
+  | s -> Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f s)
+
 (* The single-query JSON document: the same verdict schema the batch
    --json file uses per result (see the README's "Verdict schema"). *)
 let json_of_query ~depth query verdict =
@@ -110,8 +126,10 @@ let json_of_query ~depth query verdict =
 
 (* One query subcommand = load file, resolve names, run the job the
    engine would run, print its verdict.  Batch answers and single-shot
-   answers agree by construction. *)
-let run_query file names depth extra json make_query =
+   answers agree by construction: with [--store] the job goes through
+   [Engine.run_batch] itself (one request, one domain) so the store
+   consult/write-behind path is literally the batch one. *)
+let run_query file names depth extra json store_dir make_query =
   code
     (let* specs = load file in
      let* resolved =
@@ -123,8 +141,20 @@ let run_query file names depth extra json make_query =
          (Ok []) names
      in
      let query = make_query (List.rev resolved) in
-     let ctx = context specs extra in
-     let verdict = Job.run ctx ~depth query in
+     let* verdict =
+       match store_dir with
+       | None -> Ok (Job.run (context specs extra) ~depth query)
+       | Some dir ->
+           with_store dir (fun s ->
+               let universe =
+                 Spec.adequate_universe ~extra_objects:extra specs
+               in
+               let req = Engine.request ~depth ~universe query in
+               let results, _ =
+                 Engine.run_batch ~domains:1 ~store:s [ req ]
+               in
+               Ok (List.hd results).Engine.verdict)
+     in
      let holds = Verdict.to_bool verdict in
      if json then
        print_endline (Json.to_string (json_of_query ~depth query verdict))
@@ -166,32 +196,32 @@ let show_cmd =
 
 (* refine *)
 let refine_cmd =
-  let run file refined abstract depth extra json =
-    run_query file [ refined; abstract ] depth extra json
+  let run file refined abstract depth extra json store =
+    run_query file [ refined; abstract ] depth extra json store
       (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-      $ depth_arg $ extra_objects_arg $ query_json_arg)
+      $ depth_arg $ extra_objects_arg $ query_json_arg $ store_arg)
 
 (* compose *)
 let compose_cmd =
-  let run file left right depth extra json =
-    run_query file [ left; right ] depth extra json
+  let run file left right depth extra json store =
+    run_query file [ left; right ] depth extra json store
       (spec2 (fun left right -> Job.compose ~left ~right))
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg)
 
 (* proper *)
 let proper_cmd =
-  let run file refined abstract ctx_name depth extra json =
-    run_query file [ refined; abstract; ctx_name ] depth extra json
+  let run file refined abstract ctx_name depth extra json store =
+    run_query file [ refined; abstract; ctx_name ] depth extra json store
       (spec3 (fun refined abstract context ->
            Job.proper ~refined ~abstract ~context))
   in
@@ -200,31 +230,31 @@ let proper_cmd =
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
       $ name_arg 3 "CONTEXT" $ depth_arg $ extra_objects_arg
-      $ query_json_arg)
+      $ query_json_arg $ store_arg)
 
 (* deadlock *)
 let deadlock_cmd =
-  let run file left right depth extra json =
-    run_query file [ left; right ] depth extra json
+  let run file left right depth extra json store =
+    run_query file [ left; right ] depth extra json store
       (spec2 (fun left right -> Job.deadlock ~left ~right))
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg)
 
 (* equal *)
 let equal_cmd =
-  let run file left right depth extra json =
-    run_query file [ left; right ] depth extra json
+  let run file left right depth extra json store =
+    run_query file [ left; right ] depth extra json store
       (spec2 (fun left right -> Job.equal ~left ~right))
   in
   Cmd.v
     (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg)
 
 (* run: evaluate the assert statements of a file *)
 let run_cmd =
@@ -460,6 +490,9 @@ let json_of_stats (s : Engine.stats) ~failed =
       ("cache_hits", Json.Int s.Engine.cache_hits);
       ("cache_misses", Json.Int s.Engine.cache_misses);
       ("uncacheable", Json.Int s.Engine.uncacheable);
+      ("store_hits", Json.Int s.Engine.store_hits);
+      ("store_misses", Json.Int s.Engine.store_misses);
+      ("store_writes", Json.Int s.Engine.store_writes);
       ("dfa_cache_hits", Json.Int s.Engine.dfa_cache_hits);
       ("dfa_compiles", Json.Int s.Engine.dfa_compiles);
       ("busy_ms", Json.Float s.Engine.busy_ms);
@@ -476,6 +509,7 @@ let json_of_result (r : Engine.result) =
       ("depth", Json.Int r.Engine.request.Engine.depth);
       ("holds", Json.Bool (Verdict.to_bool r.Engine.verdict));
       ("cached", Json.Bool r.Engine.cached);
+      ("from_store", Json.Bool r.Engine.from_store);
       ("cacheable", Json.Bool (r.Engine.digest <> None));
       ("ms", Json.Float r.Engine.ms);
       ("verdict", Verdict.to_json r.Engine.verdict);
@@ -494,12 +528,18 @@ let batch_cmd =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
          ~doc:"Write the full machine-readable result list to this file.")
   in
-  let run manifest depth extra domains json_path =
+  let run manifest depth extra domains json_path store_dir =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        if requests = [] then Error (Input (manifest ^ ": no queries"))
        else begin
-         let results, stats = Engine.run_batch ?domains requests in
+         let* results, stats =
+           match store_dir with
+           | None -> Ok (Engine.run_batch ?domains requests)
+           | Some dir ->
+               with_store dir (fun s ->
+                   Ok (Engine.run_batch ?domains ~store:s requests))
+         in
          let table =
            Report.create [ "#"; "query"; "verdict"; "cached"; "ms" ]
          in
@@ -510,7 +550,9 @@ let batch_cmd =
                  string_of_int (i + 1);
                  r.Engine.request.Engine.label;
                  Verdict.to_string r.Engine.verdict;
-                 (if r.Engine.cached then "hit" else "");
+                 (if r.Engine.from_store then "store"
+                  else if r.Engine.cached then "hit"
+                  else "");
                  Printf.sprintf "%.1f" r.Engine.ms;
                ])
            results;
@@ -560,7 +602,180 @@ let batch_cmd =
        ~doc:"Answer a manifest of queries with the parallel batch engine.")
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
-      $ json_arg)
+      $ json_arg $ store_arg)
+
+(* ------------------------------------------------------------------ *)
+(* store: maintenance of the persistent verdict store                  *)
+(* ------------------------------------------------------------------ *)
+
+let store_dir_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"DIR" ~doc:"Verdict store directory.")
+
+let store_stats_cmd =
+  let run dir =
+    code
+      (match Store.open_ ~readonly:true dir with
+      | exception Store.Error m -> Error (Input m)
+      | s ->
+          Fun.protect
+            ~finally:(fun () -> Store.close s)
+            (fun () ->
+              Format.printf "%a@." Store.pp_stats (Store.stats s);
+              List.iter
+                (fun d -> Format.printf "damage: %a@." Store.pp_damage d)
+                (Store.damage s);
+              Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Show index and log statistics of a verdict store.")
+    Term.(const run $ store_dir_arg)
+
+let store_verify_cmd =
+  let run dir =
+    code
+      (match Store.verify dir with
+      | Error m -> Error (Input m)
+      | Ok r ->
+          Format.printf "intact records:   %d (%d distinct digest%s)@."
+            r.Store.intact r.Store.distinct
+            (if r.Store.distinct = 1 then "" else "s");
+          Format.printf "torn tail bytes:  %d@." r.Store.torn_bytes;
+          Format.printf "damaged records:  %d@."
+            (List.length r.Store.violations);
+          List.iter
+            (fun d -> Format.printf "  %a@." Store.pp_damage d)
+            r.Store.violations;
+          if r.Store.violations = [] && r.Store.torn_bytes = 0 then Ok ()
+          else
+            Error
+              (Verdict
+                 (Printf.sprintf "store %s is damaged (%d record%s, %d tail byte%s)"
+                    dir
+                    (List.length r.Store.violations)
+                    (if List.length r.Store.violations = 1 then "" else "s")
+                    r.Store.torn_bytes
+                    (if r.Store.torn_bytes = 1 then "" else "s"))))
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Integrity-scan a verdict store: every record must frame, checksum \
+          and round-trip through the verdict parser.  Exits 1 if any damage \
+          is found.")
+    Term.(const run $ store_dir_arg)
+
+let store_gc_cmd =
+  let manifest_opt_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"MANIFEST"
+          ~doc:"Keep only records reachable from this manifest's queries.")
+  in
+  let run dir manifest depth extra =
+    code
+      (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
+       (* The store is keyed by the depth-independent digest, so the
+          keep-set is the manifest's base digests. *)
+       let keep_tbl = Hashtbl.create 64 in
+       List.iter
+         (fun (r : Engine.request) ->
+           match
+             Posl_engine.Digest.query_base ~universe:r.Engine.universe
+               r.Engine.query
+           with
+           | Some d -> Hashtbl.replace keep_tbl d ()
+           | None -> ())
+         requests;
+       match Store.open_ dir with
+       | exception Store.Error m -> Error (Input m)
+       | s ->
+           Fun.protect
+             ~finally:(fun () -> Store.close s)
+             (fun () ->
+               let kept, dropped =
+                 Store.gc s ~keep:(Hashtbl.mem keep_tbl)
+               in
+               Format.printf "gc %s: kept %d record%s, dropped %d@." dir kept
+                 (if kept = 1 then "" else "s")
+                 dropped;
+               Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "gc"
+       ~doc:
+         "Compact a verdict store, dropping superseded and damaged records \
+          and records not referenced by the given manifest.")
+    Term.(
+      const run $ store_dir_arg $ manifest_opt_arg $ depth_arg
+      $ extra_objects_arg)
+
+let store_cmd =
+  Cmd.group
+    (Cmd.info "store" ~doc:"Inspect and maintain a persistent verdict store.")
+    [ store_stats_cmd; store_verify_cmd; store_gc_cmd ]
+
+(* json: native validation of the CLI's own JSON documents (used by the
+   smoke test instead of shelling out to python). *)
+let json_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSON document to validate ('-' for stdin).")
+  in
+  let run file =
+    code
+      (let* text =
+         try
+           Ok
+             (if String.equal file "-" then In_channel.input_all stdin
+              else read_whole_file file)
+         with Sys_error m -> Error (Input m)
+       in
+       let* doc =
+         match Json.of_string text with
+         | Ok doc -> Ok doc
+         | Error e -> Error (Input (Printf.sprintf "%s: %s" file e))
+       in
+       (* Every "verdict" field anywhere in the document must round-trip
+          through the typed parser. *)
+       let checked = ref 0 and errors = ref [] in
+       let rec walk = function
+         | Json.Obj fields ->
+             List.iter
+               (fun (k, v) ->
+                 (if String.equal k "verdict" then
+                    match Verdict.of_json v with
+                    | Ok _ -> incr checked
+                    | Error e -> errors := e :: !errors);
+                 walk v)
+               fields
+         | Json.List l -> List.iter walk l
+         | Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _ ->
+             ()
+       in
+       walk doc;
+       match List.rev !errors with
+       | [] ->
+           Format.printf "%s: valid JSON, %d verdict object%s round-tripped@."
+             file !checked
+             (if !checked = 1 then "" else "s");
+           Ok ()
+       | e :: _ ->
+           Error
+             (Input (Printf.sprintf "%s: verdict does not round-trip: %s" file e)))
+  in
+  Cmd.v
+    (Cmd.info "json"
+       ~doc:
+         "Validate a JSON document produced by this tool: parse it and \
+          round-trip every embedded verdict object through the typed verdict \
+          parser.")
+    Term.(const run $ file_arg)
 
 let main_cmd =
   let doc = "composition and refinement checker for partial object specifications" in
@@ -577,6 +792,8 @@ let main_cmd =
       simulate_cmd;
       consistent_cmd;
       batch_cmd;
+      store_cmd;
+      json_cmd;
     ]
 
 let () = exit (Cmd.eval' main_cmd)

@@ -7,6 +7,9 @@ type t = {
   hits : int Atomic.t;
   misses : int Atomic.t;
   uncacheable : int Atomic.t;
+  store_hits : int Atomic.t;
+  store_misses : int Atomic.t;
+  store_writes : int Atomic.t;
   busy_ns : int Atomic.t;
   dfa_hits : int Atomic.t;
   dfa_compiles : int Atomic.t;
@@ -19,6 +22,9 @@ let create () =
     hits = Atomic.make 0;
     misses = Atomic.make 0;
     uncacheable = Atomic.make 0;
+    store_hits = Atomic.make 0;
+    store_misses = Atomic.make 0;
+    store_writes = Atomic.make 0;
     busy_ns = Atomic.make 0;
     dfa_hits = Atomic.make 0;
     dfa_compiles = Atomic.make 0;
@@ -29,6 +35,9 @@ let incr_jobs t = Atomic.incr t.jobs
 let incr_hits t = Atomic.incr t.hits
 let incr_misses t = Atomic.incr t.misses
 let incr_uncacheable t = Atomic.incr t.uncacheable
+let incr_store_hits t = Atomic.incr t.store_hits
+let incr_store_misses t = Atomic.incr t.store_misses
+let incr_store_writes t = Atomic.incr t.store_writes
 
 let add_busy_ns t ns = ignore (Atomic.fetch_and_add t.busy_ns ns)
 
@@ -42,6 +51,9 @@ type snapshot = {
   hits : int;
   misses : int;
   uncacheable : int;
+  store_hits : int;
+  store_misses : int;
+  store_writes : int;
   busy_ms : float;
   dfa_hits : int;
   dfa_compiles : int;
@@ -54,6 +66,9 @@ let snapshot (c : t) : snapshot =
     hits = Atomic.get c.hits;
     misses = Atomic.get c.misses;
     uncacheable = Atomic.get c.uncacheable;
+    store_hits = Atomic.get c.store_hits;
+    store_misses = Atomic.get c.store_misses;
+    store_writes = Atomic.get c.store_writes;
     busy_ms = float_of_int (Atomic.get c.busy_ns) /. 1e6;
     dfa_hits = Atomic.get c.dfa_hits;
     dfa_compiles = Atomic.get c.dfa_compiles;
@@ -62,7 +77,7 @@ let snapshot (c : t) : snapshot =
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
-    "jobs=%d hits=%d misses=%d uncacheable=%d busy=%.1fms dfa_hits=%d \
-     dfa_compiles=%d dfa_contended=%d"
-    s.jobs s.hits s.misses s.uncacheable s.busy_ms s.dfa_hits s.dfa_compiles
-    s.dfa_contended
+    "jobs=%d hits=%d misses=%d uncacheable=%d store_hits=%d store_misses=%d \
+     store_writes=%d busy=%.1fms dfa_hits=%d dfa_compiles=%d dfa_contended=%d"
+    s.jobs s.hits s.misses s.uncacheable s.store_hits s.store_misses
+    s.store_writes s.busy_ms s.dfa_hits s.dfa_compiles s.dfa_contended

@@ -8,6 +8,9 @@ val incr_jobs : t -> unit
 val incr_hits : t -> unit
 val incr_misses : t -> unit
 val incr_uncacheable : t -> unit
+val incr_store_hits : t -> unit
+val incr_store_misses : t -> unit
+val incr_store_writes : t -> unit
 
 val add_busy_ns : t -> int -> unit
 (** Accumulate one job's wall time (summed across workers, it measures
@@ -24,6 +27,9 @@ type snapshot = {
   hits : int;  (** verdicts served from the cache *)
   misses : int;  (** verdicts computed and inserted *)
   uncacheable : int;  (** jobs with no content address (opaque tsets) *)
+  store_hits : int;  (** verdicts served from the persistent store *)
+  store_misses : int;  (** store lookups that had to compute *)
+  store_writes : int;  (** records appended to the persistent store *)
   busy_ms : float;  (** summed per-job wall time *)
   dfa_hits : int;  (** compiled automata served from the shared cache *)
   dfa_compiles : int;  (** prs-expressions compiled to DFAs *)

@@ -81,6 +81,13 @@ let ser_spec buf ~universe s =
   fieldf buf "%a" Eventset.pp (Eventset.normalise (Spec.alpha s));
   ser_tset buf ~universe (Spec.tset s)
 
+let serialize_base ~(universe : Universe.t) query =
+  let buf = Buffer.create 512 in
+  field buf (Job.kind query);
+  fieldf buf "%a" Universe.pp universe;
+  List.iter (ser_spec buf ~universe) (Job.specs query);
+  Buffer.contents buf
+
 let serialize ~(universe : Universe.t) ~depth query =
   let buf = Buffer.create 512 in
   field buf (Job.kind query);
@@ -91,6 +98,17 @@ let serialize ~(universe : Universe.t) ~depth query =
 
 let query ~universe ~depth q =
   match serialize ~universe ~depth q with
+  | s -> Some (Stdlib.Digest.to_hex (Stdlib.Digest.string s))
+  | exception Opaque -> None
+
+(* The persistent store's key leaves the depth out: a depth-6 bounded
+   verdict is a perfectly good answer to the same query at depth 4
+   (and an exact one at any depth), so keying by depth would shatter
+   reusable records.  The depth the verdict was computed at travels in
+   the store record instead, where [Store.find]'s reuse rule can see
+   it. *)
+let query_base ~universe q =
+  match serialize_base ~universe q with
   | s -> Some (Stdlib.Digest.to_hex (Stdlib.Digest.string s))
   | exception Opaque -> None
 

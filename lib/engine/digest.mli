@@ -24,6 +24,14 @@ val query : universe:Universe.t -> depth:int -> Job.query -> t option
 (** [None] iff some specification's trace set contains an opaque
     [Pointwise] predicate. *)
 
+val query_base : universe:Universe.t -> Job.query -> t option
+(** The depth-{e independent} content address — same serialization as
+    {!query} minus the depth field.  This is the persistent verdict
+    store's key: the depth a stored verdict was computed at lives in
+    the record, so one exact verdict (or a deep enough bounded one)
+    answers the query at every requested depth.  [None] exactly when
+    {!query} is [None]. *)
+
 val spec_key : universe:Universe.t -> Spec.t -> string option
 (** The canonical serialization of one specification body (exposed for
     collision tests); [None] on opaque trace sets. *)

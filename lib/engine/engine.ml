@@ -22,6 +22,7 @@ module Spec = Posl_core.Spec
 module Tset = Posl_tset.Tset
 module Prs_cache = Posl_tset.Prs_cache
 module Par = Posl_par.Par
+module Store = Posl_store.Store
 open Posl_ident
 
 type request = {
@@ -45,6 +46,7 @@ type result = {
   request : request;
   verdict : Job.verdict;
   cached : bool;
+  from_store : bool;
   digest : Digest.t option;
   ms : float;
 }
@@ -54,6 +56,9 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   uncacheable : int;
+  store_hits : int;
+  store_misses : int;
+  store_writes : int;
   dfa_cache_hits : int;
   dfa_compiles : int;
   busy_ms : float;
@@ -65,7 +70,7 @@ type stats = {
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d job%s on %d domain%s in %.1f ms (busy %.1f ms, utilization %.0f%%): \
-     %d cache hit%s, %d miss%s%s; %d DFA compile%s, %d DFA cache hit%s"
+     %d cache hit%s, %d miss%s%s%s; %d DFA compile%s, %d DFA cache hit%s"
     s.jobs
     (if s.jobs = 1 then "" else "s")
     s.domains
@@ -78,6 +83,14 @@ let pp_stats ppf s =
     (if s.cache_misses = 1 then "" else "es")
     (if s.uncacheable = 0 then ""
      else Printf.sprintf ", %d uncacheable" s.uncacheable)
+    (if s.store_hits = 0 && s.store_misses = 0 && s.store_writes = 0 then ""
+     else
+       Printf.sprintf "; store: %d hit%s, %d miss%s, %d write%s" s.store_hits
+         (if s.store_hits = 1 then "" else "s")
+         s.store_misses
+         (if s.store_misses = 1 then "" else "es")
+         s.store_writes
+         (if s.store_writes = 1 then "" else "s"))
     s.dfa_compiles
     (if s.dfa_compiles = 1 then "" else "s")
     s.dfa_cache_hits
@@ -128,7 +141,7 @@ let dfa_cache_stats dc =
 
 let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
 
-let run_batch ?domains ?cache ?dfa_cache:dc requests =
+let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
   let domains =
     match domains with Some d -> max 1 d | None -> Par.default_domains ()
   in
@@ -164,26 +177,62 @@ let run_batch ?domains ?cache ?dfa_cache:dc requests =
     let compute () =
       Job.run ~domains:1 (ctx_for req.universe) ~depth:req.depth req.query
     in
-    let cached, verdict =
+    (* The persistent store sits beneath the in-memory cache: a store
+       hit is promoted into the cache (so duplicates later in the batch
+       hit memory), a store miss computes and write-behinds.  The store
+       is keyed depth-independently ([Digest.query_base]) — its reuse
+       rule lives in [Store.find]. *)
+    let consult_store key compute_and_fill =
+      match store with
+      | None -> (false, compute_and_fill ())
+      | Some s -> (
+          let base = Digest.query_base ~universe:req.universe req.query in
+          match base with
+          | None -> (false, compute_and_fill ())
+          | Some bkey -> (
+              match Store.find s ~digest:bkey ~depth:req.depth with
+              | Some v ->
+                  Counters.incr_store_hits counters;
+                  Cache.add cache key v;
+                  (true, v)
+              | None ->
+                  Counters.incr_store_misses counters;
+                  let v = compute_and_fill () in
+                  if Store.add s ~digest:bkey ~depth:req.depth v then
+                    Counters.incr_store_writes counters;
+                  (false, v)))
+    in
+    let cached, from_store, verdict =
       match digest with
       | None ->
           Counters.incr_uncacheable counters;
-          (false, compute ())
+          (false, false, compute ())
       | Some key -> (
           match Cache.find cache key with
           | Some v ->
               Counters.incr_hits counters;
-              (true, v)
+              (true, false, v)
           | None ->
-              let v = compute () in
-              Cache.add cache key v;
-              Counters.incr_misses counters;
-              (false, v))
+              let from_store, v =
+                consult_store key (fun () ->
+                    let v = compute () in
+                    Cache.add cache key v;
+                    Counters.incr_misses counters;
+                    v)
+              in
+              (from_store, from_store, v))
     in
     let elapsed = now_ns () - t0 in
     Counters.incr_jobs counters;
     Counters.add_busy_ns counters elapsed;
-    { request = req; verdict; cached; digest; ms = float_of_int elapsed /. 1e6 }
+    {
+      request = req;
+      verdict;
+      cached;
+      from_store;
+      digest;
+      ms = float_of_int elapsed /. 1e6;
+    }
   in
   let t0 = Unix.gettimeofday () in
   let results = Par.map_dyn ~domains answer requests in
@@ -200,6 +249,9 @@ let run_batch ?domains ?cache ?dfa_cache:dc requests =
       cache_hits = c.Counters.hits;
       cache_misses = c.Counters.misses;
       uncacheable = c.Counters.uncacheable;
+      store_hits = c.Counters.store_hits;
+      store_misses = c.Counters.store_misses;
+      store_writes = c.Counters.store_writes;
       dfa_cache_hits = c.Counters.dfa_hits;
       dfa_compiles = c.Counters.dfa_compiles;
       busy_ms = c.Counters.busy_ms;

@@ -41,7 +41,10 @@ val of_specs :
 type result = {
   request : request;
   verdict : Job.verdict;
-  cached : bool;  (** answered from the verdict cache *)
+  cached : bool;
+      (** answered without recomputing (in-memory cache or persistent
+          store) *)
+  from_store : bool;  (** answered from the persistent store *)
   digest : Digest.t option;  (** [None] = uncacheable (opaque tset) *)
   ms : float;  (** wall time spent answering this job *)
 }
@@ -51,6 +54,11 @@ type stats = {
   cache_hits : int;
   cache_misses : int;
   uncacheable : int;
+  store_hits : int;
+      (** verdicts served from the persistent store (and promoted into
+          the in-memory cache) *)
+  store_misses : int;  (** store lookups that fell through to compute *)
+  store_writes : int;  (** freshly computed verdicts appended to the store *)
   dfa_cache_hits : int;
       (** compiled prs-automata served from the shared striped cache *)
   dfa_compiles : int;
@@ -85,6 +93,7 @@ val run_batch :
   ?domains:int ->
   ?cache:Cache.t ->
   ?dfa_cache:dfa_cache ->
+  ?store:Posl_store.Store.t ->
   request list ->
   result list * stats
 (** Answer every request; results are order-stable with the input.
@@ -94,4 +103,14 @@ val run_batch :
     repeated obligations (verdicts) and repeated prs-expressions
     (compiled DFAs) without recomputation.  All worker domains share
     one monitor context per universe.  Deterministic: the verdict list
-    is identical for every domain count. *)
+    is identical for every domain count.
+
+    [store] plugs a persistent {!Posl_store.Store} beneath the
+    in-memory cache: cacheable jobs that miss memory consult the store
+    (keyed by the depth-independent {!Digest.query_base}; bounded
+    verdicts only qualify at recorded depth ≥ the requested depth), a
+    hit is promoted into the in-memory cache, and a miss computes and
+    write-behinds the fresh verdict — so re-running a manifest against
+    a warm store recomputes only the jobs whose content changed.
+    [cache_misses] keeps meaning "computed fresh"; store traffic is
+    counted separately in [store_hits]/[store_misses]/[store_writes]. *)

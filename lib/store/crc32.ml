@@ -1,0 +1,31 @@
+(* CRC-32 (reflected, poly 0xEDB88320), one 256-entry table computed at
+   module initialization.  All arithmetic on int32 so the checksum is
+   identical on 32- and 64-bit platforms. *)
+
+let table =
+  let t = Array.make 256 0l in
+  for n = 0 to 255 do
+    let c = ref (Int32.of_int n) in
+    for _ = 0 to 7 do
+      if Int32.logand !c 1l <> 0l then
+        c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+      else c := Int32.shift_right_logical !c 1
+    done;
+    t.(n) <- !c
+  done;
+  t
+
+let bytes ?(crc = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes";
+  let c = ref (Int32.logxor crc 0xFFFFFFFFl) in
+  for i = pos to pos + len - 1 do
+    let idx =
+      Int32.to_int (Int32.logand (Int32.logxor !c (Int32.of_int (Char.code (Bytes.unsafe_get b i)))) 0xFFl)
+    in
+    c := Int32.logxor table.(idx) (Int32.shift_right_logical !c 8)
+  done;
+  Int32.logxor !c 0xFFFFFFFFl
+
+let string s =
+  bytes (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

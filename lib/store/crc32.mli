@@ -1,0 +1,12 @@
+(** CRC-32 (IEEE 802.3, reflected, polynomial [0xEDB88320]) — the
+    per-record checksum of the verdict store's on-disk log.  Table
+    driven, no external dependency; matches the CRC-32 of zlib, gzip
+    and POSIX cksum-with-reflection tools byte for byte. *)
+
+val bytes : ?crc:int32 -> Bytes.t -> pos:int -> len:int -> int32
+(** Incremental update: feed a slice into a running checksum.  The
+    default [?crc] is the empty-message CRC, so a single call computes
+    the checksum of the slice. *)
+
+val string : string -> int32
+(** CRC-32 of a whole string. *)

@@ -1,0 +1,400 @@
+module Verdict = Posl_verdict.Verdict
+module J = Verdict.Json
+
+exception Error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let header = "posl-store v1\n"
+let header_len = String.length header
+let log_name = "verdicts.log"
+let lock_name = "lock"
+let log_path dir = Filename.concat dir log_name
+
+(* Framing sanity bound: a record length field larger than this is
+   framing corruption, not a record (the largest real verdict payloads
+   are a few KB). *)
+let max_record = 1 lsl 26
+
+type entry = { depth : int; strength : int; verdict : Verdict.t }
+type damage = { offset : int; reason : string }
+
+let pp_damage ppf d =
+  Format.fprintf ppf "@[offset %d: %s@]" d.offset d.reason
+
+(* An [Exact] (or no-state-space) verdict is depth-independent; a
+   bounded one is only valid down to the depth it was computed at. *)
+let strength (v : Verdict.t) ~depth =
+  match v.Verdict.confidence with
+  | Some Verdict.Exact | None -> max_int
+  | Some (Verdict.Bounded _) -> depth
+
+type t = {
+  dir : string;
+  mutable fd : Unix.file_descr option;  (* O_APPEND log fd (writable) *)
+  mutable lock_fd : Unix.file_descr option;
+  readonly : bool;
+  mu : Mutex.t;
+  index : (string, entry) Hashtbl.t;
+  mutable damage : damage list;  (* file order *)
+  mutable truncated_bytes : int;
+  mutable records : int;
+  mutable writes : int;
+}
+
+let dir t = t.dir
+
+(* ------------------------------------------------------------------ *)
+(* Record encoding                                                     *)
+
+let frame ~digest ~depth verdict =
+  let json =
+    J.to_string
+      (J.Obj
+         [
+           ("digest", J.Str digest);
+           ("depth", J.Int depth);
+           ("verdict", Verdict.to_json verdict);
+         ])
+  in
+  let payload = "\001" ^ json in
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.set_int32_be b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+let parse_payload payload =
+  let n = String.length payload in
+  if n < 1 then Result.Error "empty payload"
+  else if payload.[0] <> '\001' then
+    Result.Error
+      (Printf.sprintf "unsupported record version %d" (Char.code payload.[0]))
+  else
+    match J.of_string (String.sub payload 1 (n - 1)) with
+    | Result.Error e -> Result.Error ("json: " ^ e)
+    | Ok (J.Obj fields) -> (
+        match
+          ( List.assoc_opt "digest" fields,
+            List.assoc_opt "depth" fields,
+            List.assoc_opt "verdict" fields )
+        with
+        | Some (J.Str d), Some (J.Int k), Some jv -> (
+            match Verdict.of_json jv with
+            | Ok v -> Ok (d, k, v)
+            | Result.Error e -> Result.Error ("verdict: " ^ e))
+        | _ -> Result.Error "record object missing digest/depth/verdict")
+    | Ok _ -> Result.Error "record payload is not an object"
+
+(* ------------------------------------------------------------------ *)
+(* Scanning                                                            *)
+
+type scanned = {
+  s_entries : (string * int * Verdict.t) list;  (* file order *)
+  s_records : int;
+  s_damage : damage list;  (* file order *)
+  s_keep : int;  (* well-framed prefix length: the truncation point *)
+  s_torn : int;  (* unframed bytes past [s_keep] *)
+}
+
+(* Scan the whole log image.  CRC or parse failures on a well-framed
+   record are per-record damage (the length field still resyncs us to
+   the next record); a length field that runs past EOF or is insane is
+   indistinguishable from a crash mid-append, so everything from there
+   on is a torn tail. *)
+let scan content =
+  let len = String.length content in
+  if len < header_len || not (String.equal (String.sub content 0 header_len) header)
+  then err "not a posl verdict store (bad header)";
+  let entries = ref [] and dmg = ref [] and records = ref 0 in
+  let pos = ref header_len and keep = ref header_len and torn = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let remaining = len - !pos in
+    if remaining = 0 then stop := true
+    else if remaining < 8 then begin
+      torn := remaining;
+      stop := true
+    end
+    else
+      let plen = Int32.to_int (String.get_int32_be content !pos) in
+      if plen < 1 || plen > max_record || plen > remaining - 8 then begin
+        torn := remaining;
+        stop := true
+      end
+      else begin
+        let stored_crc = String.get_int32_be content (!pos + 4) in
+        let payload = String.sub content (!pos + 8) plen in
+        (if Crc32.string payload <> stored_crc then
+           dmg := { offset = !pos; reason = "crc mismatch" } :: !dmg
+         else
+           match parse_payload payload with
+           | Ok (d, k, v) ->
+               incr records;
+               entries := (d, k, v) :: !entries
+           | Result.Error reason -> dmg := { offset = !pos; reason } :: !dmg);
+        pos := !pos + 8 + plen;
+        keep := !pos
+      end
+  done;
+  {
+    s_entries = List.rev !entries;
+    s_records = !records;
+    s_damage = List.rev !dmg;
+    s_keep = !keep;
+    s_torn = !torn;
+  }
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> s
+  | exception Sys_error e -> err "cannot read %s: %s" path e
+
+(* ------------------------------------------------------------------ *)
+(* Locking                                                             *)
+
+let with_file_lock t f =
+  match t.lock_fd with
+  | None -> f ()  (* closed handle: callers have already failed *)
+  | Some fd ->
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      Unix.lockf fd Unix.F_LOCK 0;
+      Fun.protect
+        ~finally:(fun () ->
+          ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+          Unix.lockf fd Unix.F_ULOCK 0)
+        f
+
+let rec mkdir_p d =
+  if (not (Sys.file_exists d)) && not (String.equal d (Filename.dirname d))
+  then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Open / close                                                        *)
+
+let index_insert index (digest, depth, verdict) =
+  let st = strength verdict ~depth in
+  match Hashtbl.find_opt index digest with
+  | Some e when e.strength > st -> ()
+  | _ -> Hashtbl.replace index digest { depth; strength = st; verdict }
+
+let open_ ?(readonly = false) dirname =
+  if not readonly then mkdir_p dirname;
+  if not (Sys.file_exists dirname) then err "no such store: %s" dirname;
+  let log = log_path dirname in
+  if readonly && not (Sys.file_exists log) then
+    err "no such store: %s (missing %s)" dirname log_name;
+  let lock_fd =
+    try
+      Unix.openfile
+        (Filename.concat dirname lock_name)
+        [ Unix.O_RDWR; Unix.O_CREAT ] 0o644
+    with Unix.Unix_error (e, _, _) ->
+      err "cannot open lock file in %s: %s" dirname (Unix.error_message e)
+  in
+  let t =
+    {
+      dir = dirname;
+      fd = None;
+      lock_fd = Some lock_fd;
+      readonly;
+      mu = Mutex.create ();
+      index = Hashtbl.create 64;
+      damage = [];
+      truncated_bytes = 0;
+      records = 0;
+      writes = 0;
+    }
+  in
+  (try
+     with_file_lock t (fun () ->
+         (* Create or complete the header, scan, and truncate any torn
+            tail — all under the inter-process lock so an open can never
+            race a concurrent append. *)
+         if not (Sys.file_exists log) then
+           Out_channel.with_open_gen
+             [ Open_wronly; Open_creat; Open_binary ]
+             0o644 log
+             (fun oc -> Out_channel.output_string oc header);
+         let content = read_file log in
+         let content =
+           if String.length content = 0 && not readonly then begin
+             Out_channel.with_open_gen
+               [ Open_wronly; Open_binary ]
+               0o644 log
+               (fun oc -> Out_channel.output_string oc header);
+             header
+           end
+           else content
+         in
+         let s = scan content in
+         List.iter (index_insert t.index) s.s_entries;
+         t.damage <- s.s_damage;
+         t.records <- s.s_records;
+         t.truncated_bytes <- s.s_torn;
+         if s.s_torn > 0 && not readonly then Unix.truncate log s.s_keep;
+         if not readonly then
+           t.fd <-
+             Some (Unix.openfile log [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644))
+   with e ->
+     Unix.close lock_fd;
+     raise e);
+  t
+
+let close t =
+  Mutex.protect t.mu (fun () ->
+      (match t.fd with Some fd -> Unix.close fd | None -> ());
+      t.fd <- None;
+      (match t.lock_fd with Some fd -> Unix.close fd | None -> ());
+      t.lock_fd <- None)
+
+(* ------------------------------------------------------------------ *)
+(* Lookups and appends                                                 *)
+
+let find t ~digest ~depth =
+  Mutex.protect t.mu (fun () ->
+      match Hashtbl.find_opt t.index digest with
+      | Some e when e.strength >= depth -> Some e.verdict
+      | _ -> None)
+
+let write_all fd b =
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let add t ~digest ~depth verdict =
+  Mutex.protect t.mu (fun () ->
+      if t.readonly then err "read-only store: %s" t.dir;
+      let fd =
+        match t.fd with Some fd -> fd | None -> err "store closed: %s" t.dir
+      in
+      let st = strength verdict ~depth in
+      match Hashtbl.find_opt t.index digest with
+      | Some e when e.strength >= st -> false
+      | _ ->
+          let b = frame ~digest ~depth verdict in
+          with_file_lock t (fun () -> write_all fd b);
+          Hashtbl.replace t.index digest { depth; strength = st; verdict };
+          t.records <- t.records + 1;
+          t.writes <- t.writes + 1;
+          true)
+
+(* ------------------------------------------------------------------ *)
+(* Stats / verify / gc                                                 *)
+
+type stats = {
+  entries : int;
+  records : int;
+  damaged : int;
+  truncated_bytes : int;
+  file_bytes : int;
+  writes : int;
+}
+
+let damage t = Mutex.protect t.mu (fun () -> t.damage)
+
+let stats t =
+  Mutex.protect t.mu (fun () ->
+      let file_bytes =
+        match (Unix.stat (log_path t.dir)).Unix.st_size with
+        | n -> n
+        | exception Unix.Unix_error _ -> 0
+      in
+      {
+        entries = Hashtbl.length t.index;
+        records = t.records;
+        damaged = List.length t.damage;
+        truncated_bytes = t.truncated_bytes;
+        file_bytes;
+        writes = t.writes;
+      })
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "@[<v>entries          %d@,\
+     records          %d@,\
+     damaged          %d@,\
+     truncated bytes  %d@,\
+     file bytes       %d@,\
+     writes           %d@]"
+    s.entries s.records s.damaged s.truncated_bytes s.file_bytes s.writes
+
+type report = {
+  intact : int;
+  distinct : int;
+  torn_bytes : int;
+  violations : damage list;
+}
+
+let verify dirname =
+  let log = log_path dirname in
+  if not (Sys.file_exists log) then
+    Result.Error (Printf.sprintf "no such store: %s" dirname)
+  else
+    match scan (read_file log) with
+    | s ->
+        let distinct = Hashtbl.create 64 in
+        List.iter
+          (fun (d, _, _) -> Hashtbl.replace distinct d ())
+          s.s_entries;
+        Ok
+          {
+            intact = s.s_records;
+            distinct = Hashtbl.length distinct;
+            torn_bytes = s.s_torn;
+            violations = s.s_damage;
+          }
+    | exception Error e -> Result.Error e
+
+let gc t ~keep =
+  Mutex.protect t.mu (fun () ->
+      if t.readonly then err "read-only store: %s" t.dir;
+      if t.fd = None then err "store closed: %s" t.dir;
+      let log = log_path t.dir in
+      let tmp = log ^ ".tmp" in
+      let kept = ref 0 and dropped = ref 0 in
+      with_file_lock t (fun () ->
+          let survivors =
+            Hashtbl.fold
+              (fun digest e acc ->
+                if keep digest then (digest, e) :: acc
+                else begin
+                  incr dropped;
+                  acc
+                end)
+              t.index []
+            |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+          in
+          let fd =
+            Unix.openfile tmp
+              [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ]
+              0o644
+          in
+          Fun.protect
+            ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+            (fun () ->
+              write_all fd (Bytes.of_string header);
+              List.iter
+                (fun (digest, e) ->
+                  write_all fd (frame ~digest ~depth:e.depth e.verdict);
+                  incr kept)
+                survivors;
+              Unix.fsync fd);
+          Unix.rename tmp log;
+          (* The old append fd points at the unlinked inode: reopen. *)
+          (match t.fd with Some fd -> Unix.close fd | None -> ());
+          t.fd <- Some (Unix.openfile log [ Unix.O_WRONLY; Unix.O_APPEND ] 0o644);
+          Hashtbl.reset t.index;
+          List.iter
+            (fun (digest, e) -> Hashtbl.replace t.index digest e)
+            survivors;
+          t.records <- !kept;
+          t.damage <- [];
+          t.truncated_bytes <- 0);
+      (!kept, !dropped))

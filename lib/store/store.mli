@@ -1,0 +1,103 @@
+(** Persistent content-addressed verdict store.
+
+    A store is a directory holding an append-only record log
+    ([verdicts.log]) and a lock file.  Each record binds one query
+    digest (the engine's content address, {!Posl_engine}'s
+    [Digest.query_base]) to one structured {!Verdict.t} at the depth
+    the query was answered at.  The log format is crash-safe by
+    construction:
+
+    - a one-line header identifies the format and version;
+    - each record is [length (4 bytes BE) ∥ CRC-32 (4 bytes BE) ∥
+      payload], the payload being a version byte followed by the JSON
+      serialization of [{digest; depth; verdict}];
+    - writes are single atomic [O_APPEND] appends, serialized across
+      processes through [lockf] on the lock file, so concurrent
+      [posl-check] runs can share one store;
+    - on open, a torn tail record (a crash mid-append) is truncated
+      away rather than failing, and any framed record whose CRC
+      mismatches or whose verdict fails the JSON round-trip is skipped
+      and reported as {!damage} — intact records are never lost.
+
+    The in-memory index is rebuilt on open and keeps, per digest, the
+    strongest record seen: an [Exact] verdict subsumes everything,
+    a [Bounded] one is only reused at depths ≤ the depth it was
+    computed at ({!find}'s [~depth] contract). *)
+
+module Verdict = Posl_verdict.Verdict
+
+type t
+(** An open store handle.  Lookups and appends are thread-safe within
+    the handle; appends are additionally safe across processes. *)
+
+exception Error of string
+(** Unusable store: missing directory in read-only mode, foreign or
+    incompatible header, write on a read-only handle, I/O failure. *)
+
+val open_ : ?readonly:bool -> string -> t
+(** Open (creating directory, log and lock file as needed unless
+    [~readonly]) and rebuild the index by scanning the log.  A torn
+    tail is truncated here (writable handles only).  Raises {!Error}
+    if the file is not a posl store. *)
+
+val close : t -> unit
+(** Release file descriptors.  Idempotent. *)
+
+val dir : t -> string
+
+val log_path : string -> string
+(** The record log's path inside a store directory (exposed so tests
+    can corrupt it deliberately). *)
+
+val find : t -> digest:string -> depth:int -> Verdict.t option
+(** The stored verdict for [digest], provided it is strong enough for
+    a query posed at [depth]: exact verdicts (confidence [Exact] or
+    [None] — no state space explored) always qualify; bounded verdicts
+    qualify iff their recorded depth is ≥ [depth]. *)
+
+val add : t -> digest:string -> depth:int -> Verdict.t -> bool
+(** Append a record and update the index; returns [false] (and writes
+    nothing) when the index already holds a verdict for [digest] at
+    least as strong.  Raises {!Error} on read-only handles. *)
+
+type damage = { offset : int; reason : string }
+(** One framed-but-rejected record: CRC mismatch, unknown payload
+    version, or a verdict that fails the JSON round-trip.  [offset] is
+    the record's byte offset in the log. *)
+
+val pp_damage : Format.formatter -> damage -> unit
+
+val damage : t -> damage list
+(** Damage found by this handle's opening scan (file order). *)
+
+type stats = {
+  entries : int;  (** distinct digests in the index *)
+  records : int;  (** intact records in the log, superseded included *)
+  damaged : int;  (** rejected records still present in the log *)
+  truncated_bytes : int;  (** torn tail dropped by the opening scan *)
+  file_bytes : int;
+  writes : int;  (** records appended through this handle *)
+}
+
+val stats : t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+type report = {
+  intact : int;  (** records that frame, checksum and round-trip *)
+  distinct : int;  (** distinct digests among the intact records *)
+  torn_bytes : int;  (** unframed tail bytes (crash residue) *)
+  violations : damage list;
+}
+(** Result of a {!verify} scan. *)
+
+val verify : string -> (report, string) result
+(** Read-only integrity scan of a store directory: parses every record
+    without truncating or repairing anything.  [Error] when the
+    directory or log is missing or the header is foreign. *)
+
+val gc : t -> keep:(string -> bool) -> int * int
+(** Compact the log: atomically rewrite it with one record per index
+    entry whose digest satisfies [keep], dropping superseded, damaged
+    and unreferenced records, then swap it in place ([rename]).
+    Returns [(kept, dropped)] where [dropped] counts the index entries
+    discarded.  Raises {!Error} on read-only handles. *)

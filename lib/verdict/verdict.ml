@@ -212,9 +212,53 @@ let all = function
   | [] -> holds ~confidence:Exact ()
   | v :: vs -> List.fold_left both v vs
 
+(* Typed, per-kind evidence equality.  Polymorphic (=) is wrong here:
+   two semantically equal identifier sets can have different balanced
+   tree shapes (e.g. one built by successive [add]s, the other rebuilt
+   by [of_list] after a JSON round-trip), and symbolic event sets are
+   compared by denotation, not by their rectangle lists. *)
+let equal_evidence a b =
+  match (a, b) with
+  | ( Trace_escape { trace = t1; projected = p1 },
+      Trace_escape { trace = t2; projected = p2 } ) ->
+      Trace.equal t1 t2 && Trace.equal p1 p2
+  | Objects_missing a, Objects_missing b -> Oid.Set.equal a b
+  | Events_missing a, Events_missing b -> Eventset.equal a b
+  | ( Equality_witness { trace = t1; side = s1; left = l1; right = r1 },
+      Equality_witness { trace = t2; side = s2; left = l2; right = r2 } ) ->
+      Trace.equal t1 t2 && s1 = s2 && String.equal l1 l2 && String.equal r1 r2
+  | Deadlock a, Deadlock b -> Trace.equal a b
+  | ( Unanswerable { obligation = o1; trace = t1 },
+      Unanswerable { obligation = o2; trace = t2 } ) ->
+      String.equal o1 o2 && Trace.equal t1 t2
+  | ( Not_composable { offending = e1; side = s1 },
+      Not_composable { offending = e2; side = s2 } ) ->
+      Eventset.equal e1 e2 && s1 = s2
+  | ( Improper { alpha0 = a1; offending = o1; context = c1 },
+      Improper { alpha0 = a2; offending = o2; context = c2 } ) ->
+      Eventset.equal a1 a2 && Eventset.equal o1 o2 && String.equal c1 c2
+  | ( Objects_differ { left_only = l1; right_only = r1 },
+      Objects_differ { left_only = l2; right_only = r2 } ) ->
+      Oid.Set.equal l1 l2 && Oid.Set.equal r1 r2
+  | ( Alphabets_differ { left_only = l1; right_only = r1 },
+      Alphabets_differ { left_only = l2; right_only = r2 } ) ->
+      Eventset.equal l1 l2 && Eventset.equal r1 r2
+  | Consistency_witness a, Consistency_witness b -> Trace.equal a b
+  | ( Law_violation { law = l1; trace = t1 },
+      Law_violation { law = l2; trace = t2 } ) ->
+      String.equal l1 l2 && Trace.equal t1 t2
+  | Premise_unmet a, Premise_unmet b -> String.equal a b
+  | Note a, Note b -> String.equal a b
+  | ( ( Trace_escape _ | Objects_missing _ | Events_missing _
+      | Equality_witness _ | Deadlock _ | Unanswerable _ | Not_composable _
+      | Improper _ | Objects_differ _ | Alphabets_differ _
+      | Consistency_witness _ | Law_violation _ | Premise_unmet _ | Note _ ),
+      _ ) ->
+      false
+
 let equal a b =
   a.status = b.status && a.confidence = b.confidence
-  && a.evidence = b.evidence
+  && List.equal equal_evidence a.evidence b.evidence
   && a.provenance.procedure = b.provenance.procedure
   && a.provenance.depth = b.provenance.depth
   && a.provenance.universe_digest = b.provenance.universe_digest
@@ -369,18 +413,289 @@ module Json = struct
     Buffer.contents buf
 
   let pp ppf t = Format.pp_print_string ppf (to_string t)
+
+  (* ---------------------------------------------------------------- *)
+  (* Parsing — the inverse of the serializer above, accepting standard
+     JSON (so documents produced by other tools parse too, not only our
+     own output).  Recursive descent over the raw bytes; UTF-8 content
+     passes through untouched, [\uXXXX] escapes are decoded to UTF-8
+     (surrogate pairs included). *)
+
+  exception Malformed of string
+
+  let malformed pos fmt =
+    Format.kasprintf (fun m -> raise (Malformed (Printf.sprintf "at byte %d: %s" pos m))) fmt
+
+  let of_string s =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let skip_ws () =
+      while
+        !pos < n
+        && match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+      do
+        advance ()
+      done
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | Some c' -> malformed !pos "expected '%c', found '%c'" c c'
+      | None -> malformed !pos "expected '%c', found end of input" c
+    in
+    let literal word v =
+      let l = String.length word in
+      if !pos + l <= n && String.sub s !pos l = word then begin
+        pos := !pos + l;
+        v
+      end
+      else malformed !pos "expected %s" word
+    in
+    (* Encode one Unicode scalar value as UTF-8. *)
+    let add_utf8 buf u =
+      if u < 0x80 then Buffer.add_char buf (Char.chr u)
+      else if u < 0x800 then begin
+        Buffer.add_char buf (Char.chr (0xC0 lor (u lsr 6)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+      else if u < 0x10000 then begin
+        Buffer.add_char buf (Char.chr (0xE0 lor (u lsr 12)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+      else begin
+        Buffer.add_char buf (Char.chr (0xF0 lor (u lsr 18)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 12) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+        Buffer.add_char buf (Char.chr (0x80 lor (u land 0x3F)))
+      end
+    in
+    let hex4 () =
+      if !pos + 4 > n then malformed !pos "truncated \\u escape";
+      let v =
+        try int_of_string ("0x" ^ String.sub s !pos 4)
+        with Failure _ -> malformed !pos "bad \\u escape"
+      in
+      pos := !pos + 4;
+      v
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        if !pos >= n then malformed !pos "unterminated string";
+        match s.[!pos] with
+        | '"' -> advance ()
+        | '\\' ->
+            advance ();
+            (if !pos >= n then malformed !pos "unterminated escape";
+             match s.[!pos] with
+             | '"' -> Buffer.add_char buf '"'; advance ()
+             | '\\' -> Buffer.add_char buf '\\'; advance ()
+             | '/' -> Buffer.add_char buf '/'; advance ()
+             | 'b' -> Buffer.add_char buf '\b'; advance ()
+             | 'f' -> Buffer.add_char buf '\012'; advance ()
+             | 'n' -> Buffer.add_char buf '\n'; advance ()
+             | 'r' -> Buffer.add_char buf '\r'; advance ()
+             | 't' -> Buffer.add_char buf '\t'; advance ()
+             | 'u' ->
+                 advance ();
+                 let u = hex4 () in
+                 let u =
+                   if u >= 0xD800 && u <= 0xDBFF then
+                     (* high surrogate: a low surrogate must follow *)
+                     if
+                       !pos + 2 <= n && s.[!pos] = '\\' && s.[!pos + 1] = 'u'
+                     then begin
+                       pos := !pos + 2;
+                       let lo = hex4 () in
+                       if lo < 0xDC00 || lo > 0xDFFF then
+                         malformed !pos "unpaired surrogate";
+                       0x10000 + ((u - 0xD800) lsl 10) + (lo - 0xDC00)
+                     end
+                     else malformed !pos "unpaired surrogate"
+                   else u
+                 in
+                 add_utf8 buf u
+             | c -> malformed !pos "bad escape '\\%c'" c);
+            go ()
+        | c when Char.code c < 0x20 ->
+            malformed !pos "unescaped control character"
+        | c ->
+            Buffer.add_char buf c;
+            advance ();
+            go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_float = ref false in
+      if peek () = Some '-' then advance ();
+      while
+        !pos < n
+        &&
+        match s.[!pos] with
+        | '0' .. '9' -> true
+        | '.' | 'e' | 'E' | '+' | '-' ->
+            is_float := true;
+            true
+        | _ -> false
+      do
+        advance ()
+      done;
+      let text = String.sub s start (!pos - start) in
+      if !is_float then
+        match float_of_string_opt text with
+        | Some f -> Float f
+        | None -> malformed start "bad number %S" text
+      else
+        match int_of_string_opt text with
+        | Some i -> Int i
+        | None -> (
+            (* an integer literal too wide for [int]: keep the value *)
+            match float_of_string_opt text with
+            | Some f -> Float f
+            | None -> malformed start "bad number %S" text)
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | None -> malformed !pos "unexpected end of input"
+      | Some '"' -> Str (parse_string ())
+      | Some '{' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some '}' then begin
+            advance ();
+            Obj []
+          end
+          else
+            let rec fields acc =
+              skip_ws ();
+              let k = parse_string () in
+              skip_ws ();
+              expect ':';
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  fields ((k, v) :: acc)
+              | Some '}' ->
+                  advance ();
+                  Obj (List.rev ((k, v) :: acc))
+              | _ -> malformed !pos "expected ',' or '}'"
+            in
+            fields []
+      | Some '[' ->
+          advance ();
+          skip_ws ();
+          if peek () = Some ']' then begin
+            advance ();
+            List []
+          end
+          else
+            let rec elements acc =
+              let v = parse_value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  advance ();
+                  elements (v :: acc)
+              | Some ']' ->
+                  advance ();
+                  List (List.rev (v :: acc))
+              | _ -> malformed !pos "expected ',' or ']'"
+            in
+            elements []
+      | Some 't' -> literal "true" (Bool true)
+      | Some 'f' -> literal "false" (Bool false)
+      | Some 'n' -> literal "null" Null
+      | Some ('-' | '0' .. '9') -> parse_number ()
+      | Some c -> malformed !pos "unexpected character '%c'" c
+    in
+    match
+      let v = parse_value () in
+      skip_ws ();
+      if !pos < n then malformed !pos "trailing garbage after document";
+      v
+    with
+    | v -> Ok v
+    | exception Malformed m -> Error m
 end
 
 let json_str fmt = Format.kasprintf (fun s -> Json.Str (oneline s)) fmt
 
-let json_of_trace h =
-  Json.List
-    (List.map (fun e -> json_str "%a" Event.pp e) (Trace.to_list h))
+(* Events, traces and symbolic sets are serialized {e structurally}, so
+   the parser below can rebuild the typed evidence exactly: an event is
+   an object of identifier names, a symbolic identifier set is its
+   finite or co-finite support, an event set is its rectangle list.
+   Event sets additionally carry a human-readable [display] rendering,
+   ignored on parse. *)
+
+let json_of_event e =
+  Json.Obj
+    ([
+       ("caller", Json.Str (Oid.name (Event.caller e)));
+       ("callee", Json.Str (Oid.name (Event.callee e)));
+       ("mth", Json.Str (Mth.name (Event.mth e)));
+     ]
+    @
+    match Event.arg e with
+    | None -> []
+    | Some v -> [ ("arg", Json.Str (Value.name v)) ])
+
+let json_of_trace h = Json.List (List.map json_of_event (Trace.to_list h))
 
 let json_of_oids os =
-  Json.List (List.map (fun o -> json_str "%a" Oid.pp o) (Oid.Set.elements os))
+  Json.List (List.map (fun o -> Json.Str (Oid.name o)) (Oid.Set.elements os))
 
-let json_of_eventset es = json_str "%a" Eventset.pp es
+let json_of_names names = Json.List (List.map (fun n -> Json.Str n) names)
+
+let json_of_oset (os : Oset.t) =
+  match os with
+  | Oset.Fin s -> Json.Obj [ ("fin", json_of_names (List.map Oid.name (Oid.Set.elements s))) ]
+  | Oset.Cofin s ->
+      Json.Obj [ ("cofin", json_of_names (List.map Oid.name (Oid.Set.elements s))) ]
+
+let json_of_mset (ms : Mset.t) =
+  match ms with
+  | Mset.Fin s -> Json.Obj [ ("fin", json_of_names (List.map Mth.name (Mth.Set.elements s))) ]
+  | Mset.Cofin s ->
+      Json.Obj [ ("cofin", json_of_names (List.map Mth.name (Mth.Set.elements s))) ]
+
+let json_of_vset (vs : Vset.t) =
+  match vs with
+  | Vset.Fin s ->
+      Json.Obj [ ("fin", json_of_names (List.map Value.name (Value.Set.elements s))) ]
+  | Vset.Cofin s ->
+      Json.Obj [ ("cofin", json_of_names (List.map Value.name (Value.Set.elements s))) ]
+
+let json_of_rect r =
+  let args = Rect.args r in
+  Json.Obj
+    [
+      ("callers", json_of_oset (Rect.callers r));
+      ("callees", json_of_oset (Rect.callees r));
+      ("mths", json_of_mset (Rect.mths r));
+      ( "args",
+        Json.Obj
+          [
+            ("none", Json.Bool (Argsel.allow_none args));
+            ("values", json_of_vset (Argsel.values args));
+          ] );
+    ]
+
+let json_of_eventset es =
+  Json.Obj
+    [
+      ("display", json_str "%a" Eventset.pp es);
+      ("rects", Json.List (List.map json_of_rect (Eventset.rects es)));
+    ]
 
 let json_of_confidence = function
   | None -> Json.Null
@@ -480,3 +795,243 @@ let to_json v =
       ("evidence", Json.List (List.map json_of_evidence v.evidence));
       ("provenance", json_of_provenance v.provenance);
     ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON parsing — the inverse of [to_json]                             *)
+(* ------------------------------------------------------------------ *)
+
+(* The parser is the missing inverse of the PR 3 serializer: it turns a
+   verdict document back into the typed value, so external tools can
+   feed verdicts back in and the persistent store can refuse any record
+   that does not round-trip.  Structured with a local exception; the
+   public entry points return a [result]. *)
+
+exception Json_error of string
+
+let jerr fmt = Format.kasprintf (fun m -> raise (Json_error m)) fmt
+
+let as_obj what = function
+  | Json.Obj fields -> fields
+  | _ -> jerr "%s: expected an object" what
+
+let as_list what = function
+  | Json.List l -> l
+  | _ -> jerr "%s: expected a list" what
+
+let as_str what = function
+  | Json.Str s -> s
+  | _ -> jerr "%s: expected a string" what
+
+let as_int what = function
+  | Json.Int i -> i
+  | _ -> jerr "%s: expected an integer" what
+
+let as_bool what = function
+  | Json.Bool b -> b
+  | _ -> jerr "%s: expected a boolean" what
+
+let as_float what = function
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> jerr "%s: expected a number" what
+
+let field what fields k =
+  match List.assoc_opt k fields with
+  | Some v -> v
+  | None -> jerr "%s: missing field %S" what k
+
+(* Identifier constructors reject the empty name; surface that as a
+   parse error, not an escaping exception. *)
+let ident what v s =
+  match v s with exception Invalid_argument m -> jerr "%s: %s" what m | x -> x
+
+let names_of_json what j =
+  List.map (fun n -> as_str what n) (as_list what j)
+
+let cset_of_json what ~fin ~cofin j =
+  match as_obj what j with
+  | [ ("fin", ns) ] -> fin (names_of_json what ns)
+  | [ ("cofin", ns) ] -> cofin (names_of_json what ns)
+  | _ -> jerr "%s: expected {\"fin\": [...]} or {\"cofin\": [...]}" what
+
+let oset_of_json what =
+  cset_of_json what
+    ~fin:(fun ns -> Oset.of_list (List.map (ident what Oid.v) ns))
+    ~cofin:(fun ns -> Oset.cofin_of_list (List.map (ident what Oid.v) ns))
+
+let mset_of_json what =
+  cset_of_json what
+    ~fin:(fun ns -> Mset.of_list (List.map (ident what Mth.v) ns))
+    ~cofin:(fun ns -> Mset.cofin_of_list (List.map (ident what Mth.v) ns))
+
+let vset_of_json what =
+  cset_of_json what
+    ~fin:(fun ns -> Vset.of_list (List.map (ident what Value.v) ns))
+    ~cofin:(fun ns -> Vset.cofin_of_list (List.map (ident what Value.v) ns))
+
+let argsel_of_json what j =
+  let fields = as_obj what j in
+  Argsel.make
+    ~allow_none:(as_bool what (field what fields "none"))
+    (vset_of_json what (field what fields "values"))
+
+let rect_of_json what j =
+  let fields = as_obj what j in
+  Rect.make
+    ~callers:(oset_of_json what (field what fields "callers"))
+    ~callees:(oset_of_json what (field what fields "callees"))
+    ~mths:(mset_of_json what (field what fields "mths"))
+    ~args:(argsel_of_json what (field what fields "args"))
+
+let eventset_of_json what j =
+  let fields = as_obj what j in
+  Eventset.of_rects
+    (List.map (rect_of_json what) (as_list what (field what fields "rects")))
+
+let event_of_json j =
+  let what = "event" in
+  let fields = as_obj what j in
+  let caller = ident what Oid.v (as_str what (field what fields "caller")) in
+  let callee = ident what Oid.v (as_str what (field what fields "callee")) in
+  let mth = ident what Mth.v (as_str what (field what fields "mth")) in
+  let arg =
+    match List.assoc_opt "arg" fields with
+    | None | Some Json.Null -> None
+    | Some v -> Some (ident what Value.v (as_str what v))
+  in
+  match Event.make ?arg ~caller ~callee mth with
+  | e -> e
+  | exception Invalid_argument m -> jerr "%s: %s" what m
+
+let trace_of_json j =
+  Trace.of_list (List.map event_of_json (as_list "trace" j))
+
+let oid_set_of_json what j =
+  Oid.Set.of_list (List.map (ident what Oid.v) (names_of_json what j))
+
+let confidence_of_json = function
+  | Json.Null -> None
+  | j -> (
+      let what = "confidence" in
+      let fields = as_obj what j in
+      match as_str what (field what fields "kind") with
+      | "exact" -> Some Exact
+      | "bounded" -> Some (Bounded (as_int what (field what fields "depth")))
+      | k -> jerr "%s: unknown kind %S" what k)
+
+let evidence_of_json j =
+  let what = "evidence" in
+  let fields = as_obj what j in
+  let f k = field what fields k in
+  let str k = as_str what (f k) in
+  match str "kind" with
+  | "trace_escape" ->
+      Trace_escape
+        { trace = trace_of_json (f "trace"); projected = trace_of_json (f "projected") }
+  | "objects_missing" -> Objects_missing (oid_set_of_json what (f "objects"))
+  | "events_missing" -> Events_missing (eventset_of_json what (f "events"))
+  | "equality_witness" ->
+      Equality_witness
+        {
+          trace = trace_of_json (f "trace");
+          side =
+            (match str "side" with
+            | "left_only" -> `Left_only
+            | "right_only" -> `Right_only
+            | s -> jerr "%s: unknown side %S" what s);
+          left = str "left";
+          right = str "right";
+        }
+  | "deadlock" -> Deadlock (trace_of_json (f "trace"))
+  | "unanswerable" ->
+      Unanswerable { obligation = str "obligation"; trace = trace_of_json (f "trace") }
+  | "not_composable" ->
+      Not_composable
+        {
+          offending = eventset_of_json what (f "offending");
+          side =
+            (match str "side" with
+            | "left_sees_right_internal" -> `Left_sees_right_internal
+            | "right_sees_left_internal" -> `Right_sees_left_internal
+            | s -> jerr "%s: unknown side %S" what s);
+        }
+  | "improper" ->
+      Improper
+        {
+          alpha0 = eventset_of_json what (f "alpha0");
+          offending = eventset_of_json what (f "offending");
+          context = str "context";
+        }
+  | "objects_differ" ->
+      Objects_differ
+        {
+          left_only = oid_set_of_json what (f "left_only");
+          right_only = oid_set_of_json what (f "right_only");
+        }
+  | "alphabets_differ" ->
+      Alphabets_differ
+        {
+          left_only = eventset_of_json what (f "left_only");
+          right_only = eventset_of_json what (f "right_only");
+        }
+  | "consistency_witness" -> Consistency_witness (trace_of_json (f "trace"))
+  | "law_violation" ->
+      Law_violation { law = str "law"; trace = trace_of_json (f "trace") }
+  | "premise_unmet" -> Premise_unmet (str "reason")
+  | "note" -> Note (str "text")
+  | k -> jerr "%s: unknown kind %S" what k
+
+let provenance_of_json j =
+  let what = "provenance" in
+  let fields = as_obj what j in
+  let opt k conv =
+    match List.assoc_opt k fields with
+    | None | Some Json.Null -> None
+    | Some v -> Some (conv v)
+  in
+  {
+    procedure =
+      opt "procedure" (fun v ->
+          match as_str what v with
+          | "symbolic" -> Symbolic
+          | "automata" -> Automata
+          | "bounded" -> Bounded_search
+          | p -> jerr "%s: unknown procedure %S" what p);
+    depth = opt "depth" (as_int what);
+    universe_digest = opt "universe_digest" (as_str what);
+    elapsed_ms =
+      (match List.assoc_opt "elapsed_ms" fields with
+      | None | Some Json.Null -> 0.
+      | Some v -> as_float what v);
+  }
+
+let of_json j =
+  match
+    let what = "verdict" in
+    let fields = as_obj what j in
+    let status =
+      match as_str what (field what fields "status") with
+      | "holds" -> Holds
+      | "refuted" -> Refuted
+      | "vacuous" -> Vacuous
+      | s -> jerr "%s: unknown status %S" what s
+    in
+    {
+      status;
+      confidence = confidence_of_json (field what fields "confidence");
+      evidence =
+        List.map evidence_of_json
+          (as_list what (field what fields "evidence"));
+      provenance =
+        (match List.assoc_opt "provenance" fields with
+        | None -> no_provenance
+        | Some p -> provenance_of_json p);
+    }
+  with
+  | v -> Ok v
+  | exception Json_error m -> Error m
+
+let of_string s =
+  match Json.of_string s with
+  | Error m -> Error m
+  | Ok j -> of_json j

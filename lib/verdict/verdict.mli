@@ -110,6 +110,13 @@ type evidence =
 
 val pp_evidence : Format.formatter -> evidence -> unit
 
+val equal_evidence : evidence -> evidence -> bool
+(** Typed, per-kind equality: traces by {!Trace.equal}, identifier sets
+    by set equality, symbolic event sets by denotation
+    ({!Posl_sets.Eventset.equal}) — so evidence rebuilt from its JSON
+    serialization compares equal to the original even when internal
+    tree shapes or rectangle lists differ. *)
+
 val evidence_traces : evidence -> Trace.t list
 (** The counterexample/witness traces the evidence carries (empty for
     set-level and textual evidence). *)
@@ -220,6 +227,14 @@ module Json : sig
 
   val to_string : t -> string
   val pp : Format.formatter -> t -> unit
+
+  val of_string : string -> (t, string) result
+  (** Parse a standard JSON document (the inverse of {!to_string}, but
+      accepting any valid JSON, not only our own output): objects,
+      arrays, strings with escapes ([\uXXXX] decoded to UTF-8,
+      surrogate pairs included), numbers (integers parse to {!Int},
+      anything with a fraction or exponent to {!Float}), booleans and
+      [null].  Errors carry the byte offset of the first problem. *)
 end
 
 val json_of_confidence : confidence option -> Json.t
@@ -229,4 +244,17 @@ val json_of_provenance : provenance -> Json.t
 val to_json : t -> Json.t
 (** The documented verdict schema:
     [{"status", "holds", "confidence", "evidence", "provenance"}] —
-    see the README's "Verdict schema" section. *)
+    see the README's "Verdict schema" section.  Evidence payloads are
+    structural (events as identifier objects, symbolic sets as their
+    rectangle lists), so {!of_json} can rebuild the typed value. *)
+
+val of_json : Json.t -> (t, string) result
+(** The inverse of {!to_json}: rebuild a typed verdict from its JSON
+    document.  [of_json (to_json v)] produces a verdict {!equal} to
+    [v] (elapsed time aside, which {!equal} ignores anyway but which
+    also survives up to the serializer's millisecond rounding).  The
+    persistent verdict store refuses any record that fails this
+    round-trip. *)
+
+val of_string : string -> (t, string) result
+(** {!Json.of_string} composed with {!of_json}. *)

@@ -151,6 +151,65 @@ let test_json_serializer () =
       "\"universe_digest\"";
     ]
 
+(* The parser half of the JSON layer: hand-written documents, error
+   positions, and the serialize∘parse = id law the persistent store
+   depends on. *)
+let test_json_parser () =
+  let ok s = match V.Json.of_string s with
+    | Ok d -> d
+    | Error e -> Alcotest.failf "%S should parse: %s" s e
+  in
+  let err s = match V.Json.of_string s with
+    | Ok _ -> Alcotest.failf "%S should not parse" s
+    | Error e -> e
+  in
+  Util.check_bool "ints and floats" true
+    (ok "[0, -7, 3.5, 2e3, -1.25e-2]"
+    = V.Json.List
+        [
+          V.Json.Int 0;
+          V.Json.Int (-7);
+          V.Json.Float 3.5;
+          V.Json.Float 2e3;
+          V.Json.Float (-1.25e-2);
+        ]);
+  Util.check_bool "nested object" true
+    (ok "{\"a\": {\"b\": [true, false, null]}}"
+    = V.Json.Obj
+        [
+          ( "a",
+            V.Json.Obj
+              [ ("b", V.Json.List [ V.Json.Bool true; V.Json.Bool false; V.Json.Null ]) ]
+          );
+        ]);
+  Util.check_bool "escapes and \\uXXXX (surrogate pair)" true
+    (ok "\"a\\\"b\\\\c\\n\\u00e9\\ud83d\\ude00\""
+    = V.Json.Str "a\"b\\c\n\xC3\xA9\xF0\x9F\x98\x80");
+  Util.check_bool "huge integer falls back to float" true
+    (match ok "123456789012345678901234567890" with
+    | V.Json.Float _ -> true
+    | _ -> false);
+  List.iter
+    (fun s ->
+      Util.check_bool
+        (Printf.sprintf "error carries a byte offset for %S" s)
+        true
+        (Util.contains_substring ~needle:"byte" (err s)))
+    [ "{"; "[1,]"; "\"unterminated"; "{\"a\" 1}"; "[1] trailing"; "nul" ]
+
+(* A production verdict — refuted, trace evidence, full provenance —
+   survives the round trip as a value. *)
+let test_job_verdict_round_trips () =
+  let v =
+    Job.run ctx ~depth (Job.refine ~refined:Ex.rw ~abstract:Ex.read2)
+  in
+  match V.of_string (V.Json.to_string (V.to_json v)) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok v' ->
+      Util.check_bool "parsed ≡ original (V.equal)" true (V.equal v v');
+      Util.check_bool "witness traces survive" true
+        (List.for_all2 Trace.equal (V.witness_traces v) (V.witness_traces v'))
+
 (* Generators for the qcheck lattice laws. *)
 let conf_gen =
   G.(
@@ -168,6 +227,137 @@ let verdict_gen =
         pure (V.refuted [ V.Note "x" ]);
         pure (V.vacuous "premise");
       ])
+
+(* Rich generators covering every evidence constructor, for the
+   serialize∘parse = id law. *)
+module Oid = Posl_ident.Oid
+module Oset = Posl_sets.Oset
+module Mset = Posl_sets.Mset
+module Vset = Posl_sets.Vset
+module Rect = Posl_sets.Rect
+module Argsel = Posl_sets.Argsel
+
+let oid_gen p = G.(map (fun i -> Oid.v (Printf.sprintf "%s%d" p i)) (int_bound 4))
+
+let event_gen =
+  (* distinct prefixes keep caller ≠ callee, which Event.make enforces *)
+  G.(
+    map
+      (fun ((caller, callee), (m, arg)) ->
+        Posl_trace.Event.make ?arg ~caller ~callee m)
+      (pair
+         (pair (oid_gen "o") (oid_gen "p"))
+         (pair
+            (map (fun i -> Posl_ident.Mth.v (Printf.sprintf "m%d" i)) (int_bound 3))
+            (opt (map (fun i -> Posl_ident.Value.v (Printf.sprintf "v%d" i)) (int_bound 3))))))
+
+let trace_gen = G.(map Trace.of_list (list_size (int_bound 4) event_gen))
+let oid_set_gen = G.(map Oid.Set.of_list (list_size (int_bound 4) (oid_gen "o")))
+
+let oset_gen =
+  G.(
+    oneof
+      [
+        map Oset.of_list (list_size (int_bound 3) (oid_gen "o"));
+        map Oset.cofin_of_list (list_size (int_bound 3) (oid_gen "o"));
+      ])
+
+let mset_gen =
+  let m i = Posl_ident.Mth.v (Printf.sprintf "m%d" i) in
+  G.(
+    oneof
+      [
+        map (fun is -> Mset.of_list (List.map m is)) (list_size (int_bound 3) (int_bound 3));
+        map (fun is -> Mset.cofin_of_list (List.map m is)) (list_size (int_bound 3) (int_bound 3));
+      ])
+
+let vset_gen =
+  let v i = Posl_ident.Value.v (Printf.sprintf "v%d" i) in
+  G.(
+    oneof
+      [
+        map (fun is -> Vset.of_list (List.map v is)) (list_size (int_bound 3) (int_bound 3));
+        map (fun is -> Vset.cofin_of_list (List.map v is)) (list_size (int_bound 3) (int_bound 3));
+      ])
+
+let rect_gen =
+  G.(
+    map
+      (fun ((callers, callees), (mths, (none, vs))) ->
+        Rect.make ~callers ~callees ~mths
+          ~args:(Argsel.make ~allow_none:none vs))
+      (pair (pair oset_gen oset_gen) (pair mset_gen (pair bool vset_gen))))
+
+let eventset_gen =
+  G.(map Eventset.of_rects (list_size (int_bound 3) rect_gen))
+
+let label_gen =
+  G.oneofl [ "a"; "premise"; "weird \"quote\"\nline"; "x\\y"; "\xE2\x9F\xA8utf8\xE2\x9F\xA9" ]
+
+let side_gen = G.oneofl [ `Left_only; `Right_only ]
+
+let evidence_gen =
+  G.(
+    oneof
+      [
+        map2
+          (fun trace projected -> V.Trace_escape { trace; projected })
+          trace_gen trace_gen;
+        map (fun s -> V.Objects_missing s) oid_set_gen;
+        map (fun e -> V.Events_missing e) eventset_gen;
+        map3
+          (fun trace side (left, right) ->
+            V.Equality_witness { trace; side; left; right })
+          trace_gen side_gen (pair label_gen label_gen);
+        map (fun t -> V.Deadlock t) trace_gen;
+        map2
+          (fun obligation trace -> V.Unanswerable { obligation; trace })
+          label_gen trace_gen;
+        map2
+          (fun offending side -> V.Not_composable { offending; side })
+          eventset_gen
+          (oneofl [ `Left_sees_right_internal; `Right_sees_left_internal ]);
+        map3
+          (fun alpha0 offending context ->
+            V.Improper { alpha0; offending; context })
+          eventset_gen eventset_gen label_gen;
+        map2
+          (fun left_only right_only -> V.Objects_differ { left_only; right_only })
+          oid_set_gen oid_set_gen;
+        map2
+          (fun left_only right_only ->
+            V.Alphabets_differ { left_only; right_only })
+          eventset_gen eventset_gen;
+        map (fun t -> V.Consistency_witness t) trace_gen;
+        map2 (fun law trace -> V.Law_violation { law; trace }) label_gen trace_gen;
+        map (fun s -> V.Premise_unmet s) label_gen;
+        map (fun s -> V.Note s) label_gen;
+      ])
+
+let provenance_gen =
+  G.(
+    map
+      (fun ((procedure, depth), (universe_digest, ms)) ->
+        {
+          V.procedure;
+          depth;
+          universe_digest;
+          elapsed_ms = float_of_int ms /. 8.;
+        })
+      (pair
+         (pair
+            (opt (oneofl [ V.Symbolic; V.Automata; V.Bounded_search ]))
+            (opt (int_bound 9)))
+         (pair (opt (oneofl [ "aabb"; "ccdd" ])) (int_bound 10000))))
+
+let rich_verdict_gen =
+  G.(
+    map
+      (fun ((status, confidence), (evidence, provenance)) ->
+        { V.status; confidence; evidence; provenance })
+      (pair
+         (pair (oneofl [ V.Holds; V.Refuted; V.Vacuous ]) (opt conf_gen))
+         (pair (list_size (int_bound 4) evidence_gen) provenance_gen)))
 
 let qsuite =
   [
@@ -190,6 +380,21 @@ let qsuite =
       (fun (a, b) -> V.equal (V.both a b) (V.all [ a; b ]));
     Util.qtest ~count:50 "equal is reflexive" verdict_gen (fun v ->
         V.equal v v);
+    Util.qtest ~count:300 "serialize∘parse = id over all evidence kinds"
+      rich_verdict_gen
+      (fun v ->
+        match V.of_string (V.Json.to_string (V.to_json v)) with
+        | Ok v' -> V.equal v v'
+        | Error e -> QCheck2.Test.fail_reportf "did not round-trip: %s" e);
+    Util.qtest ~count:300 "Json parse of serialized docs is exact"
+      rich_verdict_gen
+      (fun v ->
+        (* one more lap: serializing the parsed document reproduces the
+           byte string, so the parser loses nothing the printer keeps *)
+        let s = V.Json.to_string (V.to_json v) in
+        match V.Json.of_string s with
+        | Ok d -> String.equal s (V.Json.to_string d)
+        | Error e -> QCheck2.Test.fail_reportf "unparseable: %s" e);
   ]
 
 let suite =
@@ -207,5 +412,8 @@ let suite =
     Alcotest.test_case "equal ignores elapsed time" `Quick
       test_equal_ignores_elapsed;
     Alcotest.test_case "JSON serializer" `Quick test_json_serializer;
+    Alcotest.test_case "JSON parser" `Quick test_json_parser;
+    Alcotest.test_case "job verdict round-trips through JSON" `Quick
+      test_job_verdict_round_trips;
   ]
   @ qsuite
