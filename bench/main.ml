@@ -37,6 +37,44 @@ module Job = Posl_engine.Job
 module Vcache = Posl_engine.Cache
 module Edigest = Posl_engine.Digest
 module Store = Posl_store.Store
+module Telemetry = Posl_telemetry.Telemetry
+module Json = Posl_verdict.Verdict.Json
+
+(* Machine-readable campaign trajectories: every performance campaign
+   (P1..P6) also lands as one BENCH_<name>.json under [--out DIR]
+   (default [_build/bench]) so CI and plotting scripts never have to
+   scrape the tables — and nothing is ever written to the repo root. *)
+let out_dir =
+  let dir = ref (Filename.concat "_build" "bench") in
+  Array.iteri
+    (fun i a ->
+      if a = "--out" && i + 1 < Array.length Sys.argv then
+        dir := Sys.argv.(i + 1))
+    Sys.argv;
+  !dir
+
+let rec mkdir_p d =
+  if d <> "" && d <> "." && d <> "/" && not (Sys.file_exists d) then begin
+    mkdir_p (Filename.dirname d);
+    try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let write_campaign ~name ~title rows =
+  mkdir_p out_dir;
+  let path = Filename.concat out_dir (Printf.sprintf "BENCH_%s.json" name) in
+  let doc =
+    Json.Obj
+      [
+        ("campaign", Json.Str name);
+        ("title", Json.Str title);
+        ("rows", Json.List rows);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "  [json -> %s]@." path
 
 let universe = Spec.adequate_universe Ex.all_specs
 let ctx = Tset.ctx universe
@@ -569,6 +607,7 @@ let p1 () =
     Report.create
       [ "depth"; "reachable states"; "serial ms"; "4-domain ms"; "verdict" ]
   in
+  let jrows = ref [] in
   List.iter
     (fun d ->
       let states =
@@ -581,16 +620,30 @@ let p1 () =
       in
       let v1, ms1 = wall (run 1) in
       let _v4, ms4 = wall (run 4) in
+      let verdict = pp_str (Bmc.pp_verdict Trace.pp) v1 in
       Report.add_row t
         [
           string_of_int d;
           string_of_int states;
           Printf.sprintf "%.1f" ms1;
           Printf.sprintf "%.1f" ms4;
-          pp_str (Bmc.pp_verdict Trace.pp) v1;
-        ])
+          verdict;
+        ];
+      jrows :=
+        Json.Obj
+          [
+            ("depth", Json.Int d);
+            ("reachable_states", Json.Int states);
+            ("serial_ms", Json.Float ms1);
+            ("four_domain_ms", Json.Float ms4);
+            ("verdict", Json.Str verdict);
+          ]
+        :: !jrows)
     [ 2; 3; 4; 5; 6 ];
-  Report.print t
+  Report.print t;
+  write_campaign ~name:"P1"
+    ~title:"state-space exploration scaling (RW <= Write, bounded)"
+    (List.rev !jrows)
 
 (* P2 — automata pipeline scaling: regex → NFA → DFA → minimise, with
    growing environment (alphabet) size. *)
@@ -600,6 +653,7 @@ let p2 () =
     Report.create
       [ "env objects"; "alphabet"; "nfa states"; "dfa states"; "min states"; "ms" ]
   in
+  let jrows = ref [] in
   List.iter
     (fun n_env ->
       let extra =
@@ -629,9 +683,23 @@ let p2 () =
           string_of_int (Posl_automata.Dfa.n_states dfa);
           string_of_int (Posl_automata.Dfa.n_states mini);
           Printf.sprintf "%.2f" ms;
-        ])
+        ];
+      jrows :=
+        Json.Obj
+          [
+            ("env_objects", Json.Int n_env);
+            ("alphabet", Json.Int (Array.length events));
+            ("nfa_states", Json.Int (Posl_automata.Nfa.n_states nfa));
+            ("dfa_states", Json.Int (Posl_automata.Dfa.n_states dfa));
+            ("min_states", Json.Int (Posl_automata.Dfa.n_states mini));
+            ("ms", Json.Float ms);
+          ]
+        :: !jrows)
     [ 1; 2; 3; 4; 6; 8 ];
-  Report.print t
+  Report.print t;
+  write_campaign ~name:"P2"
+    ~title:"automata pipeline scaling (Write spec, growing universe)"
+    (List.rev !jrows)
 
 (* P3 — symbolic set algebra scaling: decision procedures on rectangle
    unions of growing width. *)
@@ -641,6 +709,7 @@ let p3 () =
   let t =
     Report.create [ "width"; "union ms"; "inter ms"; "diff ms"; "subset ms" ]
   in
+  let jrows = ref [] in
   List.iter
     (fun w ->
       let sets =
@@ -657,18 +726,34 @@ let p3 () =
           wall (fun () ->
               List.iter (fun (a, b) -> ignore (f a b)) pairs)
         in
-        Printf.sprintf "%.3f" (ms /. float_of_int (max 1 (List.length pairs)))
+        ms /. float_of_int (max 1 (List.length pairs))
       in
+      let union_ms = timed Eventset.union in
+      let inter_ms = timed Eventset.inter in
+      let diff_ms = timed (fun a b -> Eventset.diff a b) in
+      let subset_ms = timed (fun a b -> Eventset.subset a b) in
       Report.add_row t
         [
           string_of_int w;
-          timed Eventset.union;
-          timed Eventset.inter;
-          timed (fun a b -> Eventset.diff a b);
-          timed (fun a b -> Eventset.subset a b);
-        ])
+          Printf.sprintf "%.3f" union_ms;
+          Printf.sprintf "%.3f" inter_ms;
+          Printf.sprintf "%.3f" diff_ms;
+          Printf.sprintf "%.3f" subset_ms;
+        ];
+      jrows :=
+        Json.Obj
+          [
+            ("width", Json.Int w);
+            ("union_ms", Json.Float union_ms);
+            ("inter_ms", Json.Float inter_ms);
+            ("diff_ms", Json.Float diff_ms);
+            ("subset_ms", Json.Float subset_ms);
+          ]
+        :: !jrows)
     [ 2; 4; 8; 16 ];
-  Report.print t
+  Report.print t;
+  write_campaign ~name:"P3" ~title:"symbolic event-set algebra scaling"
+    (List.rev !jrows)
 
 (* P4 — engine batch throughput: every ordered refinement pair over the
    paper cast, scheduled across 1/2/4 domains, cold cache then warm
@@ -704,6 +789,7 @@ let p4 () =
         "util %";
       ]
   in
+  let jrows = ref [] in
   List.iter
     (fun domains ->
       (* fresh verdict cache AND fresh DFA registry per domain count:
@@ -727,12 +813,30 @@ let p4 () =
             string_of_int stats.Engine.dfa_cache_hits;
             Printf.sprintf "%.1f" stats.Engine.busy_ms;
             Printf.sprintf "%.0f" (100. *. stats.Engine.utilization);
-          ]
+          ];
+        jrows :=
+          Json.Obj
+            [
+              ("domains", Json.Int domains);
+              ("cache", Json.Str label);
+              ("jobs", Json.Int stats.Engine.jobs);
+              ("wall_ms", Json.Float stats.Engine.wall_ms);
+              ("cache_hits", Json.Int stats.Engine.cache_hits);
+              ("dfa_compiles", Json.Int stats.Engine.dfa_compiles);
+              ("dfa_cache_hits", Json.Int stats.Engine.dfa_cache_hits);
+              ("busy_ms", Json.Float stats.Engine.busy_ms);
+              ("utilization", Json.Float stats.Engine.utilization);
+            ]
+          :: !jrows
       in
       pass "cold";
       pass "warm")
     [ 1; 2; 4; 8 ];
-  Report.print t
+  Report.print t;
+  write_campaign ~name:"P4"
+    ~title:
+      "engine batch throughput (shared DFA cache, cold vs warm, domains 1-8)"
+    (List.rev !jrows)
 
 (* P5 — the persistent verdict store across process lifetimes: the same
    paper-corpus batch cold (empty store, computes and write-behinds),
@@ -764,6 +868,7 @@ let p5 () =
         "store writes";
       ]
   in
+  let jrows = ref [] in
   let pass label ~cache store =
     let _, (stats : Engine.stats) =
       Engine.run_batch ~domains:1 ~cache ~store batch
@@ -777,7 +882,19 @@ let p5 () =
         string_of_int stats.Engine.cache_hits;
         string_of_int stats.Engine.store_hits;
         string_of_int stats.Engine.store_writes;
-      ]
+      ];
+    jrows :=
+      Json.Obj
+        [
+          ("pass", Json.Str label);
+          ("jobs", Json.Int stats.Engine.jobs);
+          ("wall_ms", Json.Float stats.Engine.wall_ms);
+          ("computed", Json.Int stats.Engine.cache_misses);
+          ("cache_hits", Json.Int stats.Engine.cache_hits);
+          ("store_hits", Json.Int stats.Engine.store_hits);
+          ("store_writes", Json.Int stats.Engine.store_writes);
+        ]
+      :: !jrows
   in
   let cache = Vcache.create () in
   let s = Store.open_ dir in
@@ -789,11 +906,69 @@ let p5 () =
   pass "warm across-process" ~cache:(Vcache.create ()) s;
   Store.close s;
   Report.print t;
+  write_campaign ~name:"P5"
+    ~title:
+      "persistent verdict store (cold vs warm-in-process vs \
+       warm-across-process)"
+    (List.rev !jrows);
   (try
      Sys.remove (Store.log_path dir);
      Sys.remove (Filename.concat dir "lock");
      Unix.rmdir dir
    with Sys_error _ | Unix.Unix_error _ -> ())
+
+(* P6 — where the time actually goes: the span-level decomposition of
+   one cold engine batch.  Telemetry is switched on for the batch only;
+   the table aggregates the resulting trace by span name.  This is the
+   observability counterpart of P4's wall-clock row: the same run,
+   broken down by subsystem instead of summed. *)
+let p6 () =
+  Report.section "P6: span-level time decomposition (cold batch, 1 domain)";
+  let batch = engine_batch ~depth:4 in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let cache = Vcache.create () in
+  let _ = Engine.run_batch ~domains:1 ~cache batch in
+  Telemetry.set_enabled false;
+  let spans = Telemetry.spans () in
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      let c, tot =
+        Option.value (Hashtbl.find_opt tbl s.Telemetry.name) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl s.Telemetry.name (c + 1, tot + s.Telemetry.dur_ns))
+    spans;
+  let rows =
+    Hashtbl.fold (fun name (c, tot) acc -> (name, c, tot) :: acc) tbl []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+  in
+  let t = Report.create [ "span"; "count"; "total ms"; "mean ms" ] in
+  let jrows =
+    List.map
+      (fun (name, c, tot) ->
+        let total_ms = float_of_int tot /. 1e6 in
+        let mean_ms = total_ms /. float_of_int (max 1 c) in
+        Report.add_row t
+          [
+            name;
+            string_of_int c;
+            Printf.sprintf "%.1f" total_ms;
+            Printf.sprintf "%.3f" mean_ms;
+          ];
+        Json.Obj
+          [
+            ("span", Json.Str name);
+            ("count", Json.Int c);
+            ("total_ms", Json.Float total_ms);
+            ("mean_ms", Json.Float mean_ms);
+          ])
+      rows
+  in
+  Report.print t;
+  Telemetry.reset ();
+  write_campaign ~name:"P6"
+    ~title:"span-level time decomposition (cold batch, 1 domain)" jrows
 
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
@@ -925,5 +1100,6 @@ let () =
   p3 ();
   p4 ();
   p5 ();
+  p6 ();
   run_bechamel ();
   Format.printf "@.done.@."

@@ -34,6 +34,8 @@ module Report = Posl_report.Report
 module Verdict = Posl_verdict.Verdict
 module Json = Posl_verdict.Verdict.Json
 module Store = Posl_store.Store
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
 
 let exit_verdict = 1
 let exit_input = 2
@@ -112,6 +114,57 @@ let with_store dir f =
   | exception Store.Error m -> Error (Input m)
   | s -> Fun.protect ~finally:(fun () -> Store.close s) (fun () -> f s)
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record telemetry spans for this run and write them to $(docv) as \
+           Chrome trace_event JSON, loadable in Perfetto or chrome://tracing.")
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Write the Prometheus-style metrics exposition of this process to \
+           $(docv) after the run.")
+
+(* Enable span recording when --trace was given, run [f], then write
+   the requested telemetry artifacts.  Artifacts are written even when
+   the run fails its verdict — the trace of a failing run is the
+   interesting one — and a write failure is an input error that
+   supersedes the verdict failure. *)
+let with_observability ~trace ~metrics f =
+  if trace <> None then begin
+    Telemetry.reset ();
+    Telemetry.set_enabled true
+  end;
+  let result = f () in
+  Telemetry.set_enabled false;
+  let write path content =
+    try
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc content);
+      Ok ()
+    with Sys_error m -> Error (Input m)
+  in
+  let* () =
+    match trace with
+    | None -> Ok ()
+    | Some path -> write path (Telemetry.trace_json () ^ "\n")
+  in
+  let* () =
+    match metrics with
+    | None -> Ok ()
+    | Some path -> write path (Metrics.expose ())
+  in
+  result
+
 (* The single-query JSON document: the same verdict schema the batch
    --json file uses per result (see the README's "Verdict schema"). *)
 let json_of_query ~depth query verdict =
@@ -129,7 +182,7 @@ let json_of_query ~depth query verdict =
    answers agree by construction: with [--store] the job goes through
    [Engine.run_batch] itself (one request, one domain) so the store
    consult/write-behind path is literally the batch one. *)
-let run_query file names depth extra json store_dir make_query =
+let run_query file names depth extra json store_dir trace metrics make_query =
   code
     (let* specs = load file in
      let* resolved =
@@ -141,6 +194,7 @@ let run_query file names depth extra json store_dir make_query =
          (Ok []) names
      in
      let query = make_query (List.rev resolved) in
+     with_observability ~trace ~metrics @@ fun () ->
      let* verdict =
        match store_dir with
        | None -> Ok (Job.run (context specs extra) ~depth query)
@@ -196,32 +250,35 @@ let show_cmd =
 
 (* refine *)
 let refine_cmd =
-  let run file refined abstract depth extra json store =
-    run_query file [ refined; abstract ] depth extra json store
+  let run file refined abstract depth extra json store trace metrics =
+    run_query file [ refined; abstract ] depth extra json store trace metrics
       (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
   in
   Cmd.v
     (Cmd.info "refine" ~doc:"Decide whether the first spec refines the second (Def. 2).")
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
-      $ depth_arg $ extra_objects_arg $ query_json_arg $ store_arg)
+      $ depth_arg $ extra_objects_arg $ query_json_arg $ store_arg $ trace_arg
+      $ metrics_arg)
 
 (* compose *)
 let compose_cmd =
-  let run file left right depth extra json store =
-    run_query file [ left; right ] depth extra json store
+  let run file left right depth extra json store trace metrics =
+    run_query file [ left; right ] depth extra json store trace metrics
       (spec2 (fun left right -> Job.compose ~left ~right))
   in
   Cmd.v
     (Cmd.info "compose" ~doc:"Check composability (Def. 10) and display the composition (Def. 11).")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg $ store_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg $ trace_arg
+      $ metrics_arg)
 
 (* proper *)
 let proper_cmd =
-  let run file refined abstract ctx_name depth extra json store =
-    run_query file [ refined; abstract; ctx_name ] depth extra json store
+  let run file refined abstract ctx_name depth extra json store trace metrics =
+    run_query file [ refined; abstract; ctx_name ] depth extra json store trace
+      metrics
       (spec3 (fun refined abstract context ->
            Job.proper ~refined ~abstract ~context))
   in
@@ -230,31 +287,33 @@ let proper_cmd =
     Term.(
       const run $ file_arg $ name_arg 1 "REFINED" $ name_arg 2 "ABSTRACT"
       $ name_arg 3 "CONTEXT" $ depth_arg $ extra_objects_arg
-      $ query_json_arg $ store_arg)
+      $ query_json_arg $ store_arg $ trace_arg $ metrics_arg)
 
 (* deadlock *)
 let deadlock_cmd =
-  let run file left right depth extra json store =
-    run_query file [ left; right ] depth extra json store
+  let run file left right depth extra json store trace metrics =
+    run_query file [ left; right ] depth extra json store trace metrics
       (spec2 (fun left right -> Job.deadlock ~left ~right))
   in
   Cmd.v
     (Cmd.info "deadlock" ~doc:"Search the composition of two specs for deadlocks.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg $ store_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg $ trace_arg
+      $ metrics_arg)
 
 (* equal *)
 let equal_cmd =
-  let run file left right depth extra json store =
-    run_query file [ left; right ] depth extra json store
+  let run file left right depth extra json store trace metrics =
+    run_query file [ left; right ] depth extra json store trace metrics
       (spec2 (fun left right -> Job.equal ~left ~right))
   in
   Cmd.v
     (Cmd.info "equal" ~doc:"Decide trace-set equality of two specs over the sampled universe.")
     Term.(
       const run $ file_arg $ name_arg 1 "LEFT" $ name_arg 2 "RIGHT" $ depth_arg
-      $ extra_objects_arg $ query_json_arg $ store_arg)
+      $ extra_objects_arg $ query_json_arg $ store_arg $ trace_arg
+      $ metrics_arg)
 
 (* run: evaluate the assert statements of a file *)
 let run_cmd =
@@ -512,27 +571,42 @@ let json_of_result (r : Engine.result) =
       ("from_store", Json.Bool r.Engine.from_store);
       ("cacheable", Json.Bool (r.Engine.digest <> None));
       ("ms", Json.Float r.Engine.ms);
+      ( "span_id",
+        match r.Engine.span_id with
+        | Some id -> Json.Int id
+        | None -> Json.Null );
       ("verdict", Verdict.to_json r.Engine.verdict);
     ]
 
+let manifest_arg =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
+       ~doc:"Query manifest ('use FILE', then one query per line).")
+
+let domains_arg =
+  Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N"
+       ~doc:"Worker domains (default: POSL_DOMAINS or the machine's).")
+
 let batch_cmd =
-  let manifest_arg =
-    Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
-         ~doc:"Query manifest ('use FILE', then one query per line).")
-  in
-  let domains_arg =
-    Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N"
-         ~doc:"Worker domains (default: POSL_DOMAINS or the machine's).")
-  in
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
          ~doc:"Write the full machine-readable result list to this file.")
   in
-  let run manifest depth extra domains json_path store_dir =
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "slow-ms" ] ~docv:"N"
+          ~doc:
+            "After the table, log every query that took at least $(docv) \
+             milliseconds, with its telemetry span id when tracing.")
+  in
+  let run manifest depth extra domains json_path store_dir trace metrics
+      slow_ms =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        if requests = [] then Error (Input (manifest ^ ": no queries"))
        else begin
+         with_observability ~trace ~metrics @@ fun () ->
          let* results, stats =
            match store_dir with
            | None -> Ok (Engine.run_batch ?domains requests)
@@ -557,6 +631,28 @@ let batch_cmd =
                ])
            results;
          Report.print table;
+         (match slow_ms with
+         | None -> ()
+         | Some thresh ->
+             let slow =
+               List.filter
+                 (fun (r : Engine.result) ->
+                   r.Engine.ms >= float_of_int thresh)
+                 results
+               |> List.sort (fun (a : Engine.result) (b : Engine.result) ->
+                      compare b.Engine.ms a.Engine.ms)
+             in
+             if slow <> [] then begin
+               Format.printf "@.slow queries (>= %d ms):@." thresh;
+               List.iter
+                 (fun (r : Engine.result) ->
+                   Format.printf "  %8.1f ms  %s%s@." r.Engine.ms
+                     r.Engine.request.Engine.label
+                     (match r.Engine.span_id with
+                     | Some id -> Printf.sprintf "  [span %d]" id
+                     | None -> ""))
+                 slow
+             end);
          let failed =
            List.length
              (List.filter
@@ -602,7 +698,38 @@ let batch_cmd =
        ~doc:"Answer a manifest of queries with the parallel batch engine.")
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
-      $ json_arg $ store_arg)
+      $ json_arg $ store_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+
+(* metrics: run a manifest and print the Prometheus exposition.  The
+   exit code only reflects input errors — the point of this subcommand
+   is the measurement, and failing verdicts are visible in
+   posl_engine_* counters anyway. *)
+let metrics_cmd =
+  let run manifest depth extra domains store_dir =
+    code
+      (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
+       if requests = [] then Error (Input (manifest ^ ": no queries"))
+       else
+         let* _ =
+           match store_dir with
+           | None -> Ok (Engine.run_batch ?domains requests)
+           | Some dir ->
+               with_store dir (fun s ->
+                   Ok (Engine.run_batch ?domains ~store:s requests))
+         in
+         print_string (Metrics.expose ());
+         Ok ())
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Answer a manifest of queries and print the Prometheus-style text \
+          exposition of the process metrics registry (counters, gauges, \
+          latency histograms) to stdout.  Exits non-zero only on input \
+          errors.")
+    Term.(
+      const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
+      $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store: maintenance of the persistent verdict store                  *)
@@ -675,9 +802,10 @@ let store_gc_cmd =
       & info [ "manifest" ] ~docv:"MANIFEST"
           ~doc:"Keep only records reachable from this manifest's queries.")
   in
-  let run dir manifest depth extra =
+  let run dir manifest depth extra trace metrics =
     code
-      (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
+      (with_observability ~trace ~metrics @@ fun () ->
+       let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        (* The store is keyed by the depth-independent digest, so the
           keep-set is the manifest's base digests. *)
        let keep_tbl = Hashtbl.create 64 in
@@ -711,7 +839,7 @@ let store_gc_cmd =
           and records not referenced by the given manifest.")
     Term.(
       const run $ store_dir_arg $ manifest_opt_arg $ depth_arg
-      $ extra_objects_arg)
+      $ extra_objects_arg $ trace_arg $ metrics_arg)
 
 let store_cmd =
   Cmd.group
@@ -792,6 +920,7 @@ let main_cmd =
       simulate_cmd;
       consistent_cmd;
       batch_cmd;
+      metrics_cmd;
       store_cmd;
       json_cmd;
     ]

@@ -23,6 +23,7 @@ module Event = Posl_trace.Event
 module Trace = Posl_trace.Trace
 module Eventset = Posl_sets.Eventset
 module Verdict = Posl_verdict.Verdict
+module Telemetry = Posl_telemetry.Telemetry
 
 type confidence = Verdict.confidence = Exact | Bounded of int
 
@@ -56,29 +57,47 @@ module Explore = struct
       if frontier = [] then Ok true
       else if d >= depth then Ok false
       else begin
-        (* Dynamic scheduling: successor fan-out varies widely between
-           frontier states (dead states are cheap, product closures are
-           not), which starves static partitions. *)
-        let expanded = Posl_par.Par.map_dyn ?domains expand frontier in
-        let result = ref None in
-        let next = ref [] in
-        List.iter
-          (fun outcome ->
-            match (outcome, !result) with
-            | _, Some _ -> ()
-            | Done r, None -> result := Some r
-            | Continue succs, None ->
-                List.iter
-                  (fun (k, h) ->
-                    if not (is_visited k) then begin
-                      add_visited k;
-                      next := (k, h) :: !next
-                    end)
-                  succs)
-          expanded;
-        match !result with
-        | Some r -> Error r
-        | None -> level (d + 1) (List.rev !next)
+        (* Each level gets its own telemetry span (closed before the
+           recursive call, so levels are siblings, not a nested chain)
+           with the frontier and successor sizes as attributes. *)
+        let outcome =
+          Telemetry.with_span "bmc.level" @@ fun () ->
+          if Telemetry.enabled () then
+            Telemetry.set_attrs
+              [ ("level", string_of_int d);
+                ("frontier", string_of_int (List.length frontier)) ];
+          (* Dynamic scheduling: successor fan-out varies widely between
+             frontier states (dead states are cheap, product closures
+             are not), which starves static partitions. *)
+          let expanded = Posl_par.Par.map_dyn ?domains expand frontier in
+          let result = ref None in
+          let next = ref [] in
+          List.iter
+            (fun outcome ->
+              match (outcome, !result) with
+              | _, Some _ -> ()
+              | Done r, None -> result := Some r
+              | Continue succs, None ->
+                  List.iter
+                    (fun (k, h) ->
+                      if not (is_visited k) then begin
+                        add_visited k;
+                        next := (k, h) :: !next
+                      end)
+                    succs)
+            expanded;
+          match !result with
+          | Some r -> `Found r
+          | None ->
+              let next = List.rev !next in
+              if Telemetry.enabled () then
+                Telemetry.set_attrs
+                  [ ("next", string_of_int (List.length next)) ];
+              `Next next
+        in
+        match outcome with
+        | `Found r -> Error r
+        | `Next next -> level (d + 1) next
       end
     in
     level 0 init
@@ -93,6 +112,10 @@ end
 
 (* h refutes [lhs ⊆ rhs ∘ proj] iff h ∈ lhs and h/proj ∉ rhs. *)
 let certify_inclusion ctx ~lhs ~proj ~rhs h =
+  Telemetry.with_span "verdict.certify"
+    ~attrs:
+      [ ("kind", "inclusion"); ("witness_len", string_of_int (Trace.length h)) ]
+  @@ fun () ->
   if not (Tset.mem_naive ctx lhs h) then
     Verdict.uncertified
       "inclusion counterexample %a is not a trace of the refined side"
@@ -107,6 +130,10 @@ let certify_inclusion ctx ~lhs ~proj ~rhs h =
    the degenerate empty trace set) and no event of the alphabet extends
    it inside t. *)
 let certify_deadlock ctx ~alphabet t h =
+  Telemetry.with_span "verdict.certify"
+    ~attrs:
+      [ ("kind", "deadlock"); ("witness_len", string_of_int (Trace.length h)) ]
+  @@ fun () ->
   if not (Trace.is_empty h || Tset.mem_naive ctx t h) then
     Verdict.uncertified "deadlock witness %a is not a trace of the spec"
       Trace.pp h;

@@ -68,6 +68,7 @@ let evidence_of_failure (f : composability_failure) =
     { offending = f.offending; side = f.side }
 
 let check_composable g d =
+  Posl_telemetry.Telemetry.with_span "compose.check" @@ fun () ->
   let i_g = Internal.of_set (Spec.objs g) in
   let i_d = Internal.of_set (Spec.objs d) in
   let left = Eventset.inter (Spec.alpha g) i_d in

@@ -96,6 +96,9 @@ type strategy = Auto | Automata_only | Bounded_only
     by automata or bounded exploration). *)
 let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
     (gamma : Spec.t) : result * Verdict.procedure =
+  Posl_telemetry.Telemetry.with_span "refine.check"
+    ~attrs:[ ("depth", string_of_int depth) ]
+  @@ fun () ->
   let missing_objs = Oid.Set.diff (Spec.objs gamma) (Spec.objs gamma') in
   if not (Oid.Set.is_empty missing_objs) then
     (Error (Objects_missing missing_objs), Verdict.Symbolic)
@@ -114,6 +117,9 @@ let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
          counterexamples are replayed through the reference semantics
          just like the exploration's (which certifies internally). *)
       let certify h =
+        Posl_telemetry.Telemetry.with_span "verdict.certify"
+          ~attrs:[ ("kind", "automata-inclusion") ]
+        @@ fun () ->
         if
           Tset.mem_naive ctx lhs h
           && not (Tset.mem_naive ctx rhs (Eventset.restrict_trace proj h))

@@ -56,6 +56,9 @@ let filter_law s1 s2 h =
     T(RW2‖Client) = T(WriteAcc‖Client) although the composed alphabets
     differ — the extra events of the refined constituent never occur. *)
 let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
+  Posl_telemetry.Telemetry.with_span "theory.tset-equal"
+    ~attrs:[ ("depth", string_of_int depth) ]
+  @@ fun () ->
   let u = Tset.universe ctx in
   let alphabet =
     Array.of_list
@@ -70,11 +73,15 @@ let tset_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
       | `Left_only -> (Spec.tset a, Spec.tset b)
       | `Right_only -> (Spec.tset b, Spec.tset a)
     in
-    if not (Tset.mem_naive ctx inside h) || Tset.mem_naive ctx outside h then
-      Verdict.uncertified
-        "equality counterexample %a is not one-sided under the reference \
-         semantics"
-        Trace.pp h;
+    Posl_telemetry.Telemetry.with_span "verdict.certify"
+      ~attrs:[ ("kind", "equality") ]
+      (fun () ->
+        if not (Tset.mem_naive ctx inside h) || Tset.mem_naive ctx outside h
+        then
+          Verdict.uncertified
+            "equality counterexample %a is not one-sided under the reference \
+             semantics"
+            Trace.pp h);
     Verdict.refuted
       [
         Verdict.Equality_witness

@@ -1,50 +1,104 @@
-(** Lightweight engine statistics over [Atomic] counters.  Workers on
-    any domain may bump them concurrently; snapshots are taken after
-    join, so they are exact. *)
+(* Per-batch engine statistics as a delta view over the process-wide
+   [Posl_telemetry.Metrics] registry.
 
-type t = {
-  jobs : int Atomic.t;
-  hits : int Atomic.t;
-  misses : int Atomic.t;
-  uncacheable : int Atomic.t;
-  store_hits : int Atomic.t;
-  store_misses : int Atomic.t;
-  store_writes : int Atomic.t;
-  busy_ns : int Atomic.t;
-  dfa_hits : int Atomic.t;
-  dfa_compiles : int Atomic.t;
-  dfa_contended : int Atomic.t;
+   Every increment lands in a global cumulative counter (exposed via
+   [posl-check metrics] / [--metrics]); a [Counters.t] merely remembers
+   the registry values at [create] time and [snapshot] reports the
+   difference.  Batches that do not overlap in time therefore see exact
+   per-batch numbers, while the registry keeps exact process totals
+   even when they do. *)
+
+module Metrics = Posl_telemetry.Metrics
+
+let jobs_c =
+  Metrics.counter ~help:"Jobs answered by Engine.run_batch (cached or computed)"
+    "posl_engine_jobs_total"
+
+let hits_c =
+  Metrics.counter ~help:"Verdicts served from the in-memory cache"
+    "posl_engine_cache_hits_total"
+
+let misses_c =
+  Metrics.counter ~help:"Verdicts computed and inserted into the cache"
+    "posl_engine_cache_misses_total"
+
+let uncacheable_c =
+  Metrics.counter ~help:"Jobs with no content address (opaque tsets)"
+    "posl_engine_uncacheable_total"
+
+let store_hits_c =
+  Metrics.counter ~help:"Verdicts served from the persistent store"
+    "posl_engine_store_hits_total"
+
+let store_misses_c =
+  Metrics.counter ~help:"Persistent-store lookups that had to compute"
+    "posl_engine_store_misses_total"
+
+let store_writes_c =
+  Metrics.counter ~help:"Records appended to the persistent store"
+    "posl_engine_store_writes_total"
+
+let busy_ns_c =
+  Metrics.counter ~help:"Summed per-job wall time, nanoseconds"
+    "posl_engine_busy_ns_total"
+
+let dfa_hits_c =
+  Metrics.counter ~help:"Compiled automata served from the shared DFA cache"
+    "posl_engine_dfa_cache_hits_total"
+
+let dfa_compiles_c =
+  Metrics.counter ~help:"PRS expressions compiled to DFAs"
+    "posl_engine_dfa_compiles_total"
+
+let dfa_contended_c =
+  Metrics.counter ~help:"Contended stripe-lock acquisitions in the DFA cache"
+    "posl_engine_dfa_contended_total"
+
+type totals = {
+  t_jobs : int;
+  t_hits : int;
+  t_misses : int;
+  t_uncacheable : int;
+  t_store_hits : int;
+  t_store_misses : int;
+  t_store_writes : int;
+  t_busy_ns : int;
+  t_dfa_hits : int;
+  t_dfa_compiles : int;
+  t_dfa_contended : int;
 }
 
-let create () =
+let read_totals () =
   {
-    jobs = Atomic.make 0;
-    hits = Atomic.make 0;
-    misses = Atomic.make 0;
-    uncacheable = Atomic.make 0;
-    store_hits = Atomic.make 0;
-    store_misses = Atomic.make 0;
-    store_writes = Atomic.make 0;
-    busy_ns = Atomic.make 0;
-    dfa_hits = Atomic.make 0;
-    dfa_compiles = Atomic.make 0;
-    dfa_contended = Atomic.make 0;
+    t_jobs = Metrics.value jobs_c;
+    t_hits = Metrics.value hits_c;
+    t_misses = Metrics.value misses_c;
+    t_uncacheable = Metrics.value uncacheable_c;
+    t_store_hits = Metrics.value store_hits_c;
+    t_store_misses = Metrics.value store_misses_c;
+    t_store_writes = Metrics.value store_writes_c;
+    t_busy_ns = Metrics.value busy_ns_c;
+    t_dfa_hits = Metrics.value dfa_hits_c;
+    t_dfa_compiles = Metrics.value dfa_compiles_c;
+    t_dfa_contended = Metrics.value dfa_contended_c;
   }
 
-let incr_jobs t = Atomic.incr t.jobs
-let incr_hits t = Atomic.incr t.hits
-let incr_misses t = Atomic.incr t.misses
-let incr_uncacheable t = Atomic.incr t.uncacheable
-let incr_store_hits t = Atomic.incr t.store_hits
-let incr_store_misses t = Atomic.incr t.store_misses
-let incr_store_writes t = Atomic.incr t.store_writes
+type t = { base : totals }
 
-let add_busy_ns t ns = ignore (Atomic.fetch_and_add t.busy_ns ns)
+let create () = { base = read_totals () }
+let incr_jobs (_ : t) = Metrics.incr jobs_c
+let incr_hits (_ : t) = Metrics.incr hits_c
+let incr_misses (_ : t) = Metrics.incr misses_c
+let incr_uncacheable (_ : t) = Metrics.incr uncacheable_c
+let incr_store_hits (_ : t) = Metrics.incr store_hits_c
+let incr_store_misses (_ : t) = Metrics.incr store_misses_c
+let incr_store_writes (_ : t) = Metrics.incr store_writes_c
+let add_busy_ns (_ : t) ns = Metrics.add busy_ns_c ns
 
-let add_dfa t ~hits ~compiles ~contended =
-  ignore (Atomic.fetch_and_add t.dfa_hits hits);
-  ignore (Atomic.fetch_and_add t.dfa_compiles compiles);
-  ignore (Atomic.fetch_and_add t.dfa_contended contended)
+let add_dfa (_ : t) ~hits ~compiles ~contended =
+  Metrics.add dfa_hits_c hits;
+  Metrics.add dfa_compiles_c compiles;
+  Metrics.add dfa_contended_c contended
 
 type snapshot = {
   jobs : int;
@@ -61,18 +115,20 @@ type snapshot = {
 }
 
 let snapshot (c : t) : snapshot =
+  let now = read_totals () in
+  let b = c.base in
   {
-    jobs = Atomic.get c.jobs;
-    hits = Atomic.get c.hits;
-    misses = Atomic.get c.misses;
-    uncacheable = Atomic.get c.uncacheable;
-    store_hits = Atomic.get c.store_hits;
-    store_misses = Atomic.get c.store_misses;
-    store_writes = Atomic.get c.store_writes;
-    busy_ms = float_of_int (Atomic.get c.busy_ns) /. 1e6;
-    dfa_hits = Atomic.get c.dfa_hits;
-    dfa_compiles = Atomic.get c.dfa_compiles;
-    dfa_contended = Atomic.get c.dfa_contended;
+    jobs = now.t_jobs - b.t_jobs;
+    hits = now.t_hits - b.t_hits;
+    misses = now.t_misses - b.t_misses;
+    uncacheable = now.t_uncacheable - b.t_uncacheable;
+    store_hits = now.t_store_hits - b.t_store_hits;
+    store_misses = now.t_store_misses - b.t_store_misses;
+    store_writes = now.t_store_writes - b.t_store_writes;
+    busy_ms = float_of_int (now.t_busy_ns - b.t_busy_ns) /. 1e6;
+    dfa_hits = now.t_dfa_hits - b.t_dfa_hits;
+    dfa_compiles = now.t_dfa_compiles - b.t_dfa_compiles;
+    dfa_contended = now.t_dfa_contended - b.t_dfa_contended;
   }
 
 let pp_snapshot ppf s =

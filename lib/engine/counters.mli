@@ -1,30 +1,53 @@
-(** Lightweight engine statistics: lock-free atomic counters bumped by
-    worker domains, snapshotted into plain integers for reporting. *)
+(** Per-batch engine statistics.
+
+    Since the telemetry PR these are a {e delta view} over the
+    process-wide {!Posl_telemetry.Metrics} registry: every [incr_*]
+    bumps a global cumulative counter (named [posl_engine_*_total],
+    exposed by [posl-check metrics] and [--metrics FILE]), and
+    {!snapshot} subtracts the values captured by {!create}, so a batch
+    reports exactly its own traffic while the registry accumulates
+    process totals.  All increments are atomic and may come from any
+    worker domain; snapshots are taken after the parallel join, so they
+    are exact for non-overlapping batches. *)
 
 type t
 
 val create : unit -> t
+(** Capture the current registry totals as the baseline this [t]'s
+    {!snapshot} subtracts. *)
+
 val incr_jobs : t -> unit
 val incr_hits : t -> unit
 val incr_misses : t -> unit
 val incr_uncacheable : t -> unit
+
 val incr_store_hits : t -> unit
+(** A verdict was answered from the persistent on-disk store
+    ({!Posl_store.Store}) rather than computed (PR 4). *)
+
 val incr_store_misses : t -> unit
+(** A persistent-store lookup found no usable record, so the verdict
+    was computed (and, if cacheable, written behind). *)
+
 val incr_store_writes : t -> unit
+(** A record was appended to the persistent store. *)
 
 val add_busy_ns : t -> int -> unit
-(** Accumulate one job's wall time (summed across workers, it measures
-    total useful work; divided by elapsed wall time × domains, worker
-    utilization). *)
+(** Accumulate one job's wall time in nanoseconds.  Summed across
+    workers this measures total useful work; [busy_ms] divided by
+    (elapsed wall time × domains) gives worker utilization, which is
+    how {!Posl_engine.Engine.pp_stats} reports it. *)
 
 val add_dfa : t -> hits:int -> compiles:int -> contended:int -> unit
 (** Accumulate the traffic one batch generated against the shared
-    compiled-automata (DFA) cache — the {!Posl_tset.Prs_cache.stats}
-    delta measured around the batch. *)
+    compiled-automata (DFA) cache (PR 2) — the
+    {!Posl_tset.Prs_cache.stats} delta measured around the batch:
+    cache hits, fresh compilations, and contended stripe-lock
+    acquisitions. *)
 
 type snapshot = {
   jobs : int;  (** jobs answered, cached or computed *)
-  hits : int;  (** verdicts served from the cache *)
+  hits : int;  (** verdicts served from the in-memory cache *)
   misses : int;  (** verdicts computed and inserted *)
   uncacheable : int;  (** jobs with no content address (opaque tsets) *)
   store_hits : int;  (** verdicts served from the persistent store *)
@@ -37,4 +60,6 @@ type snapshot = {
 }
 
 val snapshot : t -> snapshot
+(** Registry totals now, minus the totals at {!create} time. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -23,7 +23,17 @@ module Tset = Posl_tset.Tset
 module Prs_cache = Posl_tset.Prs_cache
 module Par = Posl_par.Par
 module Store = Posl_store.Store
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
 open Posl_ident
+
+let job_ms_hist =
+  Metrics.histogram ~help:"Wall time per engine job, milliseconds"
+    "posl_engine_job_ms"
+
+let domains_gauge =
+  Metrics.gauge ~help:"Worker domains used by the most recent batch"
+    "posl_engine_domains"
 
 type request = {
   label : string;
@@ -49,6 +59,7 @@ type result = {
   from_store : bool;
   digest : Digest.t option;
   ms : float;
+  span_id : int option;
 }
 
 type stats = {
@@ -139,7 +150,9 @@ let dfa_cache_stats dc =
         { Prs_cache.hits = 0; misses = 0; duplicates = 0; contended = 0 }
         dc.dc_caches)
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+(* Monotonic per-job clock: immune to wall-clock adjustments, and the
+   same time base the span layer uses. *)
+let now_ns = Telemetry.now_ns
 
 let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
   let domains =
@@ -170,6 +183,10 @@ let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
   in
   let dfa_before = dfa_cache_stats dc in
   let answer req =
+    Telemetry.with_span "engine.job"
+      ~attrs:[ ("label", req.label); ("kind", Job.kind req.query) ]
+    @@ fun () ->
+    let span_id = Telemetry.current_span_id () in
     let t0 = now_ns () in
     let digest =
       Digest.query ~universe:req.universe ~depth:req.depth req.query
@@ -223,20 +240,25 @@ let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
               (from_store, from_store, v))
     in
     let elapsed = now_ns () - t0 in
+    let ms = float_of_int elapsed /. 1e6 in
     Counters.incr_jobs counters;
     Counters.add_busy_ns counters elapsed;
-    {
-      request = req;
-      verdict;
-      cached;
-      from_store;
-      digest;
-      ms = float_of_int elapsed /. 1e6;
-    }
+    Metrics.observe job_ms_hist ms;
+    Telemetry.set_attrs
+      [ ("cached", string_of_bool cached);
+        ("from_store", string_of_bool from_store) ];
+    { request = req; verdict; cached; from_store; digest; ms; span_id }
   in
-  let t0 = Unix.gettimeofday () in
-  let results = Par.map_dyn ~domains answer requests in
-  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000. in
+  Metrics.set domains_gauge (float_of_int domains);
+  let t0 = now_ns () in
+  let results =
+    Telemetry.with_span "engine.batch"
+      ~attrs:
+        [ ("jobs", string_of_int (List.length requests));
+          ("domains", string_of_int domains) ]
+      (fun () -> Par.map_dyn ~domains answer requests)
+  in
+  let wall_ms = float_of_int (now_ns () - t0) /. 1e6 in
   let dfa =
     Prs_cache.diff_stats ~before:dfa_before ~after:(dfa_cache_stats dc)
   in

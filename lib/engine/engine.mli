@@ -47,6 +47,10 @@ type result = {
   from_store : bool;  (** answered from the persistent store *)
   digest : Digest.t option;  (** [None] = uncacheable (opaque tset) *)
   ms : float;  (** wall time spent answering this job *)
+  span_id : int option;
+      (** id of this job's ["engine.job"] telemetry span, when tracing
+          was enabled ({!Posl_telemetry.Telemetry.set_enabled}) —
+          matches the [span_id] arg of the exported trace events *)
 }
 
 type stats = {

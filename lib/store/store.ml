@@ -1,5 +1,16 @@
 module Verdict = Posl_verdict.Verdict
 module J = Verdict.Json
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+
+let lock_wait_hist =
+  Metrics.histogram
+    ~help:"Time spent waiting for the store's inter-process file lock, ms"
+    "posl_store_lock_wait_ms"
+
+let records_gauge =
+  Metrics.gauge ~help:"Intact records in the most recently opened store"
+    "posl_store_records"
 
 exception Error of string
 
@@ -159,7 +170,13 @@ let with_file_lock t f =
   | None -> f ()  (* closed handle: callers have already failed *)
   | Some fd ->
       ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-      Unix.lockf fd Unix.F_LOCK 0;
+      (* The lock wait is where a contended multi-process store shows
+         up: span it and feed the latency histogram. *)
+      Telemetry.with_span "store.lock-wait" (fun () ->
+          let t0 = Telemetry.now_ns () in
+          Unix.lockf fd Unix.F_LOCK 0;
+          Metrics.observe lock_wait_hist
+            (float_of_int (Telemetry.now_ns () - t0) /. 1e6));
       Fun.protect
         ~finally:(fun () ->
           ignore (Unix.lseek fd 0 Unix.SEEK_SET);
@@ -211,6 +228,8 @@ let open_ ?(readonly = false) dirname =
     }
   in
   (try
+     Telemetry.with_span "store.open" ~attrs:[ ("dir", dirname) ]
+     @@ fun () ->
      with_file_lock t (fun () ->
          (* Create or complete the header, scan, and truncate any torn
             tail — all under the inter-process lock so an open can never
@@ -236,6 +255,11 @@ let open_ ?(readonly = false) dirname =
          t.damage <- s.s_damage;
          t.records <- s.s_records;
          t.truncated_bytes <- s.s_torn;
+         Metrics.set records_gauge (float_of_int s.s_records);
+         Telemetry.set_attrs
+           [ ("records", string_of_int s.s_records);
+             ("damaged", string_of_int (List.length s.s_damage));
+             ("torn_bytes", string_of_int s.s_torn) ];
          if s.s_torn > 0 && not readonly then Unix.truncate log s.s_keep;
          if not readonly then
            t.fd <-
@@ -269,6 +293,9 @@ let write_all fd b =
   done
 
 let add t ~digest ~depth verdict =
+  Telemetry.with_span "store.append" ~attrs:[ ("digest", digest) ]
+  @@ fun () ->
+  let written =
   Mutex.protect t.mu (fun () ->
       if t.readonly then err "read-only store: %s" t.dir;
       let fd =
@@ -284,6 +311,9 @@ let add t ~digest ~depth verdict =
           t.records <- t.records + 1;
           t.writes <- t.writes + 1;
           true)
+  in
+  Telemetry.set_attrs [ ("written", string_of_bool written) ];
+  written
 
 (* ------------------------------------------------------------------ *)
 (* Stats / verify / gc                                                 *)
@@ -353,6 +383,7 @@ let verify dirname =
     | exception Error e -> Result.Error e
 
 let gc t ~keep =
+  Telemetry.with_span "store.gc" @@ fun () ->
   Mutex.protect t.mu (fun () ->
       if t.readonly then err "read-only store: %s" t.dir;
       if t.fd = None then err "store closed: %s" t.dir;
@@ -397,4 +428,6 @@ let gc t ~keep =
           t.records <- !kept;
           t.damage <- [];
           t.truncated_bytes <- 0);
+      Telemetry.set_attrs
+        [ ("kept", string_of_int !kept); ("dropped", string_of_int !dropped) ];
       (!kept, !dropped))

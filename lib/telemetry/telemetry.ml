@@ -1,0 +1,218 @@
+(* Structured spans over per-domain ring buffers.
+
+   Design notes:
+
+   - One ring per domain, created lazily through [Domain.DLS] on the
+     first span that domain records.  Rings are single-writer (the
+     owning domain) and registered in a global list so they survive
+     domain exit: [Par.map]/[Par.map_dyn] spawn fresh domains on every
+     call, and their spans must still be readable after the join.
+
+   - Rings start small and double up to [ring_cap]; past the cap the
+     oldest completed spans are overwritten (drop-oldest) and counted
+     in [dropped].  A short-lived worker domain therefore costs a few
+     hundred words, not a preallocated 64k-slot buffer.
+
+   - The fast path when disabled is a single [Atomic.get] before
+     calling [f] — no allocation beyond the closure the caller already
+     built, no clock read, no DLS access.
+
+   - [spans]/[reset]/[trace_json] walk every registered ring and must
+     only be called when no other domain is recording (after joins);
+     the engine and the CLI satisfy this by construction. *)
+
+external monotonic_ns : unit -> int = "posl_telemetry_monotonic_ns" [@@noalloc]
+
+let now_ns = monotonic_ns
+
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  tid : int;
+  start_ns : int;
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+let enabled_flag = Atomic.make false
+let enabled () = Atomic.get enabled_flag
+let set_enabled b = Atomic.set enabled_flag b
+let next_span_id = Atomic.make 1
+let next_tid = Atomic.make 1
+let ring_cap = 65536
+let initial_cap = 256
+
+let dummy =
+  { id = 0; parent = None; name = ""; tid = 0; start_ns = 0; dur_ns = 0;
+    attrs = [] }
+
+type open_span = {
+  o_id : int;
+  o_parent : int option;
+  o_name : string;
+  o_start_ns : int;
+  mutable o_attrs : (string * string) list;
+}
+
+type ring = {
+  tid : int;
+  mutable buf : span array;
+  mutable written : int;  (* total spans ever pushed to this ring *)
+  mutable stack : open_span list;  (* innermost open span first *)
+}
+
+let rings_mu = Mutex.create ()
+let rings : ring list ref = ref []
+
+let make_ring () =
+  let r =
+    { tid = Atomic.fetch_and_add next_tid 1;
+      buf = Array.make initial_cap dummy; written = 0; stack = [] }
+  in
+  Mutex.lock rings_mu;
+  rings := r :: !rings;
+  Mutex.unlock rings_mu;
+  r
+
+let ring_key : ring Domain.DLS.key = Domain.DLS.new_key make_ring
+let my_ring () = Domain.DLS.get ring_key
+
+let all_rings () =
+  Mutex.lock rings_mu;
+  let rs = !rings in
+  Mutex.unlock rings_mu;
+  rs
+
+let push r sp =
+  let len = Array.length r.buf in
+  if r.written >= len && len < ring_cap then begin
+    let len' = min ring_cap (2 * len) in
+    let buf' = Array.make len' dummy in
+    Array.blit r.buf 0 buf' 0 len;
+    r.buf <- buf'
+  end;
+  r.buf.(r.written mod Array.length r.buf) <- sp;
+  r.written <- r.written + 1
+
+let with_span ?(attrs = []) name f =
+  if not (Atomic.get enabled_flag) then f ()
+  else begin
+    let r = my_ring () in
+    let parent =
+      match r.stack with [] -> None | o :: _ -> Some o.o_id
+    in
+    let o =
+      { o_id = Atomic.fetch_and_add next_span_id 1; o_parent = parent;
+        o_name = name; o_start_ns = now_ns (); o_attrs = attrs }
+    in
+    r.stack <- o :: r.stack;
+    let finish () =
+      let stop = now_ns () in
+      (match r.stack with
+      | top :: rest when top == o -> r.stack <- rest
+      | st -> r.stack <- List.filter (fun x -> x != o) st);
+      push r
+        { id = o.o_id; parent = o.o_parent; name = o.o_name; tid = r.tid;
+          start_ns = o.o_start_ns; dur_ns = stop - o.o_start_ns;
+          attrs = o.o_attrs }
+    in
+    match f () with
+    | v -> finish (); v
+    | exception e -> finish (); raise e
+  end
+
+let set_attrs kvs =
+  if Atomic.get enabled_flag then
+    match (my_ring ()).stack with
+    | [] -> ()
+    | o :: _ -> o.o_attrs <- o.o_attrs @ kvs
+
+let current_span_id () =
+  if not (Atomic.get enabled_flag) then None
+  else match (my_ring ()).stack with [] -> None | o :: _ -> Some o.o_id
+
+let ring_spans r =
+  let len = Array.length r.buf in
+  if r.written <= len then Array.to_list (Array.sub r.buf 0 r.written)
+  else
+    (* full ring: oldest surviving span sits at the write cursor *)
+    let start = r.written mod len in
+    List.init len (fun i -> r.buf.((start + i) mod len))
+
+let spans () =
+  all_rings ()
+  |> List.concat_map ring_spans
+  |> List.sort (fun a b -> compare (a.start_ns, a.id) (b.start_ns, b.id))
+
+let dropped () =
+  List.fold_left
+    (fun acc r -> acc + max 0 (r.written - Array.length r.buf))
+    0 (all_rings ())
+
+let reset () =
+  List.iter (fun r -> r.written <- 0; r.stack <- []) (all_rings ())
+
+(* --- Chrome trace_event export ---------------------------------------
+
+   posl.telemetry sits below posl.verdict (which records certify spans),
+   so it cannot use [Verdict.Json] and emits its own JSON; tests and the
+   CLI validate the output through [Verdict.Json.of_string]. *)
+
+let add_escaped b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+let trace_json () =
+  let sps = spans () in
+  let t0 =
+    List.fold_left (fun acc s -> min acc s.start_ns) max_int sps
+  in
+  let t0 = if t0 = max_int then 0 else t0 in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  List.iteri
+    (fun i s ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b "{\"name\":\"";
+      add_escaped b s.name;
+      Buffer.add_string b "\",\"cat\":\"posl\",\"ph\":\"X\",\"pid\":1";
+      Buffer.add_string b
+        (Printf.sprintf ",\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f" s.tid
+           (float_of_int (s.start_ns - t0) /. 1000.)
+           (float_of_int s.dur_ns /. 1000.));
+      Buffer.add_string b
+        (Printf.sprintf ",\"args\":{\"span_id\":%d" s.id);
+      (match s.parent with
+      | None -> ()
+      | Some p -> Buffer.add_string b (Printf.sprintf ",\"parent\":%d" p));
+      List.iter
+        (fun (k, v) ->
+          Buffer.add_string b ",\"";
+          add_escaped b k;
+          Buffer.add_string b "\":\"";
+          add_escaped b v;
+          Buffer.add_string b "\"")
+        s.attrs;
+      Buffer.add_string b "}}")
+    sps;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_trace path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (trace_json ());
+      output_char oc '\n')

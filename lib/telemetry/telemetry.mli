@@ -1,0 +1,73 @@
+(** Structured spans over per-domain lock-free ring buffers.
+
+    A {e span} is a named interval of work measured with the monotonic
+    clock, optionally annotated with string attributes and nested under
+    the span that was open on the same domain when it started.  Spans
+    are recorded into per-domain ring buffers (single writer, no locks
+    on the hot path) that grow on demand and drop the {e oldest}
+    completed spans once full, so tracing can stay on for arbitrarily
+    long runs with bounded memory.
+
+    Telemetry is globally {e disabled} by default and the disabled fast
+    path of {!with_span} is one atomic load followed by the call to
+    [f] — cheap enough to leave instrumentation in hot code
+    unconditionally.
+
+    {!spans}, {!trace_json} and {!reset} read every domain's ring and
+    must only be called when no worker domain is recording (i.e. after
+    the parallel section has joined — [Par.map]/[Par.map_dyn] and
+    [Engine.run_batch] all join before returning). *)
+
+type span = {
+  id : int;  (** process-unique, strictly positive *)
+  parent : int option;
+      (** id of the span that was open on the same domain at start *)
+  name : string;
+  tid : int;  (** ring (domain) id, stable for the ring's lifetime *)
+  start_ns : int;  (** monotonic clock, nanoseconds *)
+  dur_ns : int;
+  attrs : (string * string) list;
+}
+
+val now_ns : unit -> int
+(** Monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]), nanoseconds.
+    Never jumps backwards; only differences are meaningful. *)
+
+val set_enabled : bool -> unit
+(** Globally enable or disable span recording.  Flip before the traced
+    region starts; spans opened while disabled are never recorded. *)
+
+val enabled : unit -> bool
+
+val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span ~attrs name f] runs [f ()] inside a span called [name].
+    The span closes when [f] returns {e or raises} (the exception is
+    re-raised).  When telemetry is disabled this is just [f ()]. *)
+
+val set_attrs : (string * string) list -> unit
+(** Append attributes to the innermost open span of the calling domain,
+    for values only known mid-span (node counts, cache outcomes).
+    No-op when disabled or when no span is open. *)
+
+val current_span_id : unit -> int option
+(** Id of the innermost open span of the calling domain, if any. *)
+
+val spans : unit -> span list
+(** All completed spans surviving in every ring, sorted by start time.
+    Open (unfinished) spans are not included. *)
+
+val dropped : unit -> int
+(** Number of completed spans overwritten by ring wrap-around. *)
+
+val reset : unit -> unit
+(** Discard all recorded spans (rings stay registered). *)
+
+val trace_json : unit -> string
+(** The recorded spans as Chrome [trace_event] JSON (complete ["X"]
+    events, timestamps in microseconds rebased to the earliest span),
+    directly loadable in Perfetto or [chrome://tracing].  Span id,
+    parent id and attributes are carried in each event's ["args"].
+    The output parses with [Verdict.Json.of_string]. *)
+
+val write_trace : string -> unit
+(** [write_trace path] writes {!trace_json} to [path]. *)

@@ -1,0 +1,17 @@
+/* Monotonic clock for posl.telemetry.
+ *
+ * CLOCK_MONOTONIC never jumps backwards under NTP adjustment, unlike
+ * gettimeofday, so span durations computed as (stop - start) are always
+ * non-negative.  The result is returned as an unboxed OCaml int:
+ * nanoseconds fit in 62 bits for ~146 years of uptime. */
+
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value posl_telemetry_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  (void)unit;
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+}

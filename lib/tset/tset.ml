@@ -31,6 +31,12 @@ open Posl_sets
 module Event = Posl_trace.Event
 module Trace = Posl_trace.Trace
 module Regex = Posl_regex.Regex
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+
+let dfa_compile_hist =
+  Metrics.histogram ~help:"Time to compile one prs-expression to a DFA, ms"
+    "posl_tset_dfa_compile_ms"
 
 type t =
   | All
@@ -120,6 +126,8 @@ let with_closure_cap cap c = ctx ~closure_cap:cap ~cache:c.prs_cache c.universe
    interchangeable pure values. *)
 let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
   Prs_cache.find_or_compute c.prs_cache r (fun () ->
+      Telemetry.with_span "tset.dfa-compile" @@ fun () ->
+      let t0 = Telemetry.now_ns () in
       let ground = Regex.expand c.universe r in
       let atoms = Regex.atom_union ground in
       let events = Array.of_list (Eventset.sample c.universe atoms) in
@@ -129,6 +137,11 @@ let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
         |> List.mapi (fun i e -> (e, i))
         |> List.to_seq |> Event.Map.of_seq
       in
+      Telemetry.set_attrs
+        [ ("events", string_of_int (Array.length events));
+          ("states", string_of_int (Posl_automata.Dfa.n_states dfa)) ];
+      Metrics.observe dfa_compile_hist
+        (float_of_int (Telemetry.now_ns () - t0) /. 1e6);
       { dfa; index; atoms })
 
 (* Step the compiled automaton.  Events outside the concrete sample are
@@ -312,6 +325,7 @@ and hidden_events c parts vis =
    over a finite set; [closure_cap] is a safety valve against parts with
    unbounded state (raises {!Closure_overflow}). *)
 and product_closure c parts hidden set =
+  Telemetry.with_span "tset.closure" @@ fun () ->
   let rec grow frontier set =
     if Composite_set.is_empty frontier then set
     else begin
@@ -332,7 +346,11 @@ and product_closure c parts hidden set =
       grow !next set'
     end
   in
-  grow set set
+  let closed = grow set set in
+  if Telemetry.enabled () then
+    Telemetry.set_attrs
+      [ ("composites", string_of_int (Composite_set.cardinal closed)) ];
+  closed
 
 (** {1 Membership} *)
 

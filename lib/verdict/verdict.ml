@@ -292,13 +292,18 @@ let uncertified fmt = Format.kasprintf (fun s -> raise (Uncertified s)) fmt
 
 let certify ~replay v =
   if v.status = Refuted then
-    List.iter
-      (fun e ->
-        if not (replay e) then
-          uncertified
-            "witness failed to replay against the reference semantics: %a"
-            pp_evidence e)
-      v.evidence;
+    Posl_telemetry.Telemetry.with_span "verdict.certify"
+      ~attrs:
+        [ ("kind", "evidence");
+          ("items", string_of_int (List.length v.evidence)) ]
+      (fun () ->
+        List.iter
+          (fun e ->
+            if not (replay e) then
+              uncertified
+                "witness failed to replay against the reference semantics: %a"
+                pp_evidence e)
+          v.evidence);
   v
 
 (* ------------------------------------------------------------------ *)

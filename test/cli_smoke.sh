@@ -179,6 +179,84 @@ expect 1 "store verify reports damage" store verify "$tmp/store"
 expect 0 "damaged store still answers batches" batch "$SPECS/batch.manifest" --store "$tmp/store"
 expect 0 "store verify after recovery" store verify "$tmp/store"
 
+# -- telemetry: --trace / --metrics / metrics / --slow-ms ------------
+# A traced batch must exit 0, write a Chrome trace that our own JSON
+# reader accepts, and cover each instrumented subsystem that a cold
+# batch exercises.
+rm -rf "$tmp/tstore"
+expect 0 "batch --trace --metrics" batch "$SPECS/batch.manifest" \
+  --store "$tmp/tstore" --trace "$tmp/trace.json" --metrics "$tmp/m.prom"
+if ! "$BIN" json "$tmp/trace.json" >/dev/null 2>&1; then
+  echo "FAIL trace: $tmp/trace.json is not valid JSON" >&2
+  fails=$((fails + 1))
+fi
+for span in traceEvents engine.batch engine.job tset.dfa-compile \
+  tset.closure refine.check compose.check bmc.level store.open \
+  store.append store.lock-wait; do
+  if ! grep -q "$span" "$tmp/trace.json"; then
+    echo "FAIL trace: no $span span in $tmp/trace.json" >&2
+    fails=$((fails + 1))
+  fi
+done
+echo "ok   batch --trace covers the instrumented subsystems"
+
+# Certification replays only run on refuted verdicts: the Client2
+# deadlock is the traced query that must produce a verdict.certify
+# span (and still exit 1).
+"$BIN" deadlock "$SPECS/paper.oun" Client2 WriteAcc --depth 6 \
+  --trace "$tmp/refuted.json" >/dev/null 2>&1
+if [ $? -ne 1 ]; then
+  echo "FAIL traced refuted query: expected exit 1" >&2
+  fails=$((fails + 1))
+fi
+for span in bmc.level verdict.certify; do
+  if ! grep -q "$span" "$tmp/refuted.json"; then
+    echo "FAIL trace: no $span span in traced deadlock query" >&2
+    fails=$((fails + 1))
+  fi
+done
+echo "ok   traced refuted query records verdict.certify"
+
+# store gc is the only gc call site; trace it directly.
+expect 0 "store gc --trace" store gc "$tmp/tstore" \
+  --manifest "$SPECS/batch.manifest" --trace "$tmp/gc.json"
+if ! grep -q "store.gc" "$tmp/gc.json"; then
+  echo "FAIL trace: no store.gc span in traced gc" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   store gc --trace records store.gc"
+
+# Metrics exposition: the subcommand prints Prometheus text, the
+# --metrics file matches the same format.
+expect 0 "metrics subcommand" metrics "$SPECS/batch.manifest"
+out=$("$BIN" metrics "$SPECS/batch.manifest" 2>/dev/null)
+for needle in "# TYPE posl_engine_jobs_total counter" \
+  "# TYPE posl_engine_job_ms histogram" "posl_engine_jobs_total"; do
+  if ! printf '%s' "$out" | grep -q "$needle"; then
+    echo "FAIL metrics: missing $needle in exposition" >&2
+    fails=$((fails + 1))
+  fi
+done
+if ! grep -q "posl_engine_jobs_total" "$tmp/m.prom"; then
+  echo "FAIL --metrics: no engine counters in $tmp/m.prom" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   metrics exposition (subcommand and --metrics file)"
+expect 2 "metrics missing manifest" metrics "$SPECS/no_such.manifest"
+
+# Unwritable --trace path is an input error, not a crash.
+expect 2 "unwritable trace path" batch "$SPECS/batch.manifest" \
+  --trace /nonexistent-dir/t.json
+
+# --slow-ms prints a slow-query section with span ids.
+slow=$("$BIN" batch "$SPECS/batch.manifest" --store "$tmp/tstore2" \
+  --trace "$tmp/slow.json" --slow-ms 0 2>&1)
+if ! printf '%s' "$slow" | grep -q "span"; then
+  echo "FAIL --slow-ms 0: no slow-query lines with span ids" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   batch --slow-ms prints span ids"
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

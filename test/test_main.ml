@@ -31,4 +31,5 @@ let () =
       ("async", Test_async.suite);
       ("ag", Test_ag.suite);
       ("strategies", Test_strategies.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

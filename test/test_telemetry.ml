@@ -1,0 +1,338 @@
+(* The observability layer (posl.telemetry): span nesting and ordering
+   invariants of the per-domain rings, histogram percentile accuracy
+   (within the factor-√2 bucket guarantee), the Chrome trace JSON
+   round-tripping through our own JSON reader under adversarial span
+   names, and a multi-domain hammer proving the rings never corrupt. *)
+
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+module Json = Posl_verdict.Verdict.Json
+module Engine = Posl_engine.Engine
+module Job = Posl_engine.Job
+module Cache = Posl_engine.Cache
+module Ex = Posl_core.Examples_paper
+module G = QCheck2.Gen
+
+(* Every test that enables telemetry must leave it disabled and empty,
+   whatever happens — other suites in this binary run afterwards. *)
+let traced f =
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+    f
+
+let find_span name spans =
+  match List.find_opt (fun (s : Telemetry.span) -> s.name = name) spans with
+  | Some s -> s
+  | None -> Alcotest.failf "span %S not recorded" name
+
+(* Nesting: the inner span's parent is the outer span's id, its
+   interval is contained in the outer's, and ids are distinct. *)
+let test_nesting () =
+  traced @@ fun () ->
+  let inner_id = ref None in
+  Telemetry.with_span "outer" (fun () ->
+      Telemetry.with_span "inner" (fun () ->
+          inner_id := Telemetry.current_span_id ();
+          ignore (Sys.opaque_identity (List.init 100 Fun.id))));
+  let spans = Telemetry.spans () in
+  Alcotest.(check int) "two spans" 2 (List.length spans);
+  let outer = find_span "outer" spans in
+  let inner = find_span "inner" spans in
+  Alcotest.(check bool) "distinct ids" true (outer.id <> inner.id);
+  Alcotest.(check (option int))
+    "current_span_id saw the inner span" (Some inner.id) !inner_id;
+  Alcotest.(check (option int)) "inner nests under outer" (Some outer.id)
+    inner.parent;
+  Alcotest.(check (option int)) "outer is a root" None outer.parent;
+  Alcotest.(check bool) "inner starts after outer" true
+    (inner.start_ns >= outer.start_ns);
+  Alcotest.(check bool) "inner ends before outer" true
+    (inner.start_ns + inner.dur_ns <= outer.start_ns + outer.dur_ns);
+  Alcotest.(check bool) "durations non-negative" true
+    (outer.dur_ns >= 0 && inner.dur_ns >= 0)
+
+(* Siblings recorded one after the other keep their order under the
+   start-time sort, and do not nest under each other. *)
+let test_sibling_order () =
+  traced @@ fun () ->
+  List.iter (fun n -> Telemetry.with_span n (fun () -> ())) [ "a"; "b"; "c" ];
+  match Telemetry.spans () with
+  | [ a; b; c ] ->
+      Alcotest.(check string) "first" "a" a.Telemetry.name;
+      Alcotest.(check string) "second" "b" b.Telemetry.name;
+      Alcotest.(check string) "third" "c" c.Telemetry.name;
+      List.iter
+        (fun (s : Telemetry.span) ->
+          Alcotest.(check (option int)) "all roots" None s.parent)
+        [ a; b; c ]
+  | l -> Alcotest.failf "expected 3 spans, got %d" (List.length l)
+
+(* Disabled telemetry records nothing and still runs the thunk. *)
+let test_disabled_noop () =
+  Telemetry.reset ();
+  Telemetry.set_enabled false;
+  let r = Telemetry.with_span "ghost" (fun () -> 42) in
+  Alcotest.(check int) "value passes through" 42 r;
+  Alcotest.(check int) "nothing recorded" 0 (List.length (Telemetry.spans ()))
+
+(* Attributes: open-time attrs survive, and [set_attrs] mid-span
+   appends to the innermost open span only. *)
+let test_attrs () =
+  traced @@ fun () ->
+  Telemetry.with_span "outer" ~attrs:[ ("k", "v") ] (fun () ->
+      Telemetry.with_span "inner" (fun () ->
+          Telemetry.set_attrs [ ("mid", "1") ]));
+  let spans = Telemetry.spans () in
+  let outer = find_span "outer" spans in
+  let inner = find_span "inner" spans in
+  Alcotest.(check (option string))
+    "open-time attr" (Some "v")
+    (List.assoc_opt "k" outer.attrs);
+  Alcotest.(check (option string))
+    "mid-span attr lands on the inner span" (Some "1")
+    (List.assoc_opt "mid" inner.attrs);
+  Alcotest.(check (option string))
+    "outer does not get the inner's attr" None
+    (List.assoc_opt "mid" outer.attrs)
+
+(* A raising thunk still closes its span, and the exception escapes. *)
+let test_exception_closes_span () =
+  traced @@ fun () ->
+  (try Telemetry.with_span "boom" (fun () -> failwith "boom")
+   with Failure _ -> ());
+  let spans = Telemetry.spans () in
+  Alcotest.(check int) "span recorded despite raise" 1 (List.length spans);
+  ignore (find_span "boom" spans)
+
+(* Histogram percentiles on a known distribution: 1..100 ms uniform.
+   The log-bucket guarantee is a factor of √2 either side. *)
+let test_percentiles_known () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t_ms" in
+  for i = 1 to 100 do
+    Metrics.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.count h);
+  Alcotest.(check bool) "sum" true (abs_float (Metrics.sum h -. 5050.) < 1e-6);
+  let within p truth =
+    let est = Metrics.percentile h p in
+    let lo = truth /. sqrt 2. and hi = truth *. sqrt 2. in
+    if not (est >= lo && est <= hi) then
+      Alcotest.failf "p%.0f = %.3f outside [%.3f, %.3f]" p est lo hi
+  in
+  within 50. 50.;
+  within 90. 90.;
+  within 99. 99.
+
+(* All samples equal: every percentile collapses into that one bucket. *)
+let test_percentile_single_bucket () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "t_ms" in
+  for _ = 1 to 50 do
+    Metrics.observe h 7.
+  done;
+  List.iter
+    (fun p ->
+      let est = Metrics.percentile h p in
+      Alcotest.(check bool)
+        (Printf.sprintf "p%.0f in the 7ms bucket" p)
+        true
+        (est >= 7. /. sqrt 2. && est <= 7. *. sqrt 2.))
+    [ 1.; 50.; 99. ];
+  Alcotest.(check bool) "empty histogram -> 0" true
+    (Metrics.percentile (Metrics.histogram ~registry:r "other") 50. = 0.)
+
+(* The registry is get-or-create by name, and kind mismatches raise. *)
+let test_registry_semantics () =
+  let r = Metrics.create () in
+  let c1 = Metrics.counter ~registry:r "reqs" in
+  let c2 = Metrics.counter ~registry:r "reqs" in
+  Metrics.incr c1;
+  Metrics.add c2 2;
+  Alcotest.(check int) "same counter under the hood" 3 (Metrics.value c1);
+  let g = Metrics.gauge ~registry:r "depth" in
+  Metrics.set g 4.5;
+  Alcotest.(check bool) "gauge holds last value" true
+    (Metrics.gauge_value g = 4.5);
+  Alcotest.(check bool) "kind mismatch raises" true
+    (match Metrics.gauge ~registry:r "reqs" with
+    | (_ : Metrics.gauge) -> false
+    | exception Invalid_argument _ -> true)
+
+(* Prometheus exposition: headers, bucket lines, sum and count. *)
+let test_expose_format () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r ~help:"requests served" "reqs_total" in
+  Metrics.add c 5;
+  let h = Metrics.histogram ~registry:r "lat_ms" in
+  Metrics.observe h 3.;
+  let text = Metrics.expose ~registry:r () in
+  let has needle =
+    let n = String.length needle and l = String.length text in
+    let rec go i = i + n <= l && (String.sub text i n = needle || go (i + 1)) in
+    n = 0 || go 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "contains %S" needle) true
+        (has needle))
+    [
+      "# HELP reqs_total requests served";
+      "# TYPE reqs_total counter";
+      "reqs_total 5";
+      "# TYPE lat_ms histogram";
+      "lat_ms_bucket{le=\"+Inf\"} 1";
+      "lat_ms_sum 3";
+      "lat_ms_count 1";
+    ]
+
+(* The trace JSON parses with our own reader whatever the span names
+   and attribute values contain — quotes, backslashes, control bytes,
+   non-ASCII. *)
+let adversarial_string =
+  G.string_size ~gen:(G.oneof [ G.printable; G.char ]) (G.int_range 0 20)
+
+let test_trace_json_roundtrip =
+  Util.qtest ~count:100 "trace JSON parses under adversarial names"
+    (G.pair adversarial_string adversarial_string)
+    (fun (name, attr) ->
+      traced @@ fun () ->
+      Telemetry.with_span name ~attrs:[ (attr, attr) ] (fun () ->
+          Telemetry.with_span "child" (fun () -> ()));
+      let text = Telemetry.trace_json () in
+      match Json.of_string text with
+      | Error e -> QCheck2.Test.fail_reportf "unparseable: %s" e
+      | Ok (Json.Obj fields) -> (
+          match List.assoc_opt "traceEvents" fields with
+          | Some (Json.List events) -> List.length events = 2
+          | _ -> QCheck2.Test.fail_reportf "missing traceEvents array")
+      | Ok _ -> QCheck2.Test.fail_reportf "not an object")
+
+(* Four domains recording concurrently: ids stay unique, every span is
+   well-formed, each ring's spans are start-ordered per tid, and the
+   survivor count is exact (nothing dropped below the ring cap). *)
+let test_multi_domain_hammer () =
+  traced @@ fun () ->
+  let per_domain = 500 in
+  let domains =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for _ = 1 to per_domain do
+              Telemetry.with_span "outer" (fun () ->
+                  Telemetry.with_span "inner" (fun () -> ()))
+            done))
+  in
+  List.iter Domain.join domains;
+  let spans = Telemetry.spans () in
+  Alcotest.(check int) "exact survivor count" (4 * per_domain * 2)
+    (List.length spans);
+  Alcotest.(check int) "nothing dropped" 0 (Telemetry.dropped ());
+  let ids = List.map (fun (s : Telemetry.span) -> s.id) spans in
+  Alcotest.(check int) "ids unique" (List.length spans)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun (s : Telemetry.span) ->
+      Alcotest.(check bool) "well-formed" true
+        (s.dur_ns >= 0 && s.start_ns > 0 && s.id > 0))
+    spans;
+  (* inner spans parent under an outer of the same ring *)
+  let by_id = Hashtbl.create 512 in
+  List.iter (fun (s : Telemetry.span) -> Hashtbl.add by_id s.id s) spans;
+  List.iter
+    (fun (s : Telemetry.span) ->
+      if s.name = "inner" then
+        match s.parent with
+        | None -> Alcotest.fail "inner span without parent"
+        | Some p -> (
+            match Hashtbl.find_opt by_id p with
+            | Some (parent : Telemetry.span) ->
+                Alcotest.(check string) "parent is an outer" "outer"
+                  parent.name;
+                Alcotest.(check int) "parent on the same ring" s.tid
+                  parent.tid
+            | None -> Alcotest.fail "dangling parent id"))
+    spans;
+  (* per-ring start times are monotone (single writer per ring) *)
+  let by_tid = Hashtbl.create 8 in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      let prev = Option.value (Hashtbl.find_opt by_tid s.tid) ~default:0 in
+      Alcotest.(check bool) "per-ring start order" true (s.start_ns >= prev);
+      Hashtbl.replace by_tid s.tid s.start_ns)
+    spans
+
+(* Overflow: write past the ring cap on one domain; the ring wraps,
+   keeps the newest spans and counts the overwritten ones. *)
+let test_ring_overflow () =
+  traced @@ fun () ->
+  let total = 70_000 in
+  let d =
+    Domain.spawn (fun () ->
+        for _ = 1 to total do
+          Telemetry.with_span "tick" (fun () -> ())
+        done)
+  in
+  Domain.join d;
+  let survived = List.length (Telemetry.spans ()) in
+  let dropped = Telemetry.dropped () in
+  Alcotest.(check bool) "some spans dropped" true (dropped > 0);
+  Alcotest.(check int) "survivors + dropped = written" total
+    (survived + dropped)
+
+(* End to end through the engine: with telemetry on, every batch result
+   carries a distinct span id resolving to an [engine.job] span. *)
+let test_engine_span_ids () =
+  traced @@ fun () ->
+  let reqs =
+    [
+      Engine.request ~depth:3 ~universe:Util.paper_universe
+        (Job.Refine { refined = Ex.read2; abstract = Ex.read });
+      Engine.request ~depth:3 ~universe:Util.paper_universe
+        (Job.Refine { refined = Ex.rw; abstract = Ex.write });
+    ]
+  in
+  let results, _ = Engine.run_batch ~domains:1 ~cache:(Cache.create ()) reqs in
+  let spans = Telemetry.spans () in
+  let jobs =
+    List.filter (fun (s : Telemetry.span) -> s.name = "engine.job") spans
+  in
+  Alcotest.(check int) "one engine.job span per result" (List.length results)
+    (List.length jobs);
+  let ids =
+    List.map
+      (fun (r : Engine.result) ->
+        match r.Engine.span_id with
+        | Some id -> id
+        | None -> Alcotest.fail "result without span id")
+      results
+  in
+  Alcotest.(check int) "span ids distinct" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter
+    (fun id ->
+      Alcotest.(check bool) "span id resolves to an engine.job" true
+        (List.exists (fun (s : Telemetry.span) -> s.id = id) jobs))
+    ids
+
+let suite =
+  [
+    Alcotest.test_case "span nesting" `Quick test_nesting;
+    Alcotest.test_case "sibling order" `Quick test_sibling_order;
+    Alcotest.test_case "disabled is a no-op" `Quick test_disabled_noop;
+    Alcotest.test_case "attributes" `Quick test_attrs;
+    Alcotest.test_case "raise closes span" `Quick test_exception_closes_span;
+    Alcotest.test_case "percentiles (uniform 1..100)" `Quick
+      test_percentiles_known;
+    Alcotest.test_case "percentiles (one bucket)" `Quick
+      test_percentile_single_bucket;
+    Alcotest.test_case "registry get-or-create" `Quick test_registry_semantics;
+    Alcotest.test_case "prometheus exposition" `Quick test_expose_format;
+    test_trace_json_roundtrip;
+    Alcotest.test_case "4-domain hammer" `Quick test_multi_domain_hammer;
+    Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
+    Alcotest.test_case "engine span ids" `Quick test_engine_span_ids;
+  ]
