@@ -39,6 +39,11 @@ module Edigest = Posl_engine.Digest
 module Store = Posl_store.Store
 module Telemetry = Posl_telemetry.Telemetry
 module Json = Posl_verdict.Verdict.Json
+module Lang = Posl_lang.Lang
+module Serve = Posl_serve.Serve
+module Client = Posl_serve.Client
+module Wire = Posl_serve.Wire
+module Loadgen = Posl_serve.Loadgen
 
 (* Machine-readable campaign trajectories: every performance campaign
    (P1..P6) also lands as one BENCH_<name>.json under [--out DIR]
@@ -970,6 +975,220 @@ let p6 () =
   write_campaign ~name:"P6"
     ~title:"span-level time decomposition (cold batch, 1 domain)" jrows
 
+(* P7 — the resident service under sustained load.  An in-process
+   server (worker domains behind the admission queue, process-lifetime
+   warm caches) answers the paper corpus as a request stream: every
+   ordered refinement pair over examples/specs/paper.oun, shipped as
+   filesystem-free spec_text submissions.  The closed-loop load
+   generator sweeps the client count at repeat ratio 0.5 — half the
+   stream resubmits uniformly random earlier queries, which is exactly
+   the traffic the warm caches exist for.  The baseline row answers
+   the same stream cold: one fresh engine (empty verdict cache, empty
+   DFA registry) per query, serially — the cost a per-invocation CLI
+   pays for every question. *)
+let p7 () =
+  Report.section
+    "P7: sustained service throughput (warm server vs cold per-invocation)";
+  let spec_file =
+    List.find_opt Sys.file_exists
+      [
+        Filename.concat (Filename.concat "examples" "specs") "paper.oun";
+        "../examples/specs/paper.oun";
+        "../../examples/specs/paper.oun";
+        "../../../examples/specs/paper.oun";
+      ]
+  in
+  match spec_file with
+  | None ->
+      (* the corpus travels with the repo; still, never crash the whole
+         harness over a relocated checkout *)
+      Format.printf "  [P7 skipped: examples/specs/paper.oun not found]@.";
+      write_campaign ~name:"P7"
+        ~title:"sustained service throughput (warm server vs cold)"
+        [ Json.Obj [ ("pass", Json.Str "skipped"); ("qps", Json.Float 0.) ] ]
+  | Some spec_file ->
+      let spec_text =
+        let ic = open_in_bin spec_file in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      in
+      let specs =
+        match Lang.specs_of_string spec_text with
+        | Ok specs -> specs
+        | Error e -> failwith (Format.asprintf "P7: %a" Lang.pp_error e)
+      in
+      let p7_depth = 4 in
+      let pairs =
+        List.concat_map
+          (fun g' ->
+            List.filter_map
+              (fun g -> if g' == g then None else Some (g', g))
+              specs)
+          specs
+      in
+      let pool =
+        List.map
+          (fun (g', g) ->
+            Wire.submission ~depth:p7_depth
+              ~queries:
+                [ { Wire.kind = "refine"; names = [ Spec.name g'; Spec.name g ] } ]
+              (`Spec_text spec_text))
+          pairs
+      in
+      let t =
+        Report.create
+          [
+            "pass"; "clients"; "repeat"; "requests"; "wall ms"; "qps";
+            "p50 ms"; "p90 ms"; "p99 ms"; "cached";
+          ]
+      in
+      let jrows = ref [] in
+      let add_row ~pass ~clients ~repeat ~requests ~wall_ms ~qps ~p50 ~p90
+          ~p99 ~cached extra =
+        Report.add_row t
+          [
+            pass;
+            string_of_int clients;
+            Printf.sprintf "%.2f" repeat;
+            string_of_int requests;
+            Printf.sprintf "%.1f" wall_ms;
+            Printf.sprintf "%.1f" qps;
+            Printf.sprintf "%.2f" p50;
+            Printf.sprintf "%.2f" p90;
+            Printf.sprintf "%.2f" p99;
+            string_of_int cached;
+          ];
+        jrows :=
+          Json.Obj
+            ([
+               ("pass", Json.Str pass);
+               ("clients", Json.Int clients);
+               ("repeat", Json.Float repeat);
+               ("requests", Json.Int requests);
+               ("wall_ms", Json.Float wall_ms);
+               ("qps", Json.Float qps);
+               ("p50_ms", Json.Float p50);
+               ("p90_ms", Json.Float p90);
+               ("p99_ms", Json.Float p99);
+               ("cached", Json.Int cached);
+             ]
+            @ extra)
+          :: !jrows
+      in
+      (* Baseline: fresh engine per query, serial — the process-per-
+         query cost (sans fork/exec and spec parsing, so a lower bound
+         on what a cold CLI invocation pays). *)
+      let u7 = Spec.adequate_universe ~extra_objects:2 specs in
+      let lats =
+        List.map
+          (fun (g', g) ->
+            let cache = Vcache.create () in
+            let dfa_cache = Engine.dfa_cache () in
+            let req =
+              Engine.request ~depth:p7_depth ~universe:u7
+                (Job.Refine { refined = g'; abstract = g })
+            in
+            let _, ms =
+              wall (fun () ->
+                  ignore (Engine.run_batch ~domains:1 ~cache ~dfa_cache [ req ]))
+            in
+            ms)
+          pairs
+      in
+      let sorted = Array.of_list lats in
+      Array.sort compare sorted;
+      let pct p =
+        let n = Array.length sorted in
+        if n = 0 then 0.
+        else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int n)))
+      in
+      let cold_wall = List.fold_left ( +. ) 0. lats in
+      add_row ~pass:"cold per-invocation" ~clients:1 ~repeat:0.
+        ~requests:(List.length pairs) ~wall_ms:cold_wall
+        ~qps:(float_of_int (List.length pairs) /. Float.max 0.001 cold_wall *. 1000.)
+        ~p50:(pct 50.) ~p90:(pct 90.) ~p99:(pct 99.) ~cached:0
+        [ ("mode", Json.Str "serial") ];
+      (* The server: in-process, unix socket in the temp dir, no signal
+         handlers (it is our own process), telemetry spans off (P6 owns
+         span measurement). *)
+      let sock =
+        Filename.concat
+          (Filename.get_temp_dir_name ())
+          (Printf.sprintf "posl-bench-%d.sock" (Unix.getpid ()))
+      in
+      let cfg =
+        Serve.config ~workers:2 ~max_queue:256 ~spans:false
+          ~handle_signals:false (`Unix sock)
+      in
+      let ready_lock = Mutex.create () in
+      let ready_cond = Condition.create () in
+      let up = ref false in
+      let server =
+        Thread.create
+          (fun () ->
+            Serve.run
+              ~on_ready:(fun _ ->
+                Mutex.lock ready_lock;
+                up := true;
+                Condition.signal ready_cond;
+                Mutex.unlock ready_lock)
+              cfg)
+          ()
+      in
+      Mutex.lock ready_lock;
+      while not !up do
+        Condition.wait ready_cond ready_lock
+      done;
+      Mutex.unlock ready_lock;
+      let addr : Wire.addr = `Unix sock in
+      let campaign ~pass ~clients ~repeat ~requests =
+        match
+          Loadgen.run addr ~pool
+            { Loadgen.requests; clients; repeat; mode = Loadgen.Closed;
+              seed = 0x9e51 }
+        with
+        | Error msg -> failwith ("P7 loadgen: " ^ msg)
+        | Ok (r : Loadgen.report) ->
+            add_row ~pass ~clients:r.Loadgen.clients ~repeat:r.Loadgen.repeat
+              ~requests:r.Loadgen.requests ~wall_ms:r.Loadgen.wall_ms
+              ~qps:r.Loadgen.qps ~p50:r.Loadgen.p50_ms ~p90:r.Loadgen.p90_ms
+              ~p99:r.Loadgen.p99_ms ~cached:r.Loadgen.cached
+              [
+                ("mode", Json.Str r.Loadgen.mode);
+                ("answered", Json.Int r.Loadgen.answered);
+                ("rejected", Json.Int r.Loadgen.rejected);
+                ("expired", Json.Int r.Loadgen.expired);
+                ("failed", Json.Int r.Loadgen.failed);
+                ("errors", Json.Int r.Loadgen.errors);
+              ];
+            if r.Loadgen.errors > 0 then
+              Format.printf "  [P7 %s: %d transport errors]@." pass
+                r.Loadgen.errors
+      in
+      (* First contact fills the caches (fresh pool order, no repeats);
+         the warm-server sweep then measures the resident steady state
+         the service exists to provide. *)
+      let n_pool = List.length pool in
+      campaign ~pass:"server first-contact" ~clients:2 ~repeat:0.
+        ~requests:n_pool;
+      List.iter
+        (fun clients ->
+          campaign ~pass:"warm server" ~clients ~repeat:0.5
+            ~requests:(2 * n_pool))
+        [ 1; 2; 4 ];
+      (* graceful drain via the protocol, then join the server thread *)
+      let c = Client.connect addr in
+      (match Client.call c (Wire.request_json Wire.Shutdown) with
+      | Ok _ | Error _ -> ());
+      Client.close c;
+      Thread.join server;
+      Report.print t;
+      write_campaign ~name:"P7"
+        ~title:"sustained service throughput (warm server vs cold per-invocation)"
+        (List.rev !jrows)
+
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1101,5 +1320,6 @@ let () =
   p4 ();
   p5 ();
   p6 ();
+  p7 ();
   run_bechamel ();
   Format.printf "@.done.@."

@@ -30,6 +30,10 @@ module Lang = Posl_lang.Lang
 module Job = Posl_engine.Job
 module Engine = Posl_engine.Engine
 module Cache = Posl_engine.Cache
+module Manifest = Posl_engine.Manifest
+module Wire = Posl_serve.Wire
+module Serve = Posl_serve.Serve
+module Loadgen = Posl_serve.Loadgen
 module Report = Posl_report.Report
 module Verdict = Posl_verdict.Verdict
 module Json = Posl_verdict.Verdict.Json
@@ -431,152 +435,21 @@ let consistent_cmd =
 (* batch: a manifest of queries, answered by the engine                *)
 (* ------------------------------------------------------------------ *)
 
-(* Manifest grammar, line-oriented ('#' and '//' start comments):
-
-     use FILE            switch the current spec file (relative paths
-                         resolve against the manifest's directory)
-     depth N             exploration depth for subsequent queries
-     refine G' G
-     compose G D
-     proper G' G D
-     deadlock G D
-     equal A B
-*)
+(* The manifest grammar lives in posl.engine (Manifest) since the serve
+   PR — the CLI, server and load generator share it.  Errors map to the
+   input exit code. *)
 let parse_manifest ~default_depth ~extra path =
-  let dir = Filename.dirname path in
-  let resolve f = if Filename.is_relative f then Filename.concat dir f else f in
-  let text =
-    try Ok (read_whole_file path) with Sys_error m -> Error (Input m)
-  in
-  let* text = text in
-  let lines = String.split_on_char '\n' text in
-  (* '#' and '//' comments, without pulling in a string library *)
-  let strip line =
-    let cut_at i = String.sub line 0 i in
-    let line =
-      match String.index_opt line '#' with Some i -> cut_at i | None -> line
-    in
-    let rec slash i =
-      if i + 1 >= String.length line then line
-      else if line.[i] = '/' && line.[i + 1] = '/' then String.sub line 0 i
-      else slash (i + 1)
-    in
-    String.trim (slash 0)
-  in
-  let files : (string, Spec.t list * Posl_ident.Universe.t) Hashtbl.t =
-    Hashtbl.create 4
-  in
-  let load_file f =
-    match Hashtbl.find_opt files f with
-    | Some v -> Ok v
-    | None ->
-        let* specs = load f in
-        let universe = Spec.adequate_universe ~extra_objects:extra specs in
-        let v = (specs, universe) in
-        Hashtbl.add files f v;
-        Ok v
-  in
-  let err lineno msg =
-    Error (Input (Printf.sprintf "%s:%d: %s" path lineno msg))
-  in
-  let rec go lineno current depth acc = function
-    | [] -> Ok (List.rev acc)
-    | line :: rest -> (
-        let words =
-          strip line |> String.split_on_char ' '
-          |> List.filter (fun w -> w <> "")
-        in
-        let with_specs names k =
-          match current with
-          | None -> err lineno "no 'use FILE' before the first query"
-          | Some (file, specs, universe) ->
-              let* resolved =
-                List.fold_left
-                  (fun acc n ->
-                    let* acc = acc in
-                    match Lang.lookup specs n with
-                    | Some s -> Ok (s :: acc)
-                    | None ->
-                        err lineno
-                          (Printf.sprintf "no spec named %s in %s" n file))
-                  (Ok []) names
-              in
-              let query = k (List.rev resolved) in
-              let label =
-                Printf.sprintf "%s: %s" (Filename.basename file)
-                  (Job.describe query)
-              in
-              let req = Engine.request ~label ~depth ~universe query in
-              go (lineno + 1) current depth (req :: acc) rest
-        in
-        match words with
-        | [] -> go (lineno + 1) current depth acc rest
-        | [ "use"; f ] ->
-            let f = resolve f in
-            let* specs, universe = load_file f in
-            go (lineno + 1) (Some (f, specs, universe)) depth acc rest
-        | [ "depth"; n ] -> (
-            match int_of_string_opt n with
-            | Some d when d >= 0 -> go (lineno + 1) current d acc rest
-            | Some _ | None -> err lineno ("bad depth: " ^ n))
-        | [ "refine"; g'; g ] ->
-            with_specs [ g'; g ]
-              (spec2 (fun refined abstract -> Job.refine ~refined ~abstract))
-        | [ "compose"; g; d ] ->
-            with_specs [ g; d ]
-              (spec2 (fun left right -> Job.compose ~left ~right))
-        | [ "proper"; g'; g; d ] ->
-            with_specs [ g'; g; d ]
-              (spec3 (fun refined abstract context ->
-                   Job.proper ~refined ~abstract ~context))
-        | [ "deadlock"; g; d ] ->
-            with_specs [ g; d ]
-              (spec2 (fun left right -> Job.deadlock ~left ~right))
-        | [ "equal"; a; b ] ->
-            with_specs [ a; b ]
-              (spec2 (fun left right -> Job.equal ~left ~right))
-        | w :: _ -> err lineno ("unknown manifest directive: " ^ w))
-  in
-  go 1 None default_depth [] lines
+  match
+    Manifest.requests_of_file ~default_depth ~extra_objects:extra path
+  with
+  | Ok requests -> Ok requests
+  | Error msg -> Error (Input msg)
 
-(* All JSON is built with posl.verdict's document AST — the one
-   escaping/serialization path shared with the library. *)
-let json_of_stats (s : Engine.stats) ~failed =
-  Json.Obj
-    [
-      ("jobs", Json.Int s.Engine.jobs);
-      ("failed", Json.Int failed);
-      ("cache_hits", Json.Int s.Engine.cache_hits);
-      ("cache_misses", Json.Int s.Engine.cache_misses);
-      ("uncacheable", Json.Int s.Engine.uncacheable);
-      ("store_hits", Json.Int s.Engine.store_hits);
-      ("store_misses", Json.Int s.Engine.store_misses);
-      ("store_writes", Json.Int s.Engine.store_writes);
-      ("dfa_cache_hits", Json.Int s.Engine.dfa_cache_hits);
-      ("dfa_compiles", Json.Int s.Engine.dfa_compiles);
-      ("busy_ms", Json.Float s.Engine.busy_ms);
-      ("wall_ms", Json.Float s.Engine.wall_ms);
-      ("domains", Json.Int s.Engine.domains);
-      ("utilization", Json.Float s.Engine.utilization);
-    ]
-
-let json_of_result (r : Engine.result) =
-  Json.Obj
-    [
-      ("label", Json.Str r.Engine.request.Engine.label);
-      ("kind", Json.Str (Job.kind r.Engine.request.Engine.query));
-      ("depth", Json.Int r.Engine.request.Engine.depth);
-      ("holds", Json.Bool (Verdict.to_bool r.Engine.verdict));
-      ("cached", Json.Bool r.Engine.cached);
-      ("from_store", Json.Bool r.Engine.from_store);
-      ("cacheable", Json.Bool (r.Engine.digest <> None));
-      ("ms", Json.Float r.Engine.ms);
-      ( "span_id",
-        match r.Engine.span_id with
-        | Some id -> Json.Int id
-        | None -> Json.Null );
-      ("verdict", Verdict.to_json r.Engine.verdict);
-    ]
+(* All JSON is built with posl.verdict's document AST — the result and
+   stats serializers are the ones the server's submit responses use
+   (posl.serve's Wire). *)
+let json_of_stats = Wire.json_of_stats
+let json_of_result = Wire.json_of_result
 
 let manifest_arg =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"MANIFEST"
@@ -846,6 +719,276 @@ let store_cmd =
     (Cmd.info "store" ~doc:"Inspect and maintain a persistent verdict store.")
     [ store_stats_cmd; store_verify_cmd; store_gc_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* serve / loadgen: the resident verification service                  *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Listen on (serve) or connect to (loadgen) this Unix-domain socket.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "tcp" ] ~docv:"HOST:PORT"
+        ~doc:
+          "Listen on (serve) or connect to (loadgen) this TCP address.  A \
+           port of 0 lets the kernel choose; serve prints the bound address.")
+
+let addr_of socket tcp =
+  match (socket, tcp) with
+  | Some path, None -> Ok (`Unix path)
+  | None, Some hostport -> (
+      match String.rindex_opt hostport ':' with
+      | None -> Error (Input ("--tcp wants HOST:PORT, got " ^ hostport))
+      | Some i -> (
+          let host = String.sub hostport 0 i in
+          let port = String.sub hostport (i + 1) (String.length hostport - i - 1) in
+          match int_of_string_opt port with
+          | Some p when p >= 0 && p < 65536 -> Ok (`Tcp (host, p))
+          | Some _ | None -> Error (Input ("bad port: " ^ port))))
+  | Some _, Some _ -> Error (Input "give either --socket or --tcp, not both")
+  | None, None -> Error (Input "an address is required: --socket PATH or --tcp HOST:PORT")
+
+let deadline_ms_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "deadline-ms" ] ~docv:"N"
+        ~doc:
+          "Per-job admission deadline: jobs still queued after $(docv) \
+           milliseconds answer deadline_exceeded instead of running.")
+
+let serve_cmd =
+  let workers_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "workers"; "j" ] ~docv:"N"
+          ~doc:"Worker domains answering queries (default: the machine's).")
+  in
+  let max_queue_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "max-queue" ] ~docv:"N"
+          ~doc:
+            "Admission-queue bound: submissions that would queue more than \
+             $(docv) jobs get a typed overloaded response.")
+  in
+  let max_frame_arg =
+    Arg.(
+      value
+      & opt int Posl_serve.Frame.default_max_bytes
+      & info [ "max-frame" ] ~docv:"BYTES"
+          ~doc:"Reject incoming frames larger than $(docv) bytes.")
+  in
+  let run socket tcp workers max_queue deadline_ms store_dir max_frame =
+    code
+      (let* addr = addr_of socket tcp in
+       let cfg =
+         Serve.config ?workers ~max_queue ?deadline_ms ?store_dir ~max_frame
+           addr
+       in
+       match
+         Serve.run
+           ~on_ready:(fun bound ->
+             Format.printf "posl-check serve: listening on %a (%d workers, queue %d)@."
+               Wire.pp_addr bound cfg.Serve.workers cfg.Serve.max_queue)
+           cfg
+       with
+       | () ->
+           Format.printf "posl-check serve: drained, bye@.";
+           Ok ()
+       | exception Unix.Unix_error (e, fn, arg) ->
+           Error
+             (Input
+                (Printf.sprintf "%s %s: %s" fn arg (Unix.error_message e)))
+       | exception Store.Error m -> Error (Input m))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the resident verification service: length-prefixed JSON frames \
+          over a Unix or TCP socket, answered by worker domains behind a \
+          bounded admission queue, with every submission landing on the \
+          process-lifetime warm caches.  SIGINT/SIGTERM (or the shutdown op) \
+          drain gracefully and exit 0.")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ workers_arg $ max_queue_arg
+      $ deadline_ms_arg $ store_arg $ max_frame_arg)
+
+let loadgen_cmd =
+  let manifest_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "manifest" ] ~docv:"MANIFEST"
+          ~doc:"Draw the submission pool from this manifest's queries.")
+  in
+  let requests_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "n" ] ~docv:"N"
+          ~doc:"Total submissions across all clients.")
+  in
+  let clients_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "clients"; "c" ] ~docv:"N" ~doc:"Concurrent connections.")
+  in
+  let repeat_arg =
+    Arg.(
+      value & opt float 0.5
+      & info [ "repeat" ] ~docv:"P"
+          ~doc:
+            "Probability of resubmitting a random earlier pool entry — \
+             repeats exercise the server's warm caches.")
+  in
+  let rate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"QPS"
+          ~doc:
+            "Open-loop arrival at $(docv) aggregate requests/sec (default: \
+             closed loop — each client fires as soon as its response lands).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"SEED" ~doc:"Repeat-draw random seed.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the machine-readable report to this file.")
+  in
+  let server_metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "server-metrics" ] ~docv:"PATH"
+          ~doc:
+            "After the run, fetch the server's metrics op and write the \
+             Prometheus text exposition to $(docv).")
+  in
+  let run socket tcp manifest requests clients repeat rate depth deadline_ms
+      seed json_path server_metrics =
+    code
+      (let* addr = addr_of socket tcp in
+       let* text =
+         try Ok (read_whole_file manifest) with Sys_error m -> Error (Input m)
+       in
+       let* entries =
+         match
+           Manifest.entries ~path:manifest
+             ~dir:(Filename.dirname manifest) ~default_depth:depth text
+         with
+         | Ok [] -> Error (Input (manifest ^ ": no queries"))
+         | Ok entries -> Ok entries
+         | Error m -> Error (Input m)
+       in
+       let pool =
+         (* spec paths travel to a server with its own cwd — absolutize *)
+         let absolute f =
+           if Filename.is_relative f then Filename.concat (Sys.getcwd ()) f
+           else f
+         in
+         List.map
+           (fun (e : Manifest.entry) ->
+             Wire.submission ~depth:e.Manifest.depth ?deadline_ms
+               ~queries:
+                 [ { Wire.kind = e.Manifest.kind; names = e.Manifest.names } ]
+               (`File (absolute e.Manifest.file)))
+           entries
+       in
+       let cfg =
+         {
+           Loadgen.requests;
+           clients;
+           repeat;
+           mode =
+             (match rate with
+             | None -> Loadgen.Closed
+             | Some r -> Loadgen.Open r);
+           seed;
+         }
+       in
+       let* report =
+         match Loadgen.run addr ~pool cfg with
+         | Ok r -> Ok r
+         | Error m -> Error (Input m)
+       in
+       Format.printf "%a@." Loadgen.pp_report report;
+       let write path content =
+         try
+           let oc = open_out path in
+           Fun.protect
+             ~finally:(fun () -> close_out_noerr oc)
+             (fun () -> output_string oc content);
+           Ok ()
+         with Sys_error m -> Error (Input m)
+       in
+       let* () =
+         match json_path with
+         | None -> Ok ()
+         | Some path ->
+             write path
+               (Json.to_string (Loadgen.json_of_report report) ^ "\n")
+       in
+       let* () =
+         match server_metrics with
+         | None -> Ok ()
+         | Some path -> (
+             match Posl_serve.Client.connect addr with
+             | exception Unix.Unix_error (e, fn, _) ->
+                 Error
+                   (Input
+                      (Printf.sprintf "metrics fetch: %s: %s" fn
+                         (Unix.error_message e)))
+             | conn ->
+                 Fun.protect
+                   ~finally:(fun () -> Posl_serve.Client.close conn)
+                   (fun () ->
+                     match
+                       Posl_serve.Client.call conn
+                         (Wire.request_json Wire.Metrics)
+                     with
+                     | Error m -> Error (Input ("metrics fetch: " ^ m))
+                     | Ok (Json.Obj fields) -> (
+                         match List.assoc_opt "metrics" fields with
+                         | Some (Json.Str text) -> write path text
+                         | _ ->
+                             Error
+                               (Input "metrics fetch: malformed response"))
+                     | Ok _ -> Error (Input "metrics fetch: malformed response")))
+       in
+       if report.Loadgen.errors > 0 then
+         Error
+           (Verdict
+              (Printf.sprintf "%d of %d requests errored"
+                 report.Loadgen.errors report.Loadgen.requests))
+       else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Drive a running verification server with concurrent clients: \
+          closed- or open-loop arrival, a configurable repeat ratio to \
+          exercise warm caches, and a latency/throughput report.  Exits \
+          non-zero only on transport errors (overload rejections are counted, \
+          not fatal).")
+    Term.(
+      const run $ socket_arg $ tcp_arg $ manifest_arg $ requests_arg
+      $ clients_arg $ repeat_arg $ rate_arg $ depth_arg $ deadline_ms_arg
+      $ seed_arg $ json_arg $ server_metrics_arg)
+
 (* json: native validation of the CLI's own JSON documents (used by the
    smoke test instead of shelling out to python). *)
 let json_cmd =
@@ -922,6 +1065,8 @@ let main_cmd =
       batch_cmd;
       metrics_cmd;
       store_cmd;
+      serve_cmd;
+      loadgen_cmd;
       json_cmd;
     ]
 

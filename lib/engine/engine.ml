@@ -154,101 +154,127 @@ let dfa_cache_stats dc =
    same time base the span layer uses. *)
 let now_ns = Telemetry.now_ns
 
-let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
+(* A session is the warm state a resident caller (the verification
+   service, or run_batch for its own lifetime) threads across any
+   number of answered requests: the in-memory verdict cache, the
+   compiled-automata registry, the optional persistent store, and one
+   shared monitor context per distinct universe.  Contexts are keyed
+   structurally — two submissions that describe the same universe
+   (e.g. the same spec text sent twice over a socket) share monitors
+   even though the values are not physically equal. *)
+type session = {
+  s_cache : Cache.t;
+  s_dc : dfa_cache;
+  s_store : Store.t option;
+  s_lock : Mutex.t;
+  mutable s_ctxs : (Universe.t * Tset.ctx) list;
+}
+
+let session ?cache ?dfa_cache:dc ?store () =
+  {
+    s_cache = (match cache with Some c -> c | None -> Cache.create ());
+    s_dc = (match dc with Some d -> d | None -> dfa_cache ());
+    s_store = store;
+    s_lock = Mutex.create ();
+    s_ctxs = [];
+  }
+
+let session_cache s = s.s_cache
+let session_dfa_cache s = s.s_dc
+let session_store s = s.s_store
+
+let session_ctx s universe =
+  Mutex.lock s.s_lock;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock s.s_lock)
+    (fun () ->
+      match List.find_opt (fun (u, _) -> u = universe) s.s_ctxs with
+      | Some (_, ctx) -> ctx
+      | None ->
+          let ctx =
+            Tset.ctx ~cache:(dfa_cache_for s.s_dc universe) universe
+          in
+          s.s_ctxs <- (universe, ctx) :: s.s_ctxs;
+          ctx)
+
+let answer s counters req =
+  Telemetry.with_span "engine.job"
+    ~attrs:[ ("label", req.label); ("kind", Job.kind req.query) ]
+  @@ fun () ->
+  let span_id = Telemetry.current_span_id () in
+  let t0 = now_ns () in
+  let digest =
+    Digest.query ~universe:req.universe ~depth:req.depth req.query
+  in
+  let compute () =
+    Job.run ~domains:1 (session_ctx s req.universe) ~depth:req.depth req.query
+  in
+  (* The persistent store sits beneath the in-memory cache: a store
+     hit is promoted into the cache (so duplicates later in the batch
+     hit memory), a store miss computes and write-behinds.  The store
+     is keyed depth-independently ([Digest.query_base]) — its reuse
+     rule lives in [Store.find]. *)
+  let consult_store key compute_and_fill =
+    match s.s_store with
+    | None -> (false, compute_and_fill ())
+    | Some store -> (
+        let base = Digest.query_base ~universe:req.universe req.query in
+        match base with
+        | None -> (false, compute_and_fill ())
+        | Some bkey -> (
+            match Store.find store ~digest:bkey ~depth:req.depth with
+            | Some v ->
+                Counters.incr_store_hits counters;
+                Cache.add s.s_cache key v;
+                (true, v)
+            | None ->
+                Counters.incr_store_misses counters;
+                let v = compute_and_fill () in
+                if Store.add store ~digest:bkey ~depth:req.depth v then
+                  Counters.incr_store_writes counters;
+                (false, v)))
+  in
+  let cached, from_store, verdict =
+    match digest with
+    | None ->
+        Counters.incr_uncacheable counters;
+        (false, false, compute ())
+    | Some key -> (
+        match Cache.find s.s_cache key with
+        | Some v ->
+            Counters.incr_hits counters;
+            (true, false, v)
+        | None ->
+            let from_store, v =
+              consult_store key (fun () ->
+                  let v = compute () in
+                  Cache.add s.s_cache key v;
+                  Counters.incr_misses counters;
+                  v)
+            in
+            (from_store, from_store, v))
+  in
+  let elapsed = now_ns () - t0 in
+  let ms = float_of_int elapsed /. 1e6 in
+  Counters.incr_jobs counters;
+  Counters.add_busy_ns counters elapsed;
+  Metrics.observe job_ms_hist ms;
+  Telemetry.set_attrs
+    [ ("cached", string_of_bool cached);
+      ("from_store", string_of_bool from_store) ];
+  { request = req; verdict; cached; from_store; digest; ms; span_id }
+
+let run_jobs ?domains s requests =
   let domains =
     match domains with Some d -> max 1 d | None -> Par.default_domains ()
   in
-  let cache = match cache with Some c -> c | None -> Cache.create () in
-  let dc = match dc with Some d -> d | None -> dfa_cache () in
   let counters = Counters.create () in
-  (* One shared context per distinct universe, built before the workers
-     start so scheduling never races on context creation.  Requests
-     from one manifest file share a universe physically; structurally
-     equal universes additionally share their striped DFA cache through
-     the registry. *)
-  let ctxs =
-    List.fold_left
-      (fun acc req ->
-        if List.exists (fun (u, _) -> u == req.universe) acc then acc
-        else
-          ( req.universe,
-            Tset.ctx ~cache:(dfa_cache_for dc req.universe) req.universe )
-          :: acc)
-      [] requests
-  in
-  let ctx_for universe =
-    match List.find_opt (fun (u, _) -> u == universe) ctxs with
-    | Some (_, ctx) -> ctx
-    | None -> assert false (* every request was folded over above *)
-  in
-  let dfa_before = dfa_cache_stats dc in
-  let answer req =
-    Telemetry.with_span "engine.job"
-      ~attrs:[ ("label", req.label); ("kind", Job.kind req.query) ]
-    @@ fun () ->
-    let span_id = Telemetry.current_span_id () in
-    let t0 = now_ns () in
-    let digest =
-      Digest.query ~universe:req.universe ~depth:req.depth req.query
-    in
-    let compute () =
-      Job.run ~domains:1 (ctx_for req.universe) ~depth:req.depth req.query
-    in
-    (* The persistent store sits beneath the in-memory cache: a store
-       hit is promoted into the cache (so duplicates later in the batch
-       hit memory), a store miss computes and write-behinds.  The store
-       is keyed depth-independently ([Digest.query_base]) — its reuse
-       rule lives in [Store.find]. *)
-    let consult_store key compute_and_fill =
-      match store with
-      | None -> (false, compute_and_fill ())
-      | Some s -> (
-          let base = Digest.query_base ~universe:req.universe req.query in
-          match base with
-          | None -> (false, compute_and_fill ())
-          | Some bkey -> (
-              match Store.find s ~digest:bkey ~depth:req.depth with
-              | Some v ->
-                  Counters.incr_store_hits counters;
-                  Cache.add cache key v;
-                  (true, v)
-              | None ->
-                  Counters.incr_store_misses counters;
-                  let v = compute_and_fill () in
-                  if Store.add s ~digest:bkey ~depth:req.depth v then
-                    Counters.incr_store_writes counters;
-                  (false, v)))
-    in
-    let cached, from_store, verdict =
-      match digest with
-      | None ->
-          Counters.incr_uncacheable counters;
-          (false, false, compute ())
-      | Some key -> (
-          match Cache.find cache key with
-          | Some v ->
-              Counters.incr_hits counters;
-              (true, false, v)
-          | None ->
-              let from_store, v =
-                consult_store key (fun () ->
-                    let v = compute () in
-                    Cache.add cache key v;
-                    Counters.incr_misses counters;
-                    v)
-              in
-              (from_store, from_store, v))
-    in
-    let elapsed = now_ns () - t0 in
-    let ms = float_of_int elapsed /. 1e6 in
-    Counters.incr_jobs counters;
-    Counters.add_busy_ns counters elapsed;
-    Metrics.observe job_ms_hist ms;
-    Telemetry.set_attrs
-      [ ("cached", string_of_bool cached);
-        ("from_store", string_of_bool from_store) ];
-    { request = req; verdict; cached; from_store; digest; ms; span_id }
-  in
+  (* Build the shared context of every distinct universe before the
+     workers start, so scheduling never races on context creation
+     (structurally equal universes share one context through the
+     session registry). *)
+  List.iter (fun req -> ignore (session_ctx s req.universe)) requests;
+  let dfa_before = dfa_cache_stats s.s_dc in
   Metrics.set domains_gauge (float_of_int domains);
   let t0 = now_ns () in
   let results =
@@ -256,11 +282,11 @@ let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
       ~attrs:
         [ ("jobs", string_of_int (List.length requests));
           ("domains", string_of_int domains) ]
-      (fun () -> Par.map_dyn ~domains answer requests)
+      (fun () -> Par.map_dyn ~domains (answer s counters) requests)
   in
   let wall_ms = float_of_int (now_ns () - t0) /. 1e6 in
   let dfa =
-    Prs_cache.diff_stats ~before:dfa_before ~after:(dfa_cache_stats dc)
+    Prs_cache.diff_stats ~before:dfa_before ~after:(dfa_cache_stats s.s_dc)
   in
   Counters.add_dfa counters ~hits:dfa.Prs_cache.hits
     ~compiles:dfa.Prs_cache.misses ~contended:dfa.Prs_cache.contended;
@@ -285,3 +311,6 @@ let run_batch ?domains ?cache ?dfa_cache:dc ?store requests =
     }
   in
   (results, stats)
+
+let run_batch ?domains ?cache ?dfa_cache ?store requests =
+  run_jobs ?domains (session ?cache ?dfa_cache ?store ()) requests

@@ -93,6 +93,51 @@ val dfa_cache_stats : dfa_cache -> Posl_tset.Prs_cache.stats
 (** Aggregate hit/miss/duplicate/contention counts over every universe
     in the registry. *)
 
+(** {1 Sessions}
+
+    The warm state a resident caller threads across any number of
+    answered requests: the in-memory verdict {!Cache}, the compiled
+    automata {!dfa_cache}, the optional persistent store, and one
+    shared monitor context per distinct universe.  {!run_batch} is one
+    throwaway session; the verification service ([posl.serve]) keeps a
+    session alive for the lifetime of the process so every submission
+    lands on warm caches. *)
+
+type session
+
+val session :
+  ?cache:Cache.t ->
+  ?dfa_cache:dfa_cache ->
+  ?store:Posl_store.Store.t ->
+  unit ->
+  session
+(** Omitted components are created fresh (and the store absent). *)
+
+val session_cache : session -> Cache.t
+val session_dfa_cache : session -> dfa_cache
+val session_store : session -> Posl_store.Store.t option
+
+val session_ctx : session -> Posl_ident.Universe.t -> Posl_tset.Tset.ctx
+(** The session's shared monitor context for [universe], created on
+    first use.  Universes are compared {e structurally}, so repeated
+    submissions of the same spec content share monitors (and, through
+    the registry, compiled automata) even across distinct values.
+    Thread- and domain-safe. *)
+
+val answer : session -> Counters.t -> request -> result
+(** Answer one request against the session's warm state: in-memory
+    cache, then persistent store (promote on hit, write-behind on
+    miss), then compute with [Job.run ~domains:1].  Safe to call
+    concurrently from any number of threads or domains — this is the
+    unit of work the verification service's scheduler dispatches.
+    Traffic is counted into [counters] (and the process registry). *)
+
+val run_jobs :
+  ?domains:int -> session -> request list -> result list * stats
+(** Answer every request over the session's warm state, scheduled
+    across [domains] workers; results are order-stable with the input.
+    Stats cover exactly this call's traffic. *)
+
 val run_batch :
   ?domains:int ->
   ?cache:Cache.t ->

@@ -1,0 +1,165 @@
+(* Query manifests, split into a pure text parser ({!entries}) and an
+   elaboration pass over a pluggable spec loader ({!elaborate}) so that
+   the CLI, the resident server and the load generator all share one
+   grammar without sharing a filesystem. *)
+
+module Spec = Posl_core.Spec
+module Lang = Posl_lang.Lang
+open Posl_ident
+
+type entry = {
+  line : int;
+  file : string;
+  depth : int;
+  kind : string;
+  names : string list;
+}
+
+let arity = function
+  | "refine" | "compose" | "deadlock" | "equal" -> Some 2
+  | "proper" -> Some 3
+  | _ -> None
+
+let query ~kind specs =
+  match (kind, specs) with
+  | "refine", [ refined; abstract ] -> Ok (Job.refine ~refined ~abstract)
+  | "compose", [ left; right ] -> Ok (Job.compose ~left ~right)
+  | "proper", [ refined; abstract; context ] ->
+      Ok (Job.proper ~refined ~abstract ~context)
+  | "deadlock", [ left; right ] -> Ok (Job.deadlock ~left ~right)
+  | "equal", [ left; right ] -> Ok (Job.equal ~left ~right)
+  | kind, specs -> (
+      match arity kind with
+      | None -> Error (Printf.sprintf "unknown query kind: %s" kind)
+      | Some n ->
+          Error
+            (Printf.sprintf "%s expects %d specification name%s, got %d" kind n
+               (if n = 1 then "" else "s")
+               (List.length specs)))
+
+(* '#' and '//' comments, without pulling in a string library. *)
+let strip line =
+  let cut_at i = String.sub line 0 i in
+  let line =
+    match String.index_opt line '#' with Some i -> cut_at i | None -> line
+  in
+  let rec slash i =
+    if i + 1 >= String.length line then line
+    else if line.[i] = '/' && line.[i + 1] = '/' then String.sub line 0 i
+    else slash (i + 1)
+  in
+  String.trim (slash 0)
+
+let entries ?(path = "manifest") ?dir ~default_depth text =
+  let resolve f =
+    match dir with
+    | Some d when Filename.is_relative f -> Filename.concat d f
+    | _ -> f
+  in
+  let err lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  let lines = String.split_on_char '\n' text in
+  let rec go lineno current depth acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        let words =
+          strip line |> String.split_on_char ' '
+          |> List.filter (fun w -> w <> "")
+        in
+        let with_query kind names =
+          match current with
+          | None -> err lineno "no 'use FILE' before the first query"
+          | Some file ->
+              go (lineno + 1) current depth
+                ({ line = lineno; file; depth; kind; names } :: acc)
+                rest
+        in
+        match words with
+        | [] -> go (lineno + 1) current depth acc rest
+        | [ "use"; f ] -> go (lineno + 1) (Some (resolve f)) depth acc rest
+        | [ "depth"; n ] -> (
+            match int_of_string_opt n with
+            | Some d when d >= 0 -> go (lineno + 1) current d acc rest
+            | Some _ | None -> err lineno ("bad depth: " ^ n))
+        | kind :: names when arity kind <> None ->
+            if Some (List.length names) = arity kind then with_query kind names
+            else
+              err lineno
+                (Printf.sprintf "%s expects %d specification name%s" kind
+                   (Option.get (arity kind))
+                   (if arity kind = Some 1 then "" else "s"))
+        | w :: _ -> err lineno ("unknown manifest directive: " ^ w))
+  in
+  go 1 None default_depth [] lines
+
+type loader = string -> (Spec.t list * Universe.t, string) result
+
+let file_loader ~extra_objects () =
+  let cache : (string, (Spec.t list * Universe.t, string) result) Hashtbl.t =
+    Hashtbl.create 4
+  in
+  fun f ->
+    match Hashtbl.find_opt cache f with
+    | Some v -> v
+    | None ->
+        let v =
+          match Lang.specs_of_file f with
+          | Ok specs ->
+              Ok (specs, Spec.adequate_universe ~extra_objects specs)
+          | Error e -> Error (Format.asprintf "%s: %a" f Lang.pp_error e)
+          | exception Sys_error m -> Error m
+        in
+        Hashtbl.add cache f v;
+        v
+
+let ( let* ) = Result.bind
+
+let elaborate ?(path = "manifest") ~load entries =
+  let err (e : entry) msg =
+    Error (Printf.sprintf "%s:%d: %s" path e.line msg)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | (e : entry) :: rest ->
+        let* specs, universe =
+          match load e.file with
+          | Ok v -> Ok v
+          | Error m -> err e m
+        in
+        let* resolved =
+          List.fold_left
+            (fun acc n ->
+              let* acc = acc in
+              match Lang.lookup specs n with
+              | Some s -> Ok (s :: acc)
+              | None ->
+                  err e (Printf.sprintf "no spec named %s in %s" n e.file))
+            (Ok []) e.names
+        in
+        let* q =
+          match query ~kind:e.kind (List.rev resolved) with
+          | Ok q -> Ok q
+          | Error m -> err e m
+        in
+        let label =
+          Printf.sprintf "%s: %s" (Filename.basename e.file) (Job.describe q)
+        in
+        go (Engine.request ~label ~depth:e.depth ~universe q :: acc) rest
+  in
+  go [] entries
+
+let requests_of_string ?path ?dir ~default_depth ~load text =
+  let* es = entries ?path ?dir ~default_depth text in
+  elaborate ?path ~load es
+
+let requests_of_file ~default_depth ~extra_objects path =
+  let* text =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error m -> Error m
+  in
+  requests_of_string ~path ~dir:(Filename.dirname path) ~default_depth
+    ~load:(file_loader ~extra_objects ())
+    text

@@ -1,0 +1,92 @@
+(** Query manifests: the line-oriented batch input format, as a library.
+
+    Until the verification service existed this grammar lived inside
+    the CLI; a resident server must construct {!Engine.request}s from
+    text it received over a socket without round-tripping through the
+    filesystem, so parsing ({!entries}) and elaboration ({!elaborate})
+    are split and the spec-file loader is pluggable.
+
+    Grammar (['#'] and ["//"] start comments):
+
+    {v
+    use FILE            switch the current spec file
+    depth N             exploration depth for subsequent queries
+    refine G' G
+    compose G D
+    proper G' G D
+    deadlock G D
+    equal A B
+    v}
+
+    All errors are strings of the shape ["path:line: message"] — the
+    CLI maps them to its input-error exit code, the server to a typed
+    [input] error response. *)
+
+module Spec = Posl_core.Spec
+open Posl_ident
+
+type entry = {
+  line : int;  (** 1-based line number in the manifest text *)
+  file : string;  (** the spec file in scope ([use]), resolved *)
+  depth : int;
+  kind : string;  (** ["refine" | "compose" | "proper" | "deadlock" | "equal"] *)
+  names : string list;  (** spec names, positional, arity already checked *)
+}
+
+val arity : string -> int option
+(** Number of spec names the query kind takes; [None] for unknown
+    kinds. *)
+
+val query : kind:string -> Spec.t list -> (Job.query, string) result
+(** Build the typed query from resolved specs in positional order
+    (the inverse of {!Job.kind}/{!Job.specs}); [Error] on unknown kind
+    or arity mismatch. *)
+
+val entries :
+  ?path:string ->
+  ?dir:string ->
+  default_depth:int ->
+  string ->
+  (entry list, string) result
+(** Parse manifest {e text}.  [path] (default ["manifest"]) is used in
+    error messages only; relative [use] targets resolve against [dir]
+    when given (the CLI passes the manifest's directory). *)
+
+type loader = string -> (Spec.t list * Universe.t, string) result
+(** Resolve one spec-file reference to its specifications and the
+    universe queries over it are posed in.  Called once per distinct
+    [use] target ({!elaborate} memoizes nothing — memoize in the
+    loader). *)
+
+val file_loader : extra_objects:int -> unit -> loader
+(** The filesystem loader the CLI uses: {!Posl_lang.Lang.specs_of_file}
+    plus {!Spec.adequate_universe}, memoized per path for the lifetime
+    of the returned closure. *)
+
+val elaborate :
+  ?path:string ->
+  load:loader ->
+  entry list ->
+  (Engine.request list, string) result
+(** Resolve every entry's spec names through [load] and build engine
+    requests, labelled ["basename(file): description"] exactly as the
+    batch table shows them. *)
+
+val requests_of_string :
+  ?path:string ->
+  ?dir:string ->
+  default_depth:int ->
+  load:loader ->
+  string ->
+  (Engine.request list, string) result
+(** {!entries} composed with {!elaborate} — the server's whole path
+    from received manifest text to runnable requests. *)
+
+val requests_of_file :
+  default_depth:int ->
+  extra_objects:int ->
+  string ->
+  (Engine.request list, string) result
+(** Read a manifest file and elaborate it with {!file_loader};
+    relative [use] targets resolve against the manifest's directory.
+    May not raise: unreadable files are [Error]. *)

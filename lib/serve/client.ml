@@ -1,0 +1,38 @@
+module Json = Posl_verdict.Verdict.Json
+
+type t = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect (addr : Wire.addr) =
+  let domain, sockaddr =
+    match addr with
+    | `Unix path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | `Tcp (host, port) ->
+        let inet =
+          try Unix.inet_addr_of_string host
+          with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd;
+    oc = Unix.out_channel_of_descr (Unix.dup fd) }
+
+let call ?max_frame t doc =
+  match Frame.write t.oc (Json.to_string doc) with
+  | exception Sys_error e -> Error (Printf.sprintf "write failed: %s" e)
+  | () -> (
+      match Frame.read ?max_bytes:max_frame t.ic with
+      | Error e -> Error (Format.asprintf "%a" Frame.pp_error e)
+      | Ok payload -> (
+          match Json.of_string payload with
+          | Ok doc -> Ok doc
+          | Error e -> Error (Printf.sprintf "bad response JSON: %s" e)))
+
+let close t =
+  (try close_out_noerr t.oc with _ -> ());
+  (* closing [ic] closes the underlying fd; [oc] held a dup *)
+  try close_in_noerr t.ic with _ -> ()

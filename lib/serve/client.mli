@@ -1,0 +1,17 @@
+(** Minimal synchronous client for the verification service.
+
+    One {!t} is one connection; {!call} writes a request frame and
+    blocks for the matching response frame.  Not thread-safe — give
+    each thread its own connection (that is what {!Loadgen} does). *)
+
+type t
+
+val connect : Wire.addr -> t
+(** Raises [Unix.Unix_error] if the server is not there. *)
+
+val call : ?max_frame:int -> t -> Wire.Json.t -> (Wire.Json.t, string) result
+(** Send one JSON document, await one JSON document.  [Error] covers
+    connection loss, framing violations and unparseable response
+    payloads; the connection should be {!close}d after an [Error]. *)
+
+val close : t -> unit

@@ -1,0 +1,63 @@
+(* Length-prefixed, line-terminated frames: [<len> SP <payload> LF]. *)
+
+let default_max_bytes = 4 * 1024 * 1024
+
+type error = Eof | Oversized of int | Malformed of string
+
+let pp_error ppf = function
+  | Eof -> Format.fprintf ppf "end of stream"
+  | Oversized n -> Format.fprintf ppf "oversized frame (%d bytes declared)" n
+  | Malformed m -> Format.fprintf ppf "malformed frame: %s" m
+
+(* The length prefix is at most 10 digits — enough for any frame below
+   the hard [max_int] ceiling, and a cheap cap against a stream that
+   opens with an endless run of digits. *)
+let max_prefix_digits = 10
+
+let read ?(max_bytes = default_max_bytes) ic =
+  match input_char ic with
+  | exception End_of_file -> Error Eof
+  | c when c < '0' || c > '9' ->
+      Error (Malformed (Printf.sprintf "length prefix starts with %C" c))
+  | first -> (
+      let rec prefix acc digits =
+        if digits > max_prefix_digits then
+          Error (Malformed "length prefix too long")
+        else
+          match input_char ic with
+          | exception End_of_file -> Error (Malformed "eof in length prefix")
+          | ' ' -> Ok acc
+          | c when c >= '0' && c <= '9' ->
+              prefix ((acc * 10) + (Char.code c - Char.code '0')) (digits + 1)
+          | c ->
+              Error
+                (Malformed (Printf.sprintf "%C in length prefix" c))
+      in
+      match prefix (Char.code first - Char.code '0') 1 with
+      | Error _ as e -> e
+      | Ok len when len > max_bytes -> Error (Oversized len)
+      | Ok len -> (
+          match really_input_string ic len with
+          | exception End_of_file -> Error (Malformed "eof in payload")
+          | payload -> (
+              match input_char ic with
+              | exception End_of_file ->
+                  Error (Malformed "eof before frame terminator")
+              | '\n' -> Ok payload
+              | c ->
+                  Error
+                    (Malformed
+                       (Printf.sprintf
+                          "frame terminator is %C, not a newline (length \
+                           prefix lied?)"
+                          c)))))
+
+let write oc payload =
+  output_string oc (string_of_int (String.length payload));
+  output_char oc ' ';
+  output_string oc payload;
+  output_char oc '\n';
+  flush oc
+
+let to_string payload =
+  Printf.sprintf "%d %s\n" (String.length payload) payload

@@ -1,0 +1,36 @@
+(** Wire framing: length-prefixed, line-terminated payloads.
+
+    One frame is
+
+    {v <decimal byte length of PAYLOAD> SP <PAYLOAD> LF v}
+
+    e.g. [13 {"op":"ping"}\n].  The length prefix lets both sides read
+    a frame with exact-size reads and reject oversized submissions
+    {e before} buffering them; the trailing newline keeps the protocol
+    speakable by hand ([socat]/[nc]) and catches length lies early.
+    Payloads are opaque bytes here — the protocol layer ({!Wire}) puts
+    JSON in them. *)
+
+val default_max_bytes : int
+(** 4 MiB — the default refusal threshold for incoming frames. *)
+
+type error =
+  | Eof  (** clean end of stream before any frame byte *)
+  | Oversized of int
+      (** declared length exceeds the limit; the payload was {e not}
+          consumed, so the connection can only be closed *)
+  | Malformed of string
+      (** bad length prefix, missing separator or terminator, or
+          truncation mid-frame *)
+
+val pp_error : Format.formatter -> error -> unit
+
+val read : ?max_bytes:int -> in_channel -> (string, error) result
+(** Read one frame's payload.  [max_bytes] defaults to
+    {!default_max_bytes}. *)
+
+val write : out_channel -> string -> unit
+(** Write one frame and flush. *)
+
+val to_string : string -> string
+(** The framed rendering of a payload (what {!write} emits). *)

@@ -1,0 +1,112 @@
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+
+let queue_depth =
+  Metrics.gauge ~help:"Items waiting in the serve admission queue"
+    "posl_serve_queue_depth"
+
+let queue_wait_ms =
+  Metrics.histogram ~help:"Admission-queue wait, enqueue to dequeue (ms)"
+    "posl_serve_queue_wait_ms"
+
+type 'a item = { payload : 'a; enqueued_ns : int }
+
+type 'a t = {
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  queue : 'a item Queue.t;
+  max_queue : int;
+  mutable stopping : bool;
+  mutable drained : bool;
+  mutable workers : unit Domain.t list;
+}
+
+type outcome = Accepted | Overloaded | Stopped
+
+let worker_loop t run =
+  let rec next () =
+    Mutex.lock t.lock;
+    let rec await () =
+      if not (Queue.is_empty t.queue) then begin
+        let item = Queue.pop t.queue in
+        Metrics.set queue_depth (float_of_int (Queue.length t.queue));
+        Mutex.unlock t.lock;
+        Some item
+      end
+      else if t.stopping then begin
+        Mutex.unlock t.lock;
+        None
+      end
+      else begin
+        Condition.wait t.nonempty t.lock;
+        await ()
+      end
+    in
+    match Telemetry.with_span "serve.queue_wait" await with
+    | None -> ()
+    | Some item ->
+        Metrics.observe queue_wait_ms
+          (float_of_int (Telemetry.now_ns () - item.enqueued_ns) /. 1e6);
+        (try run item.payload with _ -> ());
+        next ()
+  in
+  next ()
+
+let create ~workers ~max_queue ~run =
+  let t =
+    {
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      max_queue;
+      stopping = false;
+      drained = false;
+      workers = [];
+    }
+  in
+  t.workers <-
+    List.init (max 0 workers) (fun _ ->
+        Domain.spawn (fun () -> worker_loop t run));
+  t
+
+let enqueue_locked t payloads =
+  let now = Telemetry.now_ns () in
+  List.iter
+    (fun payload -> Queue.push { payload; enqueued_ns = now } t.queue)
+    payloads;
+  Metrics.set queue_depth (float_of_int (Queue.length t.queue));
+  if List.compare_length_with payloads 1 > 0 then
+    Condition.broadcast t.nonempty
+  else Condition.signal t.nonempty
+
+let submit_all t payloads =
+  let n = List.length payloads in
+  Mutex.lock t.lock;
+  let outcome =
+    if t.stopping then Stopped
+    else if Queue.length t.queue + n > t.max_queue then Overloaded
+    else begin
+      enqueue_locked t payloads;
+      Accepted
+    end
+  in
+  Mutex.unlock t.lock;
+  outcome
+
+let submit t payload = submit_all t [ payload ]
+
+let depth t =
+  Mutex.lock t.lock;
+  let n = Queue.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
+let drain t =
+  Mutex.lock t.lock;
+  let first = not t.stopping in
+  t.stopping <- true;
+  Condition.broadcast t.nonempty;
+  let join = first && not t.drained in
+  if join then t.drained <- true;
+  Mutex.unlock t.lock;
+  if join then List.iter Domain.join t.workers

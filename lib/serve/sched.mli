@@ -1,0 +1,43 @@
+(** Bounded admission queue feeding a pool of worker domains.
+
+    Admission control is explicit: {!submit} never blocks and never
+    grows the queue past [max_queue] — beyond that it answers
+    {!Overloaded} and the caller turns that into a typed [overloaded]
+    protocol response.  Verification work is CPU-bound, so workers are
+    {e domains} (one [Tset] search each), while connection I/O stays on
+    threads.
+
+    The queue reports its depth through the
+    [posl_serve_queue_depth] gauge and enqueue-to-dequeue latency
+    through the [posl_serve_queue_wait_ms] histogram; workers wrap the
+    blocking dequeue in a [serve.queue_wait] span. *)
+
+type 'a t
+
+type outcome =
+  | Accepted
+  | Overloaded  (** queue at [max_queue]; nothing was enqueued *)
+  | Stopped  (** {!drain} already ran; nothing was enqueued *)
+
+val create : workers:int -> max_queue:int -> run:('a -> unit) -> 'a t
+(** [create ~workers ~max_queue ~run] spawns [workers] domains, each
+    looping [run] over dequeued items.  Exceptions escaping [run] are
+    swallowed (the item's owner is responsible for its own failure
+    signalling); the worker keeps going.  [workers = 0] is allowed —
+    items then sit queued until {!drain} (used by tests to force
+    deterministic deadline expiry). *)
+
+val submit : 'a t -> 'a -> outcome
+(** Enqueue one item, or refuse. *)
+
+val submit_all : 'a t -> 'a list -> outcome
+(** All-or-nothing enqueue: either every item is accepted (atomically,
+    under one lock) or none is.  Keeps a multi-query submission from
+    being half-admitted. *)
+
+val depth : 'a t -> int
+(** Items currently queued (not yet picked up by a worker). *)
+
+val drain : 'a t -> unit
+(** Stop admitting, let workers finish everything already queued, then
+    join them.  Idempotent. *)

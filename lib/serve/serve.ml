@@ -1,0 +1,474 @@
+module Json = Posl_verdict.Verdict.Json
+module Verdict = Posl_verdict.Verdict
+module Engine = Posl_engine.Engine
+module Job = Posl_engine.Job
+module Manifest = Posl_engine.Manifest
+module Counters = Posl_engine.Counters
+module Cache = Posl_engine.Cache
+module Lang = Posl_lang.Lang
+module Spec = Posl_core.Spec
+module Store = Posl_store.Store
+module Par = Posl_par.Par
+module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+
+let connections_total =
+  Metrics.counter ~help:"Connections accepted by the verification server"
+    "posl_serve_connections_total"
+
+let requests_total =
+  Metrics.counter ~help:"Well-framed requests handled by the server"
+    "posl_serve_requests_total"
+
+let rejected_total =
+  Metrics.counter ~help:"Submissions refused because the admission queue was full"
+    "posl_serve_rejected_total"
+
+let expired_total =
+  Metrics.counter ~help:"Jobs dropped because their deadline passed while queued"
+    "posl_serve_expired_total"
+
+type config = {
+  addr : Wire.addr;
+  workers : int;
+  max_queue : int;
+  deadline_ms : int option;
+  store_dir : string option;
+  max_frame : int;
+  spans : bool;
+  handle_signals : bool;
+}
+
+let config ?workers ?(max_queue = 256) ?deadline_ms ?store_dir
+    ?(max_frame = Frame.default_max_bytes) ?(spans = true)
+    ?(handle_signals = true) addr =
+  let workers =
+    match workers with Some w -> max 1 w | None -> Par.default_domains ()
+  in
+  { addr; workers; max_queue; deadline_ms; store_dir; max_frame; spans;
+    handle_signals }
+
+(* One queued verification job: the request plus a one-shot mailbox the
+   submitting connection thread blocks on. *)
+type reply = Done of Engine.result | Expired | Failed of string
+
+type job = {
+  req : Engine.request;
+  deadline_ns : int option;
+  cell_lock : Mutex.t;
+  cell_cond : Condition.t;
+  mutable reply : reply option;
+}
+
+let deliver job reply =
+  Mutex.lock job.cell_lock;
+  job.reply <- Some reply;
+  Condition.signal job.cell_cond;
+  Mutex.unlock job.cell_lock
+
+let await job =
+  Mutex.lock job.cell_lock;
+  while job.reply = None do
+    Condition.wait job.cell_cond job.cell_lock
+  done;
+  let r = Option.get job.reply in
+  Mutex.unlock job.cell_lock;
+  r
+
+type server = {
+  cfg : config;
+  session : Engine.session;
+  counters : Counters.t;  (* server-lifetime delta over the registry *)
+  mutable sched : job Sched.t option;  (* set once, before accepting *)
+  stop : bool Atomic.t;
+  started_ns : int;
+  active_conns : int Atomic.t;
+  conns_lock : Mutex.t;
+  conns : (Unix.file_descr, unit) Hashtbl.t;
+  load_lock : Mutex.t;
+  (* keyed by (extra_objects, path) resp. (extra_objects, source text) *)
+  file_memo : (int * string, (Spec.t list * Posl_ident.Universe.t, string) result) Hashtbl.t;
+  text_memo : (int * string, (Spec.t list * Posl_ident.Universe.t, string) result) Hashtbl.t;
+}
+
+let sched server = Option.get server.sched
+
+(* --- spec sources ----------------------------------------------------- *)
+
+let memoized lock memo key compute =
+  Mutex.lock lock;
+  let r =
+    match Hashtbl.find_opt memo key with
+    | Some r -> r
+    | None ->
+        let r = compute () in
+        Hashtbl.add memo key r;
+        r
+  in
+  Mutex.unlock lock;
+  r
+
+let load_file server ~extra path =
+  memoized server.load_lock server.file_memo (extra, path) (fun () ->
+      match Lang.specs_of_file path with
+      | exception Sys_error e -> Error e
+      | Error e -> Error (Format.asprintf "%s: %a" path Lang.pp_error e)
+      | Ok specs ->
+          Ok (specs, Spec.adequate_universe ~extra_objects:extra specs))
+
+let load_text server ~extra text =
+  memoized server.load_lock server.text_memo (extra, text) (fun () ->
+      match Lang.specs_of_string text with
+      | Error e -> Error (Format.asprintf "inline spec: %a" Lang.pp_error e)
+      | Ok specs ->
+          Ok (specs, Spec.adequate_universe ~extra_objects:extra specs))
+
+(* Resolve a [queries] array against loaded specs, labelling results the
+   way the CLI batch table does. *)
+let named_requests ~origin ~depth (specs, universe) queries =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc (q : Wire.query_ref) ->
+      let* acc = acc in
+      let* resolved =
+        List.fold_left
+          (fun acc name ->
+            let* acc = acc in
+            match Lang.lookup specs name with
+            | Some s -> Ok (s :: acc)
+            | None ->
+                Error (Printf.sprintf "no spec named %s in %s" name origin))
+          (Ok []) q.Wire.names
+        |> Result.map List.rev
+      in
+      let* query = Manifest.query ~kind:q.Wire.kind resolved in
+      let label =
+        Printf.sprintf "%s: %s" (Filename.basename origin)
+          (Job.describe query)
+      in
+      Ok (Engine.request ~label ~depth ~universe query :: acc))
+    (Ok []) queries
+  |> Result.map List.rev
+
+let requests_of_submit server (s : Wire.submit) =
+  let depth = Option.value s.Wire.depth ~default:6 in
+  let extra = Option.value s.Wire.extra_objects ~default:2 in
+  let ( let* ) = Result.bind in
+  match s.Wire.file, s.Wire.spec_text, s.Wire.manifest, s.Wire.manifest_text with
+  | Some path, _, _, _ ->
+      let* loaded = load_file server ~extra path in
+      named_requests ~origin:path ~depth loaded s.Wire.queries
+  | _, Some text, _, _ ->
+      let* loaded = load_text server ~extra text in
+      named_requests ~origin:"inline" ~depth loaded s.Wire.queries
+  | _, _, Some path, _ ->
+      Manifest.requests_of_file ~default_depth:depth ~extra_objects:extra path
+  | _, _, _, Some text ->
+      Manifest.requests_of_string ~default_depth:depth
+        ~load:(fun path -> load_file server ~extra path)
+        text
+  | None, None, None, None -> Error "submit carried no spec source"
+
+(* --- worker ----------------------------------------------------------- *)
+
+let run_job server job =
+  let expired =
+    match job.deadline_ns with
+    | Some d when Telemetry.now_ns () > d -> true
+    | _ -> false
+  in
+  if expired then begin
+    Metrics.incr expired_total;
+    deliver job Expired
+  end
+  else
+    match Engine.answer server.session server.counters job.req with
+    | result -> deliver job (Done result)
+    | exception e -> deliver job (Failed (Printexc.to_string e))
+
+(* --- request handling ------------------------------------------------- *)
+
+let ok_op op rest = Json.Obj (("ok", Json.Bool true) :: ("op", Json.Str op) :: rest)
+
+let stats_json server =
+  let depth = match server.sched with Some s -> Sched.depth s | None -> 0 in
+  let c = Counters.snapshot server.counters in
+  ok_op "stats"
+    [
+      ( "uptime_ms",
+        Json.Float
+          (float_of_int (Telemetry.now_ns () - server.started_ns) /. 1e6) );
+      ("connections_total", Json.Int (Metrics.value connections_total));
+      ("requests_total", Json.Int (Metrics.value requests_total));
+      ("rejected_total", Json.Int (Metrics.value rejected_total));
+      ("expired_total", Json.Int (Metrics.value expired_total));
+      ("queue_depth", Json.Int depth);
+      ("workers", Json.Int server.cfg.workers);
+      ("max_queue", Json.Int server.cfg.max_queue);
+      ("cache_entries", Json.Int (Cache.size (Engine.session_cache server.session)));
+      ("store", Json.Bool (Engine.session_store server.session <> None));
+      ( "engine",
+        Json.Obj
+          [
+            ("jobs", Json.Int c.Counters.jobs);
+            ("cache_hits", Json.Int c.Counters.hits);
+            ("cache_misses", Json.Int c.Counters.misses);
+            ("uncacheable", Json.Int c.Counters.uncacheable);
+            ("store_hits", Json.Int c.Counters.store_hits);
+            ("store_misses", Json.Int c.Counters.store_misses);
+            ("store_writes", Json.Int c.Counters.store_writes);
+            ("dfa_cache_hits", Json.Int c.Counters.dfa_hits);
+            ("dfa_compiles", Json.Int c.Counters.dfa_compiles);
+            ("busy_ms", Json.Float c.Counters.busy_ms);
+          ] );
+    ]
+
+let submit_response jobs =
+  let results, failed, expired =
+    List.fold_left
+      (fun (acc, failed, expired) job ->
+        match await job with
+        | Done r ->
+            let failed =
+              if Verdict.to_bool r.Engine.verdict then failed else failed + 1
+            in
+            (Wire.json_of_result r :: acc, failed, expired)
+        | Expired ->
+            ( Json.Obj
+                [
+                  ("label", Json.Str job.req.Engine.label);
+                  ( "error",
+                    Json.Obj
+                      [
+                        ("code", Json.Str (Wire.code_string Wire.Deadline_exceeded));
+                        ("message", Json.Str "deadline passed while queued");
+                      ] );
+                ]
+              :: acc,
+              failed, expired + 1 )
+        | Failed msg ->
+            ( Json.Obj
+                [
+                  ("label", Json.Str job.req.Engine.label);
+                  ( "error",
+                    Json.Obj
+                      [
+                        ("code", Json.Str (Wire.code_string Wire.Internal));
+                        ("message", Json.Str msg);
+                      ] );
+                ]
+              :: acc,
+              failed + 1, expired ))
+      ([], 0, 0) jobs
+  in
+  ok_op "submit"
+    [
+      ("jobs", Json.Int (List.length jobs));
+      ("failed", Json.Int failed);
+      ("expired", Json.Int expired);
+      ("results", Json.List (List.rev results));
+    ]
+
+let handle_submit server (s : Wire.submit) =
+  if Atomic.get server.stop then
+    Wire.error_json Wire.Shutting_down "server is draining"
+  else
+    match requests_of_submit server s with
+    | Error msg -> Wire.error_json Wire.Input msg
+    | Ok [] -> Wire.error_json Wire.Input "submission produced no queries"
+    | Ok requests ->
+        let deadline_ns =
+          match
+            match s.Wire.deadline_ms with
+            | Some _ as d -> d
+            | None -> server.cfg.deadline_ms
+          with
+          | None -> None
+          | Some ms -> Some (Telemetry.now_ns () + (ms * 1_000_000))
+        in
+        let jobs =
+          List.map
+            (fun req ->
+              { req; deadline_ns; cell_lock = Mutex.create ();
+                cell_cond = Condition.create (); reply = None })
+            requests
+        in
+        (match Sched.submit_all (sched server) jobs with
+        | Sched.Accepted -> submit_response jobs
+        | Sched.Overloaded ->
+            Metrics.incr rejected_total;
+            Wire.error_json Wire.Overloaded
+              (Printf.sprintf
+                 "admission queue full (%d queued, limit %d) — resubmit later"
+                 (Sched.depth (sched server))
+                 server.cfg.max_queue)
+        | Sched.Stopped ->
+            Wire.error_json Wire.Shutting_down "server is draining")
+
+let handle_request server = function
+  | Wire.Ping -> (ok_op "ping" [], `Continue)
+  | Wire.Stats -> (stats_json server, `Continue)
+  | Wire.Metrics ->
+      (ok_op "metrics" [ ("metrics", Json.Str (Metrics.expose ())) ], `Continue)
+  | Wire.Shutdown ->
+      Atomic.set server.stop true;
+      (ok_op "shutdown" [ ("draining", Json.Bool true) ], `Close)
+  | Wire.Submit s -> (handle_submit server s, `Continue)
+
+(* --- connections ------------------------------------------------------ *)
+
+let track_conn server fd =
+  Mutex.lock server.conns_lock;
+  Hashtbl.replace server.conns fd ();
+  Mutex.unlock server.conns_lock
+
+let untrack_conn server fd =
+  Mutex.lock server.conns_lock;
+  Hashtbl.remove server.conns fd;
+  Mutex.unlock server.conns_lock
+
+let handle_conn server fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr (Unix.dup fd) in
+  let respond doc = Frame.write oc (Json.to_string doc) in
+  let rec loop () =
+    match Frame.read ~max_bytes:server.cfg.max_frame ic with
+    | Error Frame.Eof -> ()
+    | Error (Frame.Oversized _ as e) ->
+        (* payload bytes were never consumed; the stream is unusable *)
+        respond
+          (Wire.error_json Wire.Oversized (Format.asprintf "%a" Frame.pp_error e))
+    | Error (Frame.Malformed _ as e) ->
+        respond
+          (Wire.error_json Wire.Malformed (Format.asprintf "%a" Frame.pp_error e))
+    | Ok payload ->
+        Metrics.incr requests_total;
+        let doc, next =
+          Telemetry.with_span "serve.handle" (fun () ->
+              match Wire.parse_request payload with
+              | Error msg -> (Wire.error_json Wire.Malformed msg, `Continue)
+              | Ok req ->
+                  Telemetry.set_attrs
+                    [ ("op", match req with
+                        | Wire.Ping -> "ping" | Wire.Stats -> "stats"
+                        | Wire.Metrics -> "metrics" | Wire.Shutdown -> "shutdown"
+                        | Wire.Submit _ -> "submit") ];
+                  handle_request server req)
+        in
+        respond doc;
+        (match next with `Continue -> loop () | `Close -> ())
+  in
+  (try loop () with
+  | Sys_error _ -> ()            (* client went away mid-write *)
+  | Unix.Unix_error _ -> ());
+  untrack_conn server fd;
+  (try close_out_noerr oc with _ -> ());
+  (try close_in_noerr ic with _ -> ());
+  Atomic.decr server.active_conns
+
+(* --- listening -------------------------------------------------------- *)
+
+let bind_listen (addr : Wire.addr) =
+  match addr with
+  | `Unix path ->
+      if Sys.file_exists path then Unix.unlink path;
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.bind fd (Unix.ADDR_UNIX path);
+      Unix.listen fd 64;
+      (fd, `Unix path)
+  | `Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      Unix.bind fd (Unix.ADDR_INET (inet, port));
+      Unix.listen fd 64;
+      let bound =
+        match Unix.getsockname fd with
+        | Unix.ADDR_INET (_, p) -> `Tcp (host, p)
+        | _ -> `Tcp (host, port)
+      in
+      (fd, bound)
+
+(* Accept with a short poll so the stop flag (set by a signal handler or
+   a [shutdown] op on another thread) is noticed promptly even while no
+   client is connecting. *)
+let accept_loop server listen_fd =
+  let rec loop () =
+    if not (Atomic.get server.stop) then begin
+      let readable =
+        match Unix.select [ listen_fd ] [] [] 0.25 with
+        | ready, _, _ -> ready <> []
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> false
+      in
+      (if readable then
+         match Unix.accept listen_fd with
+         | exception Unix.Unix_error ((Unix.EINTR | Unix.ECONNABORTED), _, _) ->
+             ()
+         | fd, _ ->
+             Telemetry.with_span "serve.accept" (fun () ->
+                 Metrics.incr connections_total;
+                 Atomic.incr server.active_conns;
+                 track_conn server fd;
+                 ignore (Thread.create (handle_conn server) fd)));
+      loop ()
+    end
+  in
+  loop ()
+
+let run ?on_ready cfg =
+  if cfg.spans then Telemetry.set_enabled true;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let store = Option.map Store.open_ cfg.store_dir in
+  let session = Engine.session ?store () in
+  let server =
+    {
+      cfg;
+      session;
+      counters = Counters.create ();
+      sched = None;
+      stop = Atomic.make false;
+      started_ns = Telemetry.now_ns ();
+      active_conns = Atomic.make 0;
+      conns_lock = Mutex.create ();
+      conns = Hashtbl.create 16;
+      load_lock = Mutex.create ();
+      file_memo = Hashtbl.create 8;
+      text_memo = Hashtbl.create 8;
+    }
+  in
+  server.sched <-
+    Some
+      (Sched.create ~workers:cfg.workers ~max_queue:cfg.max_queue
+         ~run:(run_job server));
+  if cfg.handle_signals then begin
+    let trigger _ = Atomic.set server.stop true in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle trigger);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle trigger)
+  end;
+  let listen_fd, bound = bind_listen cfg.addr in
+  Option.iter (fun f -> f bound) on_ready;
+  accept_loop server listen_fd;
+  (* Drain: stop accepting, finish every queued job (which answers the
+     connections blocked on them), then unstick idle readers and wait
+     for the handler threads to unwind. *)
+  (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+  Sched.drain (sched server);
+  Mutex.lock server.conns_lock;
+  let remaining = Hashtbl.fold (fun fd () acc -> fd :: acc) server.conns [] in
+  Mutex.unlock server.conns_lock;
+  List.iter
+    (fun fd ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    remaining;
+  let grace_until = Telemetry.now_ns () + 2_000_000_000 in
+  while Atomic.get server.active_conns > 0 && Telemetry.now_ns () < grace_until do
+    Thread.delay 0.01
+  done;
+  Option.iter Store.close (Engine.session_store session);
+  match bound with
+  | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | `Tcp _ -> ()

@@ -257,6 +257,60 @@ if ! printf '%s' "$slow" | grep -q "span"; then
 fi
 echo "ok   batch --slow-ms prints span ids"
 
+# -- serve / loadgen: the resident verification service ---------------
+# Start a server on a Unix socket, drive it with the load generator,
+# then SIGTERM it: the drain must exit 0 and unlink the socket.
+sock=$tmp/posl.sock
+"$BIN" serve --socket "$sock" --workers 2 --max-queue 64 \
+  --store "$tmp/servestore" >"$tmp/serve.log" 2>&1 &
+serve_pid=$!
+for _ in $(seq 1 100); do
+  [ -S "$sock" ] && break
+  sleep 0.1
+done
+if [ ! -S "$sock" ]; then
+  echo "FAIL serve: socket never appeared ($(cat "$tmp/serve.log"))" >&2
+  fails=$((fails + 1))
+else
+  expect 0 "loadgen against live server" loadgen --socket "$sock" \
+    --manifest "$SPECS/batch.manifest" -n 20 --clients 2 --repeat 0.5 \
+    --json "$tmp/loadgen.json" --server-metrics "$tmp/serve.prom"
+  # loadgen's report is machine-readable JSON…
+  if ! "$BIN" json "$tmp/loadgen.json" >/dev/null 2>&1; then
+    echo "FAIL loadgen: $tmp/loadgen.json is not valid JSON" >&2
+    fails=$((fails + 1))
+  fi
+  for field in '"answered"' '"qps"' '"p99_ms"' '"cached"'; do
+    if ! grep -q "$field" "$tmp/loadgen.json"; then
+      echo "FAIL loadgen: field $field missing from report" >&2
+      fails=$((fails + 1))
+    fi
+  done
+  # …and the server's metrics op exposes the serve counters in the
+  # same Prometheus text format the metrics subcommand prints.
+  for needle in "# TYPE posl_serve_requests_total counter" \
+    "posl_serve_requests_total" "posl_serve_queue_depth"; do
+    if ! grep -q "$needle" "$tmp/serve.prom"; then
+      echo "FAIL serve metrics: missing $needle" >&2
+      fails=$((fails + 1))
+    fi
+  done
+  echo "ok   loadgen report and serve metrics exposition"
+fi
+
+kill -TERM "$serve_pid" 2>/dev/null
+wait "$serve_pid"
+serve_exit=$?
+if [ "$serve_exit" -ne 0 ]; then
+  echo "FAIL serve: SIGTERM drain exited $serve_exit ($(cat "$tmp/serve.log"))" >&2
+  fails=$((fails + 1))
+elif [ -S "$sock" ]; then
+  echo "FAIL serve: socket still present after drain" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   serve SIGTERM drains, exits 0, unlinks socket"
+fi
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

@@ -32,4 +32,5 @@ let () =
       ("ag", Test_ag.suite);
       ("strategies", Test_strategies.suite);
       ("telemetry", Test_telemetry.suite);
+      ("serve", Test_serve.suite);
     ]
