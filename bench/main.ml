@@ -38,6 +38,7 @@ module Vcache = Posl_engine.Cache
 module Edigest = Posl_engine.Digest
 module Store = Posl_store.Store
 module Telemetry = Posl_telemetry.Telemetry
+module Verdict = Posl_verdict.Verdict
 module Json = Posl_verdict.Verdict.Json
 module Lang = Posl_lang.Lang
 module Serve = Posl_serve.Serve
@@ -46,9 +47,11 @@ module Wire = Posl_serve.Wire
 module Loadgen = Posl_serve.Loadgen
 
 (* Machine-readable campaign trajectories: every performance campaign
-   (P1..P6) also lands as one BENCH_<name>.json under [--out DIR]
-   (default [_build/bench]) so CI and plotting scripts never have to
-   scrape the tables — and nothing is ever written to the repo root. *)
+   (P1..P8) lands as one BENCH_<name>.json under [--out DIR] (default
+   [_build/bench]) so CI and plotting scripts never have to scrape the
+   tables.  After all campaigns run, the P4..P8 trajectories are also
+   snapshotted next to the sources (repo root, when run from it) so
+   each PR commits the bench numbers it shipped with. *)
 let out_dir =
   let dir = ref (Filename.concat "_build" "bench") in
   Array.iteri
@@ -90,13 +93,9 @@ let generate n gen = QCheck2.Gen.generate ~rand ~n gen
 let pp_str pp v = Format.asprintf "%a" pp v
 
 let verdict_of_refine expected g' g =
-  let r = Refine.check ctx ~depth g' g in
-  let measured =
-    match r with
-    | Ok c -> Format.asprintf "refines [%a]" Bmc.pp_confidence c
-    | Error f -> Format.asprintf "refuted (%a)" Refine.pp_failure f
-  in
-  let ok = Result.is_ok r = expected in
+  let v = Refine.verdict ~opts:(Refine.opts ~depth ()) ctx g' g in
+  let measured = Verdict.to_string v in
+  let ok = Verdict.is_holds v = expected in
   (measured, ok)
 
 let status ok = if ok then "agrees" else "DISAGREES"
@@ -379,7 +378,8 @@ let theorem_campaigns () =
   in
   let broke =
     match (Compose.compose gamma' delta, Compose.compose gamma delta) with
-    | Ok rc, Ok ac -> not (Refine.refines gctx ~depth:cdepth rc ac)
+    | Ok rc, Ok ac ->
+        not (Refine.refines ~opts:(Refine.opts ~depth:cdepth ()) gctx rc ac)
     | _ -> false
   in
   Format.printf
@@ -453,23 +453,34 @@ let e14 () =
     Live.v ~deadlock_free:false ~obligations:[ ow_answerable ] Ex.client2
   in
   let abstract = Live.v ~deadlock_free:false Ex.client in
-  (match Live.refine ctx ~depth refined abstract with
-  | Error (Live.Liveness _) ->
-      Report.add_row t
-        [
-          "Client2 ⊑live Client (with obligation)";
-          "rejected";
-          "rejected (obligation unanswerable)";
-          status true;
-        ]
-  | Error (Live.Safety _) | Ok _ ->
-      Report.add_row t
-        [
-          "Client2 ⊑live Client (with obligation)";
-          "rejected";
-          "accepted";
-          status false;
-        ]);
+  (let v =
+     Live.refine ~opts:(Posl_core.Refine.opts ~depth ()) ctx refined abstract
+   in
+   let module V = Posl_verdict.Verdict in
+   let liveness_rejection =
+     (not (V.is_holds v))
+     && List.exists
+          (function
+            | V.Unanswerable _ | V.Deadlock _ -> true
+            | _ -> false)
+          v.V.evidence
+   in
+   if liveness_rejection then
+     Report.add_row t
+       [
+         "Client2 ⊑live Client (with obligation)";
+         "rejected";
+         "rejected (obligation unanswerable)";
+         status true;
+       ]
+   else
+     Report.add_row t
+       [
+         "Client2 ⊑live Client (with obligation)";
+         "rejected";
+         "accepted";
+         status false;
+       ]);
   Report.print t
 
 (* E15 — non-trivial consistency (Section 7's discussion of Boiten et
@@ -479,13 +490,16 @@ let e15 () =
   let module Consistency = Posl_core.Consistency in
   let t = Report.create [ "pair"; "expected"; "measured"; "status" ] in
   let row name expected a b =
-    let v = Consistency.check ctx ~depth a b in
-    let measured = pp_str Consistency.pp_verdict v in
+    let v =
+      Consistency.verdict ~opts:(Posl_core.Refine.opts ~depth ()) ctx a b
+    in
+    let module V = Posl_verdict.Verdict in
+    let measured = V.to_string v in
     let got =
-      match v with
-      | Consistency.Consistent _ -> `Consistent
-      | Consistency.Only_trivial -> `Trivial
-      | Consistency.Not_composable _ -> `Incomparable
+      match v.V.status with
+      | V.Holds -> `Consistent
+      | V.Refuted -> `Trivial
+      | V.Vacuous -> `Incomparable
     in
     Report.add_row t
       [
@@ -1189,6 +1203,204 @@ let p7 () =
         ~title:"sustained service throughput (warm server vs cold per-invocation)"
         (List.rev !jrows)
 
+(* P8 — the on-the-fly antichain inclusion route (Def. 2 clause 3) on
+   the cold 56-pair corpus: the new Auto route (antichain with interned
+   states and memoized successor rows) against the pre-antichain Auto
+   (compile both monitors to DFAs, decide inclusion, fall back to
+   depth-cut exploration when compilation fails) and against the plain
+   bounded route.  Each route starts from a fresh context — cold
+   interning tables, cold DFA cache — which is the cost one CLI
+   invocation pays.  Verdicts are required to agree bit-for-bit
+   (Verdict.equal, witnesses included); the differential suite
+   enforces the same corpus-wide. *)
+let p8 () =
+  Report.section
+    "P8: antichain inclusion vs legacy routes (cold 56-pair corpus)";
+  let module Metrics = Posl_telemetry.Metrics in
+  let pairs =
+    List.concat_map
+      (fun g' ->
+        List.filter_map
+          (fun g -> if g' == g then None else Some (g', g))
+          Ex.all_specs)
+      Ex.all_specs
+  in
+  let n_pairs = List.length pairs in
+  (* Cold totals at this scale are tens of milliseconds, where timer
+     and allocator noise moves single runs by 2×; each route therefore
+     reports its best of [reps] passes, each on a fresh context — the
+     minimum-of-N estimator standard for cold-cost comparisons. *)
+  let reps = 5 in
+  let run_route f =
+    let once () =
+      let cctx = Tset.ctx universe in
+      let t0 = Unix.gettimeofday () in
+      let vs = List.map (fun (g', g) -> f cctx g' g) pairs in
+      (vs, cctx, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let best = ref (once ()) in
+    for _ = 2 to reps do
+      let (_, _, ms) as r = once () in
+      let _, _, best_ms = !best in
+      if ms < best_ms then best := r
+    done;
+    !best
+  in
+  let auto cctx g' g = Refine.verdict ~opts:(Refine.opts ~depth ()) cctx g' g in
+  let legacy cctx g' g =
+    match
+      Refine.verdict
+        ~opts:(Refine.opts ~strategy:Refine.Automata_only ~depth ())
+        cctx g' g
+    with
+    | v -> v
+    | exception Invalid_argument _ ->
+        Refine.verdict
+          ~opts:(Refine.opts ~strategy:Refine.Bounded_only ~depth ())
+          cctx g' g
+  in
+  let bounded cctx g' g =
+    Refine.verdict
+      ~opts:(Refine.opts ~strategy:Refine.Bounded_only ~depth ())
+      cctx g' g
+  in
+  let pairs_c =
+    Metrics.counter ~help:"antichain pairs" "posl_bmc_antichain_pairs_total"
+  in
+  let prunes_c =
+    Metrics.counter ~help:"antichain prunes" "posl_bmc_antichain_prunes_total"
+  in
+  let interned_c =
+    Metrics.counter ~help:"interned states" "posl_tset_interned_states_total"
+  in
+  let ac0 = Metrics.value pairs_c
+  and pr0 = Metrics.value prunes_c
+  and in0 = Metrics.value interned_c in
+  let auto_vs, auto_ctx, auto_ms = run_route auto in
+  (* Every rep redoes the same cold work on a fresh context, so the
+     counter deltas divide evenly back to one pass. *)
+  let admitted = (Metrics.value pairs_c - ac0) / reps
+  and pruned = (Metrics.value prunes_c - pr0) / reps
+  and interned = (Metrics.value interned_c - in0) / reps in
+  let states, composites, events = Tset.intern_counts auto_ctx in
+  (* A warm repeat on the same context: memo rows and interning tables
+     already populated — the steady-state cost a resident service
+     pays. *)
+  let warm_once () =
+    let t0 = Unix.gettimeofday () in
+    let _ = List.map (fun (g', g) -> auto auto_ctx g' g) pairs in
+    (Unix.gettimeofday () -. t0) *. 1000.
+  in
+  let warm_ms =
+    List.fold_left min (warm_once ()) [ warm_once (); warm_once () ]
+  in
+  let legacy_vs, _, legacy_ms = run_route legacy in
+  let _, _, bounded_ms = run_route bounded in
+  let agree = List.for_all2 Verdict.equal auto_vs legacy_vs in
+  let speedup = legacy_ms /. auto_ms in
+  let t = Report.create [ "route"; "total ms"; "mean ms"; "notes" ] in
+  let row name ms notes =
+    Report.add_row t
+      [
+        name;
+        Printf.sprintf "%.1f" ms;
+        Printf.sprintf "%.3f" (ms /. float_of_int n_pairs);
+        notes;
+      ]
+  in
+  row "antichain (Auto, cold)" auto_ms
+    (Printf.sprintf "%d pairs admitted, %d pruned, %d states interned"
+       admitted pruned interned);
+  row "antichain (Auto, warm)" warm_ms
+    (Printf.sprintf "%d states / %d composites / %d events interned" states
+       composites events);
+  row "legacy auto (automata, cold)" legacy_ms
+    (Printf.sprintf "verdicts agree bit-for-bit: %s"
+       (if agree then "yes" else "NO"));
+  row "bounded only (cold)" bounded_ms "depth-cut exploration";
+  row "speedup (legacy/antichain)" speedup "target ≥5×";
+  Report.print t;
+  (* Span decomposition of one cold antichain pass, for EXPERIMENTS
+     (a single pass, not [run_route]'s best-of-[reps]: span totals
+     must add up to one cold corpus). *)
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let span_ctx = Tset.ctx universe in
+  let _ = List.map (fun (g', g) -> auto span_ctx g' g) pairs in
+  Telemetry.set_enabled false;
+  let tbl : (string, int * int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (s : Telemetry.span) ->
+      let c, tot =
+        Option.value (Hashtbl.find_opt tbl s.Telemetry.name) ~default:(0, 0)
+      in
+      Hashtbl.replace tbl s.Telemetry.name (c + 1, tot + s.Telemetry.dur_ns))
+    (Telemetry.spans ());
+  Telemetry.reset ();
+  let span_rows =
+    Hashtbl.fold (fun name (c, tot) acc -> (name, c, tot) :: acc) tbl []
+    |> List.sort (fun (_, _, a) (_, _, b) -> compare b a)
+    |> List.map (fun (name, c, tot) ->
+           Json.Obj
+             [
+               ("span", Json.Str name);
+               ("count", Json.Int c);
+               ("total_ms", Json.Float (float_of_int tot /. 1e6));
+             ])
+  in
+  write_campaign ~name:"P8"
+    ~title:"antichain inclusion vs legacy routes (cold 56-pair corpus)"
+    [
+      Json.Obj
+        [
+          ("route", Json.Str "antichain_auto_cold");
+          ("total_ms", Json.Float auto_ms);
+          ("pairs_admitted", Json.Int admitted);
+          ("pairs_pruned", Json.Int pruned);
+          ("states_interned", Json.Int interned);
+        ];
+      Json.Obj
+        [
+          ("route", Json.Str "antichain_auto_warm");
+          ("total_ms", Json.Float warm_ms);
+        ];
+      Json.Obj
+        [
+          ("route", Json.Str "legacy_auto_cold");
+          ("total_ms", Json.Float legacy_ms);
+          ("verdicts_agree", Json.Bool agree);
+        ];
+      Json.Obj
+        [ ("route", Json.Str "bounded_only_cold"); ("total_ms", Json.Float bounded_ms) ];
+      Json.Obj
+        [
+          ("route", Json.Str "speedup");
+          ("legacy_over_antichain", Json.Float speedup);
+        ];
+      Json.Obj [ ("route", Json.Str "spans"); ("rows", Json.List span_rows) ];
+    ]
+
+(* Per-PR bench snapshots: after all campaigns have landed under
+   [out_dir], copy the P4..P8 trajectories next to the sources so the
+   repository records the numbers each PR shipped with (CI uploads the
+   same files as artifacts).  Only fires when run from the repo root —
+   a plain [dune exec bench/main.exe] — never from an install tree. *)
+let snapshot_reports_to_root () =
+  if Sys.file_exists "dune-project" then
+    List.iter
+      (fun name ->
+        let file = Printf.sprintf "BENCH_%s.json" name in
+        let src = Filename.concat out_dir file in
+        if Sys.file_exists src then begin
+          let contents =
+            In_channel.with_open_bin src In_channel.input_all
+          in
+          Out_channel.with_open_bin file (fun oc ->
+              Out_channel.output_string oc contents);
+          Format.printf "  [snapshot -> %s]@." file
+        end)
+      [ "P4"; "P5"; "P6"; "P7"; "P8" ]
+
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
 (* ------------------------------------------------------------------ *)
@@ -1196,7 +1408,8 @@ let p7 () =
 let bechamel_tests () =
   let stage = Staged.stage in
   let refine_test name g' g =
-    Test.make ~name (stage (fun () -> Refine.check ctx ~depth g' g))
+    let opts = Refine.opts ~depth () in
+    Test.make ~name (stage (fun () -> Refine.verdict ~opts ctx g' g))
   in
   let comp = Compose.interface Ex.client Ex.write_acc in
   let comp_alphabet = Spec.concrete_alphabet universe comp in
@@ -1321,5 +1534,7 @@ let () =
   p5 ();
   p6 ();
   p7 ();
+  p8 ();
+  snapshot_reports_to_root ();
   run_bechamel ();
   Format.printf "@.done.@."

@@ -403,8 +403,9 @@ let consistent_cmd =
        let* b = find specs right in
        let ctx = context specs extra in
        let v =
-         Posl_core.Consistency.to_verdict
-           (Posl_core.Consistency.check ctx ~depth a b)
+         Posl_core.Consistency.verdict
+           ~opts:(Posl_core.Refine.opts ~depth ())
+           ctx a b
        in
        if json then
          print_endline

@@ -33,6 +33,7 @@ let () =
   let universe = Spec.adequate_universe Ex.all_specs in
   let ctx = Tset.ctx universe in
   let depth = 8 in
+  let opts = Refine.opts ~depth () in
 
   (* Example 4 — observable behaviour of Client ‖ WriteAcc. *)
   let comp = Compose.interface Ex.client Ex.write_acc in
@@ -60,8 +61,8 @@ let () =
   Format.printf "@.";
 
   (* Example 5 — deadlock introduced by a refinement step. *)
-  Format.printf "Client2 ⊑ Client?  %a@." Refine.pp_result
-    (Refine.check ctx ~depth Ex.client2 Ex.client);
+  Format.printf "Client2 ⊑ Client?  %a@." Posl_verdict.Verdict.pp
+    (Refine.verdict ~opts ctx Ex.client2 Ex.client);
   let comp2 = Compose.interface Ex.client2 Ex.write_acc in
   let alphabet2 = Spec.concrete_alphabet universe comp2 in
   (match Bmc.find_deadlock ctx ~alphabet:alphabet2 ~depth (Spec.tset comp2) with
@@ -73,14 +74,14 @@ let () =
   (* ... and the deadlocked composition still (trivially) refines the
      original composition, which is exactly the paper's point: this
      refinement relation does not preserve liveness. *)
-  Format.printf "Client2‖WriteAcc ⊑ Client‖WriteAcc?  %a@.@." Refine.pp_result
-    (Refine.check ctx ~depth comp2 comp);
+  Format.printf "Client2‖WriteAcc ⊑ Client‖WriteAcc?  %a@.@." Posl_verdict.Verdict.pp
+    (Refine.verdict ~opts ctx comp2 comp);
 
   (* Example 6 — RW2 harmonises abstraction levels. *)
-  Format.printf "RW2 ⊑ RW?        %a@." Refine.pp_result
-    (Refine.check ctx ~depth Ex.rw2 Ex.rw);
-  Format.printf "RW2 ⊑ WriteAcc?  %a@." Refine.pp_result
-    (Refine.check ctx ~depth Ex.rw2 Ex.write_acc);
+  Format.printf "RW2 ⊑ RW?        %a@." Posl_verdict.Verdict.pp
+    (Refine.verdict ~opts ctx Ex.rw2 Ex.rw);
+  Format.printf "RW2 ⊑ WriteAcc?  %a@." Posl_verdict.Verdict.pp
+    (Refine.verdict ~opts ctx Ex.rw2 Ex.write_acc);
   let comp_rw2 = Compose.interface Ex.rw2 Ex.client in
   let comp_wa = Compose.interface Ex.write_acc Ex.client in
   (* The paper equates the *trace sets*; the alphabets legitimately

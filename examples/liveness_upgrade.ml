@@ -28,6 +28,7 @@ let () =
   let universe = Spec.adequate_universe Ex.all_specs in
   let ctx = Tset.ctx universe in
   let depth = 6 in
+  let opts = Refine.opts ~depth () in
 
   (* The obligation: an OW that has been issued must stay answerable by
      a CW — the handshake the access controller expects. *)
@@ -43,8 +44,8 @@ let () =
   Format.printf "obligation: %a@.@." Live.pp_obligation ow_answerable;
 
   (* Plain (safety) refinement happily accepts the broken upgrade. *)
-  Format.printf "Client2 ⊑ Client (safety, Def. 2)?   %a@." Refine.pp_result
-    (Refine.check ctx ~depth Ex.client2 Ex.client);
+  Format.printf "Client2 ⊑ Client (safety, Def. 2)?   %a@." Posl_verdict.Verdict.pp
+    (Refine.verdict ~opts ctx Ex.client2 Ex.client);
 
   (* Live refinement rejects it: Client2 issues OW but can never answer
      it (it has no CW at all). *)
@@ -52,13 +53,13 @@ let () =
   let refined =
     Live.v ~deadlock_free:false ~obligations:[ ow_answerable ] Ex.client2
   in
-  (match Live.refine ctx ~depth refined abstract with
-  | Ok c ->
-      Format.printf "Client2 ⊑live Client?               accepted [%a] (unexpected!)@."
-        Posl_bmc.Bmc.pp_confidence c
-  | Error f ->
-      Format.printf "Client2 ⊑live Client?               rejected: %a@."
-        Live.pp_live_refinement_failure f);
+  (let v = Live.refine ~opts ctx refined abstract in
+   if Posl_verdict.Verdict.is_holds v then
+     Format.printf "Client2 ⊑live Client?               accepted %a (unexpected!)@."
+       Posl_verdict.Verdict.pp v
+   else
+     Format.printf "Client2 ⊑live Client?               rejected: %a@."
+       Posl_verdict.Verdict.pp v);
   Format.printf "@.";
 
   (* The compositional analysis, on both upgrades of the paper. *)

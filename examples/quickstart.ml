@@ -27,21 +27,21 @@ let () =
 
   (* Refinement with alphabet expansion: Read2 adds OR/CR events and
      restricts behaviour on the old alphabet. *)
-  let verdict = Refine.check ctx ~depth:6 Ex.read2 Ex.read in
-  Format.printf "Read2 ⊑ Read?  %a@." Refine.pp_result verdict;
+  let verdict = Refine.verdict ctx Ex.read2 Ex.read in
+  Format.printf "Read2 ⊑ Read?  %a@." Posl_verdict.Verdict.pp verdict;
 
   (* Refinement is not symmetric: Read does not refine Read2 (its
      alphabet lacks the OR/CR events). *)
-  let verdict = Refine.check ctx ~depth:6 Ex.read Ex.read2 in
-  Format.printf "Read ⊑ Read2?  %a@.@." Refine.pp_result verdict;
+  let verdict = Refine.verdict ctx Ex.read Ex.read2 in
+  Format.printf "Read ⊑ Read2?  %a@.@." Posl_verdict.Verdict.pp verdict;
 
   (* The merged read/write controller refines both Example 1 views... *)
-  let verdict = Refine.check ctx ~depth:6 Ex.rw Ex.read in
-  Format.printf "RW ⊑ Read?   %a@." Refine.pp_result verdict;
-  let verdict = Refine.check ctx ~depth:6 Ex.rw Ex.write in
-  Format.printf "RW ⊑ Write?  %a@." Refine.pp_result verdict;
+  let verdict = Refine.verdict ctx Ex.rw Ex.read in
+  Format.printf "RW ⊑ Read?   %a@." Posl_verdict.Verdict.pp verdict;
+  let verdict = Refine.verdict ctx Ex.rw Ex.write in
+  Format.printf "RW ⊑ Write?  %a@." Posl_verdict.Verdict.pp verdict;
 
   (* ... but not Read2: RW allows reads while write access is open,
      which Read2 forbids.  The checker produces the counterexample. *)
-  let verdict = Refine.check ctx ~depth:6 Ex.rw Ex.read2 in
-  Format.printf "RW ⊑ Read2?  %a@." Refine.pp_result verdict
+  let verdict = Refine.verdict ctx Ex.rw Ex.read2 in
+  Format.printf "RW ⊑ Read2?  %a@." Posl_verdict.Verdict.pp verdict

@@ -23,10 +23,11 @@ let () =
   let universe = Spec.adequate_universe Ex.all_specs in
   let ctx = Tset.ctx universe in
   let depth = 6 in
+  let opts = Refine.opts ~depth () in
   let check g' g =
     Format.printf "%-8s ⊑ %-8s?  %a@." (Spec.name g') (Spec.name g)
-      Refine.pp_result
-      (Refine.check ctx ~depth g' g)
+      Posl_verdict.Verdict.pp
+      (Refine.verdict ~opts ctx g' g)
   in
   check Ex.read2 Ex.read;
   check Ex.rw Ex.read;

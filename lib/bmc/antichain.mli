@@ -1,0 +1,25 @@
+(** Antichain of visited (lhs state, rhs macro-state) pairs.
+
+    The subsumption order for on-the-fly inclusion checking: (a, S)
+    subsumes (a, T) when S ⊆ T, because macro stepping of the
+    subset-constructed rhs monitor is monotone — any violation
+    reachable from the larger macro is reachable from the smaller.
+    Only ⊆-minimal macro-states per lhs state are retained, which is
+    sound both for refutation and for [Exact]-on-exhaustion. *)
+
+type t
+
+type stats = {
+  kept : int;  (** pairs currently resident *)
+  pruned : int;  (** candidates subsumed on arrival *)
+  dropped : int;  (** residents evicted by a smaller arrival *)
+}
+
+val create : unit -> t
+
+val check_add : t -> int -> Bitset.t -> [ `Added | `Subsumed ]
+(** [check_add ac lhs_id macro] admits the pair unless a resident
+    (lhs_id, S) with S ⊆ macro subsumes it; admission evicts resident
+    supersets of [macro]. *)
+
+val stats : t -> stats

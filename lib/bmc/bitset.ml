@@ -1,0 +1,44 @@
+(* Dense bitsets over small-int ids (interned monitor states).  The
+   representation is a bare int array so subset tests on antichain
+   macro-states are straight word loops; sets of different widths
+   compare correctly by treating missing high words as zero. *)
+
+type t = int array
+
+let word_bits = Sys.int_size
+let words n = (max n 1 + word_bits - 1) / word_bits
+let create n = Array.make (words n) 0
+let set b i = b.(i / word_bits) <- b.(i / word_bits) lor (1 lsl (i mod word_bits))
+
+let mem b i =
+  let w = i / word_bits in
+  w < Array.length b && b.(w) land (1 lsl (i mod word_bits)) <> 0
+
+(* a ⊆ b: every word of [a] must be covered by the matching word of
+   [b]; words of [a] beyond [b]'s width must be zero. *)
+let subset a b =
+  let la = Array.length a and lb = Array.length b in
+  let rec go i =
+    if i >= la then true
+    else if i >= lb then a.(i) = 0 && go (i + 1)
+    else a.(i) land lnot b.(i) = 0 && go (i + 1)
+  in
+  go 0
+
+let equal a b = subset a b && subset b a
+
+let is_empty b = Array.for_all (fun w -> w = 0) b
+
+let popcount w =
+  let rec go w acc = if w = 0 then acc else go (w land (w - 1)) (acc + 1) in
+  go w 0
+
+let cardinal b = Array.fold_left (fun acc w -> acc + popcount w) 0 b
+
+(* The sorted composite-id arrays handed out by [Tset.macro_of_id]
+   become bitsets sized by their largest element. *)
+let of_sorted_ids ids =
+  let n = Array.length ids in
+  let b = create (if n = 0 then 1 else ids.(n - 1) + 1) in
+  Array.iter (fun i -> set b i) ids;
+  b

@@ -1,0 +1,26 @@
+(** Dense bitsets over interned small-int ids.
+
+    Backing store for the antichain frontier: macro-states of the
+    subset-constructed rhs monitor are bitsets of interned composite
+    ids, so subsumption is a word-wise subset test.  Sets of different
+    widths are comparable — absent high words read as zero. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty set able to hold ids [0 .. n-1] without
+    reallocation. *)
+
+val set : t -> int -> unit
+(** In-place insert.  @raise Invalid_argument beyond the created
+    capacity. *)
+
+val mem : t -> int -> bool
+val subset : t -> t -> bool
+val equal : t -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val of_sorted_ids : int array -> t
+(** Bitset of a sorted id array (as produced by [Tset.macro_of_id]),
+    sized by its largest element. *)

@@ -24,6 +24,16 @@ module Trace = Posl_trace.Trace
 module Eventset = Posl_sets.Eventset
 module Verdict = Posl_verdict.Verdict
 module Telemetry = Posl_telemetry.Telemetry
+module Metrics = Posl_telemetry.Metrics
+
+let antichain_pairs_c =
+  Metrics.counter
+    ~help:"Frontier pairs admitted by the antichain inclusion checker"
+    "posl_bmc_antichain_pairs_total"
+
+let antichain_prunes_c =
+  Metrics.counter ~help:"Frontier pairs pruned by antichain subsumption"
+    "posl_bmc_antichain_prunes_total"
 
 type confidence = Verdict.confidence = Exact | Bounded of int
 
@@ -163,8 +173,13 @@ let check_inclusion ?domains (ctx : Tset.ctx) ~(alphabet : Event.t array)
           Refuted (certify_inclusion ctx ~lhs ~proj ~rhs Trace.empty)
       | Some rhs0 ->
           let expand ((lhs_st, rhs_st), h) =
+            (* Successors are consed while scanning the alphabet in
+               order, so reverse before returning: frontier discovery
+               order must follow alphabet order for witnesses to be
+               the lexicographically-least shortest violation (the
+               canonical form every inclusion route agrees on). *)
             let rec try_events acc = function
-              | [] -> Explore.Continue acc
+              | [] -> Explore.Continue (List.rev acc)
               | e :: rest -> (
                   match Tset.step ctx lhs lhs_st e with
                   | None -> try_events acc rest
@@ -188,20 +203,179 @@ let check_inclusion ?domains (ctx : Tset.ctx) ~(alphabet : Event.t array)
           | Ok true -> Holds Exact
           | Ok false -> Holds (Bounded depth)))
 
+(** {1 On-the-fly antichain inclusion}
+
+    The same question as {!check_inclusion}, decided by exploring the
+    product of the [lhs] monitor against the [rhs] monitor on interned
+    small-int state ids with memoized successor rows.  Frontier pairs
+    are de-duplicated by packed [(lhs, rhs)] id; when the rhs state is
+    a [Product] (the one genuinely set-shaped state kind — its
+    hidden-event closure is a subset construction over composites), a
+    pair is additionally pruned when an already-visited pair with the
+    same lhs state has a ⊆-smaller rhs macro-state ({!Antichain}).
+
+    Exhaustion of the (pruned) frontier is still [Exact]: macro
+    stepping is monotone, so everything reachable from a pruned pair
+    is covered by the minimal pair that pruned it.  Refutations are
+    raised at the first rhs death in discovery order, which is the
+    lexicographically-least shortest violating word — the same
+    canonical witness the automata route produces.
+
+    With [complete] (default), exploration continues past [depth]
+    until exhaustion (reported [Exact]) or until more than [budget]
+    pairs have been admitted (reported [Bounded depth]); with
+    [~complete:false] it stops at [depth] exactly like
+    {!check_inclusion}. *)
+exception Cex of Trace.t
+
+let check_inclusion_antichain ?domains:_ ?(complete = true)
+    ?(budget = 200_000) (ctx : Tset.ctx) ~(alphabet : Event.t array) ~depth
+    ~(lhs : Tset.t) ~(proj : Eventset.t) ~(rhs : Tset.t) : Trace.t verdict =
+  match rhs with
+  | Tset.All ->
+      (* h/proj ∈ All for every h: clause 3 holds outright, with the
+         same confidence and witness story as a full exploration
+         (there is nothing to refute).  The unified checker simplifies
+         algebraically before exploring — Example 1's Read ("no
+         restrictions") is refined by everything, and the compiled
+         route pays a whole lhs compilation to learn that. *)
+      Holds Exact
+  | _ -> (
+  match Tset.start ctx lhs with
+  | None -> Holds Exact (* T(Γ′) degenerate: even ε is outside it *)
+  | Some lhs0 -> (
+      match Tset.start ctx rhs with
+      | None ->
+          (* ε ∈ T(Γ′) but ε ∉ T(Γ) *)
+          Refuted (certify_inclusion ctx ~lhs ~proj ~rhs Trace.empty)
+      | Some rhs0 ->
+          Telemetry.with_span "bmc.antichain" @@ fun () ->
+          (* Running past the depth cut only pays off when revisited
+             states de-duplicate; a [Pointwise] member mints a fresh
+             state per path, so completion would enumerate paths
+             exponentially.  Fall back to the plain depth-cut
+             semantics for those monitors (matching what the automata
+             route does: pointwise monitors never compile either). *)
+          let complete = complete && Tset.finitary lhs && Tset.finitary rhs in
+          let alphabet = Array.map (Tset.hashcons_event ctx) alphabet in
+          let n = Array.length alphabet in
+          let proj_mask = Array.map (fun e -> Eventset.mem e proj) alphabet in
+          let all_mask = Array.make n true in
+          let eids = Array.map (Tset.event_id ctx) alphabet in
+          (* Memoized successor rows: interned state id -> per-symbol
+             successor id, [-1] = dead, [-2] = not yet computed.  Cells
+             are filled lazily — rhs states are only stepped at symbols
+             where the lhs survives, and never outside the projection —
+             and each fill goes through the context's persistent row
+             cache ({!Tset.step_id}), so a monitor appearing in many
+             refinement pairs — every corpus spec does — steps each
+             state once per context, not once per pair; the per-call
+             table only short-circuits the per-cell cache lookups. *)
+          let ltid = Tset.tset_id ctx lhs and rtid = Tset.tset_id ctx rhs in
+          let cell tbl tset tid mask =
+            let lookup id s =
+              let r =
+                match Hashtbl.find_opt tbl id with
+                | Some r -> r
+                | None ->
+                    let r = Array.make n (-2) in
+                    Hashtbl.add tbl id r;
+                    r
+              in
+              let v = r.(s) in
+              if v <> -2 then v
+              else
+                let v =
+                  if not mask.(s) then -1
+                  else
+                    Tset.step_id ctx tset ~tset_id:tid ~event_id:eids.(s) id
+                      alphabet.(s)
+                in
+                r.(s) <- v;
+                v
+            in
+            lookup
+          in
+          let lcell = cell (Hashtbl.create 256) lhs ltid all_mask in
+          let rcell = cell (Hashtbl.create 256) rhs rtid proj_mask in
+          let visited_pairs = Hashtbl.create 1024 in
+          let ac = Antichain.create () in
+          let admitted = ref 0 in
+          let admit l r =
+            let fresh =
+              match Tset.macro_of_id ctx r with
+              | Some ids -> (
+                  match Antichain.check_add ac l (Bitset.of_sorted_ids ids) with
+                  | `Added -> true
+                  | `Subsumed -> false)
+              | None ->
+                  (* ids stay well under 2^31 in any feasible run *)
+                  let key = (l lsl 31) lor r in
+                  if Hashtbl.mem visited_pairs key then false
+                  else begin
+                    Hashtbl.add visited_pairs key ();
+                    true
+                  end
+            in
+            if fresh then incr admitted;
+            fresh
+          in
+          let l0 = Tset.intern_state ctx lhs0 in
+          let r0 = Tset.intern_state ctx rhs0 in
+          ignore (admit l0 r0);
+          let expand (l, r, h) next =
+            for s = 0 to n - 1 do
+              let l' = lcell l s in
+              if l' >= 0 then
+                if proj_mask.(s) then begin
+                  let r' = rcell r s in
+                  if r' < 0 then raise (Cex (Trace.snoc h alphabet.(s)));
+                  if admit l' r' then
+                    next := (l', r', Trace.snoc h alphabet.(s)) :: !next
+                end
+                else if admit l' r then
+                  next := (l', r, Trace.snoc h alphabet.(s)) :: !next
+            done
+          in
+          let rec level d frontier =
+            match frontier with
+            | [] -> Holds Exact
+            | _ when d >= depth && ((not complete) || !admitted > budget) ->
+                Holds (Bounded depth)
+            | _ ->
+                let next = ref [] in
+                List.iter (fun p -> expand p next) frontier;
+                level (d + 1) (List.rev !next)
+          in
+          let result =
+            try level 0 [ (l0, r0, Trace.empty) ]
+            with Cex h -> Refuted (certify_inclusion ctx ~lhs ~proj ~rhs h)
+          in
+          let st = Antichain.stats ac in
+          Metrics.add antichain_pairs_c !admitted;
+          Metrics.add antichain_prunes_c st.Antichain.pruned;
+          if Telemetry.enabled () then
+            Telemetry.set_attrs
+              [ ("pairs", string_of_int !admitted);
+                ("prunes", string_of_int st.Antichain.pruned);
+                ("dropped", string_of_int st.Antichain.dropped) ];
+          result))
+
 (** Bounded trace-set equality: inclusion both ways over the same
-    concrete alphabet (no projection). *)
+    concrete alphabet (no projection), on the antichain engine with
+    plain depth-bounded semantics. *)
 let check_equal ?domains ctx ~alphabet ~depth ~(left : Tset.t)
     ~(right : Tset.t) : (Trace.t * [ `Left_only | `Right_only ]) verdict =
   let keep_all = Eventset.full in
   match
-    check_inclusion ?domains ctx ~alphabet ~depth ~lhs:left ~proj:keep_all
-      ~rhs:right
+    check_inclusion_antichain ?domains ~complete:false ctx ~alphabet ~depth
+      ~lhs:left ~proj:keep_all ~rhs:right
   with
   | Refuted h -> Refuted (h, `Left_only)
   | Holds c1 -> (
       match
-        check_inclusion ?domains ctx ~alphabet ~depth ~lhs:right ~proj:keep_all
-          ~rhs:left
+        check_inclusion_antichain ?domains ~complete:false ctx ~alphabet
+          ~depth ~lhs:right ~proj:keep_all ~rhs:left
       with
       | Refuted h -> Refuted (h, `Right_only)
       | Holds c2 ->
@@ -218,28 +392,65 @@ let check_equal ?domains ctx ~alphabet ~depth ~(left : Tset.t)
     specification over the given alphabet (Examples 4 and 5 of the
     paper; total deadlock at the start corresponds to a trace set that
     is just {ε}). *)
-let find_deadlock ?domains ctx ~(alphabet : Event.t array) ~depth
+let find_deadlock ?domains:_ ctx ~(alphabet : Event.t array) ~depth
     (t : Tset.t) : Trace.t option =
   match Tset.start ctx t with
   | None ->
       (* not even ε: degenerate, report as stuck *)
       Some (certify_deadlock ctx ~alphabet t Trace.empty)
   | Some st0 ->
-      let expand (st, h) =
-        let succs =
-          Array.to_list alphabet
-          |> List.filter_map (fun e ->
-                 match Tset.step ctx t st e with
-                 | Some st' -> Some (st', Trace.snoc h e)
-                 | None -> None)
-        in
-        if succs = [] then Explore.Done h else Explore.Continue succs
+      (* Interned-id BFS over memoized successor rows: a state whose
+         whole row is dead is a deadlock.  Discovery order follows
+         alphabet order, so the first dead state found carries the
+         lexicographically-least shortest witness — the same trace the
+         level-wise exploration used to report. *)
+      let alphabet = Array.map (Tset.hashcons_event ctx) alphabet in
+      let n = Array.length alphabet in
+      let rows = Hashtbl.create 256 in
+      let row id =
+        match Hashtbl.find_opt rows id with
+        | Some r -> r
+        | None ->
+            let st = Tset.state_of_id ctx id in
+            let r =
+              Array.init n (fun s ->
+                  match Tset.step ctx t st alphabet.(s) with
+                  | None -> -1
+                  | Some st' -> Tset.intern_state ctx st')
+            in
+            Hashtbl.add rows id r;
+            r
       in
-      (match
-         Explore.run ?domains ~depth ~init:[ (st0, Trace.empty) ] ~expand ()
-       with
-      | Error witness -> Some (certify_deadlock ctx ~alphabet t witness)
-      | Ok _ -> None)
+      let visited = Hashtbl.create 1024 in
+      let id0 = Tset.intern_state ctx st0 in
+      Hashtbl.replace visited id0 ();
+      let exception Stuck of Trace.t in
+      let rec level d frontier =
+        if frontier = [] || d >= depth then None
+        else begin
+          let next = ref [] in
+          List.iter
+            (fun (id, h) ->
+              let r = row id in
+              let alive = ref false in
+              for s = 0 to n - 1 do
+                let id' = r.(s) in
+                if id' >= 0 then begin
+                  alive := true;
+                  if not (Hashtbl.mem visited id') then begin
+                    Hashtbl.replace visited id' ();
+                    next := (id', Trace.snoc h alphabet.(s)) :: !next
+                  end
+                end
+              done;
+              if not !alive then raise (Stuck h))
+            frontier;
+          level (d + 1) (List.rev !next)
+        end
+      in
+      (try
+         level 0 [ (id0, Trace.empty) ]
+       with Stuck witness -> Some (certify_deadlock ctx ~alphabet t witness))
 
 (** The events enabled after [h] — the possible extensions within the
     trace set.  Used by example walkthroughs. *)

@@ -44,6 +44,33 @@ val check_inclusion :
     [lhs = T(Γ′), proj = α(Γ), rhs = T(Γ)].  Refutations carry a
     genuine [lhs] trace. *)
 
+val check_inclusion_antichain :
+  ?domains:int ->
+  ?complete:bool ->
+  ?budget:int ->
+  Tset.ctx ->
+  alphabet:Event.t array ->
+  depth:int ->
+  lhs:Tset.t ->
+  proj:Eventset.t ->
+  rhs:Tset.t ->
+  Trace.t verdict
+(** The same question as {!check_inclusion}, decided on-the-fly over
+    interned state ids with memoized successor rows, pruning frontier
+    pairs whose rhs macro-state ([Product] subset construction) is
+    subsumed by an already-visited one ({!Antichain}).  Refutations
+    are the lexicographically-least shortest violating trace — the
+    same canonical witness the automata route produces — and are
+    self-certified as in {!check_inclusion}.
+
+    With [complete] (default [true]), exploration continues past
+    [depth] until the frontier is exhausted ([Exact]) or more than
+    [budget] (default 200_000) pairs have been admitted
+    ([Bounded depth]); with [~complete:false] it cuts at [depth]
+    exactly like {!check_inclusion}.  [?domains] is accepted for
+    interface parity and ignored: the scan is sequential so witness
+    order is canonical. *)
+
 val check_equal :
   ?domains:int ->
   Tset.ctx ->

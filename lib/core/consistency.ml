@@ -23,22 +23,6 @@ module Trace = Posl_trace.Trace
 module Bmc = Posl_bmc.Bmc
 module Verdict = Posl_verdict.Verdict
 
-type verdict =
-  | Consistent of Trace.t
-      (** non-trivially consistent; a witness non-empty common trace *)
-  | Only_trivial
-      (** the only common behaviour (up to the depth) is the empty
-          trace — the specifications contradict each other *)
-  | Not_composable of Compose.composability_failure
-      (** consistency not externally determinable (the paper's
-          proviso) *)
-
-let pp_verdict ppf = function
-  | Consistent h -> Format.fprintf ppf "consistent (witness %a)" Trace.pp h
-  | Only_trivial -> Format.pp_print_string ppf "only trivially consistent"
-  | Not_composable f ->
-      Format.fprintf ppf "not composable (%a)" Compose.pp_composability_failure f
-
 (** The weakest common refinement of two specifications of overlapping
     object sets: their composition.  For interface specifications of
     the same object this is Lemma 6's least upper bound. *)
@@ -77,43 +61,40 @@ let nonempty_witness ctx ~depth comp =
           ignore depth;
           None)
 
-(** [check ctx ~depth g1 g2] decides non-trivial consistency. *)
-let check ctx ~depth g1 g2 : verdict =
+(** [verdict ?opts ctx g1 g2] decides non-trivial consistency: holds
+    with a [Consistency_witness] trace, refuted when only ε is common,
+    and {e vacuous} (carrying the composability failure) when the
+    question is not externally answerable. *)
+let verdict ?(opts = Refine.default_opts) ctx g1 g2 : Verdict.t =
   match weakest_common_refinement g1 g2 with
-  | Error f -> Not_composable f
-  | Ok comp -> (
-      match nonempty_witness ctx ~depth comp with
-      | Some h -> Consistent h
-      | None -> Only_trivial)
-
-(** The structured view: non-trivial consistency holds with a witness
-    trace, fails when only ε is common, and is {e vacuous} (carrying
-    the composability failure) when the question is not externally
-    answerable. *)
-let to_verdict : verdict -> Verdict.t = function
-  | Consistent h ->
-      Verdict.holds ~confidence:Exact
-        ~evidence:[ Verdict.Consistency_witness h ] ()
-  | Only_trivial ->
-      Verdict.refuted ~confidence:Exact
-        [
-          Verdict.Note
-            "only trivially consistent: the weakest common refinement admits \
-             no non-empty trace";
-        ]
-  | Not_composable f ->
+  | Error f ->
       {
         Verdict.status = Vacuous;
         confidence = None;
         evidence = [ Compose.evidence_of_failure f ];
         provenance = Verdict.no_provenance;
       }
+  | Ok comp -> (
+      match nonempty_witness ctx ~depth:opts.Refine.depth comp with
+      | Some h ->
+          Verdict.holds ~confidence:Exact
+            ~evidence:[ Verdict.Consistency_witness h ] ()
+      | None ->
+          Verdict.refuted ~confidence:Exact
+            [
+              Verdict.Note
+                "only trivially consistent: the weakest common refinement \
+                 admits no non-empty trace";
+            ])
+
+(** Boolean convenience wrapper: non-trivially consistent? *)
+let consistent ?opts ctx g1 g2 = Verdict.is_holds (verdict ?opts ctx g1 g2)
 
 (** Every common refinement is below the weakest one: if ∆ refines both
     specifications, it refines their composition (Lemma 6 part 2 /
-    soundness of {!check}'s reduction).  Exposed for tests and for the
-    CLI's explanation output. *)
-let common_refinement_bound ?domains ctx ~depth ~delta g1 g2 =
+    soundness of {!verdict}'s reduction).  Exposed for tests and for
+    the CLI's explanation output. *)
+let common_refinement_bound ?opts ctx ~delta g1 g2 =
   match weakest_common_refinement g1 g2 with
   | Error _ -> None
-  | Ok comp -> Some (Refine.check ?domains ctx ~depth delta comp)
+  | Ok comp -> Some (Refine.verdict ?opts ctx delta comp)

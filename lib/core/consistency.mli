@@ -5,20 +5,13 @@
     is {e non-trivial} consistency: does the {e weakest} common
     refinement (the composition) admit any behaviour beyond the empty
     trace?  And, per the paper, the question is externally answerable
-    only for composable specifications. *)
+    only for composable specifications.
+
+    The API is verdict-first, mirroring {!Refine}: {!verdict} is the
+    one entrypoint and reuses {!Refine.opts}. *)
 
 module Tset = Posl_tset.Tset
-module Trace = Posl_trace.Trace
-
-type verdict =
-  | Consistent of Trace.t
-      (** non-trivially consistent, with a witness common trace *)
-  | Only_trivial
-      (** the specifications contradict each other: only ε is common *)
-  | Not_composable of Compose.composability_failure
-      (** consistency not externally determinable *)
-
-val pp_verdict : Format.formatter -> verdict -> unit
+module Verdict = Posl_verdict.Verdict
 
 val weakest_common_refinement :
   Spec.t -> Spec.t -> (Spec.t, Compose.composability_failure) result
@@ -26,23 +19,21 @@ val weakest_common_refinement :
     specifications; Def. 11 composition otherwise (requires
     composability). *)
 
-val check : Tset.ctx -> depth:int -> Spec.t -> Spec.t -> verdict
-(** Witness traces are certified against [Tset.mem_naive] before being
-    reported. *)
+val verdict : ?opts:Refine.opts -> Tset.ctx -> Spec.t -> Spec.t -> Verdict.t
+(** Non-trivial consistency: holds with a [Consistency_witness] trace
+    (certified against [Tset.mem_naive] before being reported),
+    refuted when only ε is common, vacuous with the composability
+    failure as evidence when not externally determinable. *)
 
-val to_verdict : verdict -> Posl_verdict.Verdict.t
-(** The structured view: [Consistent] holds with a
-    [Consistency_witness], [Only_trivial] is refuted, and
-    [Not_composable] is vacuous with the composability failure as
-    evidence. *)
+val consistent : ?opts:Refine.opts -> Tset.ctx -> Spec.t -> Spec.t -> bool
+(** [Verdict.is_holds] of {!verdict}. *)
 
 val common_refinement_bound :
-  ?domains:int ->
+  ?opts:Refine.opts ->
   Tset.ctx ->
-  depth:int ->
   delta:Spec.t ->
   Spec.t ->
   Spec.t ->
-  Refine.result option
+  Verdict.t option
 (** Any ∆ refining both specifications refines their composition; this
     checks that bound for a given ∆ ([None] when not composable). *)

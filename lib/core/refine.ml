@@ -9,11 +9,10 @@
       becomes more deterministic.
 
     Clauses 1 and 2 are decided exactly on the symbolic representation.
-    Clause 3 is decided over a concrete universe sample: exactly, via
-    DFA language inclusion, when both trace sets compile to finite
-    monitors ({!Posl_tset.Tset.compile}); otherwise by bounded
-    exploration.  A failed clause 3 always carries a counterexample
-    trace of Γ′ whose projection escapes T(Γ). *)
+    Clause 3 is decided over a concrete universe sample; see
+    {!strategy} for the available decision routes.  A failed clause 3
+    always carries a counterexample trace of Γ′ whose projection
+    escapes T(Γ). *)
 
 open Posl_ident
 open Posl_sets
@@ -25,32 +24,14 @@ module Dfa = Posl_automata.Dfa
 module Nfa = Posl_automata.Nfa
 module Verdict = Posl_verdict.Verdict
 
+(* The internal result of the clause checks; the public API reports it
+   as typed {!Verdict.t} evidence. *)
 type failure =
   | Objects_missing of Oid.Set.t
-      (** O(Γ) \ O(Γ′): abstract objects dropped by the refinement *)
   | Alphabet_missing of Eventset.t
-      (** α(Γ) \ α(Γ′): abstract events dropped by the refinement *)
   | Trace_escape of Trace.t
-      (** a trace of Γ′ whose projection on α(Γ) is not in T(Γ) *)
-
-let pp_failure ppf = function
-  | Objects_missing os ->
-      Format.fprintf ppf "objects of the abstract spec missing: {%a}"
-        (Format.pp_print_list
-           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
-           Oid.pp)
-        (Oid.Set.elements os)
-  | Alphabet_missing es ->
-      Format.fprintf ppf "alphabet of the abstract spec not included: %a"
-        Eventset.pp es
-  | Trace_escape h ->
-      Format.fprintf ppf "trace escapes the abstract spec: %a" Trace.pp h
 
 type result = (Bmc.confidence, failure) Stdlib.result
-
-let pp_result ppf = function
-  | Ok c -> Format.fprintf ppf "refines [%a]" Bmc.pp_confidence c
-  | Error f -> Format.fprintf ppf "does not refine: %a" pp_failure f
 
 (* Exact route for clause 3: compile both monitors to DFAs over the
    concrete alphabet of Γ′, project the refined language onto the
@@ -89,13 +70,20 @@ let trace_clause_automata ctx ~(alphabet : Event.t array) ~(proj : Eventset.t)
               in
               Some (Error h)))
 
-type strategy = Auto | Automata_only | Bounded_only
+type strategy = Auto | Antichain_only | Automata_only | Bounded_only
 
-(** [check_full] is [check] plus the decision procedure that settled
-    the question (clause 1–2 failures are symbolic; clause 3 is decided
-    by automata or bounded exploration). *)
-let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
-    (gamma : Spec.t) : result * Verdict.procedure =
+type opts = { strategy : strategy; domains : int option; depth : int }
+
+let opts ?(strategy = Auto) ?domains ?(depth = 6) () =
+  { strategy; domains; depth }
+
+let default_opts = opts ()
+
+(* The clause checks, with the decision procedure that settled the
+   question (clause 1–2 failures are symbolic; clause 3 is decided by
+   automata, antichain exploration, or bounded exploration). *)
+let decide ?domains ~strategy ctx ~depth (gamma' : Spec.t) (gamma : Spec.t) :
+    result * Verdict.procedure =
   Posl_telemetry.Telemetry.with_span "refine.check"
     ~attrs:[ ("depth", string_of_int depth) ]
   @@ fun () ->
@@ -115,7 +103,7 @@ let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
       let proj = Spec.alpha gamma in
       (* The automata route decides inclusion on compiled DFAs, so its
          counterexamples are replayed through the reference semantics
-         just like the exploration's (which certifies internally). *)
+         just like the explorations' (which certify internally). *)
       let certify h =
         Posl_telemetry.Telemetry.with_span "verdict.certify"
           ~attrs:[ ("kind", "automata-inclusion") ]
@@ -142,6 +130,20 @@ let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
           | Bmc.Refuted h -> Error (Trace_escape h)),
           Verdict.Bounded_search )
       in
+      (* On-the-fly inclusion with antichain subsumption: an exhausted
+         (or refuted) run is a lazy automata-theoretic inclusion
+         decision and is labelled as such — same claim, same canonical
+         lex-least witness as the compiled-DFA route; only a
+         budget/depth cut is a bounded search. *)
+      let antichain () =
+        match
+          Bmc.check_inclusion_antichain ?domains ctx ~alphabet ~depth ~lhs
+            ~proj ~rhs
+        with
+        | Bmc.Holds Bmc.Exact -> (Ok Bmc.Exact, Verdict.Automata)
+        | Bmc.Holds (Bmc.Bounded _ as c) -> (Ok c, Verdict.Bounded_search)
+        | Bmc.Refuted h -> (Error (Trace_escape h), Verdict.Automata)
+      in
       match strategy with
       | Automata_only -> (
           match automata () with
@@ -150,31 +152,19 @@ let check_full ?domains ?(strategy = Auto) ctx ~depth (gamma' : Spec.t)
               (Error (Trace_escape (certify h)), Verdict.Automata)
           | None ->
               invalid_arg
-                "Refine.check: automata strategy failed to compile monitors")
+                "Refine.verdict: automata strategy failed to compile monitors")
       | Bounded_only -> bounded ()
+      | Antichain_only -> antichain ()
       | Auto -> (
-          match automata () with
-          | Some (Ok ()) -> (Ok Bmc.Exact, Verdict.Automata)
-          | Some (Error h) ->
-              (Error (Trace_escape (certify h)), Verdict.Automata)
-          | None -> bounded ())
+          (* A hidden-event closure can overflow during antichain
+             exploration past the depth bound (it explores to
+             exhaustion); the depth-cut bounded route then plays the
+             same fallback role it does for a failed compilation. *)
+          try antichain () with Tset.Closure_overflow _ -> bounded ())
     end
 
-(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.
-
-    [depth] bounds the fallback exploration (and is reported in
-    [Bounded] verdicts); with [strategy = Auto] the exact automata route
-    is attempted first.  Trace-clause verdicts are relative to
-    [ctx]'s universe. *)
-let check ?domains ?strategy ctx ~depth gamma' gamma =
-  fst (check_full ?domains ?strategy ctx ~depth gamma' gamma)
-
-(** Boolean convenience wrapper. *)
-let refines ?domains ?strategy ctx ~depth gamma' gamma =
-  Result.is_ok (check ?domains ?strategy ctx ~depth gamma' gamma)
-
-(** The typed-evidence view of a failure.  [proj] is α(Γ), used to
-    attach the projected trace to an escape witness. *)
+(* The typed-evidence view of a failure.  [proj] is α(Γ), used to
+   attach the projected trace to an escape witness. *)
 let evidence_of_failure ~proj = function
   | Objects_missing os -> Verdict.Objects_missing os
   | Alphabet_missing es -> Verdict.Events_missing es
@@ -182,12 +172,16 @@ let evidence_of_failure ~proj = function
       Verdict.Trace_escape
         { trace = h; projected = Eventset.restrict_trace proj h }
 
-(** [check] as a structured {!Verdict.t} (procedure and depth filled
-    in; the caller adds universe digest and elapsed time). *)
-let verdict ?domains ?strategy ctx ~depth gamma' gamma =
-  let result, procedure =
-    check_full ?domains ?strategy ctx ~depth gamma' gamma
-  in
+(** [verdict ?opts ctx gamma' gamma] decides Γ′ ⊑ Γ as a structured
+    {!Verdict.t} (procedure and depth filled in; the caller adds
+    universe digest and elapsed time).  Trace-clause verdicts are
+    relative to [ctx]'s universe; counterexamples from every decision
+    route are certified against [Tset.mem_naive] before being reported
+    ({!Verdict.Uncertified} on disagreement). *)
+let verdict ?(opts = default_opts) ctx (gamma' : Spec.t) (gamma : Spec.t) :
+    Verdict.t =
+  let { strategy; domains; depth } = opts in
+  let result, procedure = decide ?domains ~strategy ctx ~depth gamma' gamma in
   let v =
     match result with
     | Ok c -> Verdict.holds ~confidence:c ()
@@ -198,3 +192,7 @@ let verdict ?domains ?strategy ctx ~depth gamma' gamma =
           [ evidence_of_failure ~proj:(Spec.alpha gamma) f ]
   in
   Verdict.with_context ~procedure ~depth v
+
+(** Boolean convenience wrapper. *)
+let refines ?opts ctx gamma' gamma =
+  Verdict.is_holds (verdict ?opts ctx gamma' gamma)

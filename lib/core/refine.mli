@@ -9,80 +9,51 @@
     refinement is the special case with fixed alphabet and objects.
 
     Clauses 1–2 are decided exactly on the symbolic representation;
-    clause 3 over a concrete universe — exactly via DFA language
-    inclusion when both trace sets compile, else by bounded
-    exploration.  Failures always carry witnesses. *)
+    clause 3 over a concrete universe, by the route {!strategy}
+    selects.  The API is verdict-first: {!verdict} is the one
+    entrypoint, reporting status, confidence, typed evidence and
+    provenance as a {!Posl_verdict.Verdict.t}; {!refines} is a thin
+    boolean wrapper over it. *)
 
-open Posl_ident
-open Posl_sets
 module Tset = Posl_tset.Tset
-module Bmc = Posl_bmc.Bmc
 module Verdict = Posl_verdict.Verdict
 
-type failure =
-  | Objects_missing of Oid.Set.t
-      (** O(Γ) \ O(Γ′): abstract objects dropped by the refinement *)
-  | Alphabet_missing of Eventset.t
-      (** α(Γ) \ α(Γ′): abstract events dropped by the refinement *)
-  | Trace_escape of Posl_trace.Trace.t
-      (** a genuine trace of Γ′ whose projection on α(Γ) is outside
-          T(Γ) *)
-
-val pp_failure : Format.formatter -> failure -> unit
-
-type result = (Bmc.confidence, failure) Stdlib.result
-
-val pp_result : Format.formatter -> result -> unit
-
 type strategy =
-  | Auto  (** automata first, bounded exploration as fallback *)
-  | Automata_only  (** raise if the monitors do not compile *)
-  | Bounded_only
+  | Auto
+      (** on-the-fly antichain inclusion; depth-cut bounded
+          exploration as fallback on closure overflow *)
+  | Antichain_only
+      (** on-the-fly product/inclusion with antichain subsumption
+          ({!Posl_bmc.Bmc.check_inclusion_antichain}) *)
+  | Automata_only
+      (** compiled-DFA language inclusion; raise if the monitors do
+          not compile *)
+  | Bounded_only  (** depth-cut level-wise exploration *)
 
-val check :
-  ?domains:int ->
-  ?strategy:strategy ->
-  Tset.ctx ->
-  depth:int ->
-  Spec.t ->
-  Spec.t ->
-  result
-(** [check ctx ~depth gamma' gamma] decides Γ′ ⊑ Γ.  Trace-clause
-    verdicts are relative to [ctx]'s universe; [depth] bounds (and is
-    reported by) the exploration fallback.  Counterexamples from both
-    decision routes are certified against [Tset.mem_naive] before they
-    are returned ({!Verdict.Uncertified} on disagreement). *)
+type opts = {
+  strategy : strategy;
+  domains : int option;  (** worker domains for the bounded route *)
+  depth : int;
+      (** bound of (and reported by) depth-cut exploration; default 6 *)
+}
 
-val check_full :
-  ?domains:int ->
-  ?strategy:strategy ->
-  Tset.ctx ->
-  depth:int ->
-  Spec.t ->
-  Spec.t ->
-  result * Verdict.procedure
-(** {!check} plus the decision procedure that settled the question. *)
+val opts : ?strategy:strategy -> ?domains:int -> ?depth:int -> unit -> opts
+(** Defaults: [Auto], no domain override, depth 6. *)
 
-val evidence_of_failure : proj:Eventset.t -> failure -> Verdict.evidence
-(** The typed-evidence view of a failure; [proj] is α(Γ), used to
-    attach the projected trace to an escape witness. *)
+val default_opts : opts
+(** [opts ()]. *)
 
-val verdict :
-  ?domains:int ->
-  ?strategy:strategy ->
-  Tset.ctx ->
-  depth:int ->
-  Spec.t ->
-  Spec.t ->
-  Verdict.t
-(** {!check} as a structured verdict with procedure and depth
-    provenance filled in. *)
+val verdict : ?opts:opts -> Tset.ctx -> Spec.t -> Spec.t -> Verdict.t
+(** [verdict ?opts ctx gamma' gamma] decides Γ′ ⊑ Γ.  Trace-clause
+    verdicts are relative to [ctx]'s universe.  Clause 1–2 failures
+    report the [Symbolic] procedure with [Objects_missing] /
+    [Events_missing] evidence; clause 3 reports [Automata] for an
+    exact inclusion decision (compiled or antichain-exhausted, both
+    with the same canonical lexicographically-least shortest
+    counterexamples) and [Bounded_search] for a depth-cut run.
+    Counterexamples from every route are certified against
+    [Tset.mem_naive] before being reported
+    ({!Verdict.Uncertified} on disagreement). *)
 
-val refines :
-  ?domains:int ->
-  ?strategy:strategy ->
-  Tset.ctx ->
-  depth:int ->
-  Spec.t ->
-  Spec.t ->
-  bool
+val refines : ?opts:opts -> Tset.ctx -> Spec.t -> Spec.t -> bool
+(** [Verdict.is_holds] of {!verdict}. *)

@@ -148,7 +148,12 @@ let spec_equal ?domains ctx ~depth (a : Spec.t) (b : Spec.t) : outcome =
   else tset_equal ?domains ctx ~depth a b
 
 let refine_outcome ?domains ctx ~depth gamma' gamma : outcome =
-  Refine.verdict ?domains ctx ~depth gamma' gamma
+  Refine.verdict ~opts:(Refine.opts ?domains ~depth ()) ctx gamma' gamma
+
+(* Premise checks ask the same question as {!refine_outcome} but only
+   need the boolean. *)
+let refines ?domains ctx ~depth gamma' gamma =
+  Refine.refines ~opts:(Refine.opts ?domains ~depth ()) ctx gamma' gamma
 
 (** {1 Property 5} — Γ‖Γ = Γ for an interface specification Γ.  This is
     where object identity departs from process algebra: composing a
@@ -188,8 +193,8 @@ let lemma6_weakest ?domains ctx ~depth ~delta g1 g2 : outcome =
   | None ->
       if
         not
-          (Refine.refines ?domains ctx ~depth delta g1
-          && Refine.refines ?domains ctx ~depth delta g2)
+          (refines ?domains ctx ~depth delta g1
+          && refines ?domains ctx ~depth delta g2)
       then Verdict.vacuous "∆ does not refine both Γ₁ and Γ₂"
       else refine_outcome ?domains ctx ~depth delta (Compose.interface g1 g2)
 
@@ -203,7 +208,7 @@ let theorem7 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
   then Verdict.vacuous "Theorem 7 concerns interface specifications"
   else if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
     Verdict.vacuous "Theorem 7 keeps the object set unchanged"
-  else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+  else if not (refines ?domains ctx ~depth gamma' gamma) then
     Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
   else
     refine_outcome ?domains ctx ~depth
@@ -291,7 +296,7 @@ let theorem16 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
   | Ok () ->
       if not (Compose.proper ~refined:gamma' ~abstract:gamma ~context:delta)
       then Verdict.vacuous "Γ′ is not a proper refinement of Γ w.r.t. ∆"
-      else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+      else if not (refines ?domains ctx ~depth gamma' gamma) then
         Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
       else (
         match Compose.compose gamma delta with
@@ -333,7 +338,7 @@ let property17 ~gamma' ~gamma ~delta : outcome =
 let theorem18 ?domains ctx ~depth ~gamma' ~gamma ~delta : outcome =
   if not (Oid.Set.equal (Spec.objs gamma') (Spec.objs gamma)) then
     Verdict.vacuous "Theorem 18 requires O(Γ′) = O(Γ)"
-  else if not (Refine.refines ?domains ctx ~depth gamma' gamma) then
+  else if not (refines ?domains ctx ~depth gamma' gamma) then
     Verdict.vacuous "premise Γ′ ⊑ Γ does not hold"
   else
     match (Compose.compose gamma' delta, Compose.compose gamma delta) with
@@ -351,8 +356,8 @@ let refinement_reflexive ?domains ctx ~depth gamma : outcome =
 let refinement_transitive ?domains ctx ~depth ~g1 ~g2 ~g3 : outcome =
   if
     not
-      (Refine.refines ?domains ctx ~depth g1 g2
-      && Refine.refines ?domains ctx ~depth g2 g3)
+      (refines ?domains ctx ~depth g1 g2
+      && refines ?domains ctx ~depth g2 g3)
   then Verdict.vacuous "premises Γ₁ ⊑ Γ₂ ⊑ Γ₃ do not hold"
   else refine_outcome ?domains ctx ~depth g1 g3
 

@@ -54,6 +54,22 @@ let dfa_contended_c =
   Metrics.counter ~help:"Contended stripe-lock acquisitions in the DFA cache"
     "posl_engine_dfa_contended_total"
 
+(* The antichain and interning counters live in posl.bmc / posl.tset;
+   [Metrics.counter] is get-or-create by name, so redeclaring them here
+   only obtains handles on the same registry cells. *)
+let antichain_pairs_c =
+  Metrics.counter ~help:"Product pairs admitted by antichain inclusion checks"
+    "posl_bmc_antichain_pairs_total"
+
+let antichain_prunes_c =
+  Metrics.counter
+    ~help:"Candidate pairs subsumed by the antichain (never explored)"
+    "posl_bmc_antichain_prunes_total"
+
+let interned_states_c =
+  Metrics.counter ~help:"Distinct monitor states interned per context"
+    "posl_tset_interned_states_total"
+
 type totals = {
   t_jobs : int;
   t_hits : int;
@@ -66,6 +82,9 @@ type totals = {
   t_dfa_hits : int;
   t_dfa_compiles : int;
   t_dfa_contended : int;
+  t_antichain_pairs : int;
+  t_antichain_prunes : int;
+  t_interned_states : int;
 }
 
 let read_totals () =
@@ -81,6 +100,9 @@ let read_totals () =
     t_dfa_hits = Metrics.value dfa_hits_c;
     t_dfa_compiles = Metrics.value dfa_compiles_c;
     t_dfa_contended = Metrics.value dfa_contended_c;
+    t_antichain_pairs = Metrics.value antichain_pairs_c;
+    t_antichain_prunes = Metrics.value antichain_prunes_c;
+    t_interned_states = Metrics.value interned_states_c;
   }
 
 type t = { base : totals }
@@ -112,6 +134,9 @@ type snapshot = {
   dfa_hits : int;
   dfa_compiles : int;
   dfa_contended : int;
+  antichain_pairs : int;
+  antichain_prunes : int;
+  interned_states : int;
 }
 
 let snapshot (c : t) : snapshot =
@@ -129,11 +154,16 @@ let snapshot (c : t) : snapshot =
     dfa_hits = now.t_dfa_hits - b.t_dfa_hits;
     dfa_compiles = now.t_dfa_compiles - b.t_dfa_compiles;
     dfa_contended = now.t_dfa_contended - b.t_dfa_contended;
+    antichain_pairs = now.t_antichain_pairs - b.t_antichain_pairs;
+    antichain_prunes = now.t_antichain_prunes - b.t_antichain_prunes;
+    interned_states = now.t_interned_states - b.t_interned_states;
   }
 
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "jobs=%d hits=%d misses=%d uncacheable=%d store_hits=%d store_misses=%d \
-     store_writes=%d busy=%.1fms dfa_hits=%d dfa_compiles=%d dfa_contended=%d"
+     store_writes=%d busy=%.1fms dfa_hits=%d dfa_compiles=%d dfa_contended=%d \
+     antichain_pairs=%d antichain_prunes=%d interned_states=%d"
     s.jobs s.hits s.misses s.uncacheable s.store_hits s.store_misses
     s.store_writes s.busy_ms s.dfa_hits s.dfa_compiles s.dfa_contended
+    s.antichain_pairs s.antichain_prunes s.interned_states

@@ -57,6 +57,11 @@ type snapshot = {
   dfa_hits : int;  (** compiled automata served from the shared cache *)
   dfa_compiles : int;  (** prs-expressions compiled to DFAs *)
   dfa_contended : int;  (** contended stripe-lock acquisitions *)
+  antichain_pairs : int;
+      (** product pairs admitted by antichain inclusion checks *)
+  antichain_prunes : int;
+      (** candidate pairs subsumed by the antichain (never explored) *)
+  interned_states : int;  (** distinct monitor states interned *)
 }
 
 val snapshot : t -> snapshot

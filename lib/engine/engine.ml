@@ -72,6 +72,9 @@ type stats = {
   store_writes : int;
   dfa_cache_hits : int;
   dfa_compiles : int;
+  antichain_pairs : int;
+  antichain_prunes : int;
+  interned_states : int;
   busy_ms : float;
   wall_ms : float;
   domains : int;
@@ -81,7 +84,7 @@ type stats = {
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d job%s on %d domain%s in %.1f ms (busy %.1f ms, utilization %.0f%%): \
-     %d cache hit%s, %d miss%s%s%s; %d DFA compile%s, %d DFA cache hit%s"
+     %d cache hit%s, %d miss%s%s%s; %d DFA compile%s, %d DFA cache hit%s%s"
     s.jobs
     (if s.jobs = 1 then "" else "s")
     s.domains
@@ -106,6 +109,13 @@ let pp_stats ppf s =
     (if s.dfa_compiles = 1 then "" else "s")
     s.dfa_cache_hits
     (if s.dfa_cache_hits = 1 then "" else "s")
+    (if s.antichain_pairs = 0 && s.interned_states = 0 then ""
+     else
+       Printf.sprintf "; antichain: %d pair%s, %d pruned; %d state%s interned"
+         s.antichain_pairs
+         (if s.antichain_pairs = 1 then "" else "s")
+         s.antichain_prunes s.interned_states
+         (if s.interned_states = 1 then "" else "s"))
 
 (* The shared DFA-cache registry.  Compiled prs-automata are relative
    to a universe sample (binder expansion and event sampling), so one
@@ -302,6 +312,9 @@ let run_jobs ?domains s requests =
       store_writes = c.Counters.store_writes;
       dfa_cache_hits = c.Counters.dfa_hits;
       dfa_compiles = c.Counters.dfa_compiles;
+      antichain_pairs = c.Counters.antichain_pairs;
+      antichain_prunes = c.Counters.antichain_prunes;
+      interned_states = c.Counters.interned_states;
       busy_ms = c.Counters.busy_ms;
       wall_ms;
       domains;

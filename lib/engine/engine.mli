@@ -68,6 +68,13 @@ type stats = {
   dfa_compiles : int;
       (** prs-expressions compiled to DFAs during this batch; with the
           shared cache this no longer scales with the domain count *)
+  antichain_pairs : int;
+      (** product pairs admitted by on-the-fly antichain inclusion
+          checks during this batch *)
+  antichain_prunes : int;
+      (** candidate pairs the antichain subsumed (never explored) *)
+  interned_states : int;
+      (** distinct monitor states interned into contexts this batch *)
   busy_ms : float;  (** summed per-job wall time across workers *)
   wall_ms : float;  (** batch wall time *)
   domains : int;  (** requested worker count *)

@@ -70,7 +70,9 @@ let run ?domains (ctx : Tset.ctx) ~depth query : verdict =
   let v =
     match query with
     | Refine { refined; abstract } ->
-        Refine.verdict ?domains ctx ~depth refined abstract
+        Refine.verdict
+          ~opts:(Refine.opts ?domains ~depth ())
+          ctx refined abstract
     | Compose { left; right } ->
         Verdict.with_context ~procedure:Verdict.Symbolic
           (match Compose.check_composable left right with

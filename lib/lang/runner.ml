@@ -48,11 +48,18 @@ let run_file ?(depth = 6) ?(extra_objects = 2) (f : file) : result list =
       (sl, sr)
     in
     match a.check with
-    | Chk_refines (l, r) -> (
+    | Chk_refines (l, r) ->
         let l, r = find2 l r in
-        match Refine.check ctx ~depth l r with
-        | Ok c -> (true, Format.asprintf "refines [%a]" Bmc.pp_confidence c)
-        | Error fl -> (false, Format.asprintf "%a" Refine.pp_failure fl))
+        let v = Refine.verdict ~opts:(Refine.opts ~depth ()) ctx l r in
+        let module V = Posl_verdict.Verdict in
+        if V.is_holds v then
+          ( true,
+            Format.asprintf "refines%a"
+              (fun ppf -> function
+                | None -> ()
+                | Some c -> Format.fprintf ppf " [%a]" Bmc.pp_confidence c)
+              v.V.confidence )
+        else (false, V.to_string v)
     | Chk_composable (l, r) -> (
         let l, r = find2 l r in
         match Compose.check_composable l r with
@@ -65,14 +72,18 @@ let run_file ?(depth = 6) ?(extra_objects = 2) (f : file) : result list =
         let context = find context in
         let holds = Compose.proper ~refined ~abstract ~context in
         (holds, if holds then "proper" else "α₀ meets the context alphabet")
-    | Chk_consistent (l, r) -> (
+    | Chk_consistent (l, r) ->
         let l, r = find2 l r in
-        match Consistency.check ctx ~depth l r with
-        | Consistency.Consistent h ->
-            (true, Format.asprintf "witness %a" Posl_trace.Trace.pp h)
-        | Consistency.Only_trivial -> (false, "only trivially consistent")
-        | Consistency.Not_composable fl ->
-            (false, Format.asprintf "%a" Compose.pp_composability_failure fl))
+        let v =
+          Consistency.verdict ~opts:(Refine.opts ~depth ()) ctx l r
+        in
+        let module V = Posl_verdict.Verdict in
+        if V.is_holds v then
+          ( true,
+            match V.witness_traces v with
+            | h :: _ -> Format.asprintf "witness %a" Posl_trace.Trace.pp h
+            | [] -> "consistent" )
+        else (false, V.to_string v)
     | Chk_equals (l, r) ->
         let l, r = find2 l r in
         let v = Theory.tset_equal ctx ~depth l r in

@@ -75,24 +75,10 @@ let pp_violation ppf = function
       Format.fprintf ppf "obligation %s unanswerable after %a" o.name Trace.pp
         h
 
-type verdict = (Bmc.confidence, violation) result
-
-let pp_verdict ppf = function
-  | Ok c -> Format.fprintf ppf "live [%a]" Bmc.pp_confidence c
-  | Error v -> Format.fprintf ppf "not live: %a" pp_violation v
-
 let evidence_of_violation = function
   | Deadlock h -> Verdict.Deadlock h
   | Unanswerable (o, h) ->
       Verdict.Unanswerable { obligation = o.name; trace = h }
-
-let to_verdict ~depth = function
-  | Ok c ->
-      Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
-        (Verdict.holds ~confidence:c ())
-  | Error v ->
-      Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
-        (Verdict.refuted [ evidence_of_violation v ])
 
 (* Forward reachability of a response event from a monitor state,
    memoized per state: BFS over monitor states looking for any enabled
@@ -196,9 +182,8 @@ let check_obligation ctx ~alphabet ~depth tset ob : (Bmc.confidence, Trace.t) re
              Trace.pp h;
          Error h)
 
-(** Check all liveness requirements of a live specification. *)
-let check ?(domains = 1) ctx ~depth (t : t) : verdict =
-  ignore domains;
+(* Check all liveness requirements of a live specification. *)
+let check ctx ~depth (t : t) : (Bmc.confidence, violation) result =
   let u = Tset.universe ctx in
   let alphabet = Spec.concrete_alphabet u t.spec in
   let deadlock_verdict =
@@ -227,39 +212,43 @@ let check ?(domains = 1) ctx ~depth (t : t) : verdict =
                     | Bmc.Bounded k, _ | _, Bmc.Bounded k -> Bmc.Bounded k)))
         (Ok c0) t.obligations
 
-type live_refinement_failure =
-  | Safety of Refine.failure
-  | Liveness of violation
+(** [verdict ?opts ctx t]: all liveness requirements of a live
+    specification (deadlock freedom when required, every obligation)
+    as a structured verdict. *)
+let verdict ?(opts = Refine.default_opts) ctx (t : t) : Verdict.t =
+  let depth = opts.Refine.depth in
+  Verdict.with_context ~procedure:Verdict.Bounded_search ~depth
+    (match check ctx ~depth t with
+    | Ok c -> Verdict.holds ~confidence:c ()
+    | Error v -> Verdict.refuted [ evidence_of_violation v ])
 
-let pp_live_refinement_failure ppf = function
-  | Safety f -> Refine.pp_failure ppf f
-  | Liveness v -> pp_violation ppf v
+(** Boolean convenience wrapper. *)
+let live ?opts ctx t = Verdict.is_holds (verdict ?opts ctx t)
 
 (** Live refinement: Γ′ ⊑ Γ (Def. 2) {e and} Γ′ honours Γ's
     obligations (obligations name events of α(Γ) ⊆ α(Γ′), so they are
     meaningful for the refined specification) and deadlock freedom.
     This is the conservative strengthening the paper's discussion
     anticipates: Example 5's Client2 refines Client but fails live
-    refinement against any progress obligation on the writes. *)
-let refine ?domains ctx ~depth (refined : t) (abstract : t) :
-    (Bmc.confidence, live_refinement_failure) result =
-  match Refine.check ?domains ctx ~depth refined.spec abstract.spec with
-  | Error f -> Error (Safety f)
-  | Ok c_safety -> (
-      let inherited =
-        {
-          spec = refined.spec;
-          obligations = abstract.obligations @ refined.obligations;
-          deadlock_free = abstract.deadlock_free || refined.deadlock_free;
-        }
-      in
-      match check ctx ~depth inherited with
-      | Error v -> Error (Liveness v)
-      | Ok c_live ->
-          Ok
-            (match (c_safety, c_live) with
-            | Bmc.Exact, Bmc.Exact -> Bmc.Exact
-            | Bmc.Bounded k, _ | _, Bmc.Bounded k -> Bmc.Bounded k))
+    refinement against any progress obligation on the writes.
+
+    A refuted safety clause is returned as-is (its evidence is the
+    Def. 2 counterexample); otherwise the liveness verdict of the
+    refined specification under the {e inherited} obligations is
+    joined in with {!Verdict.both}. *)
+let refine ?(opts = Refine.default_opts) ctx (refined : t) (abstract : t) :
+    Verdict.t =
+  let safety = Refine.verdict ~opts ctx refined.spec abstract.spec in
+  if not (Verdict.is_holds safety) then safety
+  else
+    let inherited =
+      {
+        spec = refined.spec;
+        obligations = abstract.obligations @ refined.obligations;
+        deadlock_free = abstract.deadlock_free || refined.deadlock_free;
+      }
+    in
+    Verdict.both safety (verdict ~opts ctx inherited)
 
 (** Example 5 as an analysis: does refining Γ into Γ′ preserve deadlock
     freedom of the composition with ∆?  Returns [Ok] when Γ‖∆ has a

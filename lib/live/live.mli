@@ -49,16 +49,8 @@ type violation =
 
 val pp_violation : Format.formatter -> violation -> unit
 
-type verdict = (Bmc.confidence, violation) result
-
-val pp_verdict : Format.formatter -> verdict -> unit
-
 val evidence_of_violation : violation -> Posl_verdict.Verdict.evidence
 (** [Deadlock] and [Unanswerable] as typed verdict evidence. *)
-
-val to_verdict : depth:int -> verdict -> Posl_verdict.Verdict.t
-(** The structured-verdict view of a liveness check, stamped with the
-    bounded-search procedure and [depth]. *)
 
 val check_obligation :
   Tset.ctx ->
@@ -68,25 +60,20 @@ val check_obligation :
   obligation ->
   (Bmc.confidence, Trace.t) result
 
-val check : ?domains:int -> Tset.ctx -> depth:int -> t -> verdict
-(** Deadlock freedom (when required) and every obligation. *)
+val verdict : ?opts:Refine.opts -> Tset.ctx -> t -> Posl_verdict.Verdict.t
+(** Deadlock freedom (when required) and every obligation, as a
+    structured verdict (refutations carry [Deadlock] /
+    [Unanswerable] evidence).  Mirrors {!Refine.verdict}; only the
+    [depth] of the options is consulted. *)
 
-type live_refinement_failure =
-  | Safety of Refine.failure
-  | Liveness of violation
+val live : ?opts:Refine.opts -> Tset.ctx -> t -> bool
+(** [Verdict.is_holds] of {!verdict}. *)
 
-val pp_live_refinement_failure :
-  Format.formatter -> live_refinement_failure -> unit
-
-val refine :
-  ?domains:int ->
-  Tset.ctx ->
-  depth:int ->
-  t ->
-  t ->
-  (Bmc.confidence, live_refinement_failure) result
+val refine : ?opts:Refine.opts -> Tset.ctx -> t -> t -> Posl_verdict.Verdict.t
 (** Live refinement: Def. 2 refinement plus preservation of the
-    abstract specification's obligations and deadlock freedom. *)
+    abstract specification's obligations and deadlock freedom.  A
+    refuted safety clause returns the Def. 2 verdict as-is; liveness
+    refutations carry the violation evidence. *)
 
 val compositional_deadlock_preservation :
   Tset.ctx ->

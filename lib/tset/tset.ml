@@ -38,6 +38,10 @@ let dfa_compile_hist =
   Metrics.histogram ~help:"Time to compile one prs-expression to a DFA, ms"
     "posl_tset_dfa_compile_ms"
 
+let interned_states_c =
+  Metrics.counter ~help:"Monitor states interned across all contexts"
+    "posl_tset_interned_states_total"
+
 type t =
   | All
   | Prs of Regex.t
@@ -95,6 +99,75 @@ type compiled_prs = {
 
 type prs_cache = (Regex.t, compiled_prs) Prs_cache.t
 
+(* Interning tables: small integer ids for monitor states, for the
+   composites of product macro-states, and a hash-consing table for
+   events.  Ids make frontier keys of the on-the-fly inclusion check
+   word-sized (a visited pair is one boxed-free int instead of two deep
+   structural trees), and composite ids turn a product macro-state into
+   a bitset the antichain can compare with word operations.  One table
+   set per context: ids are only meaningful relative to the universe
+   sample, exactly like compiled automata.  The mutex makes the tables
+   safe to share across the engine's worker domains; critical sections
+   are a single hash lookup/insert. *)
+type intern = {
+  i_lock : Mutex.t;
+  i_ids : (state, int) Hashtbl.t;
+  mutable i_rev : state array;  (* id -> state; doubling array *)
+  mutable i_count : int;
+  i_comp_ids : (state list, int) Hashtbl.t;  (* product composite -> id *)
+  mutable i_comp_count : int;
+  i_macros : (int, int array) Hashtbl.t;
+      (* state id of an [S_product] -> sorted composite ids *)
+  i_events : (Event.t, Event.t * int) Hashtbl.t;
+      (* hash-consed events, with a dense id for row-cache keys *)
+  mutable i_event_count : int;
+  mutable i_tsets : (t * int) list;
+      (* physical-identity trace-set ids; a short assoc list scanned
+         with (==) — contexts see a handful of distinct monitors *)
+  mutable i_tset_count : int;
+  i_rows : (int * int * int, int) Hashtbl.t;
+      (* (tset id, state id, event id) -> successor state id, -1 dead.
+         Successor rows survive across inclusion checks, so a monitor
+         shared by many refinement pairs steps each state once per
+         context, not once per pair. *)
+  i_forall_bodies : (int * Oid.t, t) Hashtbl.t;
+      (* (tset id of a [Forall_obj] node, object) -> [body o].  The
+         body of Example 3's P{_RW1} builds a whole regex tree per
+         application; memoizing per node keeps the sub-monitor (and
+         its inner regex) one physically stable value, so per-step
+         applications stop allocating and downstream caches get a
+         stable key. *)
+  mutable i_prs_phys : (Regex.t * compiled_prs) list;
+      (* physical-identity front cache over [prs_cache], capped at
+         [prs_phys_cap]: hot-path regexes are stable values (module
+         constants, or [i_forall_bodies] members), so stepping
+         resolves their automata by pointer scan instead of a
+         structural hash + equality per step.  The cap keeps fresh
+         regexes from growing the scan; they miss into the striped
+         cache, which is keyed structurally.  Read lock-free (a cons
+         chain is immutable); extended under [i_lock]. *)
+}
+
+let prs_phys_cap = 64
+
+let intern_create () =
+  {
+    i_lock = Mutex.create ();
+    i_ids = Hashtbl.create 1024;
+    i_rev = Array.make 1024 S_all;
+    i_count = 0;
+    i_comp_ids = Hashtbl.create 256;
+    i_comp_count = 0;
+    i_macros = Hashtbl.create 256;
+    i_events = Hashtbl.create 256;
+    i_event_count = 0;
+    i_tsets = [];
+    i_tset_count = 0;
+    i_rows = Hashtbl.create 4096;
+    i_forall_bodies = Hashtbl.create 64;
+    i_prs_phys = [];
+  }
+
 (* The record stays internal: outside the module a context is abstract
    and reached through the accessors below, which is what lets the
    compiled-automata memo be a domain-safe striped cache rather than a
@@ -103,13 +176,14 @@ type ctx = {
   universe : Universe.t;
   closure_cap : int;
   prs_cache : prs_cache;
+  intern : intern;
 }
 
 let ctx ?(closure_cap = 20_000) ?cache universe =
   let prs_cache =
     match cache with Some c -> c | None -> Prs_cache.create ()
   in
-  { universe; closure_cap; prs_cache }
+  { universe; closure_cap; prs_cache; intern = intern_create () }
 
 let universe c = c.universe
 let closure_cap c = c.closure_cap
@@ -120,11 +194,118 @@ let share_cache donor c = { c with prs_cache = donor.prs_cache }
    cap" is the common way to probe closure overflows in tests. *)
 let with_closure_cap cap c = ctx ~closure_cap:cap ~cache:c.prs_cache c.universe
 
+(** {1 Interning} *)
+
+let with_intern c f =
+  let it = c.intern in
+  Mutex.lock it.i_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock it.i_lock) (fun () -> f it)
+
+(* Composite ids are assigned under the same lock as state ids; the
+   macro view of an [S_product] is computed once, at interning time,
+   so lookups on the exploration hot path are a single table read. *)
+let intern_composite it comp =
+  match Hashtbl.find_opt it.i_comp_ids comp with
+  | Some i -> i
+  | None ->
+      let i = it.i_comp_count in
+      Hashtbl.add it.i_comp_ids comp i;
+      it.i_comp_count <- i + 1;
+      i
+
+let intern_state c (st : state) : int =
+  with_intern c @@ fun it ->
+  match Hashtbl.find_opt it.i_ids st with
+  | Some id -> id
+  | None ->
+      let id = it.i_count in
+      if id >= Array.length it.i_rev then begin
+        let grown = Array.make (2 * Array.length it.i_rev) S_all in
+        Array.blit it.i_rev 0 grown 0 (Array.length it.i_rev);
+        it.i_rev <- grown
+      end;
+      it.i_rev.(id) <- st;
+      Hashtbl.add it.i_ids st id;
+      it.i_count <- id + 1;
+      Metrics.incr interned_states_c;
+      (match st with
+      | S_product comps ->
+          let ids = Array.of_list (List.map (intern_composite it) comps) in
+          Array.sort Int.compare ids;
+          Hashtbl.replace it.i_macros id ids
+      | _ -> ());
+      id
+
+let state_of_id c id : state =
+  with_intern c @@ fun it ->
+  if id < 0 || id >= it.i_count then invalid_arg "Tset.state_of_id";
+  it.i_rev.(id)
+
+let macro_of_id c id : int array option =
+  with_intern c @@ fun it -> Hashtbl.find_opt it.i_macros id
+
+let hashcons_event c (e : Event.t) : Event.t =
+  with_intern c @@ fun it ->
+  match Hashtbl.find_opt it.i_events e with
+  | Some (canonical, _) -> canonical
+  | None ->
+      Hashtbl.add it.i_events e (e, it.i_event_count);
+      it.i_event_count <- it.i_event_count + 1;
+      e
+
+let event_id c (e : Event.t) : int =
+  with_intern c @@ fun it ->
+  match Hashtbl.find_opt it.i_events e with
+  | Some (_, id) -> id
+  | None ->
+      let id = it.i_event_count in
+      Hashtbl.add it.i_events e (e, id);
+      it.i_event_count <- id + 1;
+      id
+
+(* Physical identity, not structural: [Spec.tset] is a field read, so
+   the monitors a context actually sees are physically stable values.
+   Structurally-equal-but-distinct monitors merely get distinct ids,
+   which costs row sharing, never soundness. *)
+let tset_id c (t : t) : int =
+  with_intern c @@ fun it ->
+  let rec find = function
+    | [] -> None
+    | (t', id) :: _ when t' == t -> Some id
+    | _ :: rest -> find rest
+  in
+  match find it.i_tsets with
+  | Some id -> id
+  | None ->
+      let id = it.i_tset_count in
+      it.i_tsets <- (t, id) :: it.i_tsets;
+      it.i_tset_count <- id + 1;
+      id
+
+(* Memoized [body o] for a [Forall_obj] node.  On a race both domains
+   build structurally equal values and the first insert wins, so every
+   caller shares one physical sub-monitor. *)
+let forall_body c (node : t) (body : Oid.t -> t) (o : Oid.t) : t =
+  let key = (tset_id c node, o) in
+  match with_intern c (fun it -> Hashtbl.find_opt it.i_forall_bodies key) with
+  | Some bt -> bt
+  | None ->
+      let bt = body o in
+      with_intern c (fun it ->
+          match Hashtbl.find_opt it.i_forall_bodies key with
+          | Some winner -> winner
+          | None ->
+              Hashtbl.add it.i_forall_bodies key bt;
+              bt)
+
+let intern_counts c =
+  with_intern c @@ fun it -> (it.i_count, it.i_comp_count, it.i_event_count)
+
 (* Compilation happens outside the stripe lock; when two domains race
    on a fresh regex both compile and the first insert wins, which is
    sound because compiled automata for one (regex, universe) pair are
    interchangeable pure values. *)
-let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
+let compile_prs_shared (c : ctx) (r : Regex.t) : compiled_prs =
   Prs_cache.find_or_compute c.prs_cache r (fun () ->
       Telemetry.with_span "tset.dfa-compile" @@ fun () ->
       let t0 = Telemetry.now_ns () in
@@ -143,6 +324,24 @@ let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
       Metrics.observe dfa_compile_hist
         (float_of_int (Telemetry.now_ns () - t0) /. 1e6);
       { dfa; index; atoms })
+
+(* Pointer-scan front over the striped cache; see [i_prs_phys]. *)
+let compile_prs (c : ctx) (r : Regex.t) : compiled_prs =
+  let rec scan = function
+    | [] -> None
+    | (r', v) :: _ when r' == r -> Some v
+    | _ :: rest -> scan rest
+  in
+  match scan c.intern.i_prs_phys with
+  | Some v -> v
+  | None ->
+      let v = compile_prs_shared c r in
+      with_intern c (fun it ->
+          if
+            List.length it.i_prs_phys < prs_phys_cap
+            && not (List.exists (fun (r', _) -> r' == r) it.i_prs_phys)
+          then it.i_prs_phys <- (r, v) :: it.i_prs_phys);
+      v
 
 (* Step the compiled automaton.  Events outside the concrete sample are
    rejected when they match no atom symbolically (exact); an event that
@@ -178,6 +377,24 @@ let forall_witness s =
   match Oset.witness s with
   | Some w -> Some w
   | None -> None
+
+(* Whether every reachable monitor state of [t] is bounded-shape pure
+   data, so that interning de-duplicates revisited states and
+   exploration past a depth bound can hope to terminate by exhaustion.
+   [Pointwise] states carry the whole prefix read so far — every
+   explored path yields a fresh state, making completion exponential —
+   so any monitor containing one is not finitary.  [Forall_obj] bodies
+   are uniform in the object, so a single witness probe decides the
+   sort. *)
+let rec finitary (t : t) : bool =
+  match t with
+  | All | Prs _ | Counting _ -> true
+  | Pointwise _ -> false
+  | Forall_obj (s, body) -> (
+      match forall_witness s with None -> true | Some w -> finitary (body w))
+  | Conj ts -> List.for_all finitary ts
+  | Restrict (_, t) -> finitary t
+  | Product (parts, _) -> List.for_all (fun p -> finitary p.part_tset) parts
 
 let rec start (c : ctx) (t : t) : state option =
   match t with
@@ -245,15 +462,16 @@ and step (c : ctx) (t : t) (s : state) (e : Event.t) : state option =
         | Some assoc ->
             if not (Oset.mem o sort) then Some assoc
             else
+              let bt = forall_body c t body o in
               let current =
                 match List.assoc_opt o assoc with
                 | Some st -> Some st
-                | None -> start c (body o)
+                | None -> start c bt
               in
               (match current with
               | None -> None
               | Some st -> (
-                  match step c (body o) st e with
+                  match step c bt st e with
                   | None -> None
                   | Some st' ->
                       Some ((o, st') :: List.remove_assoc o assoc)))
@@ -351,6 +569,28 @@ and product_closure c parts hidden set =
     Telemetry.set_attrs
       [ ("composites", string_of_int (Composite_set.cardinal closed)) ];
   closed
+
+(** {1 Cached stepping}
+
+    The successor of an interned state under a hash-consed event,
+    memoized in the context's row cache.  Monitor stepping is pure, so
+    two domains racing on one key compute the same value and the last
+    insert wins; the step itself runs outside the lock (it re-enters
+    the interning table).  A [Closure_overflow] propagates uncached. *)
+let step_id c (t : t) ~tset_id:tid ~event_id:eid (sid : int) (e : Event.t) :
+    int =
+  let key = (tid, sid, eid) in
+  match with_intern c (fun it -> Hashtbl.find_opt it.i_rows key) with
+  | Some r -> r
+  | None ->
+      let st = state_of_id c sid in
+      let r =
+        match step c t st e with
+        | None -> -1
+        | Some st' -> intern_state c st'
+      in
+      with_intern c (fun it -> Hashtbl.replace it.i_rows key r);
+      r
 
 (** {1 Membership} *)
 

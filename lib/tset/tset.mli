@@ -107,11 +107,73 @@ type state
 
 val compare_state : state -> state -> int
 
+val finitary : t -> bool
+(** Whether every reachable monitor state is bounded-shape pure data,
+    so interning de-duplicates revisited states and exploration past a
+    depth bound can terminate by exhaustion.  [false] as soon as the
+    monitor contains a [pointwise] member — its states carry the whole
+    prefix read so far, so completion would enumerate paths, not
+    states.  Used by the antichain inclusion route to decide whether
+    running past the depth cut is affordable. *)
+
+(** {1 Interning}
+
+    Each context owns an interning table mapping monitor states to
+    dense small-int ids, so exploration frontiers can compare, hash
+    and store states as single words instead of structural values.
+    Product states additionally record a {e macro view}: the sorted
+    id array of their composite states under hidden-event closure,
+    which is what antichain subsumption in [posl.bmc] compares.  All
+    interning operations are thread-safe (contexts are shared across
+    engine worker domains). *)
+
+val intern_state : ctx -> state -> int
+(** Find-or-assign the dense id of a state.  Ids are stable for the
+    lifetime of the context and start at 0. *)
+
+val state_of_id : ctx -> int -> state
+(** Inverse of {!intern_state}.  @raise Invalid_argument on an id
+    never returned by this context. *)
+
+val macro_of_id : ctx -> int -> int array option
+(** The sorted composite-id array of a [Product] monitor state, or
+    [None] for every other state kind.  Subset inclusion on these
+    arrays is the antichain subsumption order. *)
+
+val hashcons_event : ctx -> Posl_trace.Event.t -> Posl_trace.Event.t
+(** Canonical representative of an event within this context:
+    structurally equal events return the same physical value, so
+    downstream tables can key on physical identity. *)
+
+val event_id : ctx -> Posl_trace.Event.t -> int
+(** Dense id of a (hash-consed) event, for row-cache keys. *)
+
+val tset_id : ctx -> t -> int
+(** Dense id of a trace-set value under {e physical} identity.
+    Monitors reached through [Spec.tset] are physically stable, so one
+    spec keeps one id however many refinement pairs it appears in;
+    structurally-equal-but-distinct values get distinct ids (costing
+    only row sharing, never soundness). *)
+
+val intern_counts : ctx -> int * int * int
+(** [(states, composites, events)] interned so far in this context. *)
+
 val start : ctx -> t -> state option
 (** [None] iff even the empty trace is outside the set (degenerate). *)
 
 val step : ctx -> t -> state -> Posl_trace.Event.t -> state option
 (** [None] = the extended trace is outside the set (permanently). *)
+
+val step_id :
+  ctx -> t -> tset_id:int -> event_id:int -> int -> Posl_trace.Event.t -> int
+(** [step_id c t ~tset_id ~event_id sid e] is the interned id of
+    [step c t (state_of_id c sid) e], or [-1] when dead — memoized in
+    the context's successor-row cache keyed by
+    [(tset_id, sid, event_id)].  Rows persist for the context's
+    lifetime, so a monitor shared by many inclusion checks steps each
+    state once.  [tset_id] must be [tset_id c t] and [event_id] must
+    be [event_id c e] (precompute both outside hot loops).
+    Thread-safe; the step itself runs outside the intern lock. *)
 
 (** {1 Membership} *)
 

@@ -191,7 +191,7 @@ if ! "$BIN" json "$tmp/trace.json" >/dev/null 2>&1; then
   fails=$((fails + 1))
 fi
 for span in traceEvents engine.batch engine.job tset.dfa-compile \
-  tset.closure refine.check compose.check bmc.level store.open \
+  tset.closure refine.check compose.check bmc.antichain store.open \
   store.append store.lock-wait; do
   if ! grep -q "$span" "$tmp/trace.json"; then
     echo "FAIL trace: no $span span in $tmp/trace.json" >&2
@@ -209,7 +209,7 @@ if [ $? -ne 1 ]; then
   echo "FAIL traced refuted query: expected exit 1" >&2
   fails=$((fails + 1))
 fi
-for span in bmc.level verdict.certify; do
+for span in verdict.certify; do
   if ! grep -q "$span" "$tmp/refuted.json"; then
     echo "FAIL trace: no $span span in traced deadlock query" >&2
     fails=$((fails + 1))

@@ -55,9 +55,11 @@ let test_sync_window () =
 let test_sync_refines_async () =
   (* The synchronous discipline restricts the asynchronous one: same
      alphabet, stronger trace set. *)
-  match Refine.check ctx ~depth:5 sync_read async_read with
-  | Ok _ -> ()
-  | Error f -> Alcotest.failf "SyncRead ⊑ AsyncRead: %a" Refine.pp_failure f
+  let v =
+    Refine.verdict ~opts:(Refine.opts ~depth:5 ()) ctx sync_read async_read
+  in
+  if not (Posl_verdict.Verdict.is_holds v) then
+    Alcotest.failf "SyncRead ⊑ AsyncRead: %s" (Posl_verdict.Verdict.to_string v)
 
 let test_split_collapse_roundtrip () =
   let call x =

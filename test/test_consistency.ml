@@ -7,22 +7,24 @@ module Spec = Posl_core.Spec
 module Tset = Posl_tset.Tset
 module Regex = Posl_regex.Regex
 module Epat = Posl_regex.Epat
+module Verdict = Posl_verdict.Verdict
 module Ex = Posl_core.Examples_paper
 
 let ctx = Util.paper_ctx
 let depth = 4
+let opts = Posl_core.Refine.opts ~depth ()
 
 let test_viewpoints_consistent () =
   (* The paper's viewpoints of o are non-trivially consistent: their
      merge admits real behaviour. *)
-  (match Consistency.check ctx ~depth Ex.write Ex.read2 with
-  | Consistency.Consistent h ->
-      Util.check_bool "witness non-empty" false
-        (Posl_trace.Trace.is_empty h)
-  | v -> Alcotest.failf "Write/Read2: %a" Consistency.pp_verdict v);
-  match Consistency.check ctx ~depth Ex.read Ex.write with
-  | Consistency.Consistent _ -> ()
-  | v -> Alcotest.failf "Read/Write: %a" Consistency.pp_verdict v
+  (let v = Consistency.verdict ~opts ctx Ex.write Ex.read2 in
+   match (Verdict.is_holds v, Verdict.witness_traces v) with
+   | true, h :: _ ->
+       Util.check_bool "witness non-empty" false (Posl_trace.Trace.is_empty h)
+   | _ -> Alcotest.failf "Write/Read2: %s" (Verdict.to_string v));
+  let v = Consistency.verdict ~opts ctx Ex.read Ex.write in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "Read/Write: %s" (Verdict.to_string v)
 
 let mk_order name first second =
   (* prs (<x,o,first> <x,o,second>)* from the fixed client c. *)
@@ -44,9 +46,9 @@ let test_contradicting_specs_trivial () =
      weakest common refinement admits only ε. *)
   let a = mk_order "OwFirst" Ex.m_ow Ex.m_cw in
   let b = mk_order "CwFirst" Ex.m_cw Ex.m_ow in
-  match Consistency.check ctx ~depth a b with
-  | Consistency.Only_trivial -> ()
-  | v -> Alcotest.failf "expected trivial consistency: %a" Consistency.pp_verdict v
+  let v = Consistency.verdict ~opts ctx a b in
+  if not (Verdict.is_refuted v) then
+    Alcotest.failf "expected trivial consistency: %s" (Verdict.to_string v)
 
 let test_not_composable_reported () =
   (* A spec peeking into another component's internals: consistency is
@@ -71,20 +73,18 @@ let test_not_composable_reported () =
            (Mset.singleton (Mth.v "m")))
       Tset.all
   in
-  match Consistency.check ctx ~depth nosy two with
-  | Consistency.Not_composable _ -> ()
-  | v -> Alcotest.failf "expected not-composable: %a" Consistency.pp_verdict v
+  let v = Consistency.verdict ~opts ctx nosy two in
+  if not (Verdict.is_vacuous v) then
+    Alcotest.failf "expected not-composable: %s" (Verdict.to_string v)
 
 let test_bound_property () =
   (* RW refines both Read and Write, so it refines their composition. *)
   match
-    Consistency.common_refinement_bound ctx ~depth ~delta:Ex.rw Ex.read
-      Ex.write
+    Consistency.common_refinement_bound ~opts ctx ~delta:Ex.rw Ex.read Ex.write
   with
-  | Some (Ok _) -> ()
-  | Some (Error f) ->
-      Alcotest.failf "RW should refine Read‖Write: %a"
-        Posl_core.Refine.pp_failure f
+  | Some v when Verdict.is_holds v -> ()
+  | Some v ->
+      Alcotest.failf "RW should refine Read‖Write: %s" (Verdict.to_string v)
   | None -> Alcotest.fail "Read and Write should be composable"
 
 let suite =

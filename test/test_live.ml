@@ -10,10 +10,12 @@ module Compose = Posl_core.Compose
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
 module Trace = Posl_trace.Trace
+module Verdict = Posl_verdict.Verdict
 module Ex = Posl_core.Examples_paper
 
 let ctx = Util.paper_ctx
 let depth = 6
+let opts = Posl_core.Refine.opts ~depth ()
 
 (* Obligation on the write protocol: every open OW is answerable by a
    CW. *)
@@ -28,9 +30,9 @@ let write_progress =
 
 let test_write_is_live () =
   let lspec = Live.v ~obligations:[ write_progress ] Ex.write in
-  match Live.check ctx ~depth lspec with
-  | Ok _ -> ()
-  | Error v -> Alcotest.failf "Write should be live: %a" Live.pp_violation v
+  let v = Live.verdict ~opts ctx lspec in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "Write should be live: %s" (Verdict.to_string v)
 
 let test_obligation_violation_detected () =
   (* A spec where OW can never be answered: only OW events exist. *)
@@ -44,26 +46,27 @@ let test_obligation_violation_detected () =
   let lspec =
     Live.v ~deadlock_free:false ~obligations:[ write_progress ] stuck
   in
-  match Live.check ctx ~depth lspec with
-  | Error (Live.Unanswerable (ob, h)) ->
-      Alcotest.(check string) "right obligation" "write-bracket" ob.Live.name;
+  match (Live.verdict ~opts ctx lspec).Verdict.evidence with
+  | [ Verdict.Unanswerable { obligation; trace = h } ] ->
+      Alcotest.(check string) "right obligation" "write-bracket" obligation;
       Util.check_bool "witness nonempty" false (Trace.is_empty h)
-  | Error (Live.Deadlock _) -> Alcotest.fail "expected unanswerable, got deadlock"
-  | Ok _ -> Alcotest.fail "expected an obligation violation"
+  | [ Verdict.Deadlock _ ] ->
+      Alcotest.fail "expected unanswerable, got deadlock"
+  | _ -> Alcotest.fail "expected an obligation violation"
 
 let test_deadlock_detected () =
   let comp = Compose.interface Ex.client2 Ex.write_acc in
   let lspec = Live.v comp in
-  match Live.check ctx ~depth lspec with
-  | Error (Live.Deadlock h) ->
+  match (Live.verdict ~opts ctx lspec).Verdict.evidence with
+  | [ Verdict.Deadlock h ] ->
       Util.check_bool "deadlock at ε" true (Trace.is_empty h)
-  | Error (Live.Unanswerable _) -> Alcotest.fail "expected a deadlock"
-  | Ok _ -> Alcotest.fail "Client2‖WriteAcc should deadlock"
+  | [ Verdict.Unanswerable _ ] -> Alcotest.fail "expected a deadlock"
+  | _ -> Alcotest.fail "Client2‖WriteAcc should deadlock"
 
 let test_live_refinement_rejects_client2 () =
   (* Safety refinement accepts Client2 ⊑ Client (Example 5)... *)
   Util.check_bool "safety accepts" true
-    (Posl_core.Refine.refines ctx ~depth Ex.client2 Ex.client);
+    (Posl_core.Refine.refines ~opts ctx Ex.client2 Ex.client);
   (* ... but live refinement, with an obligation that every W is
      answerable by an OK confirmation, rejects it: after W OK OW, the
      client must emit W before the next OK, and for WriteAcc-composed
@@ -83,20 +86,22 @@ let test_live_refinement_rejects_client2 () =
   let refined =
     Live.v ~deadlock_free:false ~obligations:[ ow_answerable ] Ex.client2
   in
-  match Live.refine ctx ~depth refined abstract with
-  | Error (Live.Liveness (Live.Unanswerable _)) -> ()
-  | Error f ->
-      Alcotest.failf "wrong failure: %a" Live.pp_live_refinement_failure f
-  | Ok _ -> Alcotest.fail "live refinement should reject Client2"
+  let v = Live.refine ~opts ctx refined abstract in
+  if Verdict.is_holds v then
+    Alcotest.fail "live refinement should reject Client2"
+  else if
+    not
+      (List.exists
+         (function Verdict.Unanswerable _ -> true | _ -> false)
+         v.Verdict.evidence)
+  then Alcotest.failf "wrong failure: %s" (Verdict.to_string v)
 
 let test_live_refinement_accepts_read2 () =
   let abstract = Live.v ~deadlock_free:false Ex.read in
   let refined = Live.v ~deadlock_free:false Ex.read2 in
-  match Live.refine ctx ~depth refined abstract with
-  | Ok _ -> ()
-  | Error f ->
-      Alcotest.failf "Read2 should live-refine Read: %a"
-        Live.pp_live_refinement_failure f
+  let v = Live.refine ~opts ctx refined abstract in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "Read2 should live-refine Read: %s" (Verdict.to_string v)
 
 let test_compositional_deadlock_preservation () =
   (* Example 5, as an analysis: Client → Client2 does NOT preserve

@@ -31,6 +31,7 @@ let () =
       ("async", Test_async.suite);
       ("ag", Test_ag.suite);
       ("strategies", Test_strategies.suite);
+      ("antichain", Test_antichain.suite);
       ("telemetry", Test_telemetry.suite);
       ("serve", Test_serve.suite);
     ]

@@ -7,22 +7,23 @@ module Spec = Posl_core.Spec
 module Refine = Posl_core.Refine
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
+module Verdict = Posl_verdict.Verdict
 module Ex = Posl_core.Examples_paper
 module G = QCheck2.Gen
 module Gen = Posl_gen.Gen
 
 let ctx = Util.paper_ctx
 let depth = 6
+let opts = Refine.opts ~depth ()
 
 let expect_refines name g' g =
-  match Refine.check ctx ~depth g' g with
-  | Ok _ -> ()
-  | Error f -> Alcotest.failf "%s: %a" name Refine.pp_failure f
+  let v = Refine.verdict ~opts ctx g' g in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "%s: %s" name (Verdict.to_string v)
 
 let expect_fails name g' g =
-  match Refine.check ctx ~depth g' g with
-  | Ok _ -> Alcotest.failf "%s unexpectedly refines" name
-  | Error _ -> ()
+  if Verdict.is_holds (Refine.verdict ~opts ctx g' g) then
+    Alcotest.failf "%s unexpectedly refines" name
 
 let test_paper_refinements () =
   expect_refines "Read2 ⊑ Read" Ex.read2 Ex.read;
@@ -40,23 +41,20 @@ let test_paper_non_refinements () =
 
 let test_failure_witnesses () =
   (* Alphabet failure carries the missing events. *)
-  (match Refine.check ctx ~depth Ex.read Ex.read2 with
-  | Error (Refine.Alphabet_missing es) ->
+  (match (Refine.verdict ~opts ctx Ex.read Ex.read2).Verdict.evidence with
+  | [ Verdict.Events_missing es ] ->
       Util.check_bool "missing events nonempty" false
         (Posl_sets.Eventset.is_empty es)
-  | Error _ -> Alcotest.fail "expected alphabet failure"
-  | Ok _ -> Alcotest.fail "unexpected refinement");
+  | _ -> Alcotest.fail "expected alphabet failure");
   (* Trace failure carries a genuine counterexample: a trace of Γ′
      whose projection escapes T(Γ). *)
-  match Refine.check ctx ~depth Ex.rw Ex.read2 with
-  | Error (Refine.Trace_escape h) ->
+  match (Refine.verdict ~opts ctx Ex.rw Ex.read2).Verdict.evidence with
+  | [ Verdict.Trace_escape { trace = h; projected } ] ->
       Util.check_bool "counterexample in T(RW)" true
         (Tset.mem ctx (Spec.tset Ex.rw) h);
       Util.check_bool "projection outside T(Read2)" false
-        (Tset.mem ctx (Spec.tset Ex.read2)
-           (Posl_sets.Eventset.restrict_trace (Spec.alpha Ex.read2) h))
-  | Error _ -> Alcotest.fail "expected trace failure"
-  | Ok _ -> Alcotest.fail "unexpected refinement"
+        (Tset.mem ctx (Spec.tset Ex.read2) projected)
+  | _ -> Alcotest.fail "expected trace failure"
 
 let test_object_clause () =
   (* A spec of a different object cannot be refined into: clause 1. *)
@@ -70,11 +68,10 @@ let test_object_clause () =
            (Posl_sets.Mset.of_list [ Mth.v "R" ]))
       Tset.all
   in
-  match Refine.check ctx ~depth Ex.read other with
-  | Error (Refine.Objects_missing os) ->
+  match (Refine.verdict ~opts ctx Ex.read other).Verdict.evidence with
+  | [ Verdict.Objects_missing os ] ->
       Util.check_bool "missing zz" true (Oid.Set.mem (Oid.v "zz") os)
-  | Error _ -> Alcotest.fail "expected object failure"
-  | Ok _ -> Alcotest.fail "unexpected refinement"
+  | _ -> Alcotest.fail "expected object failure"
 
 let test_strategies_agree () =
   let pairs =
@@ -85,21 +82,24 @@ let test_strategies_agree () =
       (Ex.rw2, Ex.write_acc, true);
     ]
   in
+  let holds strategy g' g =
+    Verdict.is_holds
+      (Refine.verdict ~opts:(Refine.opts ~strategy ~depth ()) ctx g' g)
+  in
   List.iter
     (fun (g', g, expected) ->
-      let exact =
-        Result.is_ok (Refine.check ctx ~strategy:Refine.Automata_only ~depth g' g)
-      in
-      let bounded =
-        Result.is_ok (Refine.check ctx ~strategy:Refine.Bounded_only ~depth g' g)
-      in
-      Util.check_bool "exact verdict" expected exact;
-      Util.check_bool "bounded verdict" expected bounded)
+      Util.check_bool "exact verdict" expected (holds Refine.Automata_only g' g);
+      Util.check_bool "bounded verdict" expected
+        (holds Refine.Bounded_only g' g);
+      Util.check_bool "antichain verdict" expected
+        (holds Refine.Antichain_only g' g))
     pairs
 
 (* Random-instance properties over the generator scenario. *)
 let sc = Util.sc
 let gctx = Util.ctx
+let qopts = Refine.opts ~depth:4 ()
+let refines g' g = Refine.refines ~opts:qopts gctx g' g
 
 let gen_spec = Gen.spec sc [ Oid.v "k0" ]
 
@@ -113,22 +113,18 @@ let gen_chain =
 
 let qsuite =
   [
-    Util.qtest ~count:60 "reflexive" gen_spec (fun g ->
-        Refine.refines gctx ~depth:4 g g);
+    Util.qtest ~count:60 "reflexive" gen_spec (fun g -> refines g g);
     Util.qtest ~count:60 "generated refinements refine" gen_chain
-      (fun (_, g', g) -> Refine.refines gctx ~depth:4 g' g);
+      (fun (_, g', g) -> refines g' g);
     Util.qtest ~count:40 "transitive along generated chains" gen_chain
       (fun (g'', g', g) ->
         (* premises hold by construction *)
-        Refine.refines gctx ~depth:4 g'' g'
-        && Refine.refines gctx ~depth:4 g'' g);
+        refines g'' g' && refines g'' g);
     Util.qtest ~count:40 "antisymmetric up to trace-set equality" gen_chain
       (fun (_, g', g) ->
         (* If both directions refine, the specs agree on objects,
            alphabets and (sampled) trace sets. *)
-        if
-          Refine.refines gctx ~depth:4 g' g && Refine.refines gctx ~depth:4 g g'
-        then
+        if refines g' g && refines g g' then
           Oid.Set.equal (Spec.objs g) (Spec.objs g')
           && Posl_sets.Eventset.equal (Spec.alpha g) (Spec.alpha g')
         else true);

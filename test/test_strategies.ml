@@ -7,6 +7,7 @@ module Refine = Posl_core.Refine
 module Tset = Posl_tset.Tset
 module Bmc = Posl_bmc.Bmc
 module Trace = Posl_trace.Trace
+module Verdict = Posl_verdict.Verdict
 module Ex = Posl_core.Examples_paper
 
 let ctx = Util.paper_ctx
@@ -24,16 +25,18 @@ let test_auto_degrades_to_bounded () =
      space first, in which case Exact is correct: here the Pointwise
      monitor dies after length 3, so the space is finite and the
      verdict exact. *)
-  match Refine.check ctx ~depth:6 opaque Ex.read with
-  | Ok _ -> ()
-  | Error f -> Alcotest.failf "Opaque ⊑ Read: %a" Refine.pp_failure f
+  let v = Refine.verdict ~opts:(Refine.opts ~depth:6 ()) ctx opaque Ex.read in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "Opaque ⊑ Read: %s" (Verdict.to_string v)
 
 let test_automata_only_raises_on_opaque () =
   match
-    Refine.check ~strategy:Refine.Automata_only ctx ~depth:4 opaque Ex.read
+    Refine.verdict
+      ~opts:(Refine.opts ~strategy:Refine.Automata_only ~depth:4 ())
+      ctx opaque Ex.read
   with
   | exception Invalid_argument _ -> ()
-  | Ok _ | Error _ ->
+  | _ ->
       (* The rhs (All) compiles; the lhs cannot — but note the lhs
          monitor is finite here (dies at length 3), so compilation may
          actually succeed.  Accept either a clean verdict or the
@@ -48,13 +51,18 @@ let test_bounded_only_labels_depth () =
       ~alpha:(Spec.alpha Ex.read)
       (Tset.pointwise "all" (fun _ -> true))
   in
-  match
-    Refine.check ~strategy:Refine.Bounded_only ctx ~depth:3 growing Ex.read
-  with
-  | Ok (Bmc.Bounded 3) -> ()
-  | Ok c ->
-      Alcotest.failf "expected bounded(3), got %a" Bmc.pp_confidence c
-  | Error f -> Alcotest.failf "Growing ⊑ Read: %a" Refine.pp_failure f
+  let v =
+    Refine.verdict
+      ~opts:(Refine.opts ~strategy:Refine.Bounded_only ~depth:3 ())
+      ctx growing Ex.read
+  in
+  if not (Verdict.is_holds v) then
+    Alcotest.failf "Growing ⊑ Read: %s" (Verdict.to_string v)
+  else
+    match v.Verdict.confidence with
+    | Some (Bmc.Bounded 3) -> ()
+    | Some c -> Alcotest.failf "expected bounded(3), got %a" Bmc.pp_confidence c
+    | None -> Alcotest.fail "expected a confidence"
 
 let test_with_name () =
   let s = Spec.with_name "Renamed" Ex.read in
@@ -73,10 +81,20 @@ let test_environment_of_client () =
 let test_counterexample_is_shortest () =
   (* The automata route returns a shortest escaping trace: for
      RW ⋢ Read2 that is an OW followed by a read (length 2). *)
-  match Refine.check ~strategy:Refine.Automata_only ctx ~depth:6 Ex.rw Ex.read2 with
-  | Error (Refine.Trace_escape h) -> Util.check_int "length 2" 2 (Trace.length h)
-  | Error f -> Alcotest.failf "wrong failure: %a" Refine.pp_failure f
-  | Ok _ -> Alcotest.fail "RW ⊑ Read2 cannot hold"
+  let check ~strategy =
+    let v =
+      Refine.verdict
+        ~opts:(Refine.opts ~strategy ~depth:6 ())
+        ctx Ex.rw Ex.read2
+    in
+    match v.Verdict.evidence with
+    | [ Verdict.Trace_escape { trace = h; _ } ] ->
+        Util.check_int "length 2" 2 (Trace.length h)
+    | _ -> Alcotest.failf "RW ⊑ Read2: %s" (Verdict.to_string v)
+  in
+  check ~strategy:Refine.Automata_only;
+  (* The antichain route promises the same canonical witness. *)
+  check ~strategy:Refine.Antichain_only
 
 let suite =
   [
