@@ -34,6 +34,8 @@ module Oid = Posl_ident.Oid
 module Mth = Posl_ident.Mth
 module Engine = Posl_engine.Engine
 module Job = Posl_engine.Job
+module Plan = Posl_engine.Plan
+module Manifest = Posl_engine.Manifest
 module Vcache = Posl_engine.Cache
 module Edigest = Posl_engine.Digest
 module Store = Posl_store.Store
@@ -47,9 +49,9 @@ module Wire = Posl_serve.Wire
 module Loadgen = Posl_serve.Loadgen
 
 (* Machine-readable campaign trajectories: every performance campaign
-   (P1..P8) lands as one BENCH_<name>.json under [--out DIR] (default
+   (P1..P9) lands as one BENCH_<name>.json under [--out DIR] (default
    [_build/bench]) so CI and plotting scripts never have to scrape the
-   tables.  After all campaigns run, the P4..P8 trajectories are also
+   tables.  After all campaigns run, the P4..P9 trajectories are also
    snapshotted next to the sources (repo root, when run from it) so
    each PR commits the bench numbers it shipped with. *)
 let out_dir =
@@ -1380,8 +1382,184 @@ let p8 () =
       Json.Obj [ ("route", Json.Str "spans"); ("rows", Json.List span_rows) ];
     ]
 
+(* P9 — the compositional planner: composite refine/equal queries over
+   a multi-component corpus, answered by direct product checking
+   ([--plan off]) vs theorem-plan decomposition ([--plan auto],
+   Theorems 7 & 16).  The corpus is the fleet manifest (three systems
+   sharing upgraded components, including a nested three-part system)
+   plus composite queries over the paper's own cast.  The campaign
+   records the planner's two contracts: [derived_agree] — every
+   planner verdict equals the direct one modulo provenance (CI gates
+   on this) — and strictly fewer product explorations (antichain pairs
+   admitted, DFAs compiled) when the planner is on. *)
+let p9 () =
+  Report.section
+    "P9: compositional planner vs direct checking (composite corpus)";
+  let manifest =
+    Filename.concat (Filename.concat "examples" "specs") "fleet.manifest"
+  in
+  let fleet =
+    if Sys.file_exists manifest then
+      match
+        Manifest.requests_of_file ~default_depth:depth ~extra_objects:2
+          manifest
+      with
+      | Ok rs -> rs
+      | Error m ->
+          Format.printf "  (fleet manifest skipped: %s)@." m;
+          []
+    else begin
+      Format.printf
+        "  (fleet manifest not found — paper composites only)@.";
+      []
+    end
+  in
+  let pair = Compose.compose_exn in
+  let preq label q = Engine.request ~label ~depth ~universe q in
+  (* Composite queries over the paper's cast: three Theorem-7
+     decompositions sharing one premise (RW2 ⊑ RW, proved once and
+     served from the verdict cache thereafter), a commutativity
+     instance (zero premises), and one refuted-premise query the
+     planner must decline and answer directly. *)
+  let paper =
+    [
+      preq "paper: refine RW2||Client RW||Client"
+        (Job.refine ~refined:(pair Ex.rw2 Ex.client)
+           ~abstract:(pair Ex.rw Ex.client));
+      preq "paper: refine RW2||Client2 RW||Client2"
+        (Job.refine ~refined:(pair Ex.rw2 Ex.client2)
+           ~abstract:(pair Ex.rw Ex.client2));
+      preq "paper: refine Read2||Client Read||Client"
+        (Job.refine ~refined:(pair Ex.read2 Ex.client)
+           ~abstract:(pair Ex.read Ex.client));
+      preq "paper: refine RW||Client Write||Client"
+        (Job.refine ~refined:(pair Ex.rw Ex.client)
+           ~abstract:(pair Ex.write Ex.client));
+      preq "paper: equal Client||WriteAcc WriteAcc||Client"
+        (Job.equal ~left:(pair Ex.client Ex.write_acc)
+           ~right:(pair Ex.write_acc Ex.client));
+      preq "paper: refine RW||Client Read2||Client (fallback)"
+        (Job.refine ~refined:(pair Ex.rw Ex.client)
+           ~abstract:(pair Ex.read2 Ex.client));
+    ]
+  in
+  let requests = fleet @ paper in
+  let n = List.length requests in
+  (* Cold totals are tens of milliseconds; best-of-[reps] on fresh
+     caches, as in P8. *)
+  let reps = 5 in
+  let run_route plan =
+    let once () =
+      let t0 = Unix.gettimeofday () in
+      let results, stats = Engine.run_batch ~domains:1 ~plan requests in
+      (results, stats, (Unix.gettimeofday () -. t0) *. 1000.)
+    in
+    let best = ref (once ()) in
+    for _ = 2 to reps do
+      let (_, _, ms) as r = once () in
+      let _, _, best_ms = !best in
+      if ms < best_ms then best := r
+    done;
+    !best
+  in
+  let off_vs, (off_stats : Engine.stats), off_ms = run_route Plan.Off in
+  let auto_vs, (auto_stats : Engine.stats), auto_ms = run_route Plan.Auto in
+  (* Warm pass: same batch against the caches the cold planner pass
+     populated — every composite (and every premise) is a hit. *)
+  let cache = Vcache.create () in
+  let dfa = Engine.dfa_cache () in
+  let _ =
+    Engine.run_batch ~domains:1 ~plan:Plan.Auto ~cache ~dfa_cache:dfa requests
+  in
+  let warm_once () =
+    let t0 = Unix.gettimeofday () in
+    let _, (s : Engine.stats) =
+      Engine.run_batch ~domains:1 ~plan:Plan.Auto ~cache ~dfa_cache:dfa
+        requests
+    in
+    (s, (Unix.gettimeofday () -. t0) *. 1000.)
+  in
+  let warm_stats, warm_ms =
+    List.fold_left
+      (fun (bs, bm) (s, m) -> if m < bm then (s, m) else (bs, bm))
+      (warm_once ())
+      [ warm_once (); warm_once () ]
+  in
+  (* The soundness gate, measured: planner and direct verdicts agree on
+     status, confidence and evidence for every query — only provenance
+     (which rule fired vs which procedure ran) differs. *)
+  let agree =
+    List.for_all2
+      (fun (a : Engine.result) (d : Engine.result) ->
+        Verdict.equal_modulo_provenance a.Engine.verdict d.Engine.verdict)
+      auto_vs off_vs
+  in
+  let fewer_products = auto_stats.antichain_pairs < off_stats.antichain_pairs in
+  let speedup = off_ms /. auto_ms in
+  let t =
+    Report.create
+      [ "route"; "total ms"; "derived"; "fallback"; "ac pairs"; "dfa"; "notes" ]
+  in
+  let row name ms (s : Engine.stats) notes =
+    Report.add_row t
+      [
+        name;
+        Printf.sprintf "%.1f" ms;
+        string_of_int s.derived_hits;
+        string_of_int s.plan_fallbacks;
+        string_of_int s.antichain_pairs;
+        string_of_int s.dfa_compiles;
+        notes;
+      ]
+  in
+  row "direct (plan off, cold)" off_ms off_stats
+    (Printf.sprintf "%d composite+atomic jobs" n);
+  row "planner (plan auto, cold)" auto_ms auto_stats
+    (Printf.sprintf "verdicts agree modulo provenance: %s"
+       (if agree then "yes" else "NO"));
+  row "planner (plan auto, warm)" warm_ms warm_stats
+    (Printf.sprintf "%d/%d cache hits" warm_stats.cache_hits warm_stats.jobs);
+  Report.print t;
+  Format.printf
+    "  product explorations: %d antichain pairs (off) vs %d (auto), \
+     strictly fewer: %s; speedup (off/auto): %.2fx@."
+    off_stats.antichain_pairs auto_stats.antichain_pairs
+    (if fewer_products then "yes" else "NO")
+    speedup;
+  let stats_row route ms (s : Engine.stats) extra =
+    Json.Obj
+      ([
+         ("route", Json.Str route);
+         ("total_ms", Json.Float ms);
+         ("jobs", Json.Int s.jobs);
+         ("cache_hits", Json.Int s.cache_hits);
+         ("derived_hits", Json.Int s.derived_hits);
+         ("plan_fallbacks", Json.Int s.plan_fallbacks);
+         ("antichain_pairs", Json.Int s.antichain_pairs);
+         ("dfa_compiles", Json.Int s.dfa_compiles);
+       ]
+      @ extra)
+  in
+  write_campaign ~name:"P9"
+    ~title:"compositional planner vs direct checking (composite corpus)"
+    [
+      stats_row "plan_off_cold" off_ms off_stats [];
+      stats_row "plan_auto_cold" auto_ms auto_stats [];
+      stats_row "plan_auto_warm" warm_ms warm_stats [];
+      Json.Obj
+        [
+          ("route", Json.Str "agreement");
+          ("derived_agree", Json.Bool agree);
+          ("fewer_product_explorations", Json.Bool fewer_products);
+          ( "product_pairs_saved",
+            Json.Int (off_stats.antichain_pairs - auto_stats.antichain_pairs)
+          );
+          ("speedup_off_over_auto", Json.Float speedup);
+        ];
+    ]
+
 (* Per-PR bench snapshots: after all campaigns have landed under
-   [out_dir], copy the P4..P8 trajectories next to the sources so the
+   [out_dir], copy the P4..P9 trajectories next to the sources so the
    repository records the numbers each PR shipped with (CI uploads the
    same files as artifacts).  Only fires when run from the repo root —
    a plain [dune exec bench/main.exe] — never from an install tree. *)
@@ -1399,7 +1577,7 @@ let snapshot_reports_to_root () =
               Out_channel.output_string oc contents);
           Format.printf "  [snapshot -> %s]@." file
         end)
-      [ "P4"; "P5"; "P6"; "P7"; "P8" ]
+      [ "P4"; "P5"; "P6"; "P7"; "P8"; "P9" ]
 
 (* ------------------------------------------------------------------ *)
 (* Section 3: Bechamel micro-benchmarks                                 *)
@@ -1535,6 +1713,7 @@ let () =
   p6 ();
   p7 ();
   p8 ();
+  p9 ();
   snapshot_reports_to_root ();
   run_bechamel ();
   Format.printf "@.done.@."

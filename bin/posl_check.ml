@@ -31,6 +31,7 @@ module Job = Posl_engine.Job
 module Engine = Posl_engine.Engine
 module Cache = Posl_engine.Cache
 module Manifest = Posl_engine.Manifest
+module Plan = Posl_engine.Plan
 module Wire = Posl_serve.Wire
 module Serve = Posl_serve.Serve
 module Loadgen = Posl_serve.Loadgen
@@ -460,6 +461,17 @@ let domains_arg =
   Arg.(value & opt (some int) None & info [ "domains"; "j" ] ~docv:"N"
        ~doc:"Worker domains (default: POSL_DOMAINS or the machine's).")
 
+let plan_arg =
+  Arg.(
+    value
+    & opt (enum [ ("auto", Plan.Auto); ("off", Plan.Off) ]) Plan.Auto
+    & info [ "plan" ] ~docv:"MODE"
+        ~doc:
+          "Compositional planner mode: $(b,auto) (default) derives verdicts \
+           for composite refine/equal queries from component verdicts when \
+           the side conditions of Theorems 7/16 hold; $(b,off) always checks \
+           directly.")
+
 let batch_cmd =
   let json_arg =
     Arg.(value & opt (some string) None & info [ "json" ] ~docv:"PATH"
@@ -474,7 +486,7 @@ let batch_cmd =
             "After the table, log every query that took at least $(docv) \
              milliseconds, with its telemetry span id when tracing.")
   in
-  let run manifest depth extra domains json_path store_dir trace metrics
+  let run manifest depth extra domains plan json_path store_dir trace metrics
       slow_ms =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
@@ -483,13 +495,13 @@ let batch_cmd =
          with_observability ~trace ~metrics @@ fun () ->
          let* results, stats =
            match store_dir with
-           | None -> Ok (Engine.run_batch ?domains requests)
+           | None -> Ok (Engine.run_batch ?domains ~plan requests)
            | Some dir ->
                with_store dir (fun s ->
-                   Ok (Engine.run_batch ?domains ~store:s requests))
+                   Ok (Engine.run_batch ?domains ~plan ~store:s requests))
          in
          let table =
-           Report.create [ "#"; "query"; "verdict"; "cached"; "ms" ]
+           Report.create [ "#"; "query"; "verdict"; "plan"; "cached"; "ms" ]
          in
          List.iteri
            (fun i (r : Engine.result) ->
@@ -498,6 +510,10 @@ let batch_cmd =
                  string_of_int (i + 1);
                  r.Engine.request.Engine.label;
                  Verdict.to_string r.Engine.verdict;
+                 (match r.Engine.verdict.Verdict.provenance.Verdict.procedure
+                  with
+                 | Some (Verdict.Derived { rule; _ }) -> rule
+                 | Some _ | None -> "");
                  (if r.Engine.from_store then "store"
                   else if r.Engine.cached then "hit"
                   else "");
@@ -572,24 +588,25 @@ let batch_cmd =
        ~doc:"Answer a manifest of queries with the parallel batch engine.")
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
-      $ json_arg $ store_arg $ trace_arg $ metrics_arg $ slow_ms_arg)
+      $ plan_arg $ json_arg $ store_arg $ trace_arg $ metrics_arg
+      $ slow_ms_arg)
 
 (* metrics: run a manifest and print the Prometheus exposition.  The
    exit code only reflects input errors — the point of this subcommand
    is the measurement, and failing verdicts are visible in
    posl_engine_* counters anyway. *)
 let metrics_cmd =
-  let run manifest depth extra domains store_dir =
+  let run manifest depth extra domains plan store_dir =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        if requests = [] then Error (Input (manifest ^ ": no queries"))
        else
          let* _ =
            match store_dir with
-           | None -> Ok (Engine.run_batch ?domains requests)
+           | None -> Ok (Engine.run_batch ?domains ~plan requests)
            | Some dir ->
                with_store dir (fun s ->
-                   Ok (Engine.run_batch ?domains ~store:s requests))
+                   Ok (Engine.run_batch ?domains ~plan ~store:s requests))
          in
          print_string (Metrics.expose ());
          Ok ())
@@ -603,7 +620,7 @@ let metrics_cmd =
           errors.")
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
-      $ store_arg)
+      $ plan_arg $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* store: maintenance of the persistent verdict store                  *)

@@ -34,7 +34,9 @@ let make_composition g d internal =
       ]
       alpha
   in
-  Spec.v ~name:(composed_name g d) ~objs:(Oid.Set.elements objs) ~alpha tset
+  Spec.with_parts g d
+    (Spec.v ~name:(composed_name g d) ~objs:(Oid.Set.elements objs) ~alpha
+       tset)
 
 (** Interface composition Γ‖∆ (Def. 4).  No composability condition is
     needed: interface alphabets cannot contain events internal to their
@@ -82,6 +84,17 @@ let check_composable g d =
 
 let composable g d = Result.is_ok (check_composable g d)
 
+(** Composability as a typed verdict (exact, symbolic): the evidence on
+    failure is the same {!Posl_verdict.Verdict.Not_composable} witness
+    the engine reports, so planner side-condition failures and direct
+    [compose] queries read identically. *)
+let composable_verdict g d =
+  let module V = Posl_verdict.Verdict in
+  V.with_context ~procedure:V.Symbolic
+    (match check_composable g d with
+    | Ok () -> V.holds ~confidence:V.Exact ()
+    | Error f -> V.refuted ~confidence:V.Exact [ evidence_of_failure f ])
+
 (** Component composition Γ‖∆ (Def. 11); requires composability. *)
 let compose g d =
   match check_composable g d with
@@ -109,6 +122,36 @@ let alpha0 ~refined ~abstract =
 
 let proper ~refined ~abstract ~context =
   Eventset.disjoint (alpha0 ~refined ~abstract) (Spec.alpha context)
+
+(** Properness as a typed verdict (exact, symbolic).  Holding verdicts
+    note the checked disjointness; failing ones carry the typed
+    {!Posl_verdict.Verdict.Improper} witness (α₀ and the offending
+    events), so a planner fallback on this side condition is
+    explainable, not a bare [false]. *)
+let proper_verdict ~refined ~abstract ~context =
+  let module V = Posl_verdict.Verdict in
+  let a0 = alpha0 ~refined ~abstract in
+  V.with_context ~procedure:V.Symbolic
+    (if proper ~refined ~abstract ~context then
+       V.holds ~confidence:V.Exact
+         ~evidence:
+           [
+             V.Note
+               (Format.asprintf "α₀ ∩ α(%s) = ∅ (α₀ = %a)"
+                  (Spec.name context) Eventset.pp a0);
+           ]
+         ()
+     else
+       V.refuted ~confidence:V.Exact
+         [
+           V.Improper
+             {
+               alpha0 = a0;
+               offending =
+                 Eventset.normalise (Eventset.inter a0 (Spec.alpha context));
+               context = Spec.name context;
+             };
+         ])
 
 (** Ablation: interface composition {e without} projection, where both
     constituents must accept the joint trace over the union alphabet

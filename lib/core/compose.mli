@@ -37,8 +37,15 @@ val check_composable : Spec.t -> Spec.t -> (unit, composability_failure) result
 
 val composable : Spec.t -> Spec.t -> bool
 
+val composable_verdict : Spec.t -> Spec.t -> Posl_verdict.Verdict.t
+(** {!check_composable} as a typed verdict: exact, symbolic; refutation
+    carries the {!Posl_verdict.Verdict.Not_composable} witness. *)
+
 val compose : Spec.t -> Spec.t -> (Spec.t, composability_failure) result
-(** Component composition Γ‖∆ (Def. 11); requires composability. *)
+(** Component composition Γ‖∆ (Def. 11); requires composability.  The
+    result records its construction in {!Spec.parts} (as does
+    {!interface}), so the engine's planner can recognise it as a
+    composite operand. *)
 
 val compose_exn : Spec.t -> Spec.t -> Spec.t
 
@@ -49,6 +56,14 @@ val proper : refined:Spec.t -> abstract:Spec.t -> context:Spec.t -> bool
 (** Properness (Def. 14): refining [abstract] into [refined] inside a
     composition with [context] cannot hide previously visible events —
     α₀ ∩ α(context) = ∅.  Decided symbolically. *)
+
+val proper_verdict :
+  refined:Spec.t -> abstract:Spec.t -> context:Spec.t -> Posl_verdict.Verdict.t
+(** {!proper} as a typed verdict: exact, symbolic; a holding verdict
+    notes the checked disjointness, a failing one carries the
+    {!Posl_verdict.Verdict.Improper} witness (α₀ and the offending
+    events).  This is the verdict [posl-check proper] and the engine's
+    planner report. *)
 
 val interface_noproj : Spec.t -> Spec.t -> Spec.t
 (** Ablation: interface composition {e without} projection — both

@@ -21,6 +21,12 @@ type t = {
   objs : Oid.Set.t;
   alpha : Eventset.t;
   tset : Tset.t;
+  parts : (t * t) option;
+      (* construction provenance: [Some (g, d)] iff this value was
+         built by [Compose] as g ‖ d.  Never consulted by the checkers
+         (the verdict stays a pure function of objs/alpha/tset, and the
+         content digest ignores it) — it only lets the engine's planner
+         recognise composite operands and decompose queries. *)
 }
 
 type error =
@@ -61,7 +67,7 @@ let validate ~name:_ ~objs ~alpha =
 let v ~name ~objs ~alpha tset =
   let objs = Oid.Set.of_list objs in
   match validate ~name ~objs ~alpha with
-  | Ok () -> { name; objs; alpha; tset }
+  | Ok () -> { name; objs; alpha; tset; parts = None }
   | Error e -> invalid_arg (Format.asprintf "Spec.v %s: %a" name pp_error e)
 
 let name t = t.name
@@ -69,6 +75,8 @@ let objs t = t.objs
 let alpha t = t.alpha
 let tset t = t.tset
 let with_name name t = { t with name }
+let parts t = t.parts
+let with_parts g d t = { t with parts = Some (g, d) }
 
 (** Interface specification: a specification of a single object
     (Section 2). *)

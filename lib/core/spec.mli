@@ -36,6 +36,18 @@ val alpha : t -> Eventset.t
 val tset : t -> Tset.t
 val with_name : string -> t -> t
 
+val parts : t -> (t * t) option
+(** Construction provenance: [Some (g, d)] iff this value was built by
+    [Compose] as g ‖ d.  Purely advisory — the checkers and the content
+    digest never consult it; the engine's planner uses it to recognise
+    composite operands and decompose queries by the paper's composition
+    theorems. *)
+
+val with_parts : t -> t -> t -> t
+(** [with_parts g d s] records that [s] was built as g ‖ d.  Used by
+    [Compose]; callers constructing equivalent compositions by hand may
+    record parts to make a value planner-recognisable. *)
+
 val is_interface : t -> bool
 (** A specification of a single object (Section 2). *)
 

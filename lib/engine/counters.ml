@@ -38,6 +38,18 @@ let store_writes_c =
   Metrics.counter ~help:"Records appended to the persistent store"
     "posl_engine_store_writes_total"
 
+let derived_hits_c =
+  Metrics.counter
+    ~help:"Composite verdicts derived from component verdicts by the planner"
+    "posl_engine_derived_hits_total"
+
+let plan_fallbacks_c =
+  Metrics.counter
+    ~help:
+      "Composite queries the planner declined (side condition failed or \
+       premise not exact), answered by direct checking"
+    "posl_engine_plan_fallbacks_total"
+
 let busy_ns_c =
   Metrics.counter ~help:"Summed per-job wall time, nanoseconds"
     "posl_engine_busy_ns_total"
@@ -78,6 +90,8 @@ type totals = {
   t_store_hits : int;
   t_store_misses : int;
   t_store_writes : int;
+  t_derived_hits : int;
+  t_plan_fallbacks : int;
   t_busy_ns : int;
   t_dfa_hits : int;
   t_dfa_compiles : int;
@@ -96,6 +110,8 @@ let read_totals () =
     t_store_hits = Metrics.value store_hits_c;
     t_store_misses = Metrics.value store_misses_c;
     t_store_writes = Metrics.value store_writes_c;
+    t_derived_hits = Metrics.value derived_hits_c;
+    t_plan_fallbacks = Metrics.value plan_fallbacks_c;
     t_busy_ns = Metrics.value busy_ns_c;
     t_dfa_hits = Metrics.value dfa_hits_c;
     t_dfa_compiles = Metrics.value dfa_compiles_c;
@@ -115,6 +131,8 @@ let incr_uncacheable (_ : t) = Metrics.incr uncacheable_c
 let incr_store_hits (_ : t) = Metrics.incr store_hits_c
 let incr_store_misses (_ : t) = Metrics.incr store_misses_c
 let incr_store_writes (_ : t) = Metrics.incr store_writes_c
+let incr_derived_hits (_ : t) = Metrics.incr derived_hits_c
+let incr_plan_fallbacks (_ : t) = Metrics.incr plan_fallbacks_c
 let add_busy_ns (_ : t) ns = Metrics.add busy_ns_c ns
 
 let add_dfa (_ : t) ~hits ~compiles ~contended =
@@ -130,6 +148,8 @@ type snapshot = {
   store_hits : int;
   store_misses : int;
   store_writes : int;
+  derived_hits : int;
+  plan_fallbacks : int;
   busy_ms : float;
   dfa_hits : int;
   dfa_compiles : int;
@@ -150,6 +170,8 @@ let snapshot (c : t) : snapshot =
     store_hits = now.t_store_hits - b.t_store_hits;
     store_misses = now.t_store_misses - b.t_store_misses;
     store_writes = now.t_store_writes - b.t_store_writes;
+    derived_hits = now.t_derived_hits - b.t_derived_hits;
+    plan_fallbacks = now.t_plan_fallbacks - b.t_plan_fallbacks;
     busy_ms = float_of_int (now.t_busy_ns - b.t_busy_ns) /. 1e6;
     dfa_hits = now.t_dfa_hits - b.t_dfa_hits;
     dfa_compiles = now.t_dfa_compiles - b.t_dfa_compiles;
@@ -162,8 +184,10 @@ let snapshot (c : t) : snapshot =
 let pp_snapshot ppf s =
   Format.fprintf ppf
     "jobs=%d hits=%d misses=%d uncacheable=%d store_hits=%d store_misses=%d \
-     store_writes=%d busy=%.1fms dfa_hits=%d dfa_compiles=%d dfa_contended=%d \
-     antichain_pairs=%d antichain_prunes=%d interned_states=%d"
+     store_writes=%d derived_hits=%d plan_fallbacks=%d busy=%.1fms \
+     dfa_hits=%d dfa_compiles=%d dfa_contended=%d antichain_pairs=%d \
+     antichain_prunes=%d interned_states=%d"
     s.jobs s.hits s.misses s.uncacheable s.store_hits s.store_misses
-    s.store_writes s.busy_ms s.dfa_hits s.dfa_compiles s.dfa_contended
-    s.antichain_pairs s.antichain_prunes s.interned_states
+    s.store_writes s.derived_hits s.plan_fallbacks s.busy_ms s.dfa_hits
+    s.dfa_compiles s.dfa_contended s.antichain_pairs s.antichain_prunes
+    s.interned_states

@@ -32,6 +32,15 @@ val incr_store_misses : t -> unit
 val incr_store_writes : t -> unit
 (** A record was appended to the persistent store. *)
 
+val incr_derived_hits : t -> unit
+(** A composite verdict was derived from component verdicts by the
+    planner ({!Plan}) instead of being computed directly. *)
+
+val incr_plan_fallbacks : t -> unit
+(** The planner recognised a composite query but declined it — a
+    theorem side condition failed or a premise verdict was not exact —
+    and the engine computed it directly. *)
+
 val add_busy_ns : t -> int -> unit
 (** Accumulate one job's wall time in nanoseconds.  Summed across
     workers this measures total useful work; [busy_ms] divided by
@@ -53,6 +62,10 @@ type snapshot = {
   store_hits : int;  (** verdicts served from the persistent store *)
   store_misses : int;  (** store lookups that had to compute *)
   store_writes : int;  (** records appended to the persistent store *)
+  derived_hits : int;
+      (** composite verdicts derived from component verdicts *)
+  plan_fallbacks : int;
+      (** composite queries the planner declined (answered directly) *)
   busy_ms : float;  (** summed per-job wall time *)
   dfa_hits : int;  (** compiled automata served from the shared cache *)
   dfa_compiles : int;  (** prs-expressions compiled to DFAs *)

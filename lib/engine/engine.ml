@@ -25,6 +25,7 @@ module Par = Posl_par.Par
 module Store = Posl_store.Store
 module Telemetry = Posl_telemetry.Telemetry
 module Metrics = Posl_telemetry.Metrics
+module Verdict = Posl_verdict.Verdict
 open Posl_ident
 
 let job_ms_hist =
@@ -70,6 +71,8 @@ type stats = {
   store_hits : int;
   store_misses : int;
   store_writes : int;
+  derived_hits : int;
+  plan_fallbacks : int;
   dfa_cache_hits : int;
   dfa_compiles : int;
   antichain_pairs : int;
@@ -84,7 +87,7 @@ type stats = {
 let pp_stats ppf s =
   Format.fprintf ppf
     "%d job%s on %d domain%s in %.1f ms (busy %.1f ms, utilization %.0f%%): \
-     %d cache hit%s, %d miss%s%s%s; %d DFA compile%s, %d DFA cache hit%s%s"
+     %d cache hit%s, %d miss%s%s%s%s; %d DFA compile%s, %d DFA cache hit%s%s"
     s.jobs
     (if s.jobs = 1 then "" else "s")
     s.domains
@@ -105,6 +108,11 @@ let pp_stats ppf s =
          (if s.store_misses = 1 then "" else "es")
          s.store_writes
          (if s.store_writes = 1 then "" else "s"))
+    (if s.derived_hits = 0 && s.plan_fallbacks = 0 then ""
+     else
+       Printf.sprintf "; plan: %d derived, %d fallback%s" s.derived_hits
+         s.plan_fallbacks
+         (if s.plan_fallbacks = 1 then "" else "s"))
     s.dfa_compiles
     (if s.dfa_compiles = 1 then "" else "s")
     s.dfa_cache_hits
@@ -207,7 +215,7 @@ let session_ctx s universe =
           s.s_ctxs <- (universe, ctx) :: s.s_ctxs;
           ctx)
 
-let answer s counters req =
+let rec answer ?(plan = Plan.Auto) s counters req =
   Telemetry.with_span "engine.job"
     ~attrs:[ ("label", req.label); ("kind", Job.kind req.query) ]
   @@ fun () ->
@@ -216,8 +224,38 @@ let answer s counters req =
   let digest =
     Digest.query ~universe:req.universe ~depth:req.depth req.query
   in
-  let compute () =
+  let compute_direct () =
     Job.run ~domains:1 (session_ctx s req.universe) ~depth:req.depth req.query
+  in
+  (* The planner sits in front of direct checking, inside the cache
+     lookup: a derived verdict is produced on a cache miss and then
+     cached/stored under the composite query's own digest, exactly like
+     a computed one.  Premise sub-queries recurse through [answer], so
+     they hit the session's warm cache and store, are recorded under
+     their own digests, and may decompose further. *)
+  let compute () =
+    match plan with
+    | Plan.Off -> compute_direct ()
+    | Plan.Auto -> (
+        let answer_premise ~label q =
+          let premise_req =
+            { req with query = q; label = label ^ ": " ^ Job.describe q }
+          in
+          (answer ~plan s counters premise_req).verdict
+        in
+        match
+          Plan.derive ~answer:answer_premise ~universe:req.universe req.query
+        with
+        | Plan.Derived v ->
+            Counters.incr_derived_hits counters;
+            let elapsed_ms = float_of_int (now_ns () - t0) /. 1e6 in
+            Verdict.with_context ~depth:req.depth
+              ~universe_digest:(Job.universe_digest req.universe)
+              ~elapsed_ms v
+        | Plan.Fallback _reason ->
+            Counters.incr_plan_fallbacks counters;
+            compute_direct ()
+        | Plan.Not_composite -> compute_direct ())
   in
   (* The persistent store sits beneath the in-memory cache: a store
      hit is promoted into the cache (so duplicates later in the batch
@@ -274,7 +312,7 @@ let answer s counters req =
       ("from_store", string_of_bool from_store) ];
   { request = req; verdict; cached; from_store; digest; ms; span_id }
 
-let run_jobs ?domains s requests =
+let run_jobs ?domains ?plan s requests =
   let domains =
     match domains with Some d -> max 1 d | None -> Par.default_domains ()
   in
@@ -292,7 +330,7 @@ let run_jobs ?domains s requests =
       ~attrs:
         [ ("jobs", string_of_int (List.length requests));
           ("domains", string_of_int domains) ]
-      (fun () -> Par.map_dyn ~domains (answer s counters) requests)
+      (fun () -> Par.map_dyn ~domains (answer ?plan s counters) requests)
   in
   let wall_ms = float_of_int (now_ns () - t0) /. 1e6 in
   let dfa =
@@ -310,6 +348,8 @@ let run_jobs ?domains s requests =
       store_hits = c.Counters.store_hits;
       store_misses = c.Counters.store_misses;
       store_writes = c.Counters.store_writes;
+      derived_hits = c.Counters.derived_hits;
+      plan_fallbacks = c.Counters.plan_fallbacks;
       dfa_cache_hits = c.Counters.dfa_hits;
       dfa_compiles = c.Counters.dfa_compiles;
       antichain_pairs = c.Counters.antichain_pairs;
@@ -325,5 +365,5 @@ let run_jobs ?domains s requests =
   in
   (results, stats)
 
-let run_batch ?domains ?cache ?dfa_cache ?store requests =
-  run_jobs ?domains (session ?cache ?dfa_cache ?store ()) requests
+let run_batch ?domains ?plan ?cache ?dfa_cache ?store requests =
+  run_jobs ?domains ?plan (session ?cache ?dfa_cache ?store ()) requests

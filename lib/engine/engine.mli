@@ -63,6 +63,12 @@ type stats = {
           the in-memory cache) *)
   store_misses : int;  (** store lookups that fell through to compute *)
   store_writes : int;  (** freshly computed verdicts appended to the store *)
+  derived_hits : int;
+      (** composite verdicts the {!Plan}ner derived from component
+          verdicts (Theorems 7 & 16) instead of checking directly *)
+  plan_fallbacks : int;
+      (** composite queries the planner recognised but declined (side
+          condition failed or premise not exact), answered directly *)
   dfa_cache_hits : int;
       (** compiled prs-automata served from the shared striped cache *)
   dfa_compiles : int;
@@ -131,22 +137,32 @@ val session_ctx : session -> Posl_ident.Universe.t -> Posl_tset.Tset.ctx
     the registry, compiled automata) even across distinct values.
     Thread- and domain-safe. *)
 
-val answer : session -> Counters.t -> request -> result
+val answer : ?plan:Plan.mode -> session -> Counters.t -> request -> result
 (** Answer one request against the session's warm state: in-memory
     cache, then persistent store (promote on hit, write-behind on
-    miss), then compute with [Job.run ~domains:1].  Safe to call
-    concurrently from any number of threads or domains — this is the
-    unit of work the verification service's scheduler dispatches.
-    Traffic is counted into [counters] (and the process registry). *)
+    miss), then — on a miss — the compositional {!Plan}ner (default
+    [?plan:Auto]; composite [Refine]/[Equal] queries whose theorem
+    side conditions hold are derived from component sub-verdicts,
+    which recurse through [answer] and so land in the same cache and
+    store), and finally direct computation with [Job.run ~domains:1].
+    Derived verdicts are cached and stored under the composite query's
+    digest like computed ones.  Safe to call concurrently from any
+    number of threads or domains — this is the unit of work the
+    verification service's scheduler dispatches.  Traffic is counted
+    into [counters] (and the process registry). *)
 
 val run_jobs :
-  ?domains:int -> session -> request list -> result list * stats
+  ?domains:int -> ?plan:Plan.mode -> session -> request list ->
+  result list * stats
 (** Answer every request over the session's warm state, scheduled
     across [domains] workers; results are order-stable with the input.
-    Stats cover exactly this call's traffic. *)
+    Stats cover exactly this call's traffic.  [plan] (default [Auto])
+    selects whether composite queries may be answered by the
+    compositional planner; [Plan.Off] restores pure direct checking. *)
 
 val run_batch :
   ?domains:int ->
+  ?plan:Plan.mode ->
   ?cache:Cache.t ->
   ?dfa_cache:dfa_cache ->
   ?store:Posl_store.Store.t ->

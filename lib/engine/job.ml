@@ -73,37 +73,9 @@ let run ?domains (ctx : Tset.ctx) ~depth query : verdict =
         Refine.verdict
           ~opts:(Refine.opts ?domains ~depth ())
           ctx refined abstract
-    | Compose { left; right } ->
-        Verdict.with_context ~procedure:Verdict.Symbolic
-          (match Compose.check_composable left right with
-          | Ok () -> Verdict.holds ~confidence:Exact ()
-          | Error f ->
-              Verdict.refuted ~confidence:Exact
-                [ Compose.evidence_of_failure f ])
+    | Compose { left; right } -> Compose.composable_verdict left right
     | Proper { refined; abstract; context } ->
-        let a0 = Compose.alpha0 ~refined ~abstract in
-        Verdict.with_context ~procedure:Verdict.Symbolic
-          (if Compose.proper ~refined ~abstract ~context then
-             Verdict.holds ~confidence:Exact
-               ~evidence:
-                 [
-                   Verdict.Note
-                     (Format.asprintf "α₀ ∩ α(%s) = ∅ (α₀ = %a)"
-                        (Spec.name context) Eventset.pp a0);
-                 ]
-               ()
-           else
-             Verdict.refuted ~confidence:Exact
-               [
-                 Verdict.Improper
-                   {
-                     alpha0 = a0;
-                     offending =
-                       Eventset.normalise
-                         (Eventset.inter a0 (Spec.alpha context));
-                     context = Spec.name context;
-                   };
-               ])
+        Compose.proper_verdict ~refined ~abstract ~context
     | Deadlock { left; right } -> (
         match Compose.compose left right with
         | Error f ->

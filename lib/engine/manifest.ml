@@ -4,6 +4,7 @@
    grammar without sharing a filesystem. *)
 
 module Spec = Posl_core.Spec
+module Compose = Posl_core.Compose
 module Lang = Posl_lang.Lang
 open Posl_ident
 
@@ -113,6 +114,48 @@ let file_loader ~extra_objects () =
 
 let ( let* ) = Result.bind
 
+(* Split a name token on "||": "A||B||C" → ["A"; "B"; "C"]. *)
+let split_composition n =
+  let len = String.length n in
+  let rec go acc start i =
+    if i + 1 >= len then List.rev (String.sub n start (len - start) :: acc)
+    else if n.[i] = '|' && n.[i + 1] = '|' then
+      go (String.sub n start (i - start) :: acc) (i + 2) (i + 2)
+    else go acc start (i + 1)
+  in
+  go [] 0 0
+
+(* A name token may be a composition: "A||B" denotes A‖B, built at
+   elaboration time with [Compose.compose], so the operand reaches the
+   engine carrying its [Spec.parts] provenance and composite queries
+   over it are eligible for the planner.  Left-associated:
+   "A||B||C" = (A‖B)‖C. *)
+let resolve_name specs ~file n =
+  let lookup1 name =
+    if name = "" then
+      Error (Printf.sprintf "empty component name in composition %s" n)
+    else
+      match Lang.lookup specs name with
+      | Some s -> Ok s
+      | None -> Error (Printf.sprintf "no spec named %s in %s" name file)
+  in
+  match split_composition n with
+  | [] | [ "" ] -> Error "empty specification name"
+  | [ single ] -> lookup1 single
+  | first :: rest ->
+      let* acc = lookup1 first in
+      List.fold_left
+        (fun acc name ->
+          let* acc = acc in
+          let* s = lookup1 name in
+          match Compose.compose acc s with
+          | Ok comp -> Ok comp
+          | Error f ->
+              Error
+                (Format.asprintf "%s is not composable: %a" n
+                   Compose.pp_composability_failure f))
+        (Ok acc) rest
+
 let elaborate ?(path = "manifest") ~load entries =
   let err (e : entry) msg =
     Error (Printf.sprintf "%s:%d: %s" path e.line msg)
@@ -129,10 +172,9 @@ let elaborate ?(path = "manifest") ~load entries =
           List.fold_left
             (fun acc n ->
               let* acc = acc in
-              match Lang.lookup specs n with
-              | Some s -> Ok (s :: acc)
-              | None ->
-                  err e (Printf.sprintf "no spec named %s in %s" n e.file))
+              match resolve_name specs ~file:e.file n with
+              | Ok s -> Ok (s :: acc)
+              | Error m -> err e m)
             (Ok []) e.names
         in
         let* q =

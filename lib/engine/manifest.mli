@@ -18,6 +18,13 @@
     equal A B
     v}
 
+    Any spec-name position also accepts a composition token
+    ["A||B"] (left-associated; ["A||B||C"] is [(A‖B)‖C]), built at
+    elaboration time with {!Posl_core.Compose.compose} — the operand
+    then carries {!Posl_core.Spec.parts} provenance, making queries
+    over it eligible for the engine's compositional {!Plan}ner.
+    Non-composable parts are an elaboration error.
+
     All errors are strings of the shape ["path:line: message"] — the
     CLI maps them to its input-error exit code, the server to a typed
     [input] error response. *)
@@ -41,6 +48,16 @@ val query : kind:string -> Spec.t list -> (Job.query, string) result
 (** Build the typed query from resolved specs in positional order
     (the inverse of {!Job.kind}/{!Job.specs}); [Error] on unknown kind
     or arity mismatch. *)
+
+val resolve_name :
+  Spec.t list -> file:string -> string -> (Spec.t, string) result
+(** Resolve one spec-name token against a loaded corpus: a plain name
+    looks up directly, an ["A||B"] composition token builds the
+    left-associated {!Posl_core.Compose.compose} of its parts (so the
+    result carries {!Spec.parts} provenance).  [file] names the corpus
+    in error messages.  Every name position — manifest entries and the
+    wire protocol's named queries — resolves through here, so
+    composition tokens mean the same thing on every input surface. *)
 
 val entries :
   ?path:string ->

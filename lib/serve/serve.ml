@@ -134,10 +134,10 @@ let named_requests ~origin ~depth (specs, universe) queries =
         List.fold_left
           (fun acc name ->
             let* acc = acc in
-            match Lang.lookup specs name with
-            | Some s -> Ok (s :: acc)
-            | None ->
-                Error (Printf.sprintf "no spec named %s in %s" name origin))
+            (* composition tokens ("A||B") resolve here too, so wire
+               queries are planner-eligible like manifest entries *)
+            let* s = Manifest.resolve_name specs ~file:origin name in
+            Ok (s :: acc))
           (Ok []) q.Wire.names
         |> Result.map List.rev
       in
@@ -217,6 +217,8 @@ let stats_json server =
             ("store_hits", Json.Int c.Counters.store_hits);
             ("store_misses", Json.Int c.Counters.store_misses);
             ("store_writes", Json.Int c.Counters.store_writes);
+            ("derived_hits", Json.Int c.Counters.derived_hits);
+            ("plan_fallbacks", Json.Int c.Counters.plan_fallbacks);
             ("dfa_cache_hits", Json.Int c.Counters.dfa_hits);
             ("dfa_compiles", Json.Int c.Counters.dfa_compiles);
             ("busy_ms", Json.Float c.Counters.busy_ms);

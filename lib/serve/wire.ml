@@ -248,6 +248,8 @@ let json_of_stats (s : Engine.stats) ~failed =
       ("store_hits", Json.Int s.Engine.store_hits);
       ("store_misses", Json.Int s.Engine.store_misses);
       ("store_writes", Json.Int s.Engine.store_writes);
+      ("derived_hits", Json.Int s.Engine.derived_hits);
+      ("plan_fallbacks", Json.Int s.Engine.plan_fallbacks);
       ("dfa_cache_hits", Json.Int s.Engine.dfa_cache_hits);
       ("dfa_compiles", Json.Int s.Engine.dfa_compiles);
       ("busy_ms", Json.Float s.Engine.busy_ms);

@@ -36,14 +36,30 @@ let pp_confidence ppf = function
 (* Provenance                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type procedure = Symbolic | Automata | Bounded_search
+type procedure =
+  | Symbolic
+  | Automata
+  | Bounded_search
+  | Derived of { rule : string; premises : string list }
 
 let pp_procedure ppf p =
-  Format.pp_print_string ppf
-    (match p with
-    | Symbolic -> "symbolic"
-    | Automata -> "automata"
-    | Bounded_search -> "bounded")
+  match p with
+  | Symbolic -> Format.pp_print_string ppf "symbolic"
+  | Automata -> Format.pp_print_string ppf "automata"
+  | Bounded_search -> Format.pp_print_string ppf "bounded"
+  | Derived { rule; premises } ->
+      Format.fprintf ppf "derived(%s; %d premise%s)" rule
+        (List.length premises)
+        (if List.length premises = 1 then "" else "s")
+
+let equal_procedure a b =
+  match (a, b) with
+  | Symbolic, Symbolic | Automata, Automata | Bounded_search, Bounded_search ->
+      true
+  | Derived { rule = r1; premises = p1 }, Derived { rule = r2; premises = p2 }
+    ->
+      String.equal r1 r2 && List.equal String.equal p1 p2
+  | (Symbolic | Automata | Bounded_search | Derived _), _ -> false
 
 type provenance = {
   procedure : procedure option;
@@ -256,10 +272,14 @@ let equal_evidence a b =
       _ ) ->
       false
 
-let equal a b =
+let equal_modulo_provenance a b =
   a.status = b.status && a.confidence = b.confidence
   && List.equal equal_evidence a.evidence b.evidence
-  && a.provenance.procedure = b.provenance.procedure
+
+let equal a b =
+  equal_modulo_provenance a b
+  && Option.equal equal_procedure a.provenance.procedure
+       b.provenance.procedure
   && a.provenance.depth = b.provenance.depth
   && a.provenance.universe_digest = b.provenance.universe_digest
 
@@ -771,13 +791,27 @@ let json_of_evidence e =
   | Premise_unmet why -> obj "premise_unmet" [ ("reason", Json.Str why) ]
   | Note s -> obj "note" [ ("text", Json.Str s) ]
 
+(* [Derived] serializes structurally (rule + premise digests) so the
+   planner's provenance survives the store round-trip; the three direct
+   procedures keep their original plain-string encoding. *)
+let json_of_procedure = function
+  | Derived { rule; premises } ->
+      Json.Obj
+        [
+          ("kind", Json.Str "derived");
+          ("rule", Json.Str rule);
+          ("premises", Json.List (List.map (fun d -> Json.Str d) premises));
+        ]
+  | (Symbolic | Automata | Bounded_search) as proc ->
+      json_str "%a" pp_procedure proc
+
 let json_of_provenance p =
   Json.Obj
     [
       ( "procedure",
         match p.procedure with
         | None -> Json.Null
-        | Some proc -> json_str "%a" pp_procedure proc );
+        | Some proc -> json_of_procedure proc );
       ("depth", match p.depth with None -> Json.Null | Some d -> Json.Int d);
       ( "universe_digest",
         match p.universe_digest with
@@ -997,11 +1031,24 @@ let provenance_of_json j =
   {
     procedure =
       opt "procedure" (fun v ->
-          match as_str what v with
-          | "symbolic" -> Symbolic
-          | "automata" -> Automata
-          | "bounded" -> Bounded_search
-          | p -> jerr "%s: unknown procedure %S" what p);
+          match v with
+          | Json.Str "symbolic" -> Symbolic
+          | Json.Str "automata" -> Automata
+          | Json.Str "bounded" -> Bounded_search
+          | Json.Str p -> jerr "%s: unknown procedure %S" what p
+          | Json.Obj _ -> (
+              let pfields = as_obj what v in
+              match as_str what (field what pfields "kind") with
+              | "derived" ->
+                  Derived
+                    {
+                      rule = as_str what (field what pfields "rule");
+                      premises =
+                        List.map (as_str what)
+                          (as_list what (field what pfields "premises"));
+                    }
+              | k -> jerr "%s: unknown procedure kind %S" what k)
+          | _ -> jerr "%s: expected a string or object" what);
     depth = opt "depth" (as_int what);
     universe_digest = opt "universe_digest" (as_str what);
     elapsed_ms =

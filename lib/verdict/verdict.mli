@@ -41,8 +41,17 @@ type procedure =
   | Symbolic  (** exact set algebra on the symbolic representation *)
   | Automata  (** DFA compilation and language inclusion *)
   | Bounded_search  (** bounded state-space exploration *)
+  | Derived of { rule : string; premises : string list }
+      (** combined from already-answered sub-queries by a compositional
+          proof rule of the paper ([rule] names it, e.g. ["theorem7"]);
+          [premises] are the content digests ({!Posl_engine.Digest})
+          of the sub-queries whose exact verdicts license the
+          conclusion — re-answering them replays the derivation *)
 
 val pp_procedure : Format.formatter -> procedure -> unit
+
+val equal_procedure : procedure -> procedure -> bool
+(** Structural equality; [Derived] compares rule and premise digests. *)
 
 type provenance = {
   procedure : procedure option;
@@ -167,6 +176,13 @@ val equal : t -> t -> bool
     provenance, {e ignoring} [elapsed_ms] — so a cache-hit verdict is
     equal to a freshly computed one as a value. *)
 
+val equal_modulo_provenance : t -> t -> bool
+(** Status, confidence and evidence only — the agreement relation of
+    the planner soundness gate: a [Derived] verdict must be
+    [equal_modulo_provenance] to the directly computed one (their
+    provenances necessarily differ: one says which rule fired, the
+    other which procedure ran). *)
+
 val witness_traces : t -> Trace.t list
 (** Every counterexample/witness trace carried by the evidence. *)
 
@@ -239,6 +255,11 @@ end
 
 val json_of_confidence : confidence option -> Json.t
 val json_of_evidence : evidence -> Json.t
+
+val json_of_procedure : procedure -> Json.t
+(** Direct procedures as plain strings; [Derived] as an object
+    [{"kind":"derived","rule":…,"premises":[…]}]. *)
+
 val json_of_provenance : provenance -> Json.t
 
 val to_json : t -> Json.t

@@ -95,6 +95,41 @@ for field in '"status"' '"confidence"' '"evidence"' '"provenance"' '"universe_di
 done
 echo "ok   batch --json verdict schema"
 
+# -- compositional planner (batch --plan, "A||B" manifest tokens) ----
+# The fleet manifest's queries are composites: with the default
+# --plan auto the engine derives their verdicts from component
+# verdicts (Theorems 7 & 16); with --plan off it checks the products
+# directly.  Both must hold (exit 0).
+expect 0 "fleet manifest (planner on)" batch "$SPECS/fleet.manifest" --domains 2
+expect 0 "fleet manifest --plan off" batch "$SPECS/fleet.manifest" --plan off
+
+# The JSON summary carries the planner counters: non-zero derived
+# verdicts under auto, zero under off.
+"$BIN" batch "$SPECS/fleet.manifest" --json "$tmp/fleet.json" >/dev/null 2>&1
+if ! grep -q '"plan_fallbacks"' "$tmp/fleet.json"; then
+  echo "FAIL fleet --json: no plan_fallbacks field" >&2
+  fails=$((fails + 1))
+fi
+if grep -q '"derived_hits":0' "$tmp/fleet.json"; then
+  echo "FAIL fleet --json: planner derived nothing under --plan auto" >&2
+  fails=$((fails + 1))
+fi
+"$BIN" batch "$SPECS/fleet.manifest" --plan off --json "$tmp/fleet_off.json" >/dev/null 2>&1
+if ! grep -q '"derived_hits":0' "$tmp/fleet_off.json"; then
+  echo "FAIL fleet --json: --plan off still derived verdicts" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   batch --plan counters (derived under auto, none under off)"
+
+# A composition token whose parts are not composable is an input
+# error at elaboration time: Read's alphabet reaches inside RW2||Client.
+cat >"$tmp/noncomp.manifest" <<EOF
+use $SPECS/paper.oun
+depth 4
+refine RW2||Client||Read RW||Client||Read
+EOF
+expect 2 "non-composable composition token" batch "$tmp/noncomp.manifest"
+
 # Single-query --json emits the same per-result document shape.
 "$BIN" refine "$SPECS/paper.oun" Read Read2 --json >"$tmp/single.json" 2>/dev/null
 if [ $? -ne 1 ]; then

@@ -26,6 +26,7 @@ let () =
       ("runner", Test_runner.suite);
       ("par", Test_par.suite);
       ("engine", Test_engine.suite);
+      ("plan", Test_plan.suite);
       ("store", Test_store.suite);
       ("report", Test_report.suite);
       ("async", Test_async.suite);

@@ -167,22 +167,53 @@ spec Rev {
   alphabet call E -> o : M, N;
   traces prs (bind x in E . (<x,o,N> <x,o,M>))*;
 }
+
+// A composable pair over disjoint objects (their sorts exclude both,
+// so neither alphabet reaches inside the composition): CompL refines
+// CompL2, which lifts to CompL||CompR refining CompL2||CompR.
+spec CompL {
+  objects p;
+  sort F = all except { p, q };
+  alphabet call F -> p : M, N;
+  traces prs (bind x in F . (<x,p,M> <x,p,N>))*;
+}
+
+spec CompL2 {
+  objects p;
+  sort F = all except { p, q };
+  alphabet call F -> p : M, N;
+  traces all;
+}
+
+spec CompR {
+  objects q;
+  sort F = all except { p, q };
+  alphabet call F -> q : K;
+  traces all;
+}
 |}
 
 let depth = 4
 
 (* What the engine answers directly, bypassing the server. *)
-let direct_verdict kind names =
+let direct_verdict ?plan kind names =
   let specs =
     match Lang.specs_of_string spec_text with
     | Ok s -> s
     | Error e -> Alcotest.failf "spec_text: %a" Lang.pp_error e
   in
   let universe = Spec.adequate_universe ~extra_objects:2 specs in
-  let resolved = List.map (fun n -> Option.get (Lang.lookup specs n)) names in
+  let resolved =
+    List.map
+      (fun n ->
+        match Posl_engine.Manifest.resolve_name specs ~file:"spec_text" n with
+        | Ok s -> s
+        | Error e -> Alcotest.failf "resolve %s: %s" n e)
+      names
+  in
   let query = Result.get_ok (Posl_engine.Manifest.query ~kind resolved) in
   let results, _ =
-    Engine.run_batch ~domains:1
+    Engine.run_batch ~domains:1 ?plan
       [ Engine.request ~depth ~universe query ]
   in
   (List.hd results).Engine.verdict
@@ -328,6 +359,35 @@ let test_submit_equals_direct () =
       (* refine B A does not hold, and the response says so *)
       Alcotest.(check bool) "failed count" true
         (get_field "failed" doc = Json.Int 2))
+
+(* Composition tokens in wire-named queries resolve exactly like
+   manifest entries: the operands carry parts provenance, so the
+   server's planner derives the composite verdict — which must agree
+   with direct product checking ([Plan.Off]) modulo provenance. *)
+let test_submit_composite_tokens () =
+  with_server (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let names = [ "CompL||CompR"; "CompL2||CompR" ] in
+      let doc = call_ok c (submit [ ("refine", names) ]) in
+      Alcotest.(check bool) "submit ok" true
+        (field "ok" doc = Some (Json.Bool true));
+      let served = verdict_of_result (List.hd (results_of doc)) in
+      Alcotest.(check bool) "holds" true (V.is_holds served);
+      (match served.V.provenance.V.procedure with
+      | Some (V.Derived { rule; _ }) ->
+          Alcotest.(check string) "planner rule" "theorem7" rule
+      | _ -> Alcotest.fail "expected Derived provenance on the composite");
+      Alcotest.(check bool) "equals planner-on direct run" true
+        (V.equal (direct_verdict "refine" names) served);
+      Alcotest.(check bool) "agrees with plan-off direct run" true
+        (V.equal_modulo_provenance
+           (direct_verdict ~plan:Posl_engine.Plan.Off "refine" names)
+           served);
+      (* an unknown part in a token is a typed input error, not a crash *)
+      let bad = call_ok c (submit [ ("refine", [ "CompL||Nope"; "CompL2" ]) ]) in
+      Alcotest.(check bool) "unknown part is an input error" true
+        (error_code bad = Some "input"))
 
 let test_concurrent_clients_agree () =
   with_server ~workers:3 (fun addr ->
@@ -498,6 +558,8 @@ let suite =
       test_protocol_round_trip;
     Alcotest.test_case "live: submit equals direct engine run" `Quick
       test_submit_equals_direct;
+    Alcotest.test_case "live: composite tokens derive and agree" `Quick
+      test_submit_composite_tokens;
     Alcotest.test_case "live: concurrent clients agree with direct runs" `Quick
       test_concurrent_clients_agree;
     Alcotest.test_case "live: repeated digest hits the warm cache" `Quick
