@@ -35,6 +35,8 @@ module Plan = Posl_engine.Plan
 module Wire = Posl_serve.Wire
 module Serve = Posl_serve.Serve
 module Loadgen = Posl_serve.Loadgen
+module Watch = Posl_watch.Watch
+module Journal = Posl_watch.Journal
 module Report = Posl_report.Report
 module Verdict = Posl_verdict.Verdict
 module Json = Posl_verdict.Verdict.Json
@@ -442,10 +444,10 @@ let consistent_cmd =
    input exit code. *)
 let parse_manifest ~default_depth ~extra path =
   match
-    Manifest.requests_of_file ~default_depth ~extra_objects:extra path
+    Manifest.requests_of_file_typed ~default_depth ~extra_objects:extra path
   with
   | Ok requests -> Ok requests
-  | Error msg -> Error (Input msg)
+  | Error e -> Error (Input (Manifest.input_error_detail e))
 
 (* All JSON is built with posl.verdict's document AST — the result and
    stats serializers are the ones the server's submit responses use
@@ -1066,6 +1068,211 @@ let json_cmd =
           parser.")
     Term.(const run $ file_arg)
 
+(* ------------------------------------------------------------------ *)
+(* watch / session: incremental re-verification                        *)
+(* ------------------------------------------------------------------ *)
+
+let poll_ms_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "poll-ms" ] ~docv:"MS"
+        ~doc:"Interval between content polls of the watched files.")
+
+let rounds_limit_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "rounds" ] ~docv:"N"
+        ~doc:
+          "Exit after $(docv) rounds (the initial cold round counts) — \
+           mainly for scripting and tests; default: run until interrupted.")
+
+let watch_json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit one self-contained JSON object per round on stdout.")
+
+(* Run the watch loop with clean SIGINT/SIGTERM shutdown (exit 0 — an
+   interactive loop being told to stop is not a failure), invoking
+   [on_round] with the per-round report and whether json was asked. *)
+let run_watch_loop ~manifest ~depth ~extra ~domains ~plan ~store_dir ~poll_ms
+    ~rounds ~on_round =
+  let go store =
+    let session = Engine.session ?store () in
+    let w =
+      Watch.create ~default_depth:depth ~extra_objects:extra ~plan ?domains
+        ~session manifest
+    in
+    let stopped = ref false in
+    let handler = Sys.Signal_handle (fun _ -> stopped := true) in
+    let old_int = Sys.signal Sys.sigint handler in
+    let old_term = Sys.signal Sys.sigterm handler in
+    Fun.protect
+      ~finally:(fun () ->
+        Sys.set_signal Sys.sigint old_int;
+        Sys.set_signal Sys.sigterm old_term)
+      (fun () ->
+        ignore
+          (Watch.run ~poll_ms ?max_rounds:rounds
+             ~stop:(fun () -> !stopped)
+             ~on_round w);
+        Ok ())
+  in
+  match store_dir with
+  | None -> go None
+  | Some dir -> with_store dir (fun s -> go (Some s))
+
+let print_round ~json r =
+  if json then begin
+    print_string (Json.to_string (Watch.json_of_report r));
+    print_newline ()
+  end
+  else Format.printf "%a" Watch.pp_report r;
+  flush stdout
+
+let watch_cmd =
+  let run manifest depth extra domains plan store_dir poll_ms rounds json
+      trace metrics =
+    code
+      (with_observability ~trace ~metrics @@ fun () ->
+       run_watch_loop ~manifest ~depth ~extra ~domains ~plan ~store_dir
+         ~poll_ms ~rounds ~on_round:(print_round ~json))
+  in
+  Cmd.v
+    (Cmd.info "watch"
+       ~doc:
+         "Re-verify a manifest incrementally as its spec files change: only \
+          the queries an edit can have moved are re-run (spec→query \
+          dependency map over a resident warm session), and each round \
+          reports only the verdicts that flipped.  Parse errors in a \
+          half-saved file are diagnostics; previous verdicts stand.")
+    Term.(
+      const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
+      $ plan_arg $ store_arg $ poll_ms_arg $ rounds_limit_arg $ watch_json_arg
+      $ trace_arg $ metrics_arg)
+
+let session_cmd =
+  let session_dir_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "session" ] ~docv:"DIR"
+          ~doc:
+            "Session directory: each edit round is appended to a CRC-framed \
+             journal here, so the round history (and the convergence signal) \
+             survives process restarts.")
+  in
+  let window_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "window" ] ~docv:"K"
+          ~doc:
+            "Rounds of history the convergence signal looks at: converging \
+             means the failing count fell at every step of the window.")
+  in
+  let json_of_journal_round (r : Journal.round) =
+    Json.Obj
+      [
+        ("round", Json.Int r.Journal.round);
+        ("failing", Json.Int r.Journal.failing);
+        ("flips", Json.Int r.Journal.flips);
+        ("invalidated", Json.Int r.Journal.invalidated);
+        ("reused", Json.Int r.Journal.reused);
+        ("elapsed_ms", Json.Float r.Journal.elapsed_ms);
+      ]
+  in
+  let run manifest depth extra domains plan store_dir poll_ms rounds json
+      session_dir window trace metrics =
+    code
+      (with_observability ~trace ~metrics @@ fun () ->
+       match Journal.open_ session_dir with
+       | exception Journal.Error m -> Error (Input m)
+       | journal ->
+           Fun.protect ~finally:(fun () -> Journal.close journal)
+           @@ fun () ->
+           let replayed = Journal.rounds journal in
+           let signal rs = Format.asprintf "%a" Journal.pp_signal
+               (Journal.signal ~window rs)
+           in
+           (* Replaying the journal re-establishes the session exactly
+              where the previous process left it: same round history,
+              same signal, numbering continues. *)
+           if json then begin
+             print_string
+               (Json.to_string
+                  (Json.Obj
+                     [
+                       ( "replayed",
+                         Json.List (List.map json_of_journal_round replayed)
+                       );
+                       ("signal", Json.Str (signal replayed));
+                     ]));
+             print_newline ();
+             flush stdout
+           end
+           else begin
+             List.iter
+               (fun r -> Format.printf "  %a@." Journal.pp_round r)
+               replayed;
+             Format.printf "session: %d round%s replayed, signal: %s@."
+               (List.length replayed)
+               (if List.length replayed = 1 then "" else "s")
+               (signal replayed);
+             flush stdout
+           end;
+           let base = Journal.next_round journal - 1 in
+           let on_round (r : Watch.report) =
+             Journal.append journal
+               {
+                 Journal.round = base + r.Watch.round;
+                 failing = r.Watch.failing;
+                 flips = List.length r.Watch.flips;
+                 invalidated = r.Watch.invalidated;
+                 reused = r.Watch.reused;
+                 elapsed_ms = r.Watch.elapsed_ms;
+               };
+             let s = signal (Journal.rounds journal) in
+             if json then begin
+               match Watch.json_of_report r with
+               | Json.Obj fields ->
+                   print_string
+                     (Json.to_string
+                        (Json.Obj
+                           (fields
+                           @ [
+                               ("session_round", Json.Int (base + r.Watch.round));
+                               ("signal", Json.Str s);
+                             ])));
+                   print_newline ();
+                   flush stdout
+               | _ -> assert false
+             end
+             else begin
+               (* the session-wide round number, not the watcher-local one *)
+               print_round ~json:false
+                 { r with Watch.round = base + r.Watch.round };
+               Format.printf "signal: %s@." s;
+               flush stdout
+             end
+           in
+           run_watch_loop ~manifest ~depth ~extra ~domains ~plan ~store_dir
+             ~poll_ms ~rounds ~on_round)
+  in
+  Cmd.v
+    (Cmd.info "session"
+       ~doc:
+         "An interactive refinement session: the watch loop plus a durable \
+          round journal.  Every edit round is recorded (failing count, \
+          flips, counters, elapsed) in $(b,--session) DIR, the loop reports \
+          whether the session is converging (failures strictly decreasing \
+          over the last $(b,--window) rounds), and a restarted session \
+          replays its history and continues the numbering.")
+    Term.(
+      const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
+      $ plan_arg $ store_arg $ poll_ms_arg $ rounds_limit_arg $ watch_json_arg
+      $ session_dir_arg $ window_arg $ trace_arg $ metrics_arg)
+
 let main_cmd =
   let doc = "composition and refinement checker for partial object specifications" in
   let info = Cmd.info "posl-check" ~version:"1.1.0" ~doc in
@@ -1081,6 +1288,8 @@ let main_cmd =
       simulate_cmd;
       consistent_cmd;
       batch_cmd;
+      watch_cmd;
+      session_cmd;
       metrics_cmd;
       store_cmd;
       serve_cmd;

@@ -6,7 +6,38 @@
 module Spec = Posl_core.Spec
 module Compose = Posl_core.Compose
 module Lang = Posl_lang.Lang
+module Ast = Posl_lang.Ast
 open Posl_ident
+
+type input_error = {
+  input_file : string;
+  input_offset : int option;
+  input_message : string;
+}
+
+let input_error_message e = e.input_message
+let pp_input_error ppf e = Format.pp_print_string ppf e.input_message
+
+let input_error_detail e =
+  match e.input_offset with
+  | Some off -> Printf.sprintf "%s (byte %d of %s)" e.input_message off e.input_file
+  | None -> e.input_message
+
+(* Byte offset of a 1-based line/column position in [text], clamped to
+   the text length (parser positions can point one past a line end). *)
+let offset_of_pos text (p : Ast.pos) =
+  let len = String.length text in
+  let rec start_of line i =
+    if line <= 1 then i
+    else
+      match String.index_from_opt text i '\n' with
+      | Some j -> start_of (line - 1) (j + 1)
+      | None -> i
+  in
+  min (start_of p.Ast.line 0 + max 0 (p.Ast.col - 1)) len
+
+(* Byte offset of the start of 1-based line [n] in [text]. *)
+let offset_of_line text n = offset_of_pos text { Ast.line = n; col = 1 }
 
 type entry = {
   line : int;
@@ -51,13 +82,20 @@ let strip line =
   in
   String.trim (slash 0)
 
-let entries ?(path = "manifest") ?dir ~default_depth text =
+let entries_typed ?(path = "manifest") ?dir ~default_depth text =
   let resolve f =
     match dir with
     | Some d when Filename.is_relative f -> Filename.concat d f
     | _ -> f
   in
-  let err lineno msg = Error (Printf.sprintf "%s:%d: %s" path lineno msg) in
+  let err lineno msg =
+    Error
+      {
+        input_file = path;
+        input_offset = Some (offset_of_line text lineno);
+        input_message = Printf.sprintf "%s:%d: %s" path lineno msg;
+      }
+  in
   let lines = String.split_on_char '\n' text in
   let rec go lineno current depth acc = function
     | [] -> Ok (List.rev acc)
@@ -92,10 +130,33 @@ let entries ?(path = "manifest") ?dir ~default_depth text =
   in
   go 1 None default_depth [] lines
 
-type loader = string -> (Spec.t list * Universe.t, string) result
+let entries ?path ?dir ~default_depth text =
+  Result.map_error input_error_message
+    (entries_typed ?path ?dir ~default_depth text)
 
-let file_loader ~extra_objects () =
-  let cache : (string, (Spec.t list * Universe.t, string) result) Hashtbl.t =
+type loader = string -> (Spec.t list * Universe.t, string) result
+type typed_loader = string -> (Spec.t list * Universe.t, input_error) result
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let specs_of_source ~extra_objects ~file text =
+  match Lang.specs_of_string text with
+  | Ok specs -> Ok (specs, Spec.adequate_universe ~extra_objects specs)
+  | Error e ->
+      Error
+        {
+          input_file = file;
+          input_offset = Some (offset_of_pos text e.Lang.pos);
+          input_message = Format.asprintf "%s: %a" file Lang.pp_error e;
+        }
+
+let file_loader_typed ~extra_objects () =
+  let cache : (string, (Spec.t list * Universe.t, input_error) result) Hashtbl.t
+      =
     Hashtbl.create 4
   in
   fun f ->
@@ -103,19 +164,30 @@ let file_loader ~extra_objects () =
     | Some v -> v
     | None ->
         let v =
-          match Lang.specs_of_file f with
-          | Ok specs ->
-              Ok (specs, Spec.adequate_universe ~extra_objects specs)
-          | Error e -> Error (Format.asprintf "%s: %a" f Lang.pp_error e)
-          | exception Sys_error m -> Error m
+          match read_file f with
+          | exception Sys_error m ->
+              Error { input_file = f; input_offset = None; input_message = m }
+          | text -> specs_of_source ~extra_objects ~file:f text
         in
         Hashtbl.add cache f v;
         v
 
+let file_loader ~extra_objects () =
+  let load = file_loader_typed ~extra_objects () in
+  fun f -> Result.map_error input_error_message (load f)
+
+(* Lift a string-error loader into the typed pipeline; the failing file
+   is the one we asked for, with no finer position information. *)
+let typed_of_loader (load : loader) : typed_loader =
+ fun f ->
+  Result.map_error
+    (fun m -> { input_file = f; input_offset = None; input_message = m })
+    (load f)
+
 let ( let* ) = Result.bind
 
 (* Split a name token on "||": "A||B||C" → ["A"; "B"; "C"]. *)
-let split_composition n =
+let composition_parts n =
   let len = String.length n in
   let rec go acc start i =
     if i + 1 >= len then List.rev (String.sub n start (len - start) :: acc)
@@ -139,7 +211,7 @@ let resolve_name specs ~file n =
       | Some s -> Ok s
       | None -> Error (Printf.sprintf "no spec named %s in %s" name file)
   in
-  match split_composition n with
+  match composition_parts n with
   | [] | [ "" ] -> Error "empty specification name"
   | [ single ] -> lookup1 single
   | first :: rest ->
@@ -156,52 +228,82 @@ let resolve_name specs ~file n =
                    Compose.pp_composability_failure f))
         (Ok acc) rest
 
-let elaborate ?(path = "manifest") ~load entries =
-  let err (e : entry) msg =
-    Error (Printf.sprintf "%s:%d: %s" path e.line msg)
+(* Elaborate one entry.  A loader failure keeps the loader's typed
+   position (the spec file and offset at fault) while gaining the
+   manifest context in its message, so the rendered string is the same
+   ["manifest:line: ..."] the string API always produced. *)
+let request_of_entry ?(path = "manifest") ~load (e : entry) =
+  let err msg =
+    Error
+      {
+        input_file = path;
+        input_offset = None;
+        input_message = Printf.sprintf "%s:%d: %s" path e.line msg;
+      }
   in
+  let* specs, universe =
+    match (load : typed_loader) e.file with
+    | Ok v -> Ok v
+    | Error ie ->
+        Error
+          {
+            ie with
+            input_message =
+              Printf.sprintf "%s:%d: %s" path e.line ie.input_message;
+          }
+  in
+  let* resolved =
+    List.fold_left
+      (fun acc n ->
+        let* acc = acc in
+        match resolve_name specs ~file:e.file n with
+        | Ok s -> Ok (s :: acc)
+        | Error m -> err m)
+      (Ok []) e.names
+  in
+  let* q =
+    match query ~kind:e.kind (List.rev resolved) with
+    | Ok q -> Ok q
+    | Error m -> err m
+  in
+  let label =
+    Printf.sprintf "%s: %s" (Filename.basename e.file) (Job.describe q)
+  in
+  Ok (Engine.request ~label ~depth:e.depth ~universe q)
+
+let elaborate_typed ?path ~load entries =
   let rec go acc = function
     | [] -> Ok (List.rev acc)
-    | (e : entry) :: rest ->
-        let* specs, universe =
-          match load e.file with
-          | Ok v -> Ok v
-          | Error m -> err e m
-        in
-        let* resolved =
-          List.fold_left
-            (fun acc n ->
-              let* acc = acc in
-              match resolve_name specs ~file:e.file n with
-              | Ok s -> Ok (s :: acc)
-              | Error m -> err e m)
-            (Ok []) e.names
-        in
-        let* q =
-          match query ~kind:e.kind (List.rev resolved) with
-          | Ok q -> Ok q
-          | Error m -> err e m
-        in
-        let label =
-          Printf.sprintf "%s: %s" (Filename.basename e.file) (Job.describe q)
-        in
-        go (Engine.request ~label ~depth:e.depth ~universe q :: acc) rest
+    | e :: rest ->
+        let* r = request_of_entry ?path ~load e in
+        go (r :: acc) rest
   in
   go [] entries
 
+let elaborate ?path ~load entries =
+  Result.map_error input_error_message
+    (elaborate_typed ?path ~load:(typed_of_loader load) entries)
+
+let requests_of_string_typed ?path ?dir ~default_depth ~load text =
+  let* es = entries_typed ?path ?dir ~default_depth text in
+  elaborate_typed ?path ~load es
+
 let requests_of_string ?path ?dir ~default_depth ~load text =
-  let* es = entries ?path ?dir ~default_depth text in
-  elaborate ?path ~load es
+  Result.map_error input_error_message
+    (requests_of_string_typed ?path ?dir ~default_depth
+       ~load:(typed_of_loader load) text)
+
+let requests_of_file_typed ~default_depth ~extra_objects path =
+  let* text =
+    match read_file path with
+    | text -> Ok text
+    | exception Sys_error m ->
+        Error { input_file = path; input_offset = None; input_message = m }
+  in
+  requests_of_string_typed ~path ~dir:(Filename.dirname path) ~default_depth
+    ~load:(file_loader_typed ~extra_objects ())
+    text
 
 let requests_of_file ~default_depth ~extra_objects path =
-  let* text =
-    try
-      let ic = open_in_bin path in
-      Fun.protect
-        ~finally:(fun () -> close_in_noerr ic)
-        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
-    with Sys_error m -> Error m
-  in
-  requests_of_string ~path ~dir:(Filename.dirname path) ~default_depth
-    ~load:(file_loader ~extra_objects ())
-    text
+  Result.map_error input_error_message
+    (requests_of_file_typed ~default_depth ~extra_objects path)

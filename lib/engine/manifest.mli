@@ -25,12 +25,36 @@
     over it eligible for the engine's compositional {!Plan}ner.
     Non-composable parts are an elaboration error.
 
-    All errors are strings of the shape ["path:line: message"] — the
-    CLI maps them to its input-error exit code, the server to a typed
-    [input] error response. *)
+    Errors come in two shapes.  The legacy string API renders
+    everything as ["path:line: message"] — the CLI maps those to its
+    input-error exit code, the server to a typed [input] error
+    response.  The [_typed] variants return {!input_error}, which keeps
+    the failing {e file} and a byte {e offset} alongside the rendered
+    message, so interactive consumers (the watch loop) can point an
+    editor at a half-saved spec file instead of dying on it. *)
 
 module Spec = Posl_core.Spec
 open Posl_ident
+
+type input_error = {
+  input_file : string;  (** the file the failure is about *)
+  input_offset : int option;
+      (** byte offset of the failure in [input_file]'s content, when
+          the parser located it *)
+  input_message : string;
+      (** complete human-readable message — exactly the string the
+          legacy string-error API renders *)
+}
+
+val input_error_message : input_error -> string
+(** The legacy rendering — byte-identical to what the string-error API
+    returns for the same failure. *)
+
+val input_error_detail : input_error -> string
+(** The message plus ["(byte N of FILE)"] when the failure was located
+    — what batch and serve print so an editor can jump to the fault. *)
+
+val pp_input_error : Format.formatter -> input_error -> unit
 
 type entry = {
   line : int;  (** 1-based line number in the manifest text *)
@@ -59,6 +83,13 @@ val resolve_name :
     wire protocol's named queries — resolves through here, so
     composition tokens mean the same thing on every input surface. *)
 
+val composition_parts : string -> string list
+(** The component names of a name token: ["A||B||C"] → [["A"; "B";
+    "C"]], a plain name → itself, singleton.  This is the dependency
+    footprint of the token — exactly the named specs whose edits can
+    move a query over it (the watch subsystem's dep map is built on
+    it). *)
+
 val entries :
   ?path:string ->
   ?dir:string ->
@@ -69,16 +100,42 @@ val entries :
     error messages only; relative [use] targets resolve against [dir]
     when given (the CLI passes the manifest's directory). *)
 
+val entries_typed :
+  ?path:string ->
+  ?dir:string ->
+  default_depth:int ->
+  string ->
+  (entry list, input_error) result
+(** {!entries} with the typed error: [input_file] is the manifest
+    [path], [input_offset] the start of the offending line. *)
+
 type loader = string -> (Spec.t list * Universe.t, string) result
 (** Resolve one spec-file reference to its specifications and the
     universe queries over it are posed in.  Called once per distinct
     [use] target ({!elaborate} memoizes nothing — memoize in the
     loader). *)
 
+type typed_loader = string -> (Spec.t list * Universe.t, input_error) result
+(** {!loader} with the typed error — the watch loop's loaders live
+    here so a half-saved file yields a diagnostic, not a crash. *)
+
 val file_loader : extra_objects:int -> unit -> loader
 (** The filesystem loader the CLI uses: {!Posl_lang.Lang.specs_of_file}
     plus {!Spec.adequate_universe}, memoized per path for the lifetime
     of the returned closure. *)
+
+val file_loader_typed : extra_objects:int -> unit -> typed_loader
+(** {!file_loader} with typed errors: a parse failure carries the spec
+    file and the byte offset of the failing position. *)
+
+val specs_of_source :
+  extra_objects:int ->
+  file:string ->
+  string ->
+  (Spec.t list * Universe.t, input_error) result
+(** Parse spec-file {e text} already in hand (the watch loop reads and
+    digests file content itself): specs plus their adequate universe,
+    or a typed error positioned in [file]. *)
 
 val elaborate :
   ?path:string ->
@@ -88,6 +145,22 @@ val elaborate :
 (** Resolve every entry's spec names through [load] and build engine
     requests, labelled ["basename(file): description"] exactly as the
     batch table shows them. *)
+
+val request_of_entry :
+  ?path:string ->
+  load:typed_loader ->
+  entry ->
+  (Engine.request, input_error) result
+(** Elaborate a single entry.  This is the per-query granularity the
+    watch subsystem needs: requests keep 1:1 correspondence with their
+    source entries (the dep map's provenance), and one entry's failure
+    doesn't discard its neighbours' requests. *)
+
+val elaborate_typed :
+  ?path:string ->
+  load:typed_loader ->
+  entry list ->
+  (Engine.request list, input_error) result
 
 val requests_of_string :
   ?path:string ->
@@ -99,6 +172,14 @@ val requests_of_string :
 (** {!entries} composed with {!elaborate} — the server's whole path
     from received manifest text to runnable requests. *)
 
+val requests_of_string_typed :
+  ?path:string ->
+  ?dir:string ->
+  default_depth:int ->
+  load:typed_loader ->
+  string ->
+  (Engine.request list, input_error) result
+
 val requests_of_file :
   default_depth:int ->
   extra_objects:int ->
@@ -107,3 +188,12 @@ val requests_of_file :
 (** Read a manifest file and elaborate it with {!file_loader};
     relative [use] targets resolve against the manifest's directory.
     May not raise: unreadable files are [Error]. *)
+
+val requests_of_file_typed :
+  default_depth:int ->
+  extra_objects:int ->
+  string ->
+  (Engine.request list, input_error) result
+(** {!requests_of_file} with the typed error — batch and serve report
+    [input_file]/[input_offset] instead of an opaque string when a spec
+    file is half-saved. *)

@@ -90,9 +90,13 @@ let classify doc =
           | _ -> `Error))
   | _ -> `Error
 
-let client_loop t conn pool ~(cfg : cfg) ~next ~fresh ~start_ns =
+(* [client] is the 0-based client index: seeding the per-client RNG
+   from (seed, index) — never from a thread id, which varies run to
+   run — makes a campaign's draw sequence a pure function of its cfg,
+   so --seed reproduces the workload exactly. *)
+let client_loop t conn pool ~(cfg : cfg) ~client ~next ~fresh ~start_ns =
   let npool = Array.length pool in
-  let rng = Random.State.make [| cfg.seed; Thread.id (Thread.self ()) |] in
+  let rng = Random.State.make [| cfg.seed; client |] in
   let rec loop () =
     let k = Atomic.fetch_and_add next 1 in
     if k < cfg.requests then begin
@@ -153,10 +157,11 @@ let run addr ~pool (cfg : cfg) =
         let next = Atomic.make 0 and fresh = Atomic.make 0 in
         let start_ns = Telemetry.now_ns () in
         let threads =
-          List.map
-            (fun conn ->
+          List.mapi
+            (fun client conn ->
               Thread.create
-                (fun () -> client_loop t conn pool ~cfg ~next ~fresh ~start_ns)
+                (fun () ->
+                  client_loop t conn pool ~cfg ~client ~next ~fresh ~start_ns)
                 ())
             conns
         in

@@ -21,7 +21,10 @@ type cfg = {
   clients : int;  (** concurrent connections *)
   repeat : float;  (** probability in [0..1] of resubmitting a pool entry *)
   mode : mode;
-  seed : int;  (** repeat-draw determinism *)
+  seed : int;
+      (** campaign RNG seed: each client's draw stream is seeded by
+          (seed, client index), so a campaign's workload is a pure
+          function of its cfg — [--seed N] replays it exactly *)
 }
 
 type report = {

@@ -162,7 +162,9 @@ let requests_of_submit server (s : Wire.submit) =
       let* loaded = load_text server ~extra text in
       named_requests ~origin:"inline" ~depth loaded s.Wire.queries
   | _, _, Some path, _ ->
-      Manifest.requests_of_file ~default_depth:depth ~extra_objects:extra path
+      Result.map_error Manifest.input_error_detail
+        (Manifest.requests_of_file_typed ~default_depth:depth
+           ~extra_objects:extra path)
   | _, _, _, Some text ->
       Manifest.requests_of_string ~default_depth:depth
         ~load:(fun path -> load_file server ~extra path)

@@ -1,0 +1,53 @@
+(* Shared CRC framing for append-only record logs (Store, the watch
+   session journal).  See framing.mli for the crash-safety argument. *)
+
+let max_record = 1 lsl 26
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (8 + n) in
+  Bytes.set_int32_be b 0 (Int32.of_int n);
+  Bytes.set_int32_be b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 n;
+  b
+
+type item =
+  | Record of { offset : int; payload : string }
+  | Damaged of { offset : int; reason : string }
+
+type scanned = { items : item list; keep : int; torn : int }
+
+(* A CRC or payload failure on a well-framed record is per-record
+   damage (the length field still resyncs us to the next record); a
+   length field that runs past EOF or is insane is indistinguishable
+   from a crash mid-append, so everything from there on is a torn
+   tail. *)
+let scan ~start content =
+  let len = String.length content in
+  let items = ref [] in
+  let pos = ref start and keep = ref start and torn = ref 0 in
+  let stop = ref false in
+  while not !stop do
+    let remaining = len - !pos in
+    if remaining = 0 then stop := true
+    else if remaining < 8 then begin
+      torn := remaining;
+      stop := true
+    end
+    else
+      let plen = Int32.to_int (String.get_int32_be content !pos) in
+      if plen < 1 || plen > max_record || plen > remaining - 8 then begin
+        torn := remaining;
+        stop := true
+      end
+      else begin
+        let stored_crc = String.get_int32_be content (!pos + 4) in
+        let payload = String.sub content (!pos + 8) plen in
+        (if Crc32.string payload <> stored_crc then
+           items := Damaged { offset = !pos; reason = "crc mismatch" } :: !items
+         else items := Record { offset = !pos; payload } :: !items);
+        pos := !pos + 8 + plen;
+        keep := !pos
+      end
+  done;
+  { items = List.rev !items; keep = !keep; torn = !torn }

@@ -1,0 +1,44 @@
+(** CRC-framed append-only record logs: the framing layer shared by the
+    persistent verdict store ([Store]) and the watch subsystem's
+    refinement-session journal ([Posl_watch.Journal]).
+
+    A log is a one-line header identifying the format, followed by
+    records framed as [length (4 bytes BE) ∥ CRC-32 (4 bytes BE) ∥
+    payload].  The framing is crash-safe by construction: a frame is
+    appended with one atomic [O_APPEND] write, so a crash mid-append
+    leaves at most one torn tail record, which {!scan} detects (the
+    length field runs past EOF) and reports as [torn] bytes so the
+    opener can truncate it away.  A mid-file record whose CRC
+    mismatches is {e skipped and reported}, never fatal — the length
+    field still resyncs the scan to the next record.
+
+    Payload interpretation (version bytes, JSON, supersede rules) stays
+    with the caller; this module only frames and unframes bytes. *)
+
+val max_record : int
+(** Framing sanity bound: a length field above this is corruption, not
+    a record (real payloads are a few KB). *)
+
+val frame : string -> bytes
+(** [frame payload] is the full framed record: length, CRC-32 of the
+    payload, payload.  Write it with a single append. *)
+
+type item =
+  | Record of { offset : int; payload : string }
+      (** a well-framed record whose CRC matches; [offset] is the
+          frame's byte offset in the log image *)
+  | Damaged of { offset : int; reason : string }
+      (** a well-framed record whose CRC mismatches — reported, then
+          skipped (the scan resyncs at the next frame) *)
+
+type scanned = {
+  items : item list;  (** records and damage, in file order *)
+  keep : int;
+      (** length of the well-framed prefix — the truncation point that
+          drops a torn tail without touching intact records *)
+  torn : int;  (** unframed bytes past [keep] (crash residue) *)
+}
+
+val scan : start:int -> string -> scanned
+(** Scan a whole log image from byte [start] (the caller has already
+    checked its header, which occupies the first [start] bytes). *)

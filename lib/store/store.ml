@@ -22,11 +22,6 @@ let log_name = "verdicts.log"
 let lock_name = "lock"
 let log_path dir = Filename.concat dir log_name
 
-(* Framing sanity bound: a record length field larger than this is
-   framing corruption, not a record (the largest real verdict payloads
-   are a few KB). *)
-let max_record = 1 lsl 26
-
 type entry = { depth : int; strength : int; verdict : Verdict.t }
 type damage = { offset : int; reason : string }
 
@@ -58,6 +53,9 @@ let dir t = t.dir
 (* ------------------------------------------------------------------ *)
 (* Record encoding                                                     *)
 
+(* Record payloads are a version byte followed by the JSON document;
+   the framing itself (length + CRC + atomic-append crash safety) is
+   the shared {!Framing} layer. *)
 let frame ~digest ~depth verdict =
   let json =
     J.to_string
@@ -68,13 +66,7 @@ let frame ~digest ~depth verdict =
            ("verdict", Verdict.to_json verdict);
          ])
   in
-  let payload = "\001" ^ json in
-  let n = String.length payload in
-  let b = Bytes.create (8 + n) in
-  Bytes.set_int32_be b 0 (Int32.of_int n);
-  Bytes.set_int32_be b 4 (Crc32.string payload);
-  Bytes.blit_string payload 0 b 8 n;
-  b
+  Framing.frame ("\001" ^ json)
 
 let parse_payload payload =
   let n = String.length payload in
@@ -109,52 +101,34 @@ type scanned = {
   s_torn : int;  (* unframed bytes past [s_keep] *)
 }
 
-(* Scan the whole log image.  CRC or parse failures on a well-framed
-   record are per-record damage (the length field still resyncs us to
-   the next record); a length field that runs past EOF or is insane is
-   indistinguishable from a crash mid-append, so everything from there
-   on is a torn tail. *)
+(* Scan the whole log image: shared framing scan, then the store's
+   payload parse.  CRC mismatches (framing-level) and payload parse
+   failures (store-level) are both per-record damage; the framing layer
+   classifies everything past the last well-framed record as a torn
+   tail. *)
 let scan content =
   let len = String.length content in
   if len < header_len || not (String.equal (String.sub content 0 header_len) header)
   then err "not a posl verdict store (bad header)";
+  let f = Framing.scan ~start:header_len content in
   let entries = ref [] and dmg = ref [] and records = ref 0 in
-  let pos = ref header_len and keep = ref header_len and torn = ref 0 in
-  let stop = ref false in
-  while not !stop do
-    let remaining = len - !pos in
-    if remaining = 0 then stop := true
-    else if remaining < 8 then begin
-      torn := remaining;
-      stop := true
-    end
-    else
-      let plen = Int32.to_int (String.get_int32_be content !pos) in
-      if plen < 1 || plen > max_record || plen > remaining - 8 then begin
-        torn := remaining;
-        stop := true
-      end
-      else begin
-        let stored_crc = String.get_int32_be content (!pos + 4) in
-        let payload = String.sub content (!pos + 8) plen in
-        (if Crc32.string payload <> stored_crc then
-           dmg := { offset = !pos; reason = "crc mismatch" } :: !dmg
-         else
-           match parse_payload payload with
-           | Ok (d, k, v) ->
-               incr records;
-               entries := (d, k, v) :: !entries
-           | Result.Error reason -> dmg := { offset = !pos; reason } :: !dmg);
-        pos := !pos + 8 + plen;
-        keep := !pos
-      end
-  done;
+  List.iter
+    (function
+      | Framing.Damaged { offset; reason } ->
+          dmg := { offset; reason } :: !dmg
+      | Framing.Record { offset; payload } -> (
+          match parse_payload payload with
+          | Ok (d, k, v) ->
+              incr records;
+              entries := (d, k, v) :: !entries
+          | Result.Error reason -> dmg := { offset; reason } :: !dmg))
+    f.Framing.items;
   {
     s_entries = List.rev !entries;
     s_records = !records;
     s_damage = List.rev !dmg;
-    s_keep = !keep;
-    s_torn = !torn;
+    s_keep = f.Framing.keep;
+    s_torn = f.Framing.torn;
   }
 
 let read_file path =

@@ -276,6 +276,8 @@ let equal_modulo_provenance a b =
   a.status = b.status && a.confidence = b.confidence
   && List.equal equal_evidence a.evidence b.evidence
 
+let changed a b = not (equal_modulo_provenance a b)
+
 let equal a b =
   equal_modulo_provenance a b
   && Option.equal equal_procedure a.provenance.procedure

@@ -183,6 +183,13 @@ val equal_modulo_provenance : t -> t -> bool
     provenances necessarily differ: one says which rule fired, the
     other which procedure ran). *)
 
+val changed : t -> t -> bool
+(** [changed old now] is the flip relation of the watch loop: true iff
+    the verdict moved in a way a user should be told about — status,
+    confidence or evidence differ.  Provenance and [elapsed_ms] churn
+    (cache hit vs recompute, a different planner rule firing) is not a
+    flip.  Negation of {!equal_modulo_provenance}. *)
+
 val witness_traces : t -> Trace.t list
 (** Every counterexample/witness trace carried by the evidence. *)
 

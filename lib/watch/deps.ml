@@ -1,0 +1,76 @@
+(* The spec→query dependency map.  See deps.mli for the soundness
+   contract: invalidation is conservative, so the interesting direction
+   is that a query it does NOT return has an unchanged digest. *)
+
+module Manifest = Posl_engine.Manifest
+module Digest = Posl_engine.Digest
+module Job = Posl_engine.Job
+module Spec = Posl_core.Spec
+
+type input =
+  | In_file of string
+  | In_spec of { file : string; name : string }
+
+let equal_input a b =
+  match (a, b) with
+  | In_file f, In_file g -> String.equal f g
+  | In_spec a, In_spec b ->
+      String.equal a.file b.file && String.equal a.name b.name
+  | In_file _, In_spec _ | In_spec _, In_file _ -> false
+
+let pp_input ppf = function
+  | In_file f -> Format.fprintf ppf "file %s" f
+  | In_spec { file; name } -> Format.fprintf ppf "%s#%s" file name
+
+type t = { footprints : input list array }
+
+let footprint (e : Manifest.entry) =
+  let specs =
+    List.concat_map Manifest.composition_parts e.Manifest.names
+    |> List.sort_uniq String.compare
+  in
+  In_file e.Manifest.file
+  :: List.map (fun name -> In_spec { file = e.Manifest.file; name }) specs
+
+let of_entries entries =
+  { footprints = Array.of_list (List.map footprint entries) }
+
+let size t = Array.length t.footprints
+let inputs t i = t.footprints.(i)
+
+let invalidate t ~changed =
+  let hit fp = List.exists (fun c -> List.exists (equal_input c) fp) changed in
+  let acc = ref [] in
+  for i = Array.length t.footprints - 1 downto 0 do
+    if hit t.footprints.(i) then acc := i :: !acc
+  done;
+  !acc
+
+(* Diff a reparsed corpus into changed inputs.  Per-spec bodies are
+   compared by their canonical digest serialization under the {e new}
+   universe — sound because a moved universe already escalates to the
+   whole-file input, and under an unchanged universe [spec_key] is
+   exactly the per-spec content that feeds [Digest.query_base]. *)
+let corpus_changes ~file ~old_specs ~old_universe ~specs ~universe =
+  if
+    not
+      (String.equal
+         (Job.universe_digest old_universe)
+         (Job.universe_digest universe))
+  then [ In_file file ]
+  else
+    let names ss = List.map Spec.name ss |> List.sort_uniq String.compare in
+    let old_names = names old_specs and new_names = names specs in
+    if not (List.equal String.equal old_names new_names) then [ In_file file ]
+    else
+      let body ss name =
+        match List.find_opt (fun s -> String.equal (Spec.name s) name) ss with
+        | None -> None
+        | Some s -> Digest.spec_key ~universe s
+      in
+      List.filter_map
+        (fun name ->
+          match (body old_specs name, body specs name) with
+          | Some a, Some b when String.equal a b -> None
+          | _ -> Some (In_spec { file; name }))
+        new_names

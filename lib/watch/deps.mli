@@ -1,0 +1,69 @@
+(** The spec→query dependency map: which queries a given source edit
+    can move.
+
+    A manifest query depends on a small, syntactically evident set of
+    {e inputs}: the spec file its [use] line puts in scope, and the
+    named specs its name tokens mention — for a composition token
+    ["A||B"], the operands [A] and [B]
+    ({!Posl_engine.Manifest.composition_parts}).  The whole-file input
+    stands for everything a per-name diff cannot localise: the file's
+    {e universe} ([Spec.adequate_universe] ranges over every spec in
+    the file, so an edit that adds an object moves {e every} query's
+    digest), specs appearing or disappearing, and parse-level changes.
+
+    {!invalidate} is deliberately {e conservative}: it returns every
+    query whose {!Posl_engine.Digest.query_base} {e may} have moved
+    under the changed inputs.  The watch loop answers the complement —
+    the reused queries — from its warm verdict table without
+    resubmitting them, so soundness of "reused" is what matters, and
+    that direction is exact: a query outside the returned set has an
+    unchanged dep footprint, hence an unchanged digest.
+    {!corpus_changes} produces the changed-input set from a reparsed
+    file by diffing per-spec canonical serializations and the universe
+    digest. *)
+
+module Manifest = Posl_engine.Manifest
+module Spec = Posl_core.Spec
+open Posl_ident
+
+type input =
+  | In_file of string
+      (** whole-file dependency: universe, spec census, parse shape *)
+  | In_spec of { file : string; name : string }
+      (** one named spec's body *)
+
+val equal_input : input -> input -> bool
+val pp_input : Format.formatter -> input -> unit
+
+type t
+
+val of_entries : Manifest.entry list -> t
+(** Build the map for one elaborated manifest; queries are identified
+    by their 0-based entry index. *)
+
+val size : t -> int
+
+val inputs : t -> int -> input list
+(** The dep footprint of query [i]: its [In_file] plus one [In_spec]
+    per distinct component name its tokens mention. *)
+
+val invalidate : t -> changed:input list -> int list
+(** Indices (ascending) of every query whose footprint meets [changed]
+    — the queries whose [query_base] may have moved.  [In_file f]
+    matches every query using [f]; [In_spec] matches by file and
+    name. *)
+
+val corpus_changes :
+  file:string ->
+  old_specs:Spec.t list ->
+  old_universe:Universe.t ->
+  specs:Spec.t list ->
+  universe:Universe.t ->
+  input list
+(** The changed inputs of a reparsed spec file, for {!invalidate}.
+    [In_file file] when the universe digest moved or a spec appeared or
+    disappeared; otherwise one [In_spec] per name whose canonical body
+    serialization ({!Posl_engine.Digest.spec_key}) differs — a spec
+    with an opaque trace set (no serialization) is conservatively
+    always changed.  Empty when the edit was digest-neutral (comments,
+    formatting). *)

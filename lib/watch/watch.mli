@@ -1,0 +1,102 @@
+(** Incremental re-verification: a resident watcher over one manifest.
+
+    The watcher keeps a warm {!Posl_engine.Engine.session} and, per
+    round, re-runs {e only} the queries an edit can have moved:
+
+    - {e polling} is portable stat-free content hashing — each watched
+      file (the manifest and every [use] target) is re-read and MD5'd,
+      so equal-mtime edits are never missed and no inotify binding is
+      needed;
+    - a changed spec file is {e re-elaborated alone}; the per-spec /
+      per-universe diff ({!Deps.corpus_changes}) plus the manifest's
+      dependency map ({!Deps.invalidate}) selects the invalidated
+      queries, and every other query's verdict is {e reused} without
+      touching the engine;
+    - parse failures in a half-saved file are typed diagnostics
+      ({!Posl_engine.Manifest.input_error}) in the round report; the
+      file's last good elaboration — and all verdicts over it — stand,
+      and the loop never crashes;
+    - the round report lists {e flips} only: verdicts whose status,
+      confidence or evidence changed ({!Posl_verdict.Verdict.changed}),
+      each with its full typed verdict, plus the
+      [queries_invalidated] / [queries_reused] / [flips] counters.
+
+    Rounds are instrumented with [watch.round] / [watch.invalidate]
+    telemetry spans and [posl_watch_*] counters. *)
+
+module Manifest = Posl_engine.Manifest
+module Engine = Posl_engine.Engine
+module Verdict = Posl_verdict.Verdict
+
+type flip = {
+  label : string;  (** the batch-table label of the flipped query *)
+  previous : Verdict.t;
+  verdict : Verdict.t;
+}
+
+type report = {
+  round : int;  (** 1-based ordinal of rounds this watcher has run *)
+  invalidated : int;
+      (** queries re-submitted to the engine this round *)
+  reused : int;
+      (** queries answered by the standing verdict, engine untouched *)
+  errored : int;
+      (** queries with no runnable request this round (their spec file
+          never loaded, or a name no longer resolves) *)
+  flips : flip list;
+  diagnostics : Manifest.input_error list;
+      (** input failures that {e surfaced} this round — a broken file
+          is reported once, when it breaks, not every round after *)
+  failing : int;  (** failing verdicts across all queries after the round *)
+  total : int;  (** queries in the manifest *)
+  elapsed_ms : float;
+  stats : Engine.stats option;  (** engine stats, when anything ran *)
+}
+
+val json_of_report : report -> Verdict.Json.t
+(** One self-contained JSON object per round — the [--json] line
+    format.  Counters appear as ["queries_invalidated"],
+    ["queries_reused"], ["flips"] (array of [{label, previous,
+    verdict}]), diagnostics as [{file, offset, message}]. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** The human flip report: one line per flip with the verdict
+    rendering, one per diagnostic, and the round counter summary. *)
+
+type t
+
+val create :
+  ?default_depth:int ->
+  ?extra_objects:int ->
+  ?plan:Posl_engine.Plan.mode ->
+  ?domains:int ->
+  ?session:Engine.session ->
+  string ->
+  t
+(** [create manifest] — a watcher with no rounds run yet.  [session]
+    (default: a fresh one) carries the caches and optional store every
+    round lands on; [default_depth] (6) and [extra_objects] (2) follow
+    the CLI defaults. *)
+
+val poll : t -> report option
+(** Look once.  [None] when no watched content changed; otherwise run
+    one round — re-elaborate what moved, re-verify what that
+    invalidated — and report it.  The first call always runs the cold
+    round (everything invalidated).  Never raises on input failures:
+    broken files surface as [diagnostics]. *)
+
+val verdicts : t -> (string * Verdict.t) list
+(** The standing verdict of every query that has one, in manifest
+    order, labelled as the batch table labels them. *)
+
+val run :
+  ?poll_ms:int ->
+  ?max_rounds:int ->
+  ?stop:(unit -> bool) ->
+  on_round:(report -> unit) ->
+  t ->
+  int
+(** The watch loop: {!poll} every [poll_ms] (default 200) milliseconds,
+    calling [on_round] on each round, until [stop ()] (checked at least
+    every 50 ms, so signal flags are honoured promptly) or [max_rounds]
+    rounds have run.  Returns the number of rounds run. *)

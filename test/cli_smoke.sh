@@ -346,6 +346,84 @@ else
   echo "ok   serve SIGTERM drains, exits 0, unlinks socket"
 fi
 
+# -- watch / session: incremental re-verification ---------------------
+# A bounded watcher over a scratch fleet copy: the cold round verifies
+# all ten queries; editing one component spec (Gauge2's traces)
+# re-runs exactly its six dependent queries and reuses the other four.
+# Every report line must be valid JSON by the tool's own parser.
+mkdir -p "$tmp/fleet"
+cp "$SPECS/fleet.oun" "$SPECS/fleet.manifest" "$tmp/fleet/"
+# (under `timeout` so a missed edit can never hang the suite)
+timeout 60 "$BIN" watch "$tmp/fleet/fleet.manifest" --json --poll-ms 100 \
+  --rounds 2 >"$tmp/watch.log" 2>&1 &
+watch_pid=$!
+sleep 1
+awk '{
+  gsub(/<x,g,OPEN> <x,g,SAMPLE\(_\)>\* <x,g,CLOSE>/, "<x,g,OPEN> <x,g,CLOSE>");
+  print
+}' "$tmp/fleet/fleet.oun" >"$tmp/fleet/fleet.oun.new" \
+  && mv "$tmp/fleet/fleet.oun.new" "$tmp/fleet/fleet.oun"
+wait "$watch_pid"
+watch_exit=$?
+if [ "$watch_exit" -ne 0 ]; then
+  echo "FAIL watch: expected exit 0 after 2 rounds, got $watch_exit ($(cat "$tmp/watch.log"))" >&2
+  fails=$((fails + 1))
+fi
+if ! head -n 1 "$tmp/watch.log" | grep -q '"queries_invalidated":10'; then
+  echo "FAIL watch: cold round did not verify all ten queries" >&2
+  fails=$((fails + 1))
+fi
+if ! sed -n 2p "$tmp/watch.log" | grep -q '"queries_invalidated":6'; then
+  echo "FAIL watch: Gauge2 edit did not invalidate exactly its six queries" >&2
+  fails=$((fails + 1))
+fi
+if ! sed -n 2p "$tmp/watch.log" | grep -q '"queries_reused":4'; then
+  echo "FAIL watch: Gauge2 edit did not reuse the other four verdicts" >&2
+  fails=$((fails + 1))
+fi
+while IFS= read -r line; do
+  if ! printf '%s' "$line" | "$BIN" json - >/dev/null 2>&1; then
+    echo "FAIL watch: report line is not valid JSON: $line" >&2
+    fails=$((fails + 1))
+  fi
+done <"$tmp/watch.log"
+echo "ok   watch --json (cold 10/0, one edit -> 6 invalidated / 4 reused)"
+
+# A watcher with no round bound must drain cleanly on SIGTERM.
+"$BIN" watch "$tmp/fleet/fleet.manifest" --poll-ms 100 \
+  >"$tmp/watch2.log" 2>&1 &
+watch_pid=$!
+sleep 1
+kill -TERM "$watch_pid" 2>/dev/null
+wait "$watch_pid"
+watch_exit=$?
+if [ "$watch_exit" -ne 0 ]; then
+  echo "FAIL watch: SIGTERM exit $watch_exit ($(cat "$tmp/watch2.log"))" >&2
+  fails=$((fails + 1))
+else
+  echo "ok   watch SIGTERM exits 0"
+fi
+
+# Refinement sessions journal their rounds: a second bounded run over
+# the same --session dir replays the first run's round before its own.
+"$BIN" session "$tmp/fleet/fleet.manifest" --session "$tmp/sess" \
+  --rounds 1 --poll-ms 100 >"$tmp/sess1.log" 2>&1
+if ! grep -q "0 rounds replayed" "$tmp/sess1.log"; then
+  echo "FAIL session: fresh session claimed replayed rounds" >&2
+  fails=$((fails + 1))
+fi
+"$BIN" session "$tmp/fleet/fleet.manifest" --session "$tmp/sess" \
+  --rounds 1 --poll-ms 100 >"$tmp/sess2.log" 2>&1
+if ! grep -q "1 round replayed" "$tmp/sess2.log"; then
+  echo "FAIL session: restart did not replay the journal ($(cat "$tmp/sess2.log"))" >&2
+  fails=$((fails + 1))
+fi
+if ! grep -q "signal:" "$tmp/sess2.log"; then
+  echo "FAIL session: no convergence signal printed" >&2
+  fails=$((fails + 1))
+fi
+echo "ok   session journal survives restart (1 round replayed)"
+
 if [ "$fails" -ne 0 ]; then
   echo "$fails smoke check(s) failed" >&2
   exit 1

@@ -35,4 +35,5 @@ let () =
       ("antichain", Test_antichain.suite);
       ("telemetry", Test_telemetry.suite);
       ("serve", Test_serve.suite);
+      ("watch", Test_watch.suite);
     ]
