@@ -43,6 +43,9 @@ module Json = Posl_verdict.Verdict.Json
 module Store = Posl_store.Store
 module Telemetry = Posl_telemetry.Telemetry
 module Metrics = Posl_telemetry.Metrics
+module Tlog = Posl_telemetry.Log
+module Runtime = Posl_telemetry.Runtime
+module Trajectory = Posl_report.Trajectory
 
 let exit_verdict = 1
 let exit_input = 2
@@ -139,18 +142,50 @@ let metrics_arg =
           "Write the Prometheus-style metrics exposition of this process to \
            $(docv) after the run.")
 
+let log_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "log" ] ~docv:"FILE"
+        ~doc:
+          "Stream structured log events (server lifecycle, watch rounds, \
+           slow-request exemplars) to $(docv) as JSON lines while the \
+           command runs.")
+
 (* Enable span recording when --trace was given, run [f], then write
    the requested telemetry artifacts.  Artifacts are written even when
    the run fails its verdict — the trace of a failing run is the
    interesting one — and a write failure is an input error that
-   supersedes the verdict failure. *)
-let with_observability ~trace ~metrics f =
+   supersedes the verdict failure.  A trace written after ring
+   wrap-around warns on stderr: silent drops read as "nothing else
+   happened". *)
+let with_observability ?(log = None) ~trace ~metrics f =
   if trace <> None then begin
     Telemetry.reset ();
     Telemetry.set_enabled true
   end;
+  let* log_oc =
+    match log with
+    | None -> Ok None
+    | Some path -> (
+        try
+          let oc = open_out path in
+          Tlog.set_sink
+            (Some
+               (fun line ->
+                 output_string oc line;
+                 output_char oc '\n';
+                 flush oc));
+          Ok (Some oc)
+        with Sys_error m -> Error (Input m))
+  in
   let result = f () in
   Telemetry.set_enabled false;
+  (match log_oc with
+  | Some oc ->
+      Tlog.set_sink None;
+      close_out_noerr oc
+  | None -> ());
   let write path content =
     try
       let oc = open_out path in
@@ -163,12 +198,22 @@ let with_observability ~trace ~metrics f =
   let* () =
     match trace with
     | None -> Ok ()
-    | Some path -> write path (Telemetry.trace_json () ^ "\n")
+    | Some path ->
+        let* () = write path (Telemetry.trace_json () ^ "\n") in
+        let d = Telemetry.dropped () in
+        if d > 0 then
+          Format.eprintf
+            "posl-check: warning: %d span(s) were dropped by ring \
+             wrap-around; %s is incomplete@."
+            d path;
+        Ok ()
   in
   let* () =
     match metrics with
     | None -> Ok ()
-    | Some path -> write path (Metrics.expose ())
+    | Some path ->
+        Runtime.sample ();
+        write path (Metrics.expose ())
   in
   result
 
@@ -489,12 +534,12 @@ let batch_cmd =
              milliseconds, with its telemetry span id when tracing.")
   in
   let run manifest depth extra domains plan json_path store_dir trace metrics
-      slow_ms =
+      log slow_ms =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        if requests = [] then Error (Input (manifest ^ ": no queries"))
        else begin
-         with_observability ~trace ~metrics @@ fun () ->
+         with_observability ~log ~trace ~metrics @@ fun () ->
          let* results, stats =
            match store_dir with
            | None -> Ok (Engine.run_batch ?domains ~plan requests)
@@ -538,6 +583,14 @@ let batch_cmd =
                Format.printf "@.slow queries (>= %d ms):@." thresh;
                List.iter
                  (fun (r : Engine.result) ->
+                   Tlog.event ~level:Tlog.Warn
+                     ~fields:
+                       [
+                         ("query", Tlog.S r.Engine.request.Engine.label);
+                         ("ms", Tlog.F r.Engine.ms);
+                         ("slow_ms", Tlog.I thresh);
+                       ]
+                     "batch.slow";
                    Format.printf "  %8.1f ms  %s%s@." r.Engine.ms
                      r.Engine.request.Engine.label
                      (match r.Engine.span_id with
@@ -590,7 +643,7 @@ let batch_cmd =
        ~doc:"Answer a manifest of queries with the parallel batch engine.")
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
-      $ plan_arg $ json_arg $ store_arg $ trace_arg $ metrics_arg
+      $ plan_arg $ json_arg $ store_arg $ trace_arg $ metrics_arg $ log_arg
       $ slow_ms_arg)
 
 (* metrics: run a manifest and print the Prometheus exposition.  The
@@ -602,16 +655,24 @@ let metrics_cmd =
     code
       (let* requests = parse_manifest ~default_depth:depth ~extra manifest in
        if requests = [] then Error (Input (manifest ^ ": no queries"))
-       else
+       else begin
+         (* observe the run with the GC alarm + pause heartbeat, so the
+            exposition includes live gc/heap gauges and the
+            posl_gc_pause_ms histogram *)
+         Runtime.start ();
          let* _ =
-           match store_dir with
-           | None -> Ok (Engine.run_batch ?domains ~plan requests)
-           | Some dir ->
-               with_store dir (fun s ->
-                   Ok (Engine.run_batch ?domains ~plan ~store:s requests))
+           Fun.protect
+             ~finally:(fun () -> Runtime.stop ())
+             (fun () ->
+               match store_dir with
+               | None -> Ok (Engine.run_batch ?domains ~plan requests)
+               | Some dir ->
+                   with_store dir (fun s ->
+                       Ok (Engine.run_batch ?domains ~plan ~store:s requests)))
          in
          print_string (Metrics.expose ());
-         Ok ())
+         Ok ()
+       end)
   in
   Cmd.v
     (Cmd.info "metrics"
@@ -806,13 +867,49 @@ let serve_cmd =
       & info [ "max-frame" ] ~docv:"BYTES"
           ~doc:"Reject incoming frames larger than $(docv) bytes.")
   in
-  let run socket tcp workers max_queue deadline_ms store_dir max_frame =
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Log a structured $(b,serve.slow) exemplar (trace id, op, \
+             queue wait, slowest job) for every request handled in at \
+             least $(docv) milliseconds.")
+  in
+  let run socket tcp workers max_queue deadline_ms store_dir max_frame slow_ms
+      trace log =
     code
       (let* addr = addr_of socket tcp in
        let cfg =
          Serve.config ?workers ~max_queue ?deadline_ms ?store_dir ~max_frame
-           addr
+           ?slow_ms addr
        in
+       (* serve runs until interrupted, so the log sink streams directly
+          to the file rather than going through with_observability *)
+       let* log_oc =
+         match log with
+         | None -> Ok None
+         | Some path -> (
+             try
+               let oc = open_out path in
+               Tlog.set_sink
+                 (Some
+                    (fun line ->
+                      output_string oc line;
+                      output_char oc '\n';
+                      flush oc));
+               Ok (Some oc)
+             with Sys_error m -> Error (Input m))
+       in
+       Fun.protect
+         ~finally:(fun () ->
+           match log_oc with
+           | Some oc ->
+               Tlog.set_sink None;
+               close_out_noerr oc
+           | None -> ())
+       @@ fun () ->
        match
          Serve.run
            ~on_ready:(fun bound ->
@@ -822,7 +919,26 @@ let serve_cmd =
        with
        | () ->
            Format.printf "posl-check serve: drained, bye@.";
-           Ok ()
+           (* spans are on for the whole server lifetime; the export
+              after drain holds the most recent rings' worth, keyed by
+              request trace id *)
+           (match trace with
+           | None -> Ok ()
+           | Some path -> (
+               try
+                 let oc = open_out path in
+                 Fun.protect
+                   ~finally:(fun () -> close_out_noerr oc)
+                   (fun () ->
+                     output_string oc (Telemetry.trace_json () ^ "\n"));
+                 let d = Telemetry.dropped () in
+                 if d > 0 then
+                   Format.eprintf
+                     "posl-check: warning: %d span(s) were dropped by ring \
+                      wrap-around; %s is incomplete@."
+                     d path;
+                 Ok ()
+               with Sys_error m -> Error (Input m)))
        | exception Unix.Unix_error (e, fn, arg) ->
            Error
              (Input
@@ -839,7 +955,8 @@ let serve_cmd =
           drain gracefully and exit 0.")
     Term.(
       const run $ socket_arg $ tcp_arg $ workers_arg $ max_queue_arg
-      $ deadline_ms_arg $ store_arg $ max_frame_arg)
+      $ deadline_ms_arg $ store_arg $ max_frame_arg $ slow_ms_arg $ trace_arg
+      $ log_arg)
 
 let loadgen_cmd =
   let manifest_arg =
@@ -1133,9 +1250,9 @@ let print_round ~json r =
 
 let watch_cmd =
   let run manifest depth extra domains plan store_dir poll_ms rounds json
-      trace metrics =
+      trace metrics log =
     code
-      (with_observability ~trace ~metrics @@ fun () ->
+      (with_observability ~log ~trace ~metrics @@ fun () ->
        run_watch_loop ~manifest ~depth ~extra ~domains ~plan ~store_dir
          ~poll_ms ~rounds ~on_round:(print_round ~json))
   in
@@ -1150,7 +1267,7 @@ let watch_cmd =
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
       $ plan_arg $ store_arg $ poll_ms_arg $ rounds_limit_arg $ watch_json_arg
-      $ trace_arg $ metrics_arg)
+      $ trace_arg $ metrics_arg $ log_arg)
 
 let session_cmd =
   let session_dir_arg =
@@ -1183,9 +1300,9 @@ let session_cmd =
       ]
   in
   let run manifest depth extra domains plan store_dir poll_ms rounds json
-      session_dir window trace metrics =
+      session_dir window trace metrics log =
     code
-      (with_observability ~trace ~metrics @@ fun () ->
+      (with_observability ~log ~trace ~metrics @@ fun () ->
        match Journal.open_ session_dir with
        | exception Journal.Error m -> Error (Input m)
        | journal ->
@@ -1271,7 +1388,118 @@ let session_cmd =
     Term.(
       const run $ manifest_arg $ depth_arg $ extra_objects_arg $ domains_arg
       $ plan_arg $ store_arg $ poll_ms_arg $ rounds_limit_arg $ watch_json_arg
-      $ session_dir_arg $ window_arg $ trace_arg $ metrics_arg)
+      $ session_dir_arg $ window_arg $ trace_arg $ metrics_arg $ log_arg)
+
+(* ------------------------------------------------------------------ *)
+(* report: perf-trajectory regression report                           *)
+(* ------------------------------------------------------------------ *)
+
+let report_cmd =
+  let baseline_arg =
+    Arg.(
+      value & opt string "."
+      & info [ "baseline" ] ~docv:"DIR"
+          ~doc:
+            "Directory holding the committed campaign snapshots \
+             (BENCH_*.json); every campaign found here is compared.")
+  in
+  let live_arg =
+    Arg.(
+      value & opt string "_build/bench"
+      & info [ "live" ] ~docv:"DIR"
+          ~doc:"Directory holding the fresh bench run's BENCH_*.json files.")
+  in
+  let report_metrics_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"FILE"
+          ~doc:
+            "Prometheus text exposition whose unlabelled samples are \
+             appended as a runtime section of the report.")
+  in
+  let slack_arg =
+    Arg.(
+      value & opt float 2.0
+      & info [ "slack" ] ~docv:"X"
+          ~doc:
+            "Tolerance multiplier: timings may grow to $(docv) x baseline \
+             and rates may fall to baseline / $(docv) before a check fails. \
+             Boolean claims get no slack.")
+  in
+  let json_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"PATH"
+          ~doc:"Write the machine-readable report to this file.")
+  in
+  let md_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "md" ] ~docv:"PATH"
+          ~doc:
+            "Write the markdown report to this file (it always goes to \
+             stdout too).")
+  in
+  let gate_arg =
+    Arg.(
+      value & flag
+      & info [ "gate" ]
+          ~doc:
+            "Perf-gate mode: exit 1 when any campaign regressed or its \
+             live file is missing.")
+  in
+  let run baseline live metrics_file slack json_path md_path gate =
+    code
+      (match
+         Trajectory.run ~slack ?metrics_file ~baseline_dir:baseline
+           ~live_dir:live ()
+       with
+      | Error m -> Error (Input m)
+      | Ok t ->
+          let md = Trajectory.to_markdown t in
+          print_string md;
+          let write path content =
+            try
+              let oc = open_out path in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc content);
+              Ok ()
+            with Sys_error m -> Error (Input m)
+          in
+          let* () =
+            match md_path with None -> Ok () | Some p -> write p md
+          in
+          let* () =
+            match json_path with
+            | None -> Ok ()
+            | Some p -> write p (Json.to_string (Trajectory.to_json t) ^ "\n")
+          in
+          if gate && not t.Trajectory.ok then
+            Error
+              (Verdict
+                 (Printf.sprintf "perf gate: %d campaign(s) not passing"
+                    (List.length
+                       (List.filter
+                          (fun (c : Trajectory.campaign) ->
+                            c.Trajectory.status <> Trajectory.Pass)
+                          t.Trajectory.campaigns))))
+          else Ok ())
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Compare a fresh bench run against the committed BENCH_*.json \
+          snapshots and render a perf-trajectory report (markdown to \
+          stdout, optionally JSON): boolean paper claims are hard gates, \
+          timings and rates get a slack multiplier.  With $(b,--gate), any \
+          regression or missing live campaign exits 1 — CI's perf gate.")
+    Term.(
+      const run $ baseline_arg $ live_arg $ report_metrics_arg $ slack_arg
+      $ json_arg $ md_arg $ gate_arg)
 
 let main_cmd =
   let doc = "composition and refinement checker for partial object specifications" in
@@ -1294,6 +1522,7 @@ let main_cmd =
       store_cmd;
       serve_cmd;
       loadgen_cmd;
+      report_cmd;
       json_cmd;
     ]
 

@@ -219,6 +219,7 @@ let rec answer ?(plan = Plan.Auto) s counters req =
   Telemetry.with_span "engine.job"
     ~attrs:[ ("label", req.label); ("kind", Job.kind req.query) ]
   @@ fun () ->
+  Posl_telemetry.Runtime.with_gc_attrs @@ fun () ->
   let span_id = Telemetry.current_span_id () in
   let t0 = now_ns () in
   let digest =

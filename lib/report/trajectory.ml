@@ -1,0 +1,379 @@
+(* The perf-trajectory regression report: committed BENCH_*.json
+   snapshots (baseline) vs a freshly measured set (live), with typed
+   threshold verdicts.
+
+   Rows are matched inside a campaign by their identity fields (route /
+   span / pass / cache / domains / clients / repeat / mode), then every
+   shared field is classified:
+
+   - booleans are hard gates: a claim the baseline records as [true]
+     (verdicts_agree, derived_agree, ge10x, ...) must still be [true];
+   - [*_ms] timings are lower-better, gated at [slack] x baseline, and
+     only when the baseline is >= 1 ms (smaller timings are noise; the
+     boolean claims cover them);
+   - [qps] and [speedup]/[*_over_*] ratios are higher-better, gated at
+     baseline / [slack];
+   - everything else (job counts, cache hits) is context, not a gate.
+
+   The same comparison renders as markdown (for humans and CI job
+   summaries) and JSON (for tooling). *)
+
+module Json = Posl_verdict.Verdict.Json
+
+type kind = Lower_ms | Higher | Claim
+
+type check = {
+  key : string;  (* row identity inside the campaign, "route=speedup" *)
+  field : string;
+  kind : kind;
+  base : float;  (* booleans: 1. = true *)
+  live : float;
+  ok : bool;
+}
+
+type status = Pass | Regressed | Missing_live
+
+type campaign = {
+  name : string;
+  title : string;
+  status : status;
+  checks : check list;
+  unmatched_baseline : string list;  (* row keys with no live partner *)
+  unmatched_live : string list;
+}
+
+type t = {
+  baseline_dir : string;
+  live_dir : string;
+  slack : float;
+  campaigns : campaign list;
+  runtime : (string * float) list;  (* live metrics snapshot, optional *)
+  ok : bool;
+}
+
+(* --- loading --------------------------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_campaign path =
+  match read_file path with
+  | exception Sys_error e -> Error e
+  | text -> (
+      match Json.of_string text with
+      | Error e -> Error (Printf.sprintf "%s: %s" path e)
+      | Ok (Json.Obj fields) ->
+          let title =
+            match List.assoc_opt "title" fields with
+            | Some (Json.Str s) -> s
+            | _ -> ""
+          in
+          let rows =
+            match List.assoc_opt "rows" fields with
+            | Some (Json.List rows) ->
+                List.filter_map
+                  (function Json.Obj f -> Some f | _ -> None)
+                  rows
+            | _ -> []
+          in
+          Ok (title, rows)
+      | Ok _ -> Error (Printf.sprintf "%s: not a JSON object" path))
+
+(* --- row identity and field classification --------------------------- *)
+
+let identity_fields =
+  [ "route"; "span"; "pass"; "cache"; "domains"; "clients"; "repeat"; "mode" ]
+
+let scalar_string = function
+  | Json.Str s -> s
+  | Json.Int i -> string_of_int i
+  | Json.Float f -> Printf.sprintf "%g" f
+  | Json.Bool b -> string_of_bool b
+  | Json.Null | Json.Obj _ | Json.List _ -> ""
+
+let row_key fields =
+  let parts =
+    List.filter_map
+      (fun name ->
+        match List.assoc_opt name fields with
+        | Some v when scalar_string v <> "" ->
+            Some (Printf.sprintf "%s=%s" name (scalar_string v))
+        | _ -> None)
+      identity_fields
+  in
+  match parts with [] -> "(row)" | _ -> String.concat " " parts
+
+let contains ~needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let ends_with ~suffix s =
+  let sl = String.length suffix and l = String.length s in
+  l >= sl && String.sub s (l - sl) sl = suffix
+
+let classify field =
+  if ends_with ~suffix:"_ms" field then Some Lower_ms
+  else if
+    field = "qps" || contains ~needle:"speedup" field
+    || contains ~needle:"_over_" field
+  then Some Higher
+  else None
+
+let number = function
+  | Json.Int i -> Some (float_of_int i)
+  | Json.Float f -> Some f
+  | _ -> None
+
+(* Timings under a millisecond in the baseline are measurement noise at
+   CI-runner resolution; the campaigns' boolean claims carry those. *)
+let min_gated_ms = 1.0
+
+let checks_of_row ~slack ~key base_fields live_fields =
+  List.filter_map
+    (fun (field, bv) ->
+      if List.mem field identity_fields then None
+      else
+        match (bv, List.assoc_opt field live_fields) with
+        | Json.Bool true, lv ->
+            let live_true = lv = Some (Json.Bool true) in
+            Some
+              { key; field; kind = Claim; base = 1.;
+                live = (if live_true then 1. else 0.); ok = live_true }
+        | Json.Bool false, _ -> None
+        | _, None -> None
+        | _, Some lv -> (
+            match (classify field, number bv, number lv) with
+            | Some Lower_ms, Some base, Some live when base >= min_gated_ms ->
+                Some
+                  { key; field; kind = Lower_ms; base; live;
+                    ok = live <= slack *. base }
+            | Some Higher, Some base, Some live when base > 0. ->
+                Some
+                  { key; field; kind = Higher; base; live;
+                    ok = live >= base /. slack }
+            | _ -> None))
+    base_fields
+
+let compare_campaign ~slack ~name ~title base_rows live_rows =
+  let live = List.map (fun r -> (row_key r, r)) live_rows in
+  let seen = Hashtbl.create 16 in
+  let checks, unmatched_baseline =
+    List.fold_left
+      (fun (checks, unmatched) base_fields ->
+        let key = row_key base_fields in
+        match List.assoc_opt key live with
+        | Some live_fields ->
+            Hashtbl.replace seen key ();
+            (checks @ checks_of_row ~slack ~key base_fields live_fields,
+             unmatched)
+        | None -> (checks, key :: unmatched))
+      ([], []) base_rows
+  in
+  let unmatched_live =
+    List.filter_map
+      (fun (key, _) -> if Hashtbl.mem seen key then None else Some key)
+      live
+  in
+  let status =
+    if List.for_all (fun (c : check) -> c.ok) checks && unmatched_baseline = []
+    then Pass
+    else Regressed
+  in
+  { name; title; status; checks;
+    unmatched_baseline = List.rev unmatched_baseline; unmatched_live }
+
+(* --- live metrics snapshot ------------------------------------------ *)
+
+(* Unlabelled sample lines of a Prometheus text exposition, name ->
+   value.  Histogram buckets carry labels and are skipped; _sum/_count
+   lines come through, which is what the report wants. *)
+let parse_metrics text =
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         if line = "" || line.[0] = '#' || String.contains line '{' then None
+         else
+           match String.index_opt line ' ' with
+           | None -> None
+           | Some i -> (
+               let name = String.sub line 0 i in
+               let v = String.sub line (i + 1) (String.length line - i - 1) in
+               match float_of_string_opt (String.trim v) with
+               | Some f -> Some (name, f)
+               | None -> None))
+
+(* --- entry point ----------------------------------------------------- *)
+
+let campaign_number name =
+  (* "P10" -> 10; unparseable names sort last, alphabetically *)
+  if String.length name > 1 && name.[0] = 'P' then
+    match int_of_string_opt (String.sub name 1 (String.length name - 1)) with
+    | Some n -> n
+    | None -> max_int
+  else max_int
+
+let discover_campaigns dir =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> []
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun f ->
+             if
+               String.length f > 11
+               && String.sub f 0 6 = "BENCH_"
+               && ends_with ~suffix:".json" f
+             then Some (String.sub f 6 (String.length f - 11))
+             else None)
+      |> List.sort (fun a b ->
+             compare (campaign_number a, a) (campaign_number b, b))
+
+let run ?(slack = 2.0) ?metrics_file ?campaigns ~baseline_dir ~live_dir () =
+  let names =
+    match campaigns with
+    | Some names -> names
+    | None -> discover_campaigns baseline_dir
+  in
+  if names = [] then
+    Error
+      (Printf.sprintf "no BENCH_*.json campaigns found under %s" baseline_dir)
+  else
+    let campaigns =
+      List.map
+        (fun name ->
+          let file dir = Filename.concat dir ("BENCH_" ^ name ^ ".json") in
+          match load_campaign (file baseline_dir) with
+          | Error e ->
+              { name; title = e; status = Missing_live; checks = [];
+                unmatched_baseline = []; unmatched_live = [] }
+          | Ok (title, base_rows) -> (
+              match load_campaign (file live_dir) with
+              | Error _ ->
+                  { name; title; status = Missing_live; checks = [];
+                    unmatched_baseline = List.map row_key base_rows;
+                    unmatched_live = [] }
+              | Ok (_, live_rows) ->
+                  compare_campaign ~slack ~name ~title base_rows live_rows))
+        names
+    in
+    let runtime =
+      match metrics_file with
+      | None -> []
+      | Some path -> (
+          match read_file path with
+          | exception Sys_error _ -> []
+          | text -> parse_metrics text)
+    in
+    Ok
+      {
+        baseline_dir;
+        live_dir;
+        slack;
+        campaigns;
+        runtime;
+        ok = List.for_all (fun c -> c.status = Pass) campaigns;
+      }
+
+(* --- rendering ------------------------------------------------------- *)
+
+let status_string = function
+  | Pass -> "ok"
+  | Regressed -> "regressed"
+  | Missing_live -> "missing"
+
+let kind_string = function
+  | Lower_ms -> "lower_ms"
+  | Higher -> "higher"
+  | Claim -> "claim"
+
+let json_of_check c =
+  Json.Obj
+    [
+      ("row", Json.Str c.key);
+      ("field", Json.Str c.field);
+      ("kind", Json.Str (kind_string c.kind));
+      ("baseline", Json.Float c.base);
+      ("live", Json.Float c.live);
+      ("ok", Json.Bool c.ok);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("baseline", Json.Str t.baseline_dir);
+      ("live", Json.Str t.live_dir);
+      ("slack", Json.Float t.slack);
+      ("ok", Json.Bool t.ok);
+      ( "campaigns",
+        Json.List
+          (List.map
+             (fun c ->
+               Json.Obj
+                 [
+                   ("campaign", Json.Str c.name);
+                   ("title", Json.Str c.title);
+                   ("status", Json.Str (status_string c.status));
+                   ("checks", Json.List (List.map json_of_check c.checks));
+                   ( "unmatched_baseline",
+                     Json.List
+                       (List.map (fun k -> Json.Str k) c.unmatched_baseline) );
+                   ( "unmatched_live",
+                     Json.List (List.map (fun k -> Json.Str k) c.unmatched_live)
+                   );
+                 ])
+             t.campaigns) );
+      ( "runtime",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) t.runtime) );
+    ]
+
+let quantity c =
+  match c.kind with
+  | Claim -> Printf.sprintf "%s -> %s" "true"
+               (if c.live = 1. then "true" else "FALSE")
+  | Lower_ms | Higher ->
+      Printf.sprintf "%.3g -> %.3g (x%.2f)" c.base c.live
+        (if c.base = 0. then 0. else c.live /. c.base)
+
+let to_markdown t =
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "# posl-check report — perf trajectory\n\n";
+  pf "baseline `%s` vs live `%s`, slack x%g — **%s**\n\n" t.baseline_dir
+    t.live_dir t.slack
+    (if t.ok then "ok" else "REGRESSED");
+  List.iter
+    (fun c ->
+      pf "## %s — %s\n\n" c.name c.title;
+      (match c.status with
+      | Pass -> pf "status: ok (%d checks)\n\n" (List.length c.checks)
+      | Regressed ->
+          pf "status: **REGRESSED** (%d/%d checks failed)\n\n"
+            (List.length (List.filter (fun (ck : check) -> not ck.ok) c.checks)
+             + List.length c.unmatched_baseline)
+            (List.length c.checks + List.length c.unmatched_baseline)
+      | Missing_live -> pf "status: **missing live campaign**\n\n");
+      if c.checks <> [] then begin
+        pf "| row | field | baseline → live | gate |\n";
+        pf "|---|---|---|---|\n";
+        List.iter
+          (fun ck ->
+            pf "| %s | %s | %s | %s |\n" ck.key ck.field (quantity ck)
+              (if ck.ok then "ok" else "**FAIL**"))
+          c.checks;
+        pf "\n"
+      end;
+      List.iter
+        (fun k -> pf "- row only in baseline: `%s`\n" k)
+        c.unmatched_baseline;
+      List.iter (fun k -> pf "- row only in live: `%s`\n" k) c.unmatched_live;
+      if c.unmatched_baseline <> [] || c.unmatched_live <> [] then pf "\n")
+    t.campaigns;
+  if t.runtime <> [] then begin
+    pf "## runtime snapshot\n\n";
+    pf "| metric | value |\n|---|---|\n";
+    List.iter (fun (k, v) -> pf "| %s | %g |\n" k v) t.runtime;
+    pf "\n"
+  end;
+  Buffer.contents b

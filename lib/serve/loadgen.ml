@@ -24,7 +24,13 @@ type report = {
   clients : int;
   repeat : float;
   mode : string;
+  slowest : (string * float) list;
 }
+
+(* How many of the slowest answered requests keep their trace id in the
+   report — enough to chase every outlier percentile into the server's
+   trace export without remembering all N requests. *)
+let n_slowest = 5
 
 type tally = {
   lock : Mutex.t;
@@ -40,6 +46,7 @@ type tally = {
   mutable max_ms : float;
   mutable sum_ms : float;
   mutable samples : int;
+  mutable slowest : (string * float) list;  (* slowest first, <= n_slowest *)
 }
 
 let int_field fields name =
@@ -57,7 +64,15 @@ let count_cached fields =
         0 rs
   | _ -> 0
 
-let record t outcome ms =
+let note_slow t trace_id ms =
+  let merged =
+    List.merge
+      (fun (_, a) (_, b) -> compare b a)
+      [ (trace_id, ms) ] t.slowest
+  in
+  t.slowest <- List.filteri (fun i _ -> i < n_slowest) merged
+
+let record t outcome ~trace_id ms =
   Mutex.lock t.lock;
   (match outcome with
   | `Answered (failed, expired, cached) ->
@@ -68,7 +83,8 @@ let record t outcome ms =
       Metrics.observe t.latency ms;
       t.sum_ms <- t.sum_ms +. ms;
       t.samples <- t.samples + 1;
-      if ms > t.max_ms then t.max_ms <- ms
+      if ms > t.max_ms then t.max_ms <- ms;
+      note_slow t trace_id ms
   | `Rejected -> t.rejected <- t.rejected + 1
   | `Error -> t.errors <- t.errors + 1);
   Mutex.unlock t.lock
@@ -111,13 +127,19 @@ let client_loop t conn pool ~(cfg : cfg) ~client ~next ~fresh ~start_ns =
           Random.State.int rng npool
         else Atomic.fetch_and_add fresh 1 mod npool
       in
-      let doc = Wire.request_json (Wire.Submit pool.(idx)) in
+      (* tag every submission so a slow percentile traces back to its
+         exact span tree in the server's trace export *)
+      let trace_id = Printf.sprintf "lg%d-%d" cfg.seed k in
+      let doc =
+        Wire.request_json
+          (Wire.Submit { pool.(idx) with Wire.trace_id = Some trace_id })
+      in
       let t0 = Telemetry.now_ns () in
       (match Client.call conn doc with
       | Ok doc ->
-          record t (classify doc)
+          record t (classify doc) ~trace_id
             (float_of_int (Telemetry.now_ns () - t0) /. 1e6)
-      | Error _ -> record t `Error 0.);
+      | Error _ -> record t `Error ~trace_id 0.);
       loop ()
     end
   in
@@ -152,7 +174,7 @@ let run addr ~pool (cfg : cfg) =
           { lock = Mutex.create ();
             latency = Metrics.histogram ~registry "posl_loadgen_latency_ms";
             answered = 0; failed = 0; rejected = 0; expired = 0; errors = 0;
-            cached = 0; max_ms = 0.; sum_ms = 0.; samples = 0 }
+            cached = 0; max_ms = 0.; sum_ms = 0.; samples = 0; slowest = [] }
         in
         let next = Atomic.make 0 and fresh = Atomic.make 0 in
         let start_ns = Telemetry.now_ns () in
@@ -193,6 +215,7 @@ let run addr ~pool (cfg : cfg) =
             clients = cfg.clients;
             repeat = cfg.repeat;
             mode = mode_name cfg.mode;
+            slowest = t.slowest;
           }
   end
 
@@ -216,6 +239,13 @@ let json_of_report r =
       ("clients", Json.Int r.clients);
       ("repeat", Json.Float r.repeat);
       ("mode", Json.Str r.mode);
+      ( "slowest",
+        Json.List
+          (List.map
+             (fun (trace_id, ms) ->
+               Json.Obj
+                 [ ("trace_id", Json.Str trace_id); ("ms", Json.Float ms) ])
+             r.slowest) );
     ]
 
 let pp_report ppf r =
@@ -226,4 +256,13 @@ let pp_report ppf r =
      latency p50 %.2f ms  p90 %.2f ms  p99 %.2f ms  mean %.2f ms  max %.2f ms@]"
     r.requests r.clients r.mode r.repeat r.answered r.rejected r.expired
     r.errors r.failed r.cached r.wall_ms r.qps r.p50_ms r.p90_ms r.p99_ms
-    r.mean_ms r.max_ms
+    r.mean_ms r.max_ms;
+  match r.slowest with
+  | [] -> ()
+  | slowest ->
+      Format.fprintf ppf "@,@[<v>slowest (trace ids for --trace lookup):";
+      List.iter
+        (fun (trace_id, ms) ->
+          Format.fprintf ppf "@,  %s  %.2f ms" trace_id ms)
+        slowest;
+      Format.fprintf ppf "@]"

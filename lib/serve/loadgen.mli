@@ -45,6 +45,10 @@ type report = {
   clients : int;
   repeat : float;
   mode : string;  (** ["closed"] or ["open@RATE"] *)
+  slowest : (string * float) list;
+      (** the slowest answered requests, slowest first: (trace id, ms).
+          Every submission is tagged ["lg<seed>-<k>"], so each entry
+          names its exact span tree in the server's [--trace] export. *)
 }
 
 val run : Wire.addr -> pool:Wire.submit list -> cfg -> (report, string) result

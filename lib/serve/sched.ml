@@ -42,12 +42,12 @@ let worker_loop t run =
         await ()
       end
     in
-    match Telemetry.with_span "serve.queue_wait" await with
+    match await () with
     | None -> ()
     | Some item ->
-        Metrics.observe queue_wait_ms
-          (float_of_int (Telemetry.now_ns () - item.enqueued_ns) /. 1e6);
-        (try run item.payload with _ -> ());
+        let wait_ns = Telemetry.now_ns () - item.enqueued_ns in
+        Metrics.observe queue_wait_ms (float_of_int wait_ns /. 1e6);
+        (try run ~wait_ns item.payload with _ -> ());
         next ()
   in
   next ()

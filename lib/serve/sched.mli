@@ -9,8 +9,10 @@
 
     The queue reports its depth through the
     [posl_serve_queue_depth] gauge and enqueue-to-dequeue latency
-    through the [posl_serve_queue_wait_ms] histogram; workers wrap the
-    blocking dequeue in a [serve.queue_wait] span. *)
+    through the [posl_serve_queue_wait_ms] histogram; each dequeued
+    item's measured wait is also handed to [run] as [~wait_ns] so the
+    item's owner can record it under the item's own trace context
+    (e.g. as a per-request [serve.queue_wait] span). *)
 
 type 'a t
 
@@ -19,11 +21,13 @@ type outcome =
   | Overloaded  (** queue at [max_queue]; nothing was enqueued *)
   | Stopped  (** {!drain} already ran; nothing was enqueued *)
 
-val create : workers:int -> max_queue:int -> run:('a -> unit) -> 'a t
+val create :
+  workers:int -> max_queue:int -> run:(wait_ns:int -> 'a -> unit) -> 'a t
 (** [create ~workers ~max_queue ~run] spawns [workers] domains, each
-    looping [run] over dequeued items.  Exceptions escaping [run] are
-    swallowed (the item's owner is responsible for its own failure
-    signalling); the worker keeps going.  [workers = 0] is allowed —
+    looping [run] over dequeued items; [~wait_ns] is the item's
+    enqueue-to-dequeue wait.  Exceptions escaping [run] are swallowed
+    (the item's owner is responsible for its own failure signalling);
+    the worker keeps going.  [workers = 0] is allowed —
     items then sit queued until {!drain} (used by tests to force
     deterministic deadline expiry). *)
 

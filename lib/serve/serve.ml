@@ -11,6 +11,8 @@ module Store = Posl_store.Store
 module Par = Posl_par.Par
 module Telemetry = Posl_telemetry.Telemetry
 module Metrics = Posl_telemetry.Metrics
+module Log = Posl_telemetry.Log
+module Runtime = Posl_telemetry.Runtime
 
 let connections_total =
   Metrics.counter ~help:"Connections accepted by the verification server"
@@ -36,17 +38,23 @@ type config = {
   store_dir : string option;
   max_frame : int;
   spans : bool;
+  slow_ms : float option;
   handle_signals : bool;
 }
 
 let config ?workers ?(max_queue = 256) ?deadline_ms ?store_dir
-    ?(max_frame = Frame.default_max_bytes) ?(spans = true)
+    ?(max_frame = Frame.default_max_bytes) ?(spans = true) ?slow_ms
     ?(handle_signals = true) addr =
   let workers =
     match workers with Some w -> max 1 w | None -> Par.default_domains ()
   in
   { addr; workers; max_queue; deadline_ms; store_dir; max_frame; spans;
-    handle_signals }
+    slow_ms; handle_signals }
+
+(* Server-generated request-tree tags for submissions that did not
+   bring their own. *)
+let next_trace = Atomic.make 1
+let fresh_trace_id () = Printf.sprintf "r%06d" (Atomic.fetch_and_add next_trace 1)
 
 (* One queued verification job: the request plus a one-shot mailbox the
    submitting connection thread blocks on. *)
@@ -55,9 +63,13 @@ type reply = Done of Engine.result | Expired | Failed of string
 type job = {
   req : Engine.request;
   deadline_ns : int option;
+  ctx : Telemetry.context;
+      (* the submitting request's handle-span context; re-rooted on the
+         worker domain so engine spans join the request tree *)
   cell_lock : Mutex.t;
   cell_cond : Condition.t;
   mutable reply : reply option;
+  mutable wait_ns : int;  (* admission-queue wait, set at dequeue *)
 }
 
 let deliver job reply =
@@ -173,18 +185,35 @@ let requests_of_submit server (s : Wire.submit) =
 
 (* --- worker ----------------------------------------------------------- *)
 
-let run_job server job =
+let run_job server ~wait_ns job =
+  job.wait_ns <- wait_ns;
+  (* The wait happened on the submitting side of the queue; record it
+     as a completed span of the request's tree, timed from enqueue. *)
+  let dequeued_ns = Telemetry.now_ns () in
+  Telemetry.emit ~context:job.ctx "serve.queue_wait"
+    ~attrs:[ ("wait_ms", Printf.sprintf "%.3f" (float_of_int wait_ns /. 1e6)) ]
+    ~start_ns:(dequeued_ns - wait_ns) ~dur_ns:wait_ns;
   let expired =
     match job.deadline_ns with
-    | Some d when Telemetry.now_ns () > d -> true
+    | Some d when dequeued_ns > d -> true
     | _ -> false
   in
   if expired then begin
     Metrics.incr expired_total;
+    Log.event ~level:Log.Warn ?trace_id:job.ctx.Telemetry.trace_id
+      ~fields:
+        [
+          ("label", Log.S job.req.Engine.label);
+          ("queue_wait_ms", Log.F (float_of_int wait_ns /. 1e6));
+        ]
+      "serve.expired";
     deliver job Expired
   end
   else
-    match Engine.answer server.session server.counters job.req with
+    match
+      Telemetry.with_context job.ctx (fun () ->
+          Engine.answer server.session server.counters job.req)
+    with
     | result -> deliver job (Done result)
     | exception e -> deliver job (Failed (Printexc.to_string e))
 
@@ -207,6 +236,7 @@ let stats_json server =
       ("queue_depth", Json.Int depth);
       ("workers", Json.Int server.cfg.workers);
       ("max_queue", Json.Int server.cfg.max_queue);
+      ("spans_dropped", Json.Int (Telemetry.dropped ()));
       ("cache_entries", Json.Int (Cache.size (Engine.session_cache server.session)));
       ("store", Json.Bool (Engine.session_store server.session <> None));
       ( "engine",
@@ -227,16 +257,24 @@ let stats_json server =
           ] );
     ]
 
-let submit_response jobs =
-  let results, failed, expired =
+let submit_response ~trace_id ~info jobs =
+  let results, failed, expired, slowest =
     List.fold_left
-      (fun (acc, failed, expired) job ->
+      (fun (acc, failed, expired, slowest) job ->
         match await job with
         | Done r ->
             let failed =
               if Verdict.to_bool r.Engine.verdict then failed else failed + 1
             in
-            (Wire.json_of_result r :: acc, failed, expired)
+            let slowest =
+              match slowest with
+              | Some (_, ms, _) when ms >= r.Engine.ms -> slowest
+              | _ ->
+                  Some
+                    (r.Engine.request.Engine.label, r.Engine.ms,
+                     r.Engine.digest)
+            in
+            (Wire.json_of_result r :: acc, failed, expired, slowest)
         | Expired ->
             ( Json.Obj
                 [
@@ -249,7 +287,7 @@ let submit_response jobs =
                       ] );
                 ]
               :: acc,
-              failed, expired + 1 )
+              failed, expired + 1, slowest )
         | Failed msg ->
             ( Json.Obj
                 [
@@ -262,18 +300,34 @@ let submit_response jobs =
                       ] );
                 ]
               :: acc,
-              failed + 1, expired ))
-      ([], 0, 0) jobs
+              failed + 1, expired, slowest ))
+      ([], 0, 0, None) jobs
   in
+  let max_wait_ns = List.fold_left (fun acc j -> max acc j.wait_ns) 0 jobs in
+  info :=
+    [
+      ("jobs", Log.I (List.length jobs));
+      ("failed", Log.I failed);
+      ("expired", Log.I expired);
+      ("queue_wait_ms", Log.F (float_of_int max_wait_ns /. 1e6));
+    ]
+    @ (match slowest with
+      | None -> []
+      | Some (label, ms, digest) ->
+          ("slowest_label", Log.S label) :: ("slowest_ms", Log.F ms)
+          :: (match digest with
+             | Some d -> [ ("verdict_digest", Log.S d) ]
+             | None -> []));
   ok_op "submit"
     [
+      ("trace_id", Json.Str trace_id);
       ("jobs", Json.Int (List.length jobs));
       ("failed", Json.Int failed);
       ("expired", Json.Int expired);
       ("results", Json.List (List.rev results));
     ]
 
-let handle_submit server (s : Wire.submit) =
+let handle_submit server ~trace_id ~ctx ~info (s : Wire.submit) =
   if Atomic.get server.stop then
     Wire.error_json Wire.Shutting_down "server is draining"
   else
@@ -293,14 +347,22 @@ let handle_submit server (s : Wire.submit) =
         let jobs =
           List.map
             (fun req ->
-              { req; deadline_ns; cell_lock = Mutex.create ();
-                cell_cond = Condition.create (); reply = None })
+              { req; deadline_ns; ctx; cell_lock = Mutex.create ();
+                cell_cond = Condition.create (); reply = None; wait_ns = 0 })
             requests
         in
         (match Sched.submit_all (sched server) jobs with
-        | Sched.Accepted -> submit_response jobs
+        | Sched.Accepted -> submit_response ~trace_id ~info jobs
         | Sched.Overloaded ->
             Metrics.incr rejected_total;
+            Log.event ~level:Log.Warn ~trace_id
+              ~fields:
+                [
+                  ("jobs", Log.I (List.length jobs));
+                  ("queue_depth", Log.I (Sched.depth (sched server)));
+                  ("max_queue", Log.I server.cfg.max_queue);
+                ]
+              "serve.rejected";
             Wire.error_json Wire.Overloaded
               (Printf.sprintf
                  "admission queue full (%d queued, limit %d) — resubmit later"
@@ -309,15 +371,16 @@ let handle_submit server (s : Wire.submit) =
         | Sched.Stopped ->
             Wire.error_json Wire.Shutting_down "server is draining")
 
-let handle_request server = function
+let handle_request server ~trace_id ~ctx ~info = function
   | Wire.Ping -> (ok_op "ping" [], `Continue)
   | Wire.Stats -> (stats_json server, `Continue)
   | Wire.Metrics ->
+      Runtime.sample ();
       (ok_op "metrics" [ ("metrics", Json.Str (Metrics.expose ())) ], `Continue)
   | Wire.Shutdown ->
       Atomic.set server.stop true;
       (ok_op "shutdown" [ ("draining", Json.Bool true) ], `Close)
-  | Wire.Submit s -> (handle_submit server s, `Continue)
+  | Wire.Submit s -> (handle_submit server ~trace_id ~ctx ~info s, `Continue)
 
 (* --- connections ------------------------------------------------------ *)
 
@@ -331,7 +394,14 @@ let untrack_conn server fd =
   Hashtbl.remove server.conns fd;
   Mutex.unlock server.conns_lock
 
-let handle_conn server fd =
+let op_name = function
+  | Wire.Ping -> "ping"
+  | Wire.Stats -> "stats"
+  | Wire.Metrics -> "metrics"
+  | Wire.Shutdown -> "shutdown"
+  | Wire.Submit _ -> "submit"
+
+let handle_conn server ~accept_ctx fd =
   let ic = Unix.in_channel_of_descr fd in
   let oc = Unix.out_channel_of_descr (Unix.dup fd) in
   let respond doc = Frame.write oc (Json.to_string doc) in
@@ -347,19 +417,45 @@ let handle_conn server fd =
           (Wire.error_json Wire.Malformed (Format.asprintf "%a" Frame.pp_error e))
     | Ok payload ->
         Metrics.incr requests_total;
+        let parsed = Wire.parse_request payload in
+        (* The request's tree tag: the client's trace id if it sent
+           one, a fresh server-side one otherwise.  Every span of this
+           request (handle, queue_wait, engine descendants) carries it,
+           and submit responses echo it. *)
+        let trace_id =
+          match parsed with
+          | Ok (Wire.Submit { Wire.trace_id = Some t; _ }) -> t
+          | Ok _ | Error _ -> fresh_trace_id ()
+        in
+        let req_ctx =
+          { Telemetry.trace_id = Some trace_id;
+            parent = accept_ctx.Telemetry.parent }
+        in
+        let info = ref [] in
+        let t0 = Telemetry.now_ns () in
         let doc, next =
+          Telemetry.with_context req_ctx @@ fun () ->
           Telemetry.with_span "serve.handle" (fun () ->
-              match Wire.parse_request payload with
+              match parsed with
               | Error msg -> (Wire.error_json Wire.Malformed msg, `Continue)
               | Ok req ->
-                  Telemetry.set_attrs
-                    [ ("op", match req with
-                        | Wire.Ping -> "ping" | Wire.Stats -> "stats"
-                        | Wire.Metrics -> "metrics" | Wire.Shutdown -> "shutdown"
-                        | Wire.Submit _ -> "submit") ];
-                  handle_request server req)
+                  Telemetry.set_attrs [ ("op", op_name req) ];
+                  let ctx = Telemetry.current_context () in
+                  handle_request server ~trace_id ~ctx ~info req)
         in
         respond doc;
+        let ms = float_of_int (Telemetry.now_ns () - t0) /. 1e6 in
+        (match (server.cfg.slow_ms, parsed) with
+        | Some slow, Ok req when ms >= slow ->
+            (* slow exemplar: enough to find the request's exact span
+               subtree in the trace export (same trace_id) without
+               racing worker rings for the spans themselves *)
+            Log.event ~level:Log.Warn ~trace_id
+              ~fields:
+                (("op", Log.S (op_name req)) :: ("ms", Log.F ms)
+                 :: ("slow_ms", Log.F slow) :: List.rev !info)
+              "serve.slow"
+        | _ -> ());
         (match next with `Continue -> loop () | `Close -> ())
   in
   (try loop () with
@@ -416,7 +512,11 @@ let accept_loop server listen_fd =
                  Metrics.incr connections_total;
                  Atomic.incr server.active_conns;
                  track_conn server fd;
-                 ignore (Thread.create (handle_conn server) fd)));
+                 (* capture inside the span: handle spans of every
+                    request on this connection parent to it *)
+                 let accept_ctx = Telemetry.current_context () in
+                 ignore
+                   (Thread.create (handle_conn server ~accept_ctx) fd)));
       loop ()
     end
   in
@@ -424,6 +524,7 @@ let accept_loop server listen_fd =
 
 let run ?on_ready cfg =
   if cfg.spans then Telemetry.set_enabled true;
+  Runtime.start ();
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
    with Invalid_argument _ -> ());
   let store = Option.map Store.open_ cfg.store_dir in
@@ -454,6 +555,14 @@ let run ?on_ready cfg =
     Sys.set_signal Sys.sigint (Sys.Signal_handle trigger)
   end;
   let listen_fd, bound = bind_listen cfg.addr in
+  Log.event
+    ~fields:
+      [
+        ("addr", Log.S (Format.asprintf "%a" Wire.pp_addr bound));
+        ("workers", Log.I cfg.workers);
+        ("max_queue", Log.I cfg.max_queue);
+      ]
+    "serve.start";
   Option.iter (fun f -> f bound) on_ready;
   accept_loop server listen_fd;
   (* Drain: stop accepting, finish every queued job (which answers the
@@ -473,6 +582,14 @@ let run ?on_ready cfg =
     Thread.delay 0.01
   done;
   Option.iter Store.close (Engine.session_store session);
+  Log.event
+    ~fields:
+      [
+        ("requests_total", Log.I (Metrics.value requests_total));
+        ("spans_dropped", Log.I (Telemetry.dropped ()));
+      ]
+    "serve.stop";
+  Runtime.stop ();
   match bound with
   | `Unix path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | `Tcp _ -> ()

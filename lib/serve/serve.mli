@@ -12,7 +12,17 @@
     Graceful shutdown (SIGINT, SIGTERM, or the [shutdown] op) stops
     admitting, completes every job already queued, answers the
     connections waiting on them, flushes and closes the store, unlinks
-    the Unix socket, and returns — the CLI then exits 0. *)
+    the Unix socket, and returns — the CLI then exits 0.
+
+    {b Request tracing.}  Every request gets a trace id — the
+    submission's [trace_id] field if the client sent one, a fresh
+    server-generated tag otherwise — echoed in submit responses.  The
+    connection's [serve.accept] span parents each request's
+    [serve.handle] span, and the handle-span {!Posl_telemetry.Telemetry.context}
+    travels with the job across the admission queue, so the worker
+    domain's [serve.queue_wait] and engine spans join the same tree:
+    one connected per-request span tree in the [--trace] export,
+    findable by trace id. *)
 
 module Engine = Posl_engine.Engine
 
@@ -26,6 +36,11 @@ type config = {
   store_dir : string option;  (** persistent verdict store to open *)
   max_frame : int;  (** incoming frame ceiling (default 4 MiB) *)
   spans : bool;  (** enable telemetry spans (default [true]) *)
+  slow_ms : float option;
+      (** requests handled slower than this log a [serve.slow]
+          exemplar: a warn-level {!Posl_telemetry.Log} event carrying
+          the request's trace id (the key into the span tree in the
+          trace export), queue wait, slowest job and verdict digest *)
   handle_signals : bool;
       (** install SIGTERM/SIGINT handlers (default [true]; in-process
           test and bench servers pass [false]) *)
@@ -38,6 +53,7 @@ val config :
   ?store_dir:string ->
   ?max_frame:int ->
   ?spans:bool ->
+  ?slow_ms:float ->
   ?handle_signals:bool ->
   Wire.addr ->
   config

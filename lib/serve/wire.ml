@@ -23,12 +23,14 @@ type submit = {
   depth : int option;
   extra_objects : int option;
   deadline_ms : int option;
+  trace_id : string option;
 }
 
-let submission ?depth ?extra_objects ?deadline_ms ?(queries = []) source =
+let submission ?depth ?extra_objects ?deadline_ms ?trace_id ?(queries = [])
+    source =
   let none =
     { file = None; spec_text = None; manifest = None; manifest_text = None;
-      queries; depth; extra_objects; deadline_ms }
+      queries; depth; extra_objects; deadline_ms; trace_id }
   in
   match source with
   | `File f -> { none with file = Some f }
@@ -78,7 +80,8 @@ let request_json = function
             @ opt "manifest_text" s.manifest_text
             @ queries @ opt_int "depth" s.depth
             @ opt_int "extra_objects" s.extra_objects
-            @ opt_int "deadline_ms" s.deadline_ms))
+            @ opt_int "deadline_ms" s.deadline_ms
+            @ opt "trace_id" s.trace_id))
 
 let ( let* ) = Result.bind
 
@@ -139,6 +142,7 @@ let parse_submit fields =
   let* depth = int_field fields "depth" in
   let* extra_objects = int_field fields "extra_objects" in
   let* deadline_ms = int_field fields "deadline_ms" in
+  let* trace_id = str_field fields "trace_id" in
   let sources =
     List.filter Option.is_some [ file; spec_text; manifest; manifest_text ]
   in
@@ -170,6 +174,7 @@ let parse_submit fields =
          depth;
          extra_objects;
          deadline_ms;
+         trace_id;
        })
 
 let parse_request payload =

@@ -49,12 +49,18 @@ type submit = {
   deadline_ms : int option;
       (** admission deadline for this submission's jobs; overrides the
           server's [--deadline-ms] default *)
+  trace_id : string option;
+      (** client-chosen request-tree tag; the server tags every span of
+          this request with it (generating one if absent) and echoes it
+          in the response, so a slow response can be looked up as its
+          exact span tree in the server's [--trace] export *)
 }
 
 val submission :
   ?depth:int ->
   ?extra_objects:int ->
   ?deadline_ms:int ->
+  ?trace_id:string ->
   ?queries:query_ref list ->
   [ `File of string
   | `Spec_text of string

@@ -113,12 +113,33 @@ let percentile h p =
 
 (* --- Prometheus text exposition ------------------------------------ *)
 
+(* Prometheus text-format escaping: HELP text escapes backslash and
+   newline; label values additionally escape the double quote. *)
+let add_escaped_help b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
+let add_escaped_label b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '"' -> Buffer.add_string b "\\\""
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s
+
 let add_header b name help kind =
   if help <> "" then (
     Buffer.add_string b "# HELP ";
     Buffer.add_string b name;
     Buffer.add_char b ' ';
-    Buffer.add_string b help;
+    add_escaped_help b help;
     Buffer.add_char b '\n');
   Buffer.add_string b "# TYPE ";
   Buffer.add_string b name;
@@ -153,10 +174,12 @@ let expose ?(registry = default) () =
                 cum := !cum + Atomic.get bkt;
                 (* skip the all-zero prefix, stop once every sample is
                    accounted for: keeps the exposition readable *)
-                if !cum > 0 then
-                  Buffer.add_string b
-                    (Printf.sprintf "%s_bucket{le=\"%.6g\"} %d\n" h.h_name
-                       bounds.(i) !cum);
+                if !cum > 0 then begin
+                  Buffer.add_string b h.h_name;
+                  Buffer.add_string b "_bucket{le=\"";
+                  add_escaped_label b (Printf.sprintf "%.6g" bounds.(i));
+                  Buffer.add_string b (Printf.sprintf "\"} %d\n" !cum)
+                end;
                 if !cum = total then emitted_all := true
               end)
             h.h_buckets;

@@ -21,13 +21,29 @@
 type span = {
   id : int;  (** process-unique, strictly positive *)
   parent : int option;
-      (** id of the span that was open on the same domain at start *)
+      (** id of the span this span nests under — the span open on the
+          same domain at start, or the parent of the installed
+          {!context} when the domain's stack was empty *)
+  trace_id : string option;
+      (** request-tree tag inherited from the parent span or installed
+          {!context}; spans sharing a [trace_id] belong to one request *)
   name : string;
   tid : int;  (** ring (domain) id, stable for the ring's lifetime *)
   start_ns : int;  (** monotonic clock, nanoseconds *)
   dur_ns : int;
   attrs : (string * string) list;
 }
+
+type context = { trace_id : string option; parent : int option }
+(** A portable span context: enough to re-root a span tree on another
+    domain.  Capture with {!current_context} on the domain that owns
+    the parent span, hand the value across the queue/domain boundary,
+    and install it with {!with_context} on the worker — spans the
+    worker opens while its stack is empty then nest under [parent] and
+    inherit [trace_id], stitching one request tree across domains. *)
+
+val root_context : context
+(** [{ trace_id = None; parent = None }]. *)
 
 val now_ns : unit -> int
 (** Monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]), nanoseconds.
@@ -51,6 +67,32 @@ val set_attrs : (string * string) list -> unit
 
 val current_span_id : unit -> int option
 (** Id of the innermost open span of the calling domain, if any. *)
+
+val current_context : unit -> context
+(** The context a child span would inherit right now: the innermost
+    open span of the calling domain if any, else the innermost
+    installed context, else {!root_context}. *)
+
+val with_context : context -> (unit -> 'a) -> 'a
+(** [with_context c f] installs [c] for the duration of [f] on the
+    calling domain.  Spans opened by [f] while the domain's span stack
+    is empty take [c.parent] as parent and [c.trace_id] as trace id;
+    nested spans inherit both as usual.  Contexts nest (innermost
+    wins).  When telemetry is disabled this is just [f ()]. *)
+
+val emit :
+  ?context:context ->
+  ?attrs:(string * string) list ->
+  string ->
+  start_ns:int ->
+  dur_ns:int ->
+  unit
+(** [emit name ~start_ns ~dur_ns] records an already-measured interval
+    as a completed span on the calling domain's ring — for phases whose
+    endpoints straddle a queue or domain handoff (e.g. queue wait,
+    measured as dequeue time minus enqueue time).  Parent and trace id
+    come from [?context] when given, else from the calling domain as in
+    {!with_span}.  No-op when disabled. *)
 
 val spans : unit -> span list
 (** All completed spans surviving in every ring, sorted by start time.

@@ -15,6 +15,7 @@ module Verdict = Posl_verdict.Verdict
 module J = Verdict.Json
 module Telemetry = Posl_telemetry.Telemetry
 module Metrics = Posl_telemetry.Metrics
+module Log = Posl_telemetry.Log
 open Posl_ident
 
 let rounds_total =
@@ -430,6 +431,20 @@ let round t changed diags =
       ("reused", string_of_int !reused);
       ("flips", string_of_int (List.length flips));
     ];
+  let elapsed_ms = float_of_int (Telemetry.now_ns () - t0) /. 1e6 in
+  Log.event
+    ~level:(if flips <> [] then Log.Warn else Log.Info)
+    ~fields:
+      [
+        ("round", Log.I t.round);
+        ("invalidated", Log.I n_run);
+        ("reused", Log.I !reused);
+        ("errored", Log.I !errored);
+        ("flips", Log.I (List.length flips));
+        ("failing", Log.I failing);
+        ("ms", Log.F elapsed_ms);
+      ]
+    "watch.round";
   {
     round = t.round;
     invalidated = n_run;
@@ -439,7 +454,7 @@ let round t changed diags =
     diagnostics = diags;
     failing;
     total = List.length slots;
-    elapsed_ms = float_of_int (Telemetry.now_ns () - t0) /. 1e6;
+    elapsed_ms;
     stats;
   }
 

@@ -121,7 +121,10 @@ let test_wire_rejects () =
 
 let test_sched_runs_and_drains () =
   let hits = Atomic.make 0 in
-  let q = Sched.create ~workers:2 ~max_queue:64 ~run:(fun n -> ignore (Atomic.fetch_and_add hits n)) in
+  let q =
+    Sched.create ~workers:2 ~max_queue:64 ~run:(fun ~wait_ns:_ n ->
+        ignore (Atomic.fetch_and_add hits n))
+  in
   List.iter
     (fun n -> Alcotest.(check bool) "accepted" true (Sched.submit q n = Sched.Accepted))
     [ 1; 2; 3; 4; 5 ];
@@ -133,7 +136,7 @@ let test_sched_runs_and_drains () =
 let test_sched_overload_is_atomic () =
   (* no workers: whatever is admitted stays queued, so capacity
      accounting is exact *)
-  let q = Sched.create ~workers:0 ~max_queue:3 ~run:(fun _ -> ()) in
+  let q = Sched.create ~workers:0 ~max_queue:3 ~run:(fun ~wait_ns:_ _ -> ()) in
   Alcotest.(check bool) "batch fits" true
     (Sched.submit_all q [ 1; 2 ] = Sched.Accepted);
   Alcotest.(check bool) "overflowing batch refused whole" true
@@ -539,7 +542,105 @@ let test_loadgen_campaign () =
           Util.check_int "no transport errors" 0 r.Loadgen.errors;
           Alcotest.(check bool) "repeats landed on warm caches" true
             (r.Loadgen.cached > 0);
-          Alcotest.(check bool) "throughput measured" true (r.Loadgen.qps > 0.))
+          Alcotest.(check bool) "throughput measured" true (r.Loadgen.qps > 0.);
+          Alcotest.(check bool) "slowest exemplars reported" true
+            (r.Loadgen.slowest <> []);
+          List.iter
+            (fun (tid, ms) ->
+              Alcotest.(check bool)
+                (tid ^ " is a loadgen trace id") true
+                (String.length tid > 5 && String.sub tid 0 5 = "lg42-");
+              Alcotest.(check bool) "exemplar latency positive" true (ms > 0.))
+            r.Loadgen.slowest)
+
+(* One request through a multi-worker server yields one connected span
+   tree under its client-supplied trace id: serve.handle on the
+   connection thread (child of that connection's serve.accept),
+   serve.queue_wait emitted at dequeue, and the worker domain's
+   engine.job — all stitched across the thread/domain handoffs by
+   parent links, every request-scoped span tagged with the trace id. *)
+let test_request_span_tree () =
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let echoed = ref None in
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+  @@ fun () ->
+  with_server ~workers:2 (fun addr ->
+      let c = Client.connect addr in
+      Fun.protect ~finally:(fun () -> Client.close c) @@ fun () ->
+      let doc =
+        call_ok c
+          (Wire.request_json
+             (Wire.Submit
+                (Wire.submission ~depth ~trace_id:"req-tree-1"
+                   ~queries:[ { Wire.kind = "refine"; names = [ "A"; "B" ] } ]
+                   (`Spec_text spec_text))))
+      in
+      Alcotest.(check bool) "submit ok" true
+        (field "ok" doc = Some (Json.Bool true));
+      echoed :=
+        (match field "trace_id" doc with
+        | Some (Json.Str t) -> Some t
+        | _ -> None));
+  (* with_server joined the server (conn threads and worker domains
+     included), so every ring is quiescent and safe to read *)
+  Alcotest.(check (option string)) "response echoes the client trace id"
+    (Some "req-tree-1") !echoed;
+  let spans = Telemetry.spans () in
+  let tagged =
+    List.filter
+      (fun (s : Telemetry.span) -> s.trace_id = Some "req-tree-1")
+      spans
+  in
+  let named n =
+    match List.filter (fun (s : Telemetry.span) -> s.name = n) tagged with
+    | [ s ] -> s
+    | l ->
+        Alcotest.failf "expected exactly one tagged %s span, got %d" n
+          (List.length l)
+  in
+  let handle = named "serve.handle" in
+  let wait = named "serve.queue_wait" in
+  let job = named "engine.job" in
+  Alcotest.(check (option string)) "handle span knows its op"
+    (Some "submit")
+    (List.assoc_opt "op" handle.Telemetry.attrs);
+  Alcotest.(check (option int)) "queue wait hangs off the handle span"
+    (Some handle.Telemetry.id) wait.Telemetry.parent;
+  (* the engine job ran on a worker domain; its parent chain must still
+     reach the handle span recorded on the connection thread's ring *)
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (s : Telemetry.span) -> Hashtbl.add by_id s.id s) spans;
+  let rec reaches target id =
+    id = target
+    ||
+    match Hashtbl.find_opt by_id id with
+    | Some (s : Telemetry.span) -> (
+        match s.parent with Some p -> reaches target p | None -> false)
+    | None -> false
+  in
+  (match job.Telemetry.parent with
+  | None -> Alcotest.fail "engine.job is an orphan"
+  | Some p ->
+      Alcotest.(check bool)
+        "engine.job's ancestry crosses the domain handoff to serve.handle"
+        true
+        (reaches handle.Telemetry.id p));
+  (* the handle span itself hangs off the connection's accept span *)
+  (match handle.Telemetry.parent with
+  | None -> Alcotest.fail "serve.handle is an orphan"
+  | Some p -> (
+      match Hashtbl.find_opt by_id p with
+      | Some (s : Telemetry.span) ->
+          Alcotest.(check string) "handle parent is the accept span"
+            "serve.accept" s.name
+      | None -> Alcotest.fail "handle parent id dangles"));
+  Alcotest.(check bool) "trace export carries the trace id" true
+    (Util.contains_substring ~needle:{|"trace_id":"req-tree-1"|}
+       (Telemetry.trace_json ()))
 
 let suite =
   [
@@ -574,4 +675,6 @@ let suite =
       test_shutdown_drains;
     Alcotest.test_case "live: loadgen campaign against in-process server"
       `Quick test_loadgen_campaign;
+    Alcotest.test_case "live: one request, one connected span tree" `Quick
+      test_request_span_tree;
   ]

@@ -6,6 +6,8 @@
 
 module Telemetry = Posl_telemetry.Telemetry
 module Metrics = Posl_telemetry.Metrics
+module Log = Posl_telemetry.Log
+module Runtime = Posl_telemetry.Runtime
 module Json = Posl_verdict.Verdict.Json
 module Engine = Posl_engine.Engine
 module Job = Posl_engine.Job
@@ -318,6 +320,389 @@ let test_engine_span_ids () =
         (List.exists (fun (s : Telemetry.span) -> s.id = id) jobs))
     ids
 
+(* Context propagation: a context captured inside a span and installed
+   on another domain re-roots that domain's spans under the original
+   parent, with the trace id flowing to every descendant. *)
+let test_cross_domain_context () =
+  traced @@ fun () ->
+  let ctx = ref Telemetry.root_context in
+  Telemetry.with_context
+    { Telemetry.trace_id = Some "req-1"; parent = None }
+    (fun () ->
+      Telemetry.with_span "handle" (fun () ->
+          ctx := Telemetry.current_context ()));
+  let handle = find_span "handle" (Telemetry.spans ()) in
+  Alcotest.(check (option string))
+    "context carries the trace id" (Some "req-1") !ctx.Telemetry.trace_id;
+  Alcotest.(check (option int))
+    "context parent is the open span" (Some handle.Telemetry.id)
+    !ctx.Telemetry.parent;
+  let d =
+    Domain.spawn (fun () ->
+        Telemetry.with_context !ctx (fun () ->
+            Telemetry.with_span "worker" (fun () ->
+                Telemetry.with_span "nested" (fun () -> ()))))
+  in
+  Domain.join d;
+  let spans = Telemetry.spans () in
+  let worker = find_span "worker" spans in
+  let nested = find_span "nested" spans in
+  Alcotest.(check (option int))
+    "worker re-roots under handle across the domain boundary"
+    (Some handle.Telemetry.id) worker.Telemetry.parent;
+  Alcotest.(check (option int))
+    "nested keeps the in-domain parent" (Some worker.Telemetry.id)
+    nested.Telemetry.parent;
+  List.iter
+    (fun (s : Telemetry.span) ->
+      Alcotest.(check (option string))
+        (s.name ^ " tagged with the trace id")
+        (Some "req-1") s.trace_id)
+    [ handle; worker; nested ];
+  (* the trace id travels into the export *)
+  Alcotest.(check bool) "trace_json mentions the trace id" true
+    (let text = Telemetry.trace_json () in
+     let needle = {|"trace_id":"req-1"|} in
+     let n = String.length needle and l = String.length text in
+     let rec go i =
+       i + n <= l && (String.sub text i n = needle || go (i + 1))
+     in
+     go 0)
+
+(* Two systhreads of one domain interleave their requests: each must
+   keep its own open-span stack and trace id.  With a shared per-domain
+   ring, [inner-b] would nest under [outer-a]'s still-open span and
+   steal its trace id — exactly the cross-request contamination the
+   server's per-connection threads would otherwise hit. *)
+let test_thread_isolation () =
+  traced @@ fun () ->
+  let a_open = Atomic.make false and b_done = Atomic.make false in
+  let t_a =
+    Thread.create
+      (fun () ->
+        Telemetry.with_context
+          { Telemetry.trace_id = Some "ta"; parent = None }
+          (fun () ->
+            Telemetry.with_span "outer-a" (fun () ->
+                Atomic.set a_open true;
+                while not (Atomic.get b_done) do Thread.yield () done)))
+      ()
+  in
+  let t_b =
+    Thread.create
+      (fun () ->
+        while not (Atomic.get a_open) do Thread.yield () done;
+        Telemetry.with_context
+          { Telemetry.trace_id = Some "tb"; parent = None }
+          (fun () -> Telemetry.with_span "inner-b" (fun () -> ()));
+        Atomic.set b_done true)
+      ()
+  in
+  Thread.join t_a;
+  Thread.join t_b;
+  let spans = Telemetry.spans () in
+  let a = find_span "outer-a" spans in
+  let b = find_span "inner-b" spans in
+  Alcotest.(check (option string))
+    "a keeps its trace id" (Some "ta") a.Telemetry.trace_id;
+  Alcotest.(check (option string))
+    "b keeps its own trace id despite a's open span" (Some "tb")
+    b.Telemetry.trace_id;
+  Alcotest.(check (option int))
+    "b does not nest under a" None b.Telemetry.parent;
+  Alcotest.(check bool) "threads record to distinct rings" false
+    (a.Telemetry.tid = b.Telemetry.tid)
+
+(* [emit] records an already-measured interval verbatim, rooted at the
+   supplied context — the queue-wait shape. *)
+let test_emit_interval () =
+  traced @@ fun () ->
+  let ctx =
+    { Telemetry.trace_id = Some "req-2"; parent = None }
+  in
+  let parent_id = ref 0 in
+  Telemetry.with_context ctx (fun () ->
+      Telemetry.with_span "handle" (fun () ->
+          parent_id :=
+            Option.value (Telemetry.current_span_id ()) ~default:(-1)));
+  let handle_ctx =
+    { Telemetry.trace_id = Some "req-2"; parent = Some !parent_id }
+  in
+  Telemetry.emit ~context:handle_ctx "queue_wait"
+    ~attrs:[ ("wait_ms", "1.5") ]
+    ~start_ns:1_000 ~dur_ns:500;
+  let qw = find_span "queue_wait" (Telemetry.spans ()) in
+  Alcotest.(check int) "start as measured" 1_000 qw.Telemetry.start_ns;
+  Alcotest.(check int) "duration as measured" 500 qw.Telemetry.dur_ns;
+  Alcotest.(check (option int))
+    "parent from the context" (Some !parent_id) qw.Telemetry.parent;
+  Alcotest.(check (option string))
+    "trace id from the context" (Some "req-2") qw.Telemetry.trace_id;
+  Alcotest.(check (option string))
+    "attrs survive" (Some "1.5")
+    (List.assoc_opt "wait_ms" qw.Telemetry.attrs)
+
+(* ---------------- structured log ---------------- *)
+
+let logged f =
+  Log.reset ();
+  Log.set_level Log.Info;
+  Fun.protect
+    ~finally:(fun () ->
+      Log.set_sink None;
+      Log.set_level Log.Info;
+      Log.reset ())
+    f
+
+let contains hay needle =
+  let n = String.length needle and l = String.length hay in
+  let rec go i = i + n <= l && (String.sub hay i n = needle || go (i + 1)) in
+  n = 0 || go 0
+
+let test_log_levels_and_fields () =
+  logged @@ fun () ->
+  Log.event ~level:Log.Debug "invisible";
+  Log.event ~level:Log.Warn
+    ~fields:
+      [ ("s", Log.S "x\"y"); ("i", Log.I 3); ("f", Log.F 1.5); ("b", Log.B true) ]
+    "visible";
+  (match Log.events () with
+  | [ e ] ->
+      Alcotest.(check string) "event name" "visible" e.Log.event;
+      Alcotest.(check bool) "level recorded" true (e.Log.level = Log.Warn);
+      Alcotest.(check bool) "wall clock set" true (e.Log.wall > 0.);
+      let line = Log.json_of_event e in
+      List.iter
+        (fun needle ->
+          Alcotest.(check bool)
+            (Printf.sprintf "line has %s" needle)
+            true (contains line needle))
+        [
+          {|"level":"warn"|};
+          {|"event":"visible"|};
+          {|"s":"x\"y"|};
+          {|"i":3|};
+          {|"f":1.5|};
+          {|"b":true|};
+        ];
+      (match Json.of_string line with
+      | Ok (Json.Obj _) -> ()
+      | Ok _ | Error _ -> Alcotest.fail "log line is not a JSON object")
+  | l -> Alcotest.failf "expected 1 event, got %d" (List.length l));
+  (* raising the level discards below it *)
+  Log.set_level Log.Error;
+  Log.event ~level:Log.Warn "also invisible";
+  Alcotest.(check int) "warn dropped below error level" 1
+    (List.length (Log.events ()))
+
+let test_log_trace_id_defaults_from_context () =
+  traced @@ fun () ->
+  logged @@ fun () ->
+  Log.event "outside";
+  Telemetry.with_context
+    { Telemetry.trace_id = Some "req-7"; parent = None }
+    (fun () -> Log.event "inside");
+  match Log.events () with
+  | [ out; inside ] ->
+      Alcotest.(check (option string)) "no ambient trace id" None
+        out.Log.trace_id;
+      Alcotest.(check (option string))
+        "trace id inherited from the installed context" (Some "req-7")
+        inside.Log.trace_id
+  | l -> Alcotest.failf "expected 2 events, got %d" (List.length l)
+
+let test_log_sink_and_ring () =
+  logged @@ fun () ->
+  let seen = ref [] in
+  Log.set_sink (Some (fun line -> seen := line :: !seen));
+  Log.event ~fields:[ ("n", Log.I 1) ] "a";
+  Log.event ~fields:[ ("n", Log.I 2) ] "b";
+  Log.set_sink None;
+  Log.event "not streamed";
+  Alcotest.(check int) "sink saw exactly the streamed events" 2
+    (List.length !seen);
+  Alcotest.(check bool) "sink lines are the rendered events" true
+    (match List.rev !seen with
+    | [ a; b ] -> contains a {|"event":"a"|} && contains b {|"event":"b"|}
+    | _ -> false);
+  Alcotest.(check int) "ring kept all three" 3 (List.length (Log.events ()));
+  Alcotest.(check int) "nothing dropped yet" 0 (Log.dropped ())
+
+let test_log_ring_overflow () =
+  logged @@ fun () ->
+  let total = 5_000 in
+  for i = 1 to total do
+    Log.event ~fields:[ ("i", Log.I i) ] "tick"
+  done;
+  let survived = List.length (Log.events ()) in
+  Alcotest.(check bool) "ring bounded" true (survived < total);
+  Alcotest.(check int) "survivors + dropped = written" total
+    (survived + Log.dropped ());
+  (* drop-oldest: the newest event survives *)
+  match List.rev (Log.events ()) with
+  | last :: _ ->
+      Alcotest.(check (option string))
+        "newest survives"
+        (Some (string_of_int total))
+        (match List.assoc_opt "i" last.Log.fields with
+        | Some (Log.I i) -> Some (string_of_int i)
+        | _ -> None)
+  | [] -> Alcotest.fail "ring empty after overflow"
+
+(* ---------------- runtime / gc metrics ---------------- *)
+
+let test_runtime_sampler () =
+  Runtime.start ();
+  (* force allocation and at least one major cycle so the alarm and the
+     counters have something to see *)
+  let junk = ref [] in
+  for i = 1 to 200 do
+    junk := Array.make 1_000 i :: !junk;
+    if i mod 50 = 0 then junk := []
+  done;
+  Gc.full_major ();
+  Runtime.stop ();
+  Runtime.sample ();
+  let text = Metrics.expose () in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "exposes %s" needle) true
+        (contains text needle))
+    [
+      "# TYPE posl_gc_minor_words_total counter";
+      "# TYPE posl_gc_major_collections_total counter";
+      "# TYPE posl_gc_heap_words gauge";
+      "# TYPE posl_gc_pause_ms histogram";
+      "posl_gc_pause_ms_count";
+    ];
+  let minor_words =
+    Metrics.value (Metrics.counter "posl_gc_minor_words_total")
+  in
+  Alcotest.(check bool) "allocation observed" true (minor_words > 0);
+  Alcotest.(check bool) "heap gauge live" true
+    (Metrics.gauge_value (Metrics.gauge "posl_gc_heap_words") > 0.);
+  (* idempotent start/stop; stop twice is a no-op *)
+  Runtime.start ();
+  Runtime.start ();
+  Runtime.stop ();
+  Runtime.stop ()
+
+let test_gc_attrs_on_span () =
+  traced @@ fun () ->
+  Telemetry.with_span "job" (fun () ->
+      Runtime.with_gc_attrs (fun () ->
+          (* small blocks so the allocation goes through the minor heap *)
+          let acc = ref [] in
+          for i = 1 to 5_000 do
+            acc := (i, i) :: !acc
+          done;
+          ignore (Sys.opaque_identity !acc)));
+  let job = find_span "job" (Telemetry.spans ()) in
+  match List.assoc_opt "gc_minor_words" job.Telemetry.attrs with
+  | None -> Alcotest.fail "span lacks gc_minor_words"
+  | Some w ->
+      Alcotest.(check bool) "allocation attributed to the span" true
+        (float_of_string w >= 5_000.)
+
+(* ---------------- prometheus conformance ---------------- *)
+
+(* HELP text and histogram label values escape per the text-format
+   rules: backslash and newline in HELP; backslash, quote and newline
+   in label values. *)
+let test_expose_help_escaping () =
+  let r = Metrics.create () in
+  let _ =
+    Metrics.counter ~registry:r ~help:"line one\nline two \\ done" "esc_total"
+  in
+  let text = Metrics.expose ~registry:r () in
+  Alcotest.(check bool) "newline escaped in HELP" true
+    (contains text {|# HELP esc_total line one\nline two \\ done|});
+  Alcotest.(check bool) "no raw newline inside the HELP text" false
+    (contains text "line one\nline two")
+
+(* Exposed histogram buckets are cumulative: counts never decrease as
+   [le] grows, and the +Inf bucket equals _count. *)
+let test_expose_bucket_monotonic () =
+  let r = Metrics.create () in
+  let h = Metrics.histogram ~registry:r "mono_ms" in
+  List.iter (Metrics.observe h) [ 0.003; 0.2; 1.0; 5.0; 5.1; 400.0 ];
+  let text = Metrics.expose ~registry:r () in
+  let lines = String.split_on_char '\n' text in
+  let bucket_counts =
+    List.filter_map
+      (fun line ->
+        if contains line "mono_ms_bucket{" then
+          match String.rindex_opt line ' ' with
+          | Some i ->
+              int_of_string_opt
+                (String.sub line (i + 1) (String.length line - i - 1))
+          | None -> None
+        else None)
+      lines
+  in
+  Alcotest.(check bool) "several buckets exposed" true
+    (List.length bucket_counts >= 2);
+  let rec monotone = function
+    | a :: (b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "bucket counts cumulative" true
+    (monotone bucket_counts);
+  let last = List.nth bucket_counts (List.length bucket_counts - 1) in
+  Alcotest.(check int) "+Inf bucket equals count" 6 last;
+  Alcotest.(check bool) "+Inf is the last bucket" true
+    (contains text {|mono_ms_bucket{le="+Inf"} 6|})
+
+(* Scraping while four domains mutate: every expose is parseable-shaped
+   (every sample line ends in a number) and counter values never go
+   backwards between scrapes. *)
+let test_expose_concurrent_stability () =
+  let r = Metrics.create () in
+  let c = Metrics.counter ~registry:r "conc_total" in
+  let h = Metrics.histogram ~registry:r "conc_ms" in
+  let stop = Atomic.make false in
+  let domains =
+    List.init 4 (fun d ->
+        Domain.spawn (fun () ->
+            let i = ref 0 in
+            while not (Atomic.get stop) do
+              incr i;
+              Metrics.incr c;
+              Metrics.observe h (float_of_int (1 + ((d + !i) mod 40)))
+            done))
+  in
+  let prev = ref (-1) in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      List.iter Domain.join domains)
+    (fun () ->
+      for _ = 1 to 50 do
+        let text = Metrics.expose ~registry:r () in
+        List.iter
+          (fun line ->
+            if
+              String.length line > 0
+              && line.[0] <> '#'
+              && not (String.trim line = "")
+            then
+              match String.rindex_opt line ' ' with
+              | None -> Alcotest.failf "malformed sample line: %s" line
+              | Some i -> (
+                  let v =
+                    String.sub line (i + 1) (String.length line - i - 1)
+                  in
+                  match float_of_string_opt v with
+                  | Some f when Float.is_finite f -> ()
+                  | Some _ | None ->
+                      Alcotest.failf "non-numeric sample: %s" line))
+          (String.split_on_char '\n' text);
+        let now = Metrics.value c in
+        Alcotest.(check bool) "counter monotone across scrapes" true
+          (now >= !prev);
+        prev := now
+      done)
+
 let suite =
   [
     Alcotest.test_case "span nesting" `Quick test_nesting;
@@ -335,4 +720,22 @@ let suite =
     Alcotest.test_case "4-domain hammer" `Quick test_multi_domain_hammer;
     Alcotest.test_case "ring overflow" `Quick test_ring_overflow;
     Alcotest.test_case "engine span ids" `Quick test_engine_span_ids;
+    Alcotest.test_case "cross-domain context" `Quick test_cross_domain_context;
+    Alcotest.test_case "thread isolation (shared domain)" `Quick
+      test_thread_isolation;
+    Alcotest.test_case "emit measured interval" `Quick test_emit_interval;
+    Alcotest.test_case "log levels and fields" `Quick
+      test_log_levels_and_fields;
+    Alcotest.test_case "log trace id from context" `Quick
+      test_log_trace_id_defaults_from_context;
+    Alcotest.test_case "log sink and ring" `Quick test_log_sink_and_ring;
+    Alcotest.test_case "log ring overflow" `Quick test_log_ring_overflow;
+    Alcotest.test_case "runtime gc sampler" `Quick test_runtime_sampler;
+    Alcotest.test_case "gc attrs on span" `Quick test_gc_attrs_on_span;
+    Alcotest.test_case "prometheus HELP escaping" `Quick
+      test_expose_help_escaping;
+    Alcotest.test_case "prometheus cumulative buckets" `Quick
+      test_expose_bucket_monotonic;
+    Alcotest.test_case "prometheus concurrent scrape" `Quick
+      test_expose_concurrent_stability;
   ]
